@@ -1,0 +1,507 @@
+//! Frequency-equivalence classes via cycle equivalence (§6.1.2).
+//!
+//! Blocks and edges guaranteed to execute the same number of times are
+//! grouped into classes. Following the standard construction, each block
+//! is split into an in-node and an out-node joined by an *internal edge*
+//! representing the block; the CFG edges connect out-nodes to in-nodes; a
+//! virtual ENTRY feeds the procedure entry, every exit block feeds a
+//! virtual EXIT, and an EXIT→ENTRY edge closes the graph. Two edges of the
+//! resulting undirected multigraph are *cycle equivalent* — every cycle
+//! contains both or neither — exactly when their execution counts must be
+//! equal on every complete walk.
+//!
+//! The paper cites the linear-time cycle-equivalence algorithm of
+//! Johnson, Pearson, and Pingali \[14\]; we use the equivalent cut-pair
+//! formulation (two non-bridge edges are cycle equivalent iff removing
+//! both disconnects the graph), computed by bridge-finding on each
+//! edge-deleted subgraph — O(E·(V+E)), entirely adequate for
+//! procedure-sized graphs and much easier to validate.
+//!
+//! The paper's extension for CFGs with infinite loops (e.g. an OS idle
+//! loop, §6.1.2) is implemented by connecting one block of each exit-free
+//! terminal region to EXIT with a pseudo edge.
+
+use crate::cfg::Cfg;
+
+/// The computed equivalence classes.
+#[derive(Clone, Debug)]
+pub struct EquivClasses {
+    /// Class id per block index.
+    pub block_class: Vec<usize>,
+    /// Class id per CFG edge index.
+    pub edge_class: Vec<usize>,
+    /// Total number of classes.
+    pub n_classes: usize,
+}
+
+impl EquivClasses {
+    /// Blocks belonging to `class`, in index order.
+    #[must_use]
+    pub fn blocks_in(&self, class: usize) -> Vec<usize> {
+        (0..self.block_class.len())
+            .filter(|&b| self.block_class[b] == class)
+            .collect()
+    }
+}
+
+/// Computes frequency-equivalence classes for a CFG. If the CFG has
+/// missing edges, every block and edge gets its own class (§6.1.2).
+#[must_use]
+pub fn frequency_classes(cfg: &Cfg) -> EquivClasses {
+    let nb = cfg.blocks.len();
+    let ne = cfg.edges.len();
+    if cfg.missing_edges {
+        return EquivClasses {
+            block_class: (0..nb).collect(),
+            edge_class: (nb..nb + ne).collect(),
+            n_classes: nb + ne,
+        };
+    }
+    let edges: Vec<(usize, usize)> = cfg.edges.iter().map(|e| (e.from.0, e.to.0)).collect();
+    let exits: Vec<usize> = cfg.exit_blocks().iter().map(|b| b.0).collect();
+    classes_raw(nb, &edges, 0, &exits)
+}
+
+/// Computes classes for a raw block graph: `edges` are directed block
+/// pairs, `entry` the entry block, `exits` the blocks that can leave the
+/// procedure.
+#[must_use]
+pub fn classes_raw(
+    n_blocks: usize,
+    edges: &[(usize, usize)],
+    entry: usize,
+    exits: &[usize],
+) -> EquivClasses {
+    assert!(n_blocks > 0, "graph needs at least one block");
+    // --- reachability and the infinite-loop extension ----------------------
+    let mut succ = vec![Vec::new(); n_blocks];
+    let mut pred = vec![Vec::new(); n_blocks];
+    for &(f, t) in edges {
+        succ[f].push(t);
+        pred[t].push(f);
+    }
+    let reachable = bfs(n_blocks, entry, &succ);
+    let mut pseudo_exits: Vec<usize> = Vec::new();
+    loop {
+        // Blocks that can reach some exit (real or pseudo).
+        let mut seeds: Vec<usize> = exits.to_vec();
+        seeds.extend_from_slice(&pseudo_exits);
+        let can_exit = multi_bfs(n_blocks, &seeds, &pred);
+        let Some(bad) = (0..n_blocks)
+            .filter(|&b| reachable[b] && !can_exit[b])
+            .max()
+        else {
+            break;
+        };
+        pseudo_exits.push(bad);
+    }
+
+    // --- split-graph construction ------------------------------------------
+    // Nodes: 2b (in), 2b+1 (out) per block; ENTRY = 2nb; EXIT = 2nb+1.
+    let entry_node = 2 * n_blocks;
+    let exit_node = 2 * n_blocks + 1;
+    let n_nodes = 2 * n_blocks + 2;
+    // Edge ids: 0..n_blocks are internal (block) edges; then CFG edges;
+    // then pseudo/virtual edges.
+    let mut g: Vec<(usize, usize)> = Vec::new();
+    for b in 0..n_blocks {
+        g.push((2 * b, 2 * b + 1));
+    }
+    for &(f, t) in edges {
+        g.push((2 * f + 1, 2 * t));
+    }
+    g.push((entry_node, 2 * entry));
+    for &x in exits {
+        g.push((2 * x + 1, exit_node));
+    }
+    for &x in &pseudo_exits {
+        g.push((2 * x + 1, exit_node));
+    }
+    g.push((exit_node, entry_node));
+    // Drop edges touching unreachable blocks: they get their own classes.
+    let live = |n: usize| -> bool {
+        if n >= 2 * n_blocks {
+            return true;
+        }
+        reachable[n / 2]
+    };
+    let active: Vec<bool> = g.iter().map(|&(u, v)| live(u) && live(v)).collect();
+
+    // --- cut-pair cycle equivalence -----------------------------------------
+    let mut dsu = Dsu::new(g.len());
+    let adj = build_adj(n_nodes, &g, &active);
+    let base_bridges = find_bridges(n_nodes, g.len(), &adj, usize::MAX);
+    for e in 0..g.len() {
+        if !active[e] || base_bridges[e] {
+            continue;
+        }
+        let bridges = find_bridges(n_nodes, g.len(), &adj, e);
+        for (b, &is_b) in bridges.iter().enumerate() {
+            if is_b && b != e && active[b] && !base_bridges[b] {
+                dsu.union(e, b);
+            }
+        }
+    }
+
+    // --- map back ------------------------------------------------------------
+    let mut class_ids = std::collections::HashMap::new();
+    let mut next = 0usize;
+    let mut id_of = |root: usize, class_ids: &mut std::collections::HashMap<usize, usize>| {
+        *class_ids.entry(root).or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        })
+    };
+    let mut block_class = Vec::with_capacity(n_blocks);
+    for b in 0..n_blocks {
+        let root = dsu.find(b);
+        block_class.push(id_of(root, &mut class_ids));
+    }
+    let mut edge_class = Vec::with_capacity(edges.len());
+    for e in 0..edges.len() {
+        let root = dsu.find(n_blocks + e);
+        edge_class.push(id_of(root, &mut class_ids));
+    }
+    EquivClasses {
+        block_class,
+        edge_class,
+        n_classes: next,
+    }
+}
+
+fn bfs(n: usize, start: usize, succ: &[Vec<usize>]) -> Vec<bool> {
+    multi_bfs(n, &[start], succ)
+}
+
+fn multi_bfs(n: usize, starts: &[usize], succ: &[Vec<usize>]) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = starts.to_vec();
+    for &s in starts {
+        seen[s] = true;
+    }
+    while let Some(x) = stack.pop() {
+        for &y in &succ[x] {
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    seen
+}
+
+fn build_adj(n_nodes: usize, g: &[(usize, usize)], active: &[bool]) -> Vec<Vec<(usize, usize)>> {
+    let mut adj = vec![Vec::new(); n_nodes];
+    for (id, &(u, v)) in g.iter().enumerate() {
+        if active[id] {
+            adj[u].push((v, id));
+            adj[v].push((u, id));
+        }
+    }
+    adj
+}
+
+/// Iterative bridge finding (Tarjan low-link) over the undirected
+/// multigraph, skipping edge `skip`. Returns a bridge flag per edge id.
+fn find_bridges(
+    n_nodes: usize,
+    n_edges: usize,
+    adj: &[Vec<(usize, usize)>],
+    skip: usize,
+) -> Vec<bool> {
+    let mut is_bridge = vec![false; n_edges];
+    let mut num = vec![usize::MAX; n_nodes];
+    let mut low = vec![0usize; n_nodes];
+    let mut counter = 0usize;
+    // Iterative DFS with explicit stack: (node, parent_edge, child_iter).
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    for root in 0..n_nodes {
+        if num[root] != usize::MAX {
+            continue;
+        }
+        num[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push((root, usize::MAX, 0));
+        while let Some(top) = stack.last_mut() {
+            let (u, pedge) = (top.0, top.1);
+            if top.2 < adj[u].len() {
+                let (v, id) = adj[u][top.2];
+                top.2 += 1;
+                if id == skip || id == pedge {
+                    continue;
+                }
+                if num[v] == usize::MAX {
+                    num[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    stack.push((v, id, 0));
+                } else {
+                    low[u] = low[u].min(num[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > num[p] && pedge != usize::MAX {
+                        is_bridge[pedge] = true;
+                    }
+                }
+            }
+        }
+    }
+    is_bridge
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::reg::Reg;
+    use proptest::prelude::*;
+
+    fn loop_cfg() -> Cfg {
+        let mut a = Asm::new("/t");
+        a.proc("main");
+        a.li(Reg::T0, 10);
+        let top = a.here();
+        a.subq_lit(Reg::T0, 1, Reg::T0);
+        a.bne(Reg::T0, top);
+        a.halt();
+        let image = a.finish();
+        let sym = image.symbols()[0].clone();
+        Cfg::build(&image, &sym).unwrap()
+    }
+
+    #[test]
+    fn loop_classes() {
+        let cfg = loop_cfg();
+        let eq = frequency_classes(&cfg);
+        // Preheader and exit block run once per invocation: same class.
+        assert_eq!(eq.block_class[0], eq.block_class[2]);
+        // The body runs n times: different class.
+        assert_ne!(eq.block_class[0], eq.block_class[1]);
+        // Entry fall-through edge and loop-exit edge run once: same class
+        // as the preheader.
+        let e_pre_body = cfg
+            .edges
+            .iter()
+            .position(|e| e.from.0 == 0 && e.to.0 == 1)
+            .unwrap();
+        let e_body_exit = cfg
+            .edges
+            .iter()
+            .position(|e| e.from.0 == 1 && e.to.0 == 2)
+            .unwrap();
+        let e_back = cfg
+            .edges
+            .iter()
+            .position(|e| e.from.0 == 1 && e.to.0 == 1)
+            .unwrap();
+        assert_eq!(eq.edge_class[e_pre_body], eq.block_class[0]);
+        assert_eq!(eq.edge_class[e_body_exit], eq.block_class[0]);
+        // The back edge runs n-1 times: its own class.
+        assert_ne!(eq.edge_class[e_back], eq.block_class[0]);
+        assert_ne!(eq.edge_class[e_back], eq.block_class[1]);
+    }
+
+    #[test]
+    fn diamond_classes() {
+        // 0 → {1, 2} → 3.
+        let eq = classes_raw(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], 0, &[3]);
+        assert_eq!(eq.block_class[0], eq.block_class[3]);
+        assert_ne!(eq.block_class[1], eq.block_class[2]);
+        assert_ne!(eq.block_class[0], eq.block_class[1]);
+        // Each arm's two edges are equivalent to the arm's block.
+        assert_eq!(eq.edge_class[0], eq.block_class[1]);
+        assert_eq!(eq.edge_class[2], eq.block_class[1]);
+        assert_eq!(eq.edge_class[1], eq.block_class[2]);
+        assert_eq!(eq.edge_class[3], eq.block_class[2]);
+    }
+
+    #[test]
+    fn straight_line_single_class() {
+        let eq = classes_raw(3, &[(0, 1), (1, 2)], 0, &[2]);
+        assert_eq!(eq.block_class[0], eq.block_class[1]);
+        assert_eq!(eq.block_class[1], eq.block_class[2]);
+        assert_eq!(eq.edge_class[0], eq.block_class[0]);
+        assert_eq!(eq.edge_class[1], eq.block_class[0]);
+        assert_eq!(eq.n_classes, 1);
+    }
+
+    #[test]
+    fn infinite_loop_extension() {
+        // 0 → 1 → 2 → 1 forever (no exits at all).
+        let eq = classes_raw(3, &[(0, 1), (1, 2), (2, 1)], 0, &[]);
+        // Blocks 1 and 2 loop together: same class.
+        assert_eq!(eq.block_class[1], eq.block_class[2]);
+        assert_ne!(eq.block_class[0], eq.block_class[1]);
+    }
+
+    #[test]
+    fn missing_edges_fall_back_to_trivial_classes() {
+        let mut a = Asm::new("/t");
+        a.proc("f");
+        a.addq_lit(Reg::T0, 1, Reg::T0);
+        a.jsr(Reg::ZERO, Reg::T3);
+        let image = a.finish();
+        let sym = image.symbols()[0].clone();
+        let cfg = Cfg::build(&image, &sym).unwrap();
+        let eq = frequency_classes(&cfg);
+        assert_eq!(eq.n_classes, cfg.blocks.len() + cfg.edges.len());
+    }
+
+    #[test]
+    fn nested_loop_classes_differ() {
+        // 0 → 1 (outer head) → 2 (inner) → 2 | 2 → 1 | 1 → 3 exit.
+        let eq = classes_raw(4, &[(0, 1), (1, 2), (2, 2), (2, 1), (1, 3)], 0, &[3]);
+        assert_eq!(eq.block_class[0], eq.block_class[3]);
+        assert_ne!(eq.block_class[1], eq.block_class[2]);
+        assert_ne!(eq.block_class[0], eq.block_class[1]);
+    }
+
+    #[test]
+    fn unreachable_blocks_get_own_classes() {
+        // Block 2 is unreachable.
+        let eq = classes_raw(3, &[(0, 1)], 0, &[1]);
+        assert_ne!(eq.block_class[2], eq.block_class[0]);
+        assert_ne!(eq.block_class[2], eq.block_class[1]);
+    }
+
+    /// Random-walk validation: on random CFGs, same-class members must
+    /// have identical counts over any set of complete entry→exit walks.
+    fn random_cfg(n: usize, seed: u64) -> (Vec<(usize, usize)>, Vec<usize>) {
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        let mut rnd = move |m: usize| {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            ((state >> 33) as usize) % m
+        };
+        let mut edges = Vec::new();
+        let mut exits = Vec::new();
+        for b in 0..n {
+            match rnd(4) {
+                0 if b + 1 < n => edges.push((b, b + 1)),
+                1 => {
+                    edges.push((b, rnd(n)));
+                    edges.push((b, rnd(n)));
+                }
+                2 => {
+                    edges.push((b, rnd(n)));
+                    exits.push(b);
+                }
+                _ => exits.push(b),
+            }
+        }
+        if exits.is_empty() {
+            exits.push(n - 1);
+        }
+        (edges, exits)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn same_class_means_same_counts(seed in 0u64..10_000, n in 2usize..10) {
+            let (edges, exits) = random_cfg(n, seed);
+            let eq = classes_raw(n, &edges, 0, &exits);
+            // Walk the graph: many complete entry→exit traversals with
+            // pseudo-random branch choices.
+            let mut succ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+            for (i, &(f, t)) in edges.iter().enumerate() {
+                succ[f].push((t, i));
+            }
+            let mut bcount = vec![0u64; n];
+            let mut ecount = vec![0u64; edges.len()];
+            let mut state = seed.wrapping_add(12345);
+            let mut rnd = move |m: usize| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as usize) % m
+            };
+            let mut walks = 0;
+            'outer: for _ in 0..2000 {
+                if walks >= 50 { break; }
+                let mut at = 0usize;
+                let mut trail_b = Vec::new();
+                let mut trail_e = Vec::new();
+                for _ in 0..10_000 {
+                    trail_b.push(at);
+                    let can_exit_here = exits.contains(&at);
+                    let outs = &succ[at];
+                    if can_exit_here && (outs.is_empty() || rnd(2) == 0) {
+                        // Complete walk: commit counts.
+                        for &b in &trail_b { bcount[b] += 1; }
+                        for &e in &trail_e { ecount[e] += 1; }
+                        walks += 1;
+                        continue 'outer;
+                    }
+                    if outs.is_empty() {
+                        continue 'outer; // dead end that is not an exit
+                    }
+                    let (t, e) = outs[rnd(outs.len())];
+                    trail_e.push(e);
+                    at = t;
+                }
+                // Non-terminating walk: discard.
+            }
+            prop_assume!(walks >= 10);
+            // Same class ⇒ equal counts (blocks and edges).
+            for a in 0..n {
+                for b in 0..n {
+                    if eq.block_class[a] == eq.block_class[b] {
+                        prop_assert_eq!(
+                            bcount[a], bcount[b],
+                            "blocks {} and {} share class {}", a, b, eq.block_class[a]
+                        );
+                    }
+                }
+            }
+            for i in 0..edges.len() {
+                for j in 0..edges.len() {
+                    if eq.edge_class[i] == eq.edge_class[j] {
+                        prop_assert_eq!(ecount[i], ecount[j]);
+                    }
+                }
+                for (b, &bc) in bcount.iter().enumerate().take(n) {
+                    if eq.edge_class[i] == eq.block_class[b] {
+                        prop_assert_eq!(ecount[i], bc);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Procedure-level summaries (Figure 4): where did the cycles go?
+//!
+//! Instruction-level results are aggregated into per-category cycle
+//! percentages. Dynamic causes get a *range*: the minimum assumes every
+//! stall shared among several candidates belongs to the others, the
+//! maximum assumes this cause took everything it possibly could (clipped
+//! by any event-sample upper bound) — reproducing ranges like the paper's
+//! "DTB miss 9.2% to 18.3%". Instructions whose frequency could not be
+//! estimated cannot be decomposed; they are excluded and reported via the
+//! "total tallied" fraction at the bottom, as in Figure 4's
+//! "(35171, 93.1% of all samples)".
+
+use crate::analysis::InsnAnalysis;
+use crate::culprit::DynamicCause;
+use dcpi_isa::pipeline::StaticCause;
+
+/// A min–max percentage range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Range {
+    /// Lower bound (percent of tallied cycles).
+    pub min: f64,
+    /// Upper bound (percent of tallied cycles).
+    pub max: f64,
+}
+
+/// The Figure 4 summary of one procedure.
+#[derive(Clone, Debug)]
+pub struct ProcSummary {
+    /// Cycle percentage range per dynamic cause, in display order.
+    pub dynamic: Vec<(DynamicCause, Range)>,
+    /// Unexplained dynamic gain (observed < best case), in percent
+    /// (non-positive).
+    pub unexplained_gain_pct: f64,
+    /// Exact cycle percentage per static cause.
+    pub static_: Vec<(StaticCause, f64)>,
+    /// Subtotal of dynamic stalls (midpoint accounting), percent.
+    pub subtotal_dynamic_pct: f64,
+    /// Subtotal of static stalls, percent.
+    pub subtotal_static_pct: f64,
+    /// Issue/execution share, percent.
+    pub execution_pct: f64,
+    /// Net sampling error closing the books to 100%, percent.
+    pub net_error_pct: f64,
+    /// Samples that could be decomposed (had frequency estimates).
+    pub tallied_samples: u64,
+    /// All samples in the procedure.
+    pub total_samples: u64,
+}
+
+impl ProcSummary {
+    /// Fraction of samples that were tallied.
+    #[must_use]
+    pub fn tallied_fraction(&self) -> f64 {
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            self.tallied_samples as f64 / self.total_samples as f64
+        }
+    }
+
+    /// The range for one dynamic cause (zero range if absent).
+    #[must_use]
+    pub fn dynamic_range(&self, cause: DynamicCause) -> Range {
+        self.dynamic
+            .iter()
+            .find(|(c, _)| *c == cause)
+            .map_or(Range { min: 0.0, max: 0.0 }, |(_, r)| *r)
+    }
+}
+
+/// Display order of dynamic causes in the summary.
+pub const DYNAMIC_ORDER: [DynamicCause; 10] = [
+    DynamicCause::ICacheMiss,
+    DynamicCause::ItbMiss,
+    DynamicCause::DCacheMiss,
+    DynamicCause::DtbMiss,
+    DynamicCause::WriteBuffer,
+    DynamicCause::BranchMispredict,
+    DynamicCause::ImulBusy,
+    DynamicCause::FdivBusy,
+    DynamicCause::Other,
+    DynamicCause::Unexplained,
+];
+
+/// Display order of static causes.
+pub const STATIC_ORDER: [StaticCause; 5] = [
+    StaticCause::Slotting,
+    StaticCause::RaDependency,
+    StaticCause::RbDependency,
+    StaticCause::RcDependency,
+    StaticCause::FuDependency,
+];
+
+/// Aggregates instruction analyses into the Figure 4 summary.
+#[must_use]
+pub fn summarize(insns: &[InsnAnalysis]) -> ProcSummary {
+    let total_samples: u64 = insns.iter().map(|i| i.samples).sum();
+    let mut tallied_samples = 0u64;
+    let mut exec = 0.0;
+    let mut static_cycles = [0.0f64; STATIC_ORDER.len()];
+    let mut dyn_min = [0.0f64; DYNAMIC_ORDER.len()];
+    let mut dyn_max = [0.0f64; DYNAMIC_ORDER.len()];
+    let mut gain = 0.0f64;
+    for ia in insns {
+        if ia.freq <= 0.0 {
+            continue;
+        }
+        tallied_samples += ia.samples;
+        let f = ia.freq;
+        exec += f * ia.m_ideal as f64;
+        for st in &ia.static_stalls {
+            let idx = STATIC_ORDER
+                .iter()
+                .position(|&c| c == st.cause)
+                .expect("cause in order");
+            static_cycles[idx] += f * st.cycles as f64;
+        }
+        let d = ia.samples as f64 - f * ia.m as f64;
+        if d < 0.0 {
+            gain += d;
+            continue;
+        }
+        if ia.culprits.is_empty() {
+            // Sub-threshold residue: count as unexplained at both ends so
+            // the books still balance.
+            let u = DYNAMIC_ORDER
+                .iter()
+                .position(|&c| c == DynamicCause::Unexplained)
+                .expect("order");
+            dyn_min[u] += d;
+            dyn_max[u] += d;
+            continue;
+        }
+        let sole = ia.culprits.len() == 1;
+        for c in &ia.culprits {
+            let idx = DYNAMIC_ORDER
+                .iter()
+                .position(|&x| x == c.cause)
+                .expect("cause in order");
+            let cap = c.max_cycles.map_or(d, |b| (b * f).min(d));
+            dyn_max[idx] += cap;
+            if sole || c.cause == DynamicCause::Unexplained {
+                dyn_min[idx] += cap;
+            }
+        }
+    }
+    let denom = tallied_samples as f64;
+    let pct = |x: f64| if denom > 0.0 { x / denom * 100.0 } else { 0.0 };
+    let dynamic: Vec<(DynamicCause, Range)> = DYNAMIC_ORDER
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            (
+                c,
+                Range {
+                    min: pct(dyn_min[i]),
+                    max: pct(dyn_max[i]),
+                },
+            )
+        })
+        .collect();
+    let static_: Vec<(StaticCause, f64)> = STATIC_ORDER
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, pct(static_cycles[i])))
+        .collect();
+    let subtotal_static = static_cycles.iter().sum::<f64>();
+    // Midpoint accounting for the dynamic subtotal: exactly the observed
+    // positive dynamic stall.
+    let dynamic_total: f64 = insns
+        .iter()
+        .filter(|i| i.freq > 0.0)
+        .map(|i| (i.samples as f64 - i.freq * i.m as f64).max(0.0))
+        .sum();
+    let tallied = exec + subtotal_static + dynamic_total + gain;
+    ProcSummary {
+        dynamic,
+        unexplained_gain_pct: pct(gain),
+        static_,
+        subtotal_dynamic_pct: pct(dynamic_total),
+        subtotal_static_pct: pct(subtotal_static),
+        execution_pct: pct(exec),
+        net_error_pct: pct(denom - tallied),
+        tallied_samples,
+        total_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::InsnAnalysis;
+    use crate::culprit::Culprit;
+    use dcpi_isa::insn::Instruction;
+    use dcpi_isa::reg::Reg;
+
+    fn insn(samples: u64, freq: f64, m: u64, m_ideal: u64, culprits: Vec<Culprit>) -> InsnAnalysis {
+        InsnAnalysis {
+            offset: 0,
+            insn: Instruction::Lda {
+                ra: Reg::T0,
+                rb: Reg::ZERO,
+                disp: 0,
+            },
+            samples,
+            m,
+            m_ideal,
+            dual_with_prev: false,
+            freq,
+            confidence: None,
+            cpi: if freq > 0.0 {
+                samples as f64 / freq
+            } else {
+                0.0
+            },
+            static_stalls: Vec::new(),
+            culprits,
+        }
+    }
+
+    fn culprit(cause: DynamicCause, bound: Option<f64>) -> Culprit {
+        Culprit {
+            cause,
+            culprit_insn: None,
+            max_cycles: bound,
+        }
+    }
+
+    #[test]
+    fn books_balance_to_100_percent() {
+        let insns = vec![
+            insn(1000, 1000.0, 1, 1, vec![]),
+            insn(
+                3000,
+                1000.0,
+                1,
+                1,
+                vec![culprit(DynamicCause::DCacheMiss, None)],
+            ),
+            insn(0, 1000.0, 0, 0, vec![]),
+        ];
+        let s = summarize(&insns);
+        let total = s.execution_pct
+            + s.subtotal_static_pct
+            + s.subtotal_dynamic_pct
+            + s.unexplained_gain_pct
+            + s.net_error_pct;
+        assert!((total - 100.0).abs() < 1e-6, "total = {total}");
+        assert_eq!(s.tallied_samples, 4000);
+        assert_eq!(s.total_samples, 4000);
+    }
+
+    #[test]
+    fn sole_candidate_gets_min_equal_max() {
+        let insns = vec![insn(
+            2000,
+            1000.0,
+            1,
+            1,
+            vec![culprit(DynamicCause::WriteBuffer, None)],
+        )];
+        let s = summarize(&insns);
+        let r = s.dynamic_range(DynamicCause::WriteBuffer);
+        assert!((r.min - r.max).abs() < 1e-9);
+        assert!((r.max - 50.0).abs() < 1e-6, "1000 of 2000 cycles = 50%");
+    }
+
+    #[test]
+    fn shared_candidates_have_zero_min() {
+        let insns = vec![insn(
+            2000,
+            1000.0,
+            1,
+            1,
+            vec![
+                culprit(DynamicCause::DCacheMiss, None),
+                culprit(DynamicCause::DtbMiss, None),
+            ],
+        )];
+        let s = summarize(&insns);
+        let d = s.dynamic_range(DynamicCause::DCacheMiss);
+        let t = s.dynamic_range(DynamicCause::DtbMiss);
+        assert_eq!(d.min, 0.0);
+        assert_eq!(t.min, 0.0);
+        assert!((d.max - 50.0).abs() < 1e-6);
+        assert!((t.max - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn event_bound_caps_the_max() {
+        let insns = vec![insn(
+            2000,
+            1000.0,
+            1,
+            1,
+            vec![
+                culprit(DynamicCause::ICacheMiss, Some(0.2)),
+                culprit(DynamicCause::DtbMiss, None),
+            ],
+        )];
+        let s = summarize(&insns);
+        let i = s.dynamic_range(DynamicCause::ICacheMiss);
+        // Bound 0.2 cycles/exec × 1000 execs = 200 cycles of 2000 = 10%.
+        assert!((i.max - 10.0).abs() < 1e-6, "max = {}", i.max);
+    }
+
+    #[test]
+    fn untallied_instructions_reduce_fraction() {
+        let insns = vec![
+            insn(900, 900.0, 1, 1, vec![]),
+            insn(100, 0.0, 1, 1, vec![]), // no frequency estimate
+        ];
+        let s = summarize(&insns);
+        assert_eq!(s.tallied_samples, 900);
+        assert_eq!(s.total_samples, 1000);
+        assert!((s.tallied_fraction() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_is_negative_percentage() {
+        // Observed samples below the static bound: unexplained gain.
+        let insns = vec![
+            insn(500, 1000.0, 1, 1, vec![]),
+            insn(1500, 1000.0, 1, 1, vec![culprit(DynamicCause::Other, None)]),
+        ];
+        let s = summarize(&insns);
+        assert!(s.unexplained_gain_pct < 0.0);
+        let total = s.execution_pct
+            + s.subtotal_static_pct
+            + s.subtotal_dynamic_pct
+            + s.unexplained_gain_pct
+            + s.net_error_pct;
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_procedure_summary_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.total_samples, 0);
+        assert_eq!(s.execution_pct, 0.0);
+        assert_eq!(s.tallied_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks for the performance-critical paths the
+//! paper engineered: the driver's interrupt handler (hash hit and miss
+//! paths), the daemon's per-entry processing, the profile codec, and the
+//! analysis subsystem (CFG + equivalence + frequency estimation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcpi_collect::driver::{CostModel, CpuDriver, DriverConfig, EvictPolicy, HashKind};
+use dcpi_core::codec::{decode_profile, encode_profile, Format};
+use dcpi_core::{Addr, Event, Pid, Profile, Sample};
+
+fn driver_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("driver");
+    g.bench_function("record_hit", |b| {
+        let mut d = CpuDriver::new(DriverConfig::default(), CostModel::default());
+        let s = Sample {
+            pid: Pid(1),
+            pc: Addr(0x1000),
+            event: Event::Cycles,
+        };
+        let _ = d.record(s);
+        b.iter(|| black_box(d.record(black_box(s))));
+    });
+    g.bench_function("record_miss_stream", |b| {
+        let mut d = CpuDriver::new(DriverConfig::default(), CostModel::default());
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc += 4;
+            let s = Sample {
+                pid: Pid((pc >> 8) as u32),
+                pc: Addr(pc),
+                event: Event::Cycles,
+            };
+            black_box(d.record(s))
+        });
+    });
+    for (name, policy) in [
+        ("mod_counter", EvictPolicy::ModCounter),
+        ("swap_to_front", EvictPolicy::SwapToFront),
+    ] {
+        g.bench_function(format!("policy_{name}"), |b| {
+            let mut d = CpuDriver::new(
+                DriverConfig {
+                    buckets: 64,
+                    associativity: 4,
+                    overflow_entries: 1 << 20,
+                    policy,
+                    hash: HashKind::Multiplicative,
+                },
+                CostModel::default(),
+            );
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let s = Sample {
+                    pid: Pid(1),
+                    pc: Addr((i % 300) * 4),
+                    event: Event::Cycles,
+                };
+                black_box(d.record(s))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let mut profile = Profile::new();
+    for i in 0..10_000u64 {
+        profile.add(i * 4, 1 + (i * 37) % 500);
+    }
+    for fmt in [Format::V1, Format::V2] {
+        g.bench_function(format!("encode_{fmt:?}"), |b| {
+            b.iter(|| black_box(encode_profile(black_box(&profile), Event::Cycles, fmt)));
+        });
+        let bytes = encode_profile(&profile, Event::Cycles, fmt);
+        g.bench_function(format!("decode_{fmt:?}"), |b| {
+            b.iter(|| black_box(decode_profile(black_box(&bytes)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn analysis_benches(c: &mut Criterion) {
+    use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
+    use dcpi_core::{ImageId, ProfileSet};
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::pipeline::PipelineModel;
+    use dcpi_isa::reg::Reg;
+
+    // A mid-sized branchy procedure.
+    let mut a = Asm::new("/bench");
+    a.proc("hot");
+    let top = a.here();
+    for k in 0..40u8 {
+        a.addq_lit(Reg::T0, k % 7 + 1, Reg::T0);
+        let skip = a.label();
+        a.and_lit(Reg::T0, 1, Reg::T5);
+        a.beq(Reg::T5, skip);
+        a.ldq(Reg::T6, i16::from(k) * 8, Reg::T1);
+        a.addq(Reg::T6, Reg::T0, Reg::T0);
+        a.bind(skip);
+    }
+    a.subq_lit(Reg::A0, 1, Reg::A0);
+    a.bne(Reg::A0, top);
+    a.halt();
+    let image = a.finish();
+    let sym = image.symbols()[0].clone();
+    let mut set = ProfileSet::new();
+    for w in 0..(image.text_bytes() / 4) {
+        set.add(ImageId(1), Event::Cycles, w * 4, 100 + (w * 13) % 400);
+    }
+    let model = PipelineModel::default();
+    let opts = AnalysisOptions::default();
+    c.bench_function("analyze_procedure_200insn", |b| {
+        b.iter(|| {
+            black_box(analyze_procedure(&image, &sym, &set, ImageId(1), &model, &opts).unwrap())
+        });
+    });
+}
+
+fn machine_bench(c: &mut Criterion) {
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::reg::Reg;
+    use dcpi_machine::counters::CounterConfig;
+    use dcpi_machine::machine::{Machine, NullSink};
+    use dcpi_machine::MachineConfig;
+
+    c.bench_function("simulate_1m_cycles", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::with_counters(CounterConfig::off());
+            let mut m = Machine::new(cfg, NullSink);
+            let mut a = Asm::new("/spin");
+            a.proc("main");
+            a.li(Reg::T0, 200_000);
+            let top = a.here();
+            a.addq_lit(Reg::T1, 1, Reg::T1);
+            a.subq_lit(Reg::T0, 1, Reg::T0);
+            a.bne(Reg::T0, top);
+            a.halt();
+            let img = m.register_image(a.finish());
+            m.spawn(0, img, &[], |_| {});
+            m.run_to_completion(1_000_000, 10_000_000);
+            black_box(m.time())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    driver_benches,
+    codec_benches,
+    analysis_benches,
+    machine_bench
+);
+criterion_main!(benches);

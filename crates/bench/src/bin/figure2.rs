@@ -1,0 +1,55 @@
+//! Figure 2: dcpicalc analysis of the McCalpin copy loop — per-instruction
+//! samples, CPI, dual-issue annotations, and stall bubbles with culprits.
+
+use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
+use dcpi_bench::ExpOptions;
+use dcpi_core::Event;
+use dcpi_isa::pipeline::PipelineModel;
+use dcpi_machine::os::MAIN_BASE;
+use dcpi_tools::dcpicalc;
+use dcpi_workloads::programs::StreamKind;
+use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+
+fn main() {
+    let opts = ExpOptions::from_args(1);
+    let ro = RunOptions {
+        seed: opts.seed,
+        scale: 30 * opts.scale,
+        period: (20_000, 21_600),
+        ..RunOptions::default()
+    };
+    let r = run_workload(
+        Workload::McCalpin(StreamKind::Copy),
+        ProfConfig::Cycles,
+        &ro,
+    );
+    let (id, image) = r
+        .images
+        .iter()
+        .find(|(_, img)| img.name().contains("mccalpin_copy"))
+        .expect("copy image");
+    let sym = image.symbols()[0].clone();
+    let pa = analyze_procedure(
+        image,
+        &sym,
+        &r.profiles,
+        *id,
+        &PipelineModel::default(),
+        &AnalysisOptions::default(),
+    )
+    .expect("analysis");
+    println!(
+        "Figure 2: dcpicalc of the copy loop ({} samples)",
+        r.samples
+    );
+    println!();
+    print!("{}", dcpicalc(&pa, MAIN_BASE.0));
+    println!();
+    println!("paper shape: best-case ~0.62 CPI for the loop body, actual an order of");
+    println!("magnitude higher; stores stall on D-cache misses of the feeding loads,");
+    println!("write-buffer overflow, and DTB misses (the dwD bubbles); adjacent");
+    println!("stores show the `s` slotting hazard.");
+    let total = r.profiles.event_total(Event::Cycles);
+    println!();
+    println!("(total cycles samples: {total})");
+}

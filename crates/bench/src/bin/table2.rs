@@ -1,0 +1,54 @@
+//! Table 2: workload descriptions and base running times.
+//!
+//! The paper reports mean base runtimes with 95% confidence intervals
+//! over ≥10 runs; we do the same in simulated cycles (the simulated clock
+//! is 333 MHz nominal, so seconds = cycles / 333e6).
+
+use dcpi_bench::{mean_ci, ExpOptions};
+use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+
+fn main() {
+    let opts = ExpOptions::from_args(5);
+    println!(
+        "Table 2: workloads and base runtimes ({} runs each)",
+        opts.runs
+    );
+    println!();
+    println!(
+        "{:<18} {:>4} {:>16} {:>12}  description",
+        "workload", "cpus", "mean cycles", "95% CI"
+    );
+    for w in Workload::ALL {
+        let mut times = Vec::new();
+        for r in 0..opts.runs {
+            let ro = RunOptions {
+                seed: opts.seed + r as u32,
+                scale: opts.scale * w.default_scale(),
+                ..RunOptions::default()
+            };
+            times.push(run_workload(w, ProfConfig::Base, &ro).cycles as f64);
+        }
+        let (mean, ci) = mean_ci(&times);
+        println!(
+            "{:<18} {:>4} {:>16.0} {:>11.0}  {}",
+            w.name(),
+            w.cpus(),
+            mean,
+            ci,
+            description(w)
+        );
+    }
+}
+
+fn description(w: Workload) -> &'static str {
+    match w {
+        Workload::McCalpin(_) => "McCalpin STREAMS memory-bandwidth loop",
+        Workload::X11Perf => "CPU-bound X server rendering mix",
+        Workload::Gcc => "14 short-lived compiler processes",
+        Workload::Wave5 => "FP code with page-mapping-sensitive smooth_",
+        Workload::AltaVista => "search: 8 outstanding queries on 4 CPUs",
+        Workload::Dss => "decision-support query on 8 CPUs",
+        Workload::ParallelFp => "parallelized FP kernels on 4 CPUs",
+        Workload::Timesharing => "uneven multi-user mix with idle tails",
+    }
+}

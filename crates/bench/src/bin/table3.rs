@@ -1,0 +1,49 @@
+//! Table 3: overall slowdown (percent) per workload under the `cycles`,
+//! `default`, and `mux` configurations relative to `base`.
+
+use dcpi_bench::{mean_ci, ExpOptions};
+use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+
+fn main() {
+    let opts = ExpOptions::from_args(5);
+    println!(
+        "Table 3: overall slowdown in percent ({} runs per cell; paper: 1-3% typical, gcc highest)",
+        opts.runs
+    );
+    println!();
+    println!(
+        "{:<18} {:>16} {:>16} {:>16}",
+        "workload", "cycles (%)", "default (%)", "mux (%)"
+    );
+    for w in Workload::ALL {
+        let times = |p: ProfConfig| -> Vec<f64> {
+            (0..opts.runs)
+                .map(|r| {
+                    let ro = RunOptions {
+                        seed: opts.seed + r as u32,
+                        scale: opts.scale * w.default_scale(),
+                        ..RunOptions::default()
+                    };
+                    run_workload(w, p, &ro).cycles as f64
+                })
+                .collect()
+        };
+        let (base, base_ci) = mean_ci(&times(ProfConfig::Base));
+        let mut cells = Vec::new();
+        for p in [ProfConfig::Cycles, ProfConfig::Default, ProfConfig::Mux] {
+            let (t, ci) = mean_ci(&times(p));
+            let slow = (t / base - 1.0) * 100.0;
+            let err = (ci + base_ci) / base * 100.0;
+            cells.push(format!("{slow:>6.1} ±{err:>4.1}"));
+        }
+        println!(
+            "{:<18} {:>16} {:>16} {:>16}",
+            w.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!();
+    println!("(base mean per workload measured over the same seeds)");
+}

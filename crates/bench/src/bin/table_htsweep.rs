@@ -1,0 +1,90 @@
+//! §5.4: the trace-driven hash-table design sweep — associativity 4 vs 6,
+//! mod-counter vs swap-to-front replacement, table sizes, and hash
+//! functions. The paper found 6-way + swap-to-front reduces overall
+//! collection cost by 10–20%.
+
+use dcpi_bench::ExpOptions;
+use dcpi_collect::driver::CostModel;
+use dcpi_collect::htsim::{default_sweep, sweep};
+use dcpi_workloads::programs::StreamKind;
+use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+
+fn main() {
+    let opts = ExpOptions::from_args(1);
+    // Log sample traces from workloads with contrasting locality; gcc's
+    // distinct PIDs and large text generate the key diversity that makes
+    // table design matter (§5.1).
+    let mut trace = Vec::new();
+    for (w, scale) in [
+        (Workload::Gcc, 40),
+        (Workload::X11Perf, 40),
+        (Workload::Timesharing, 4),
+        (Workload::McCalpin(StreamKind::Copy), 8),
+    ] {
+        let ro = RunOptions {
+            seed: opts.seed,
+            scale: scale * opts.scale,
+            period: (2_000, 2_200),
+            trace_limit: 400_000,
+            ..RunOptions::default()
+        };
+        let r = run_workload(w, ProfConfig::Cycles, &ro);
+        println!("logged {} samples from {}", r.trace.len(), w.name());
+        trace.extend(r.trace);
+    }
+    println!();
+    // Our traces are orders of magnitude shorter than a production day,
+    // so the capacity-pressure part of the sweep uses proportionally
+    // smaller tables alongside the paper's shipped 4096×4 geometry.
+    let mut configs = default_sweep();
+    for &buckets in &[64usize, 128, 256] {
+        for &(assoc, policy) in &[
+            (4usize, dcpi_collect::driver::EvictPolicy::ModCounter),
+            (6, dcpi_collect::driver::EvictPolicy::ModCounter),
+            (4, dcpi_collect::driver::EvictPolicy::SwapToFront),
+            (6, dcpi_collect::driver::EvictPolicy::SwapToFront),
+        ] {
+            configs.push((
+                format!(
+                    "{}x{} {} mult",
+                    buckets,
+                    assoc,
+                    match policy {
+                        dcpi_collect::driver::EvictPolicy::ModCounter => "mod",
+                        dcpi_collect::driver::EvictPolicy::SwapToFront => "s2f",
+                    }
+                ),
+                dcpi_collect::driver::DriverConfig {
+                    buckets,
+                    associativity: assoc,
+                    policy,
+                    ..dcpi_collect::driver::DriverConfig::default()
+                },
+            ));
+        }
+    }
+    let results = sweep(&trace, &configs, CostModel::default());
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "configuration", "miss rate", "avg cost", "evictions", "vs default"
+    );
+    let baseline = results
+        .iter()
+        .find(|r| r.label == "4096x4 mod mult")
+        .map_or(1.0, |r| r.avg_cost);
+    let mut sorted = results.clone();
+    sorted.sort_by(|a, b| a.avg_cost.partial_cmp(&b.avg_cost).expect("finite"));
+    for r in &sorted {
+        println!(
+            "{:<22} {:>9.2}% {:>12.1} {:>12} {:>+9.1}%",
+            r.label,
+            r.miss_rate * 100.0,
+            r.avg_cost,
+            r.evictions,
+            (r.avg_cost / baseline - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("paper shape: 6-way and swap-to-front both beat the shipped 4-way");
+    println!("mod-counter configuration; combined they reduce cost 10-20%.");
+}

@@ -1,0 +1,350 @@
+//! Shared infrastructure for the experiment binaries that regenerate
+//! every table and figure of the paper (see DESIGN.md §4 for the index
+//! and EXPERIMENTS.md for recorded results).
+//!
+//! Each binary under `src/bin/` prints one table or figure:
+//!
+//! | binary | paper content |
+//! |---|---|
+//! | `table2` | workload base runtimes |
+//! | `table3` | overall slowdown per workload × config |
+//! | `table4` | per-sample time overhead components |
+//! | `table5` | daemon space overhead |
+//! | `figure1` | dcpiprof on the x11perf workload |
+//! | `figure2` | dcpicalc on the McCalpin copy loop |
+//! | `figure3` | dcpistats across eight wave5 runs |
+//! | `figure4` | cycle summary for wave5's `smooth_` |
+//! | `figure6` | run-time distributions |
+//! | `figure7` | frequency-estimation detail for the copy loop |
+//! | `figure8` | instruction-frequency error histogram |
+//! | `figure9` | edge-frequency error histogram |
+//! | `figure10` | I-cache stall cycles vs IMISS events |
+//! | `table_htsweep` | §5.4 hash-table design sweep |
+//! | `ablation_period` | randomized vs fixed sampling period |
+//! | `ablation_freq` | estimator ablations |
+//! | `ablation_skid` | interrupt-skid ablation |
+//!
+//! All binaries accept `--runs N`, `--scale N`, `--seed N`, and `--quick`.
+
+use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions, ProcAnalysis};
+use dcpi_core::{Event, ImageId};
+use dcpi_isa::image::Symbol;
+use dcpi_isa::pipeline::PipelineModel;
+use dcpi_workloads::RunResult;
+
+/// Simple command-line options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct ExpOptions {
+    /// Repetitions per measurement.
+    pub runs: usize,
+    /// Workload scale multiplier.
+    pub scale: u32,
+    /// Base seed.
+    pub seed: u32,
+    /// Reduced-cost mode.
+    pub quick: bool,
+}
+
+impl ExpOptions {
+    /// Parses `--runs`, `--scale`, `--seed`, `--quick` from `std::env`.
+    #[must_use]
+    pub fn from_args(default_runs: usize) -> ExpOptions {
+        let mut opts = ExpOptions {
+            runs: default_runs,
+            scale: 1,
+            seed: 1,
+            quick: std::env::var("DCPI_QUICK").is_ok(),
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--runs" => {
+                    opts.runs = args
+                        .get(i + 1)
+                        .and_then(|x| x.parse().ok())
+                        .unwrap_or(opts.runs);
+                    i += 1;
+                }
+                "--scale" => {
+                    opts.scale = args
+                        .get(i + 1)
+                        .and_then(|x| x.parse().ok())
+                        .unwrap_or(opts.scale);
+                    i += 1;
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .get(i + 1)
+                        .and_then(|x| x.parse().ok())
+                        .unwrap_or(opts.seed);
+                    i += 1;
+                }
+                "--quick" => opts.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if opts.quick {
+            opts.runs = opts.runs.min(2);
+        }
+        opts
+    }
+}
+
+/// Mean and 95% confidence half-interval of a sample.
+#[must_use]
+pub fn mean_ci(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    // 1.96 σ/√n — fine for reporting purposes.
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+/// Pearson correlation coefficient.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// A weighted error histogram over the paper's Figure 8/9 buckets:
+/// 5-percentage-point bins from -45% to +45% with open tails.
+#[derive(Clone, Debug)]
+pub struct ErrorHistogram {
+    /// Bucket labels, in display order.
+    pub labels: Vec<String>,
+    /// Weight accumulated per bucket.
+    pub weights: Vec<f64>,
+    total: f64,
+}
+
+impl Default for ErrorHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ErrorHistogram {
+    /// Creates the empty histogram.
+    #[must_use]
+    pub fn new() -> ErrorHistogram {
+        let mut labels = vec!["<-45%".to_string()];
+        for b in (-45..45).step_by(5) {
+            labels.push(format!("{b}..{}%", b + 5));
+        }
+        labels.push(">=45%".to_string());
+        let n = labels.len();
+        ErrorHistogram {
+            labels,
+            weights: vec![0.0; n],
+            total: 0.0,
+        }
+    }
+
+    /// Adds a sample with relative error `err` (e.g. `-0.07` for -7%) and
+    /// the given weight.
+    pub fn add(&mut self, err: f64, weight: f64) {
+        let pct = err * 100.0;
+        let last = self.weights.len() - 1;
+        let idx = if pct < -45.0 {
+            0
+        } else if pct >= 45.0 {
+            last
+        } else {
+            1 + ((pct + 45.0) / 5.0).floor() as usize
+        };
+        self.weights[idx.min(last)] += weight;
+        self.total += weight;
+    }
+
+    /// Fraction of weight with |error| ≤ `pct` percent (for the paper's
+    /// "73% of samples within 5%" style summaries).
+    #[must_use]
+    pub fn within(&self, pct: f64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        let lo = 1 + ((-pct + 45.0) / 5.0).floor() as usize;
+        let hi = 1 + ((pct + 45.0) / 5.0).ceil() as usize;
+        let s: f64 = self.weights[lo..hi.min(self.weights.len() - 1)]
+            .iter()
+            .sum();
+        s / self.total
+    }
+
+    /// Renders an ASCII histogram.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let max = self.weights.iter().cloned().fold(0.0, f64::max).max(1e-12);
+        for (label, w) in self.labels.iter().zip(&self.weights) {
+            let pct = if self.total > 0.0 {
+                w / self.total * 100.0
+            } else {
+                0.0
+            };
+            let bar = "#".repeat((w / max * 50.0).round() as usize);
+            let _ = writeln!(out, "{label:>10} {pct:>6.2}% {bar}");
+        }
+        out
+    }
+
+    /// Total accumulated weight.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+/// Analyzes every procedure of a run that has at least `min_samples`
+/// CYCLES samples, returning `(image, symbol, analysis)` triples.
+#[must_use]
+pub fn analyze_run(r: &RunResult, min_samples: u64) -> Vec<(ImageId, Symbol, ProcAnalysis)> {
+    let model = PipelineModel::default();
+    let opts = AnalysisOptions::default();
+    let mut out = Vec::new();
+    for (id, image) in &r.images {
+        let Some(profile) = r.profiles.get(*id, Event::Cycles) else {
+            continue;
+        };
+        for sym in image.symbols() {
+            let s = profile.range_total(sym.offset, sym.offset + sym.size);
+            if s < min_samples {
+                continue;
+            }
+            if let Ok(pa) = analyze_procedure(image, sym, &r.profiles, *id, &model, &opts) {
+                out.push((*id, sym.clone(), pa));
+            }
+        }
+    }
+    out
+}
+
+/// The mean sampling period of a run's configuration, used to convert
+/// frequency estimates (`S/M` units) into execution counts.
+#[must_use]
+pub fn mean_period(period: (u64, u64)) -> f64 {
+    (period.0 + period.1) as f64 / 2.0
+}
+
+/// The workload suite used for the estimate-accuracy experiments
+/// (Figures 8–10): a mix of integer, FP, memory-bound, call-heavy, and
+/// multi-process programs, each with a scale that yields a few thousand
+/// samples at the 20K-cycle experiment period.
+#[must_use]
+pub fn accuracy_suite() -> Vec<(dcpi_workloads::Workload, u32)> {
+    use dcpi_workloads::programs::StreamKind;
+    use dcpi_workloads::Workload;
+    vec![
+        (Workload::McCalpin(StreamKind::Copy), 24),
+        (Workload::McCalpin(StreamKind::Sum), 16),
+        (Workload::X11Perf, 80),
+        (Workload::Gcc, 60),
+        (Workload::Wave5, 20),
+    ]
+}
+
+/// Sampling period for the estimate-accuracy experiments: sparse enough
+/// that handler overhead sits at the paper's 1-2% (denser periods inflate
+/// every sample count by the overhead fraction and bias the estimates).
+pub const ACCURACY_PERIOD: (u64, u64) = (40_000, 43_200);
+
+/// Runs `w` `runs` times under `config`, merging profiles and ground
+/// truth across runs (the paper's 1-run vs 80-run comparison, §6.2).
+#[must_use]
+pub fn run_merged(
+    w: dcpi_workloads::Workload,
+    config: dcpi_workloads::ProfConfig,
+    base: &dcpi_workloads::RunOptions,
+    runs: usize,
+) -> RunResult {
+    let mut acc: Option<RunResult> = None;
+    for k in 0..runs.max(1) {
+        let mut ro = base.clone();
+        ro.seed = base.seed + k as u32 * 97;
+        let r = dcpi_workloads::run_workload(w, config, &ro);
+        match &mut acc {
+            None => acc = Some(r),
+            Some(a) => {
+                a.profiles.merge(&r.profiles);
+                a.edge_profiles.merge(&r.edge_profiles);
+                a.gt.merge(&r.gt);
+                a.samples += r.samples;
+            }
+        }
+    }
+    acc.expect("at least one run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_basics() {
+        let (m, ci) = mean_ci(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!(ci > 0.0);
+        assert_eq!(mean_ci(&[]), (0.0, 0.0));
+        assert_eq!(mean_ci(&[5.0]).1, 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_within() {
+        let mut h = ErrorHistogram::new();
+        h.add(0.01, 10.0); // 0..5%
+        h.add(-0.03, 10.0); // -5..0%
+        h.add(0.30, 5.0); // 30..35%
+        h.add(-0.99, 1.0); // <-45%
+        h.add(0.99, 1.0); // >=45%
+        assert!((h.within(5.0) - 20.0 / 27.0).abs() < 1e-9);
+        assert!((h.total() - 27.0).abs() < 1e-12);
+        let text = h.render();
+        assert!(text.contains("<-45%"));
+        assert!(text.contains(">=45%"));
+    }
+
+    #[test]
+    fn histogram_bucket_count_matches_labels() {
+        let h = ErrorHistogram::new();
+        assert_eq!(h.labels.len(), h.weights.len());
+        assert_eq!(h.labels.len(), 20);
+    }
+}

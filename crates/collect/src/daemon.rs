@@ -1,0 +1,562 @@
+//! The user-mode daemon (§4.3): maps samples to images and maintains the
+//! profile database.
+//!
+//! The daemon learns where images are loaded from loader notifications and
+//! a startup scan (§4.3.2), converts each aggregated sample entry's
+//! `(PID, PC)` to an `(image, offset)` pair, merges it into in-memory
+//! profiles per `(image, event)`, and periodically writes those to the
+//! on-disk database (§4.3.3). Samples it cannot attribute are aggregated
+//! into the special *unknown* profile; the paper reports these are well
+//! under 1% (typically 0.05%).
+//!
+//! Processing costs are modeled in cycles and reported so experiment
+//! harnesses can charge them to the simulated machine (the daemon's
+//! per-sample cost column of Table 4).
+
+use dcpi_core::db::ProfileDb;
+use dcpi_core::{
+    codec, Addr, EdgeProfiles, Error, ImageId, PathProfiles, Pid, ProfileSet, Result, SampleEntry,
+    UNKNOWN_IMAGE,
+};
+use dcpi_machine::os::OsEvent;
+use dcpi_machine::proc::Mapping;
+use dcpi_machine::Os;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Daemon tuning parameters.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// On-disk database directory (`None` = in-memory only).
+    pub db_path: Option<PathBuf>,
+    /// Profile file format.
+    pub format: codec::Format,
+    /// Modeled cycles to process one overflow-buffer entry (three hash
+    /// lookups, image association, profile merge; §5.4 estimates these
+    /// could be halved).
+    pub cycles_per_entry: u64,
+    /// Modeled extra cycles per aggregated sample within an entry.
+    pub cycles_per_sample: u64,
+    /// PIDs for which separate per-process profiles are kept (§4.3).
+    pub per_process: Vec<Pid>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            db_path: None,
+            format: codec::Format::V2,
+            cycles_per_entry: 800,
+            cycles_per_sample: 10,
+            per_process: Vec::new(),
+        }
+    }
+}
+
+/// Daemon statistics (Table 4's daemon columns and Table 5's memory
+/// accounting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonStats {
+    /// Overflow/hash entries processed.
+    pub entries: u64,
+    /// Total samples those entries carried.
+    pub samples: u64,
+    /// Samples that could not be mapped to an image.
+    pub unknown_samples: u64,
+    /// Modeled processing cycles accrued (drain with
+    /// [`Daemon::take_accrued_cycles`]).
+    pub cycles: u64,
+    /// Current modeled resident memory in bytes.
+    pub memory_bytes: u64,
+    /// Peak modeled resident memory in bytes.
+    pub peak_memory_bytes: u64,
+}
+
+impl DaemonStats {
+    /// Average daemon cycles per sample (Table 4's `daemon cost`).
+    #[must_use]
+    pub fn cost_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.samples as f64
+        }
+    }
+
+    /// Aggregation quality: samples per processed entry (§4.2.1's
+    /// "factor of 20 or more" for most workloads).
+    #[must_use]
+    pub fn aggregation_factor(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.entries as f64
+        }
+    }
+}
+
+/// The user-mode daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    cfg: DaemonConfig,
+    loadmaps: HashMap<Pid, Vec<Mapping>>,
+    exited: Vec<Pid>,
+    profiles: ProfileSet,
+    edge_profiles: EdgeProfiles,
+    path_profiles: PathProfiles,
+    per_process: HashMap<Pid, ProfileSet>,
+    db: Option<ProfileDb>,
+    /// Statistics.
+    pub stats: DaemonStats,
+    accrued_cycles: u64,
+}
+
+impl Daemon {
+    /// Creates the daemon, opening/creating the database if configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the database directory cannot be created.
+    pub fn new(cfg: DaemonConfig) -> Result<Daemon> {
+        let db = match &cfg.db_path {
+            Some(p) => Some(ProfileDb::create(p.clone(), cfg.format)?),
+            None => None,
+        };
+        Ok(Daemon {
+            cfg,
+            loadmaps: HashMap::new(),
+            exited: Vec::new(),
+            profiles: ProfileSet::new(),
+            edge_profiles: EdgeProfiles::new(),
+            path_profiles: PathProfiles::new(),
+            per_process: HashMap::new(),
+            db,
+            stats: DaemonStats::default(),
+            accrued_cycles: 0,
+        })
+    }
+
+    /// Startup scan (§4.3.2): learn the mappings of already-active
+    /// processes.
+    pub fn startup_scan(&mut self, os: &Os) {
+        for (pid, map) in os.snapshot_loadmaps() {
+            self.loadmaps.entry(pid).or_insert(map);
+        }
+        self.record_image_names(os);
+        self.update_memory(os);
+    }
+
+    fn record_image_names(&mut self, os: &Os) {
+        if let Some(db) = &mut self.db {
+            let images_dir = db.root().join("images");
+            for li in os.images() {
+                let _ = db.record_image_name(li.id, li.image.name());
+                // Keep the profiled executables next to the profiles so
+                // the offline tools can symbolize and analyze without
+                // the original build tree.
+                let path = images_dir.join(format!("{:08x}.img", li.id.0));
+                if !path.exists() {
+                    let _ = std::fs::create_dir_all(&images_dir);
+                    let _ = std::fs::write(&path, li.image.to_bytes());
+                }
+            }
+        }
+    }
+
+    /// Consumes OS loader/exec/exit notifications.
+    pub fn handle_events(&mut self, events: Vec<OsEvent>) {
+        for ev in events {
+            match ev {
+                OsEvent::ImageLoaded {
+                    pid,
+                    image,
+                    base,
+                    size,
+                    ..
+                } => {
+                    self.loadmaps
+                        .entry(pid)
+                        .or_default()
+                        .push(Mapping { base, size, image });
+                    self.loadmaps
+                        .get_mut(&pid)
+                        .expect("just inserted")
+                        .sort_by_key(|m| m.base.0);
+                }
+                OsEvent::ProcessCreated { pid } => {
+                    self.loadmaps.entry(pid).or_default();
+                }
+                OsEvent::ProcessExited { pid } => {
+                    // Keep the loadmap until the periodic reap so late
+                    // samples still attribute correctly.
+                    self.exited.push(pid);
+                }
+            }
+        }
+    }
+
+    /// Processes a batch of aggregated sample entries from one CPU's
+    /// driver.
+    pub fn process_entries(&mut self, entries: &[SampleEntry]) {
+        for e in entries {
+            self.stats.entries += 1;
+            self.stats.samples += e.count;
+            let cost = self.cfg.cycles_per_entry + self.cfg.cycles_per_sample * e.count;
+            self.accrued_cycles += cost;
+            self.stats.cycles += cost;
+            let s = &e.sample;
+            let (image, offset) = match resolve(&self.loadmaps, s.pid, s.pc) {
+                Some(t) => t,
+                None => {
+                    self.stats.unknown_samples += e.count;
+                    (UNKNOWN_IMAGE, s.pc.0)
+                }
+            };
+            self.profiles.add(image, s.event, offset, e.count);
+            if self.cfg.per_process.contains(&s.pid) {
+                self.per_process
+                    .entry(s.pid)
+                    .or_default()
+                    .add(image, s.event, offset, e.count);
+            }
+        }
+    }
+
+    /// Drains the modeled processing cost since the last call, for the
+    /// harness to charge to a simulated CPU.
+    pub fn take_accrued_cycles(&mut self) -> u64 {
+        std::mem::take(&mut self.accrued_cycles)
+    }
+
+    /// Reaps state for exited processes (the paper's periodic reap).
+    pub fn reap(&mut self) {
+        for pid in self.exited.drain(..) {
+            self.loadmaps.remove(&pid);
+        }
+    }
+
+    /// Updates the modeled memory footprint (Table 5): loadmaps, profile
+    /// entries, and the flush staging buffer.
+    pub fn update_memory(&mut self, os: &Os) {
+        let loadmap_bytes: u64 = self
+            .loadmaps
+            .values()
+            .map(|m| 64 + 48 * m.len() as u64)
+            .sum();
+        let profile_bytes: u64 = self
+            .profiles
+            .iter()
+            .map(|(_, p)| 64 + 24 * p.len() as u64)
+            .sum();
+        let image_bytes = 256 * os.images().count() as u64;
+        // Baseline: daemon text+static data plus one staging buffer.
+        let baseline = 1_400_000;
+        self.stats.memory_bytes = baseline + loadmap_bytes + profile_bytes + image_bytes;
+        self.stats.peak_memory_bytes = self.stats.peak_memory_bytes.max(self.stats.memory_bytes);
+    }
+
+    /// The accumulated in-memory profiles.
+    #[must_use]
+    pub fn profiles(&self) -> &ProfileSet {
+        &self.profiles
+    }
+
+    /// Processes interpreted branch-direction samples (§7 extension),
+    /// attributing each to its image like ordinary samples.
+    pub fn process_edge_samples(&mut self, entries: &[((Pid, Addr, bool), u64)]) {
+        for &((pid, pc, taken), count) in entries {
+            // Unattributable direction samples are simply dropped: the
+            // matching CYCLES sample already landed in the unknown
+            // profile.
+            if let Some((image, offset)) = resolve(&self.loadmaps, pid, pc) {
+                self.edge_profiles.add(image, offset, taken, count);
+            }
+        }
+    }
+
+    /// The accumulated edge samples.
+    #[must_use]
+    pub fn edge_profiles(&self) -> &EdgeProfiles {
+        &self.edge_profiles
+    }
+
+    /// Processes double-sample PC pairs (§7), attributing both ends.
+    pub fn process_path_samples(&mut self, entries: &[((Pid, Addr, Addr), u64)]) {
+        for &((pid, pc1, pc2), count) in entries {
+            let (Some((i1, o1)), Some((i2, o2))) = (
+                resolve(&self.loadmaps, pid, pc1),
+                resolve(&self.loadmaps, pid, pc2),
+            ) else {
+                continue;
+            };
+            self.path_profiles.add(i1, o1, i2, o2, count);
+        }
+    }
+
+    /// The accumulated path samples.
+    #[must_use]
+    pub fn path_profiles(&self) -> &PathProfiles {
+        &self.path_profiles
+    }
+
+    /// Per-process profiles, if requested for `pid`.
+    #[must_use]
+    pub fn per_process_profiles(&self, pid: Pid) -> Option<&ProfileSet> {
+        self.per_process.get(&pid)
+    }
+
+    /// Merges in-memory profiles to disk (the paper's 10-minute flush) and
+    /// clears them. No-op without a database.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a profile file cannot be written.
+    pub fn flush_to_disk(&mut self) -> Result<()> {
+        if let Some(db) = &mut self.db {
+            db.merge(&self.profiles)?;
+            self.profiles.clear();
+            Ok(())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Starts a new database epoch (§4.3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] without a database, or the underlying
+    /// I/O error.
+    pub fn new_epoch(&mut self) -> Result<()> {
+        match &mut self.db {
+            Some(db) => db.new_epoch().map(|_| ()),
+            None => Err(Error::NotFound("no database configured".into())),
+        }
+    }
+
+    /// The database, if configured.
+    #[must_use]
+    pub fn db(&self) -> Option<&ProfileDb> {
+        self.db.as_ref()
+    }
+
+    /// Number of live loadmaps tracked.
+    #[must_use]
+    pub fn tracked_processes(&self) -> usize {
+        self.loadmaps.len()
+    }
+
+    /// Fraction of samples that could not be attributed (paper: typically
+    /// 0.05%, always well under 1%; §4.3.2).
+    #[must_use]
+    pub fn unknown_fraction(&self) -> f64 {
+        if self.stats.samples == 0 {
+            0.0
+        } else {
+            self.stats.unknown_samples as f64 / self.stats.samples as f64
+        }
+    }
+}
+
+/// Resolves one image id for a `(pid, pc)` against a loadmap table — a
+/// free function so tools and tests can share the daemon's mapping rule.
+#[must_use]
+pub fn resolve(
+    loadmaps: &HashMap<Pid, Vec<Mapping>>,
+    pid: Pid,
+    pc: dcpi_core::Addr,
+) -> Option<(ImageId, u64)> {
+    let maps = loadmaps.get(&pid)?;
+    let idx = maps.partition_point(|m| m.base.0 <= pc.0).checked_sub(1)?;
+    let m = &maps[idx];
+    m.contains(pc).then(|| (m.image, pc.0 - m.base.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::{Addr, Event, Sample};
+    use dcpi_machine::os::default_kernel;
+
+    fn entry(pid: u32, pc: u64, count: u64) -> SampleEntry {
+        SampleEntry {
+            sample: Sample {
+                pid: Pid(pid),
+                pc: Addr(pc),
+                event: Event::Cycles,
+            },
+            count,
+        }
+    }
+
+    fn daemon_with_map() -> Daemon {
+        let mut d = Daemon::new(DaemonConfig::default()).unwrap();
+        d.handle_events(vec![
+            OsEvent::ProcessCreated { pid: Pid(7) },
+            OsEvent::ImageLoaded {
+                pid: Pid(7),
+                image: ImageId(3),
+                base: Addr(0x10000),
+                size: 0x1000,
+                path: "/bin/app".into(),
+            },
+            OsEvent::ImageLoaded {
+                pid: Pid(7),
+                image: ImageId(9),
+                base: Addr(0x50000),
+                size: 0x2000,
+                path: "/lib/libm.so".into(),
+            },
+        ]);
+        d
+    }
+
+    #[test]
+    fn samples_map_to_image_offsets() {
+        let mut d = daemon_with_map();
+        d.process_entries(&[entry(7, 0x10010, 5), entry(7, 0x50004, 2)]);
+        let p = d.profiles().get(ImageId(3), Event::Cycles).unwrap();
+        assert_eq!(p.get(0x10), 5);
+        let q = d.profiles().get(ImageId(9), Event::Cycles).unwrap();
+        assert_eq!(q.get(4), 2);
+        assert_eq!(d.stats.unknown_samples, 0);
+    }
+
+    #[test]
+    fn unmappable_samples_go_to_unknown_profile() {
+        let mut d = daemon_with_map();
+        d.process_entries(&[
+            entry(7, 0xdead_0000, 3), // outside all mappings
+            entry(99, 0x10010, 4),    // unknown pid
+        ]);
+        assert_eq!(d.stats.unknown_samples, 7);
+        let u = d.profiles().get(UNKNOWN_IMAGE, Event::Cycles).unwrap();
+        assert_eq!(u.total(), 7);
+        assert!(d.unknown_fraction() > 0.99);
+    }
+
+    #[test]
+    fn mapping_boundaries_are_half_open() {
+        let mut d = daemon_with_map();
+        d.process_entries(&[entry(7, 0x10000, 1), entry(7, 0x11000, 1)]);
+        assert_eq!(d.stats.unknown_samples, 1, "end address is exclusive");
+    }
+
+    #[test]
+    fn exit_then_reap_keeps_late_samples_until_reap() {
+        let mut d = daemon_with_map();
+        d.handle_events(vec![OsEvent::ProcessExited { pid: Pid(7) }]);
+        // Late sample before the reap still attributes.
+        d.process_entries(&[entry(7, 0x10000, 1)]);
+        assert_eq!(d.stats.unknown_samples, 0);
+        d.reap();
+        d.process_entries(&[entry(7, 0x10000, 1)]);
+        assert_eq!(d.stats.unknown_samples, 1);
+    }
+
+    #[test]
+    fn startup_scan_learns_idle_processes() {
+        let os = Os::new(2, 8192, default_kernel(), None);
+        let mut d = Daemon::new(DaemonConfig::default()).unwrap();
+        d.startup_scan(&os);
+        assert_eq!(d.tracked_processes(), 2);
+        // A sample in the idle loop attributes to the kernel image.
+        let idle_pc = os.kernel_proc_addr("_idle_loop").unwrap();
+        d.process_entries(&[SampleEntry {
+            sample: Sample {
+                pid: Pid(0),
+                pc: idle_pc,
+                event: Event::Cycles,
+            },
+            count: 10,
+        }]);
+        assert_eq!(d.stats.unknown_samples, 0);
+        assert!(d.profiles().get(os.kernel_image(), Event::Cycles).is_some());
+    }
+
+    #[test]
+    fn cost_model_accrues_and_drains() {
+        let mut d = daemon_with_map();
+        d.process_entries(&[entry(7, 0x10000, 20)]);
+        let c = d.take_accrued_cycles();
+        assert_eq!(c, 800 + 10 * 20);
+        assert_eq!(d.take_accrued_cycles(), 0, "drained");
+        assert!((d.stats.cost_per_sample() - c as f64 / 20.0).abs() < 1e-9);
+        assert_eq!(d.stats.aggregation_factor(), 20.0);
+    }
+
+    #[test]
+    fn per_process_profiles_when_requested() {
+        let cfg = DaemonConfig {
+            per_process: vec![Pid(7)],
+            ..DaemonConfig::default()
+        };
+        let mut d = Daemon::new(cfg).unwrap();
+        d.handle_events(vec![OsEvent::ImageLoaded {
+            pid: Pid(7),
+            image: ImageId(3),
+            base: Addr(0x10000),
+            size: 0x1000,
+            path: "/bin/app".into(),
+        }]);
+        d.process_entries(&[entry(7, 0x10000, 2), entry(8, 0x10000, 9)]);
+        let pp = d.per_process_profiles(Pid(7)).unwrap();
+        assert_eq!(pp.event_total(Event::Cycles), 2);
+        assert!(d.per_process_profiles(Pid(8)).is_none());
+    }
+
+    #[test]
+    fn flush_to_disk_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("dcpi-daemon-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DaemonConfig {
+            db_path: Some(dir.clone()),
+            ..DaemonConfig::default()
+        };
+        let mut d = Daemon::new(cfg).unwrap();
+        d.handle_events(vec![OsEvent::ImageLoaded {
+            pid: Pid(7),
+            image: ImageId(3),
+            base: Addr(0x10000),
+            size: 0x1000,
+            path: "/bin/app".into(),
+        }]);
+        d.process_entries(&[entry(7, 0x10008, 6)]);
+        d.flush_to_disk().unwrap();
+        assert!(d.profiles().is_empty(), "cleared after flush");
+        let db = d.db().unwrap();
+        let set = db.read_all().unwrap();
+        assert_eq!(set.get(ImageId(3), Event::Cycles).unwrap().get(8), 6);
+        assert!(db.disk_usage().unwrap() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_accounting_tracks_peak() {
+        let os = Os::new(1, 8192, default_kernel(), None);
+        let mut d = daemon_with_map();
+        d.update_memory(&os);
+        let first = d.stats.memory_bytes;
+        assert!(first > 1_000_000);
+        for i in 0..1000 {
+            d.process_entries(&[entry(7, 0x10000 + i * 4, 1)]);
+        }
+        d.update_memory(&os);
+        assert!(d.stats.memory_bytes > first);
+        assert_eq!(d.stats.peak_memory_bytes, d.stats.memory_bytes);
+    }
+
+    #[test]
+    fn new_epoch_without_db_errors() {
+        let mut d = Daemon::new(DaemonConfig::default()).unwrap();
+        assert!(d.new_epoch().is_err());
+    }
+
+    #[test]
+    fn resolve_free_function_matches_daemon() {
+        let d = daemon_with_map();
+        let r = resolve(&d.loadmaps, Pid(7), Addr(0x10020));
+        assert_eq!(r, Some((ImageId(3), 0x20)));
+        assert_eq!(resolve(&d.loadmaps, Pid(7), Addr(0x9)), None);
+    }
+}

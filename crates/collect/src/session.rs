@@ -1,0 +1,386 @@
+//! A profiled run: machine + driver + daemon wired together.
+//!
+//! The experiment harness uses [`ProfiledRun`] to execute a workload under
+//! profiling: the machine delivers counter-overflow samples to the driver
+//! (charging handler cycles to the interrupted CPU), and between run
+//! quanta the daemon consumes loader notifications, drains full overflow
+//! buffers, performs the periodic full flush, and has its processing cost
+//! charged to CPU 0 — reproducing both components of the paper's overhead
+//! (§5.2).
+
+use crate::daemon::{Daemon, DaemonConfig};
+use crate::driver::{CostModel, Driver, DriverConfig};
+use dcpi_core::{Addr, CpuId};
+use dcpi_core::{ImageId, Pid, ProfileSet, Result, Sample};
+use dcpi_isa::image::Image;
+use dcpi_machine::machine::{Machine, SampleSink};
+use dcpi_machine::MachineConfig;
+
+/// A driver wrapper that optionally logs the raw sample trace for the
+/// §5.4 hash-table sweep.
+#[derive(Debug)]
+pub struct TracingDriver {
+    /// The real driver.
+    pub driver: Driver,
+    /// Logged samples (bounded by `limit`).
+    pub trace: Vec<Sample>,
+    limit: usize,
+}
+
+impl SampleSink for TracingDriver {
+    fn counter_overflow(&mut self, cpu: CpuId, sample: Sample, at_cycle: u64) -> u64 {
+        if self.trace.len() < self.limit {
+            self.trace.push(sample);
+        }
+        self.driver.counter_overflow(cpu, sample, at_cycle)
+    }
+
+    fn edge_sample(&mut self, cpu: CpuId, pid: Pid, pc: Addr, taken: bool) {
+        self.driver.edge_sample(cpu, pid, pc, taken);
+    }
+
+    fn double_sample(&mut self, cpu: CpuId, pid: Pid, pc1: Addr, pc2: Addr) {
+        self.driver.double_sample(cpu, pid, pc1, pc2);
+    }
+}
+
+/// Configuration of a profiled run.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// The machine (including the counter configuration: `cycles`,
+    /// `default`, or `mux`).
+    pub machine: MachineConfig,
+    /// Driver tuning.
+    pub driver: DriverConfig,
+    /// Handler cost model.
+    pub cost: CostModel,
+    /// Daemon tuning.
+    pub daemon: DaemonConfig,
+    /// Cycles between daemon polls of the driver and OS.
+    pub poll_quantum: u64,
+    /// Cycles between full hash-table flushes (the paper's 5-minute
+    /// drain, scaled to simulation time).
+    pub flush_interval: u64,
+    /// Charge the daemon's modeled cycles to CPU 0 (disable to measure
+    /// driver-only overhead).
+    pub charge_daemon: bool,
+    /// Log up to this many raw samples for trace-driven analysis.
+    pub trace_limit: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            machine: MachineConfig::default(),
+            driver: DriverConfig::default(),
+            cost: CostModel::default(),
+            daemon: DaemonConfig::default(),
+            poll_quantum: 200_000,
+            flush_interval: 20_000_000,
+            charge_daemon: true,
+            trace_limit: 0,
+        }
+    }
+}
+
+/// A machine being profiled by the full collection subsystem.
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// The machine, with the driver installed as its sample sink.
+    pub machine: Machine<TracingDriver>,
+    /// The user-mode daemon.
+    pub daemon: Daemon,
+    cfg_poll: u64,
+    cfg_flush: u64,
+    charge_daemon: bool,
+    next_flush: u64,
+}
+
+impl ProfiledRun {
+    /// Builds the profiled machine and performs the daemon's startup scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the daemon's database cannot be created.
+    pub fn new(cfg: SessionConfig) -> Result<ProfiledRun> {
+        let cpus = cfg.machine.cpus;
+        let sink = TracingDriver {
+            driver: Driver::new(cpus, cfg.driver.clone(), cfg.cost),
+            trace: Vec::new(),
+            limit: cfg.trace_limit,
+        };
+        let machine = Machine::new(cfg.machine.clone(), sink);
+        let mut daemon = Daemon::new(cfg.daemon.clone())?;
+        daemon.startup_scan(&machine.os);
+        Ok(ProfiledRun {
+            machine,
+            daemon,
+            cfg_poll: cfg.poll_quantum.max(1),
+            cfg_flush: cfg.flush_interval.max(1),
+            charge_daemon: cfg.charge_daemon,
+            next_flush: cfg.flush_interval.max(1),
+        })
+    }
+
+    /// Registers an image (see [`Machine::register_image`]), refreshing
+    /// the daemon's image records (names + saved executables).
+    pub fn register_image(&mut self, image: Image) -> ImageId {
+        let id = self.machine.register_image(image);
+        self.daemon.startup_scan(&self.machine.os);
+        id
+    }
+
+    /// Spawns a process (see [`Machine::spawn`]).
+    pub fn spawn(
+        &mut self,
+        cpu: usize,
+        main: ImageId,
+        extra: &[(ImageId, Addr)],
+        setup: impl FnOnce(&mut dcpi_machine::proc::Process),
+    ) -> Pid {
+        self.machine.spawn(cpu, main, extra, setup)
+    }
+
+    /// One daemon service pass: consume OS events, drain full buffers (or
+    /// everything when the flush timer fires), and charge daemon cost.
+    pub fn pump(&mut self) {
+        let events = self.machine.os.drain_events();
+        self.daemon.handle_events(events);
+        let now = self.machine.time();
+        let full_flush = now >= self.next_flush;
+        if full_flush {
+            self.next_flush = now + self.cfg_flush;
+        }
+        for cpu in &mut self.machine.sink.driver.per_cpu {
+            let edges = cpu.drain_edges();
+            if !edges.is_empty() {
+                self.daemon.process_edge_samples(&edges);
+            }
+            let paths = cpu.drain_paths();
+            if !paths.is_empty() {
+                self.daemon.process_path_samples(&paths);
+            }
+            let entries = if full_flush {
+                cpu.flush()
+            } else if cpu.buffer_full {
+                cpu.drain_overflow()
+            } else {
+                continue;
+            };
+            self.daemon.process_entries(&entries);
+        }
+        if full_flush {
+            self.daemon.reap();
+            self.daemon.update_memory(&self.machine.os);
+        }
+        let cost = self.daemon.take_accrued_cycles();
+        if self.charge_daemon && cost > 0 {
+            self.machine.charge_cycles(0, cost);
+        }
+    }
+
+    /// Runs the machine until all spawned processes exit (or `limit`
+    /// machine cycles), pumping the daemon every poll quantum. Returns the
+    /// final machine time.
+    pub fn run_to_completion(&mut self, limit: u64) -> u64 {
+        let mut target = self.cfg_poll;
+        while self.machine.os.live_processes() > 0 && target <= limit {
+            self.machine.run_all_until(target);
+            self.pump();
+            target += self.cfg_poll;
+        }
+        self.finish();
+        self.machine.time()
+    }
+
+    /// Runs for a fixed duration regardless of process exits (for
+    /// timesharing/idle experiments).
+    pub fn run_for(&mut self, cycles: u64) -> u64 {
+        let end = self.machine.time() + cycles;
+        let mut target = self.machine.time() + self.cfg_poll;
+        while target < end {
+            self.machine.run_all_until(target);
+            self.pump();
+            target += self.cfg_poll;
+        }
+        self.machine.run_all_until(end);
+        self.finish();
+        self.machine.time()
+    }
+
+    /// Final drain: flush every driver, process remaining entries, write
+    /// the database.
+    pub fn finish(&mut self) {
+        let events = self.machine.os.drain_events();
+        self.daemon.handle_events(events);
+        // Late-registered images (spawned directly on the machine) still
+        // get their names and executables recorded with the database.
+        self.daemon.startup_scan(&self.machine.os);
+        for cpu in &mut self.machine.sink.driver.per_cpu {
+            let edges = cpu.drain_edges();
+            if !edges.is_empty() {
+                self.daemon.process_edge_samples(&edges);
+            }
+            let paths = cpu.drain_paths();
+            if !paths.is_empty() {
+                self.daemon.process_path_samples(&paths);
+            }
+            let entries = cpu.flush();
+            self.daemon.process_entries(&entries);
+        }
+        let cost = self.daemon.take_accrued_cycles();
+        if self.charge_daemon && cost > 0 {
+            self.machine.charge_cycles(0, cost);
+        }
+        self.daemon.update_memory(&self.machine.os);
+        let _ = self.daemon.flush_to_disk();
+    }
+
+    /// The accumulated profiles (valid when no database is configured;
+    /// with a database use [`Daemon::db`]).
+    #[must_use]
+    pub fn profiles(&self) -> &ProfileSet {
+        self.daemon.profiles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::Event;
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::reg::Reg;
+    use dcpi_machine::counters::CounterConfig;
+    use dcpi_machine::os::MAIN_BASE;
+
+    fn loop_image(n: i64) -> Image {
+        let mut a = Asm::new("/bin/loop");
+        a.proc("main");
+        a.li(Reg::T0, n);
+        let top = a.here();
+        a.subq_lit(Reg::T0, 1, Reg::T0);
+        a.bne(Reg::T0, top);
+        a.halt();
+        a.finish()
+    }
+
+    fn session(period: (u64, u64)) -> ProfiledRun {
+        let mut cfg = SessionConfig::default();
+        cfg.machine.counters = CounterConfig::cycles_only(period);
+        cfg.poll_quantum = 50_000;
+        cfg.flush_interval = 500_000;
+        ProfiledRun::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_profile_lands_on_loop() {
+        let mut run = session((2000, 2500));
+        let img = run.register_image(loop_image(300_000));
+        run.spawn(0, img, &[], |_| {});
+        run.run_to_completion(10_000_000_000);
+        let profiles = run.profiles();
+        let p = profiles.get(img, Event::Cycles).expect("loop profiled");
+        // li(300_000) → ldah+lda; loop at offsets 8 (subq), 12 (bne).
+        let loop_samples = p.get(8) + p.get(12);
+        assert!(
+            loop_samples * 10 >= p.total() * 8,
+            "loop should dominate: {} of {}",
+            loop_samples,
+            p.total()
+        );
+        assert!(run.daemon.unknown_fraction() < 0.01);
+    }
+
+    #[test]
+    fn samples_conserved_driver_to_daemon() {
+        let mut run = session((1000, 1200));
+        let img = run.register_image(loop_image(200_000));
+        run.spawn(0, img, &[], |_| {});
+        run.run_to_completion(10_000_000_000);
+        let taken = run.machine.total_samples();
+        let stats = run.machine.sink.driver.total_stats();
+        assert_eq!(stats.interrupts, taken);
+        assert_eq!(
+            run.daemon.stats.samples + stats.dropped,
+            taken,
+            "every interrupt's sample reaches the daemon or is dropped"
+        );
+        assert!(taken > 100, "expected a healthy sample count: {taken}");
+    }
+
+    #[test]
+    fn idle_time_attributes_to_kernel() {
+        let mut run = session((1500, 2000));
+        run.run_for(2_000_000);
+        let kernel = run.machine.os.kernel_image();
+        let profiles = run.profiles();
+        let k = profiles.get(kernel, Event::Cycles).expect("idle profiled");
+        assert!(k.total() > 100);
+        assert_eq!(run.daemon.stats.unknown_samples, 0);
+    }
+
+    #[test]
+    fn overhead_grows_with_sampling_rate() {
+        let run_with = |period: (u64, u64)| {
+            let mut run = session(period);
+            let img = run.register_image(loop_image(400_000));
+            run.spawn(0, img, &[], |_| {});
+            run.run_to_completion(10_000_000_000)
+        };
+        let fast = run_with((500, 600));
+        let slow = run_with((60_000, 64_000));
+        assert!(
+            fast > slow * 102 / 100,
+            "dense sampling must cost more: fast={fast} slow={slow}"
+        );
+    }
+
+    #[test]
+    fn trace_logging_captures_samples() {
+        let mut cfg = SessionConfig::default();
+        cfg.machine.counters = CounterConfig::cycles_only((800, 1000));
+        cfg.trace_limit = 1000;
+        let mut run = ProfiledRun::new(cfg).unwrap();
+        let img = run.register_image(loop_image(100_000));
+        run.spawn(0, img, &[], |_| {});
+        run.run_to_completion(10_000_000_000);
+        let trace = &run.machine.sink.trace;
+        assert!(!trace.is_empty());
+        assert!(trace.len() <= 1000);
+        assert!(trace
+            .iter()
+            .any(|s| s.pc.0 >= MAIN_BASE.0 && s.pc.0 < MAIN_BASE.0 + 64));
+    }
+
+    #[test]
+    fn database_written_on_finish() {
+        let dir = std::env::temp_dir().join(format!("dcpi-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = SessionConfig::default();
+        cfg.machine.counters = CounterConfig::cycles_only((1000, 1200));
+        cfg.daemon.db_path = Some(dir.clone());
+        let mut run = ProfiledRun::new(cfg).unwrap();
+        let img = run.register_image(loop_image(200_000));
+        run.spawn(0, img, &[], |_| {});
+        run.run_to_completion(10_000_000_000);
+        let db = run.daemon.db().unwrap();
+        let set = db.read_all().unwrap();
+        assert!(set.get(img, Event::Cycles).is_some());
+        assert!(db.disk_usage().unwrap() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn daemon_charge_can_be_disabled() {
+        let run_with = |charge: bool| {
+            let mut cfg = SessionConfig::default();
+            cfg.machine.counters = CounterConfig::cycles_only((500, 600));
+            cfg.charge_daemon = charge;
+            let mut run = ProfiledRun::new(cfg).unwrap();
+            let img = run.register_image(loop_image(300_000));
+            run.spawn(0, img, &[], |_| {});
+            run.run_to_completion(10_000_000_000)
+        };
+        assert!(run_with(true) >= run_with(false));
+    }
+}

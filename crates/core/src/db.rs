@@ -1,0 +1,456 @@
+//! The on-disk profile database (§4.3.3).
+//!
+//! Samples are organized into non-overlapping *epochs*, each of which holds
+//! all samples collected during a given time interval. Each epoch occupies
+//! a separate subdirectory of the database, and a separate file stores the
+//! profile for a given image and event combination. A new epoch can be
+//! initiated at any time; the daemon merges in-memory profile data into the
+//! current epoch periodically.
+//!
+//! Layout on disk:
+//!
+//! ```text
+//! <root>/
+//!   images.tsv                 # image id → pathname map (database-wide)
+//!   epoch_0000/
+//!     00000003.cycles.prof     # image 3, CYCLES event
+//!     00000003.imiss.prof
+//!   epoch_0001/
+//!     ...
+//! ```
+
+use crate::codec::{decode_profile, encode_profile, Format};
+use crate::error::{Error, Result};
+use crate::profile::{Profile, ProfileKey, ProfileSet};
+use crate::types::{Event, ImageId};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Identifies one epoch in a database.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct EpochId(pub u32);
+
+/// A profile database rooted at a directory, holding epochs of profiles
+/// plus an image-name map.
+#[derive(Debug)]
+pub struct ProfileDb {
+    root: PathBuf,
+    current: EpochId,
+    format: Format,
+    image_names: BTreeMap<u32, String>,
+}
+
+impl ProfileDb {
+    /// Creates a database at `root` (creating directories as needed) with
+    /// an initial epoch 0, writing profiles in `format`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directories cannot be created.
+    pub fn create(root: impl Into<PathBuf>, format: Format) -> Result<ProfileDb> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let db = ProfileDb {
+            root,
+            current: EpochId(0),
+            format,
+            image_names: BTreeMap::new(),
+        };
+        fs::create_dir_all(db.epoch_dir(db.current))?;
+        Ok(db)
+    }
+
+    /// Opens an existing database, resuming at its newest epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if `root` exists but contains no epochs,
+    /// or an I/O error if it cannot be read.
+    pub fn open(root: impl Into<PathBuf>, format: Format) -> Result<ProfileDb> {
+        let root = root.into();
+        let mut newest: Option<EpochId> = None;
+        for entry in fs::read_dir(&root)? {
+            let entry = entry?;
+            if let Some(id) = parse_epoch_dir(&entry.file_name().to_string_lossy()) {
+                newest = Some(newest.map_or(id, |n: EpochId| n.max(id)));
+            }
+        }
+        let current =
+            newest.ok_or_else(|| Error::NotFound(format!("no epochs in {}", root.display())))?;
+        let mut db = ProfileDb {
+            root,
+            current,
+            format,
+            image_names: BTreeMap::new(),
+        };
+        db.load_image_names()?;
+        Ok(db)
+    }
+
+    /// The directory this database lives in.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The epoch new samples are merged into.
+    #[must_use]
+    pub fn current_epoch(&self) -> EpochId {
+        self.current
+    }
+
+    /// Lists all epochs present on disk, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the root directory cannot be read.
+    pub fn epochs(&self) -> Result<Vec<EpochId>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if let Some(id) = parse_epoch_dir(&entry.file_name().to_string_lossy()) {
+                out.push(id);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Starts a new epoch; subsequent merges go to it (§4.3.3: "a new epoch
+    /// can be initiated by a user-level command").
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the epoch directory cannot be created.
+    pub fn new_epoch(&mut self) -> Result<EpochId> {
+        let next = EpochId(self.current.0 + 1);
+        fs::create_dir_all(self.epoch_dir(next))?;
+        self.current = next;
+        Ok(next)
+    }
+
+    /// Records the pathname for an image id, persisting the map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the map file cannot be written.
+    pub fn record_image_name(&mut self, image: ImageId, name: &str) -> Result<()> {
+        if self
+            .image_names
+            .insert(image.0, name.to_string())
+            .as_deref()
+            != Some(name)
+        {
+            self.save_image_names()?;
+        }
+        Ok(())
+    }
+
+    /// Looks up the recorded pathname for an image.
+    #[must_use]
+    pub fn image_name(&self, image: ImageId) -> Option<&str> {
+        self.image_names.get(&image.0).map(String::as_str)
+    }
+
+    /// Merges a set of in-memory profiles into the current epoch,
+    /// read-modify-writing each affected file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error if an existing file cannot be
+    /// read or a new one cannot be written.
+    pub fn merge(&mut self, set: &ProfileSet) -> Result<()> {
+        for key in set.sorted_keys() {
+            let incoming = set
+                .get(key.image, key.event)
+                .expect("sorted_keys returned a missing key");
+            let path = self.profile_path(self.current, key);
+            let mut merged = if path.exists() {
+                let data = fs::read(&path)?;
+                let (existing, ev) = decode_profile(&data)?;
+                if ev != key.event {
+                    return Err(Error::Corrupt(format!(
+                        "event mismatch in {}: file says {ev}, name says {}",
+                        path.display(),
+                        key.event
+                    )));
+                }
+                existing
+            } else {
+                Profile::new()
+            };
+            merged.merge(incoming);
+            let bytes = encode_profile(&merged, key.event, self.format);
+            let tmp = path.with_extension("tmp");
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(&bytes)?;
+                f.sync_all()?;
+            }
+            fs::rename(&tmp, &path)?;
+        }
+        Ok(())
+    }
+
+    /// Reads one profile from an epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if no such profile file exists, or a
+    /// corruption error if it cannot be decoded.
+    pub fn read_profile(&self, epoch: EpochId, key: ProfileKey) -> Result<Profile> {
+        let path = self.profile_path(epoch, key);
+        if !path.exists() {
+            return Err(Error::NotFound(path.display().to_string()));
+        }
+        let data = fs::read(&path)?;
+        let (profile, _) = decode_profile(&data)?;
+        Ok(profile)
+    }
+
+    /// Loads every profile in an epoch into a [`ProfileSet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for a missing epoch or a corruption
+    /// error for undecodable files.
+    pub fn read_epoch(&self, epoch: EpochId) -> Result<ProfileSet> {
+        let dir = self.epoch_dir(epoch);
+        if !dir.exists() {
+            return Err(Error::NotFound(dir.display().to_string()));
+        }
+        let mut set = ProfileSet::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(key) = parse_profile_name(&name) else {
+                continue;
+            };
+            let data = fs::read(entry.path())?;
+            let (profile, _) = decode_profile(&data)?;
+            set.insert(key, profile);
+        }
+        Ok(set)
+    }
+
+    /// Loads and merges the profiles of *all* epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any epoch read failure.
+    pub fn read_all(&self) -> Result<ProfileSet> {
+        let mut set = ProfileSet::new();
+        for epoch in self.epochs()? {
+            set.merge(&self.read_epoch(epoch)?);
+        }
+        Ok(set)
+    }
+
+    /// Total bytes of profile data on disk across all epochs (Table 5's
+    /// "Disk usage" column).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if directory metadata cannot be read.
+    pub fn disk_usage(&self) -> Result<u64> {
+        let mut total = 0;
+        for epoch in self.epochs()? {
+            for entry in fs::read_dir(self.epoch_dir(epoch))? {
+                total += entry?.metadata()?.len();
+            }
+        }
+        Ok(total)
+    }
+
+    fn epoch_dir(&self, epoch: EpochId) -> PathBuf {
+        self.root.join(format!("epoch_{:04}", epoch.0))
+    }
+
+    fn profile_path(&self, epoch: EpochId, key: ProfileKey) -> PathBuf {
+        self.epoch_dir(epoch)
+            .join(format!("{:08x}.{}.prof", key.image.0, key.event.name()))
+    }
+
+    fn image_map_path(&self) -> PathBuf {
+        self.root.join("images.tsv")
+    }
+
+    fn save_image_names(&self) -> Result<()> {
+        let mut out = String::new();
+        for (id, name) in &self.image_names {
+            out.push_str(&format!("{id}\t{name}\n"));
+        }
+        fs::write(self.image_map_path(), out)?;
+        Ok(())
+    }
+
+    fn load_image_names(&mut self) -> Result<()> {
+        let path = self.image_map_path();
+        if !path.exists() {
+            return Ok(());
+        }
+        let text = fs::read_to_string(path)?;
+        for line in text.lines() {
+            if let Some((id, name)) = line.split_once('\t') {
+                if let Ok(id) = id.parse::<u32>() {
+                    self.image_names.insert(id, name.to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_epoch_dir(name: &str) -> Option<EpochId> {
+    name.strip_prefix("epoch_")?.parse().ok().map(EpochId)
+}
+
+fn parse_profile_name(name: &str) -> Option<ProfileKey> {
+    let stem = name.strip_suffix(".prof")?;
+    let (image_hex, event_name) = stem.split_once('.')?;
+    let image = u32::from_str_radix(image_hex, 16).ok()?;
+    let event = Event::ALL.into_iter().find(|e| e.name() == event_name)?;
+    Some(ProfileKey {
+        image: ImageId(image),
+        event,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let p =
+            std::env::temp_dir().join(format!("dcpi-db-test-{}-{}-{}", std::process::id(), tag, n));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    fn sample_set() -> ProfileSet {
+        let mut set = ProfileSet::new();
+        set.add(ImageId(3), Event::Cycles, 0, 10);
+        set.add(ImageId(3), Event::Cycles, 8, 5);
+        set.add(ImageId(3), Event::IMiss, 0, 2);
+        set.add(ImageId(7), Event::Cycles, 400, 1);
+        set
+    }
+
+    #[test]
+    fn create_merge_read_roundtrip() {
+        let root = temp_root("roundtrip");
+        let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+        db.merge(&sample_set()).unwrap();
+        let back = db.read_epoch(EpochId(0)).unwrap();
+        assert_eq!(back.event_total(Event::Cycles), 16);
+        assert_eq!(back.event_total(Event::IMiss), 2);
+        assert_eq!(back.get(ImageId(3), Event::Cycles).unwrap().get(8), 5);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn repeated_merges_accumulate() {
+        let root = temp_root("accumulate");
+        let mut db = ProfileDb::create(&root, Format::V1).unwrap();
+        db.merge(&sample_set()).unwrap();
+        db.merge(&sample_set()).unwrap();
+        let back = db.read_epoch(EpochId(0)).unwrap();
+        assert_eq!(back.get(ImageId(3), Event::Cycles).unwrap().get(0), 20);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn new_epoch_separates_samples() {
+        let root = temp_root("epochs");
+        let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+        db.merge(&sample_set()).unwrap();
+        let e1 = db.new_epoch().unwrap();
+        assert_eq!(e1, EpochId(1));
+        let mut late = ProfileSet::new();
+        late.add(ImageId(3), Event::Cycles, 0, 100);
+        db.merge(&late).unwrap();
+        let ep0 = db.read_epoch(EpochId(0)).unwrap();
+        let ep1 = db.read_epoch(EpochId(1)).unwrap();
+        assert_eq!(ep0.get(ImageId(3), Event::Cycles).unwrap().get(0), 10);
+        assert_eq!(ep1.get(ImageId(3), Event::Cycles).unwrap().get(0), 100);
+        let all = db.read_all().unwrap();
+        assert_eq!(all.get(ImageId(3), Event::Cycles).unwrap().get(0), 110);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_resumes_newest_epoch_and_names() {
+        let root = temp_root("open");
+        {
+            let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+            db.record_image_name(ImageId(3), "/usr/shlib/X11/libos.so")
+                .unwrap();
+            db.new_epoch().unwrap();
+            db.merge(&sample_set()).unwrap();
+        }
+        let db = ProfileDb::open(&root, Format::V2).unwrap();
+        assert_eq!(db.current_epoch(), EpochId(1));
+        assert_eq!(db.image_name(ImageId(3)), Some("/usr/shlib/X11/libos.so"));
+        assert_eq!(db.epochs().unwrap(), vec![EpochId(0), EpochId(1)]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_empty_dir_is_not_found() {
+        let root = temp_root("empty");
+        fs::create_dir_all(&root).unwrap();
+        assert!(matches!(
+            ProfileDb::open(&root, Format::V2),
+            Err(Error::NotFound(_))
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn read_missing_profile_is_not_found() {
+        let root = temp_root("missing");
+        let db = ProfileDb::create(&root, Format::V2).unwrap();
+        let key = ProfileKey {
+            image: ImageId(42),
+            event: Event::Cycles,
+        };
+        assert!(matches!(
+            db.read_profile(EpochId(0), key),
+            Err(Error::NotFound(_))
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn disk_usage_counts_bytes() {
+        let root = temp_root("disk");
+        let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+        assert_eq!(db.disk_usage().unwrap(), 0);
+        db.merge(&sample_set()).unwrap();
+        assert!(db.disk_usage().unwrap() > 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn profile_name_parsing() {
+        let key = parse_profile_name("0000002a.cycles.prof").unwrap();
+        assert_eq!(key.image, ImageId(42));
+        assert_eq!(key.event, Event::Cycles);
+        assert!(parse_profile_name("junk.prof").is_none());
+        assert!(parse_profile_name("0000002a.bogus.prof").is_none());
+        assert!(parse_profile_name("0000002a.cycles.txt").is_none());
+    }
+
+    #[test]
+    fn epoch_dir_parsing() {
+        assert_eq!(parse_epoch_dir("epoch_0007"), Some(EpochId(7)));
+        assert_eq!(parse_epoch_dir("epoch_"), None);
+        assert_eq!(parse_epoch_dir("images.tsv"), None);
+    }
+}

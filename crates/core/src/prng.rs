@@ -1,0 +1,171 @@
+//! The "minimal standard" pseudo-random number generator of Park and Miller
+//! in the fast implementation due to Carta, which the paper cites (\[4\],
+//! §4.1.1) and uses to randomize the sampling period at the end of every
+//! performance-counter interrupt.
+//!
+//! The generator computes `seed = 16807 * seed mod (2^31 - 1)` without
+//! division, using Carta's decomposition of the 46-bit product into a
+//! 31-bit low part and a 15-bit high part.
+
+/// Multiplier of the minimal-standard generator.
+pub const MINSTD_A: u32 = 16807;
+/// Modulus of the minimal-standard generator (a Mersenne prime).
+pub const MINSTD_M: u32 = 0x7fff_ffff;
+
+/// Carta's fast implementation of the Park–Miller minimal standard
+/// generator. State is a value in `1..=M-1`; zero is never produced and
+/// never a legal seed (it is mapped to 1).
+///
+/// # Examples
+///
+/// ```
+/// use dcpi_core::prng::CartaRng;
+/// let mut rng = CartaRng::new(1);
+/// assert_eq!(rng.next_u31(), 16807);
+/// assert_eq!(rng.next_u31(), 282475249);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CartaRng {
+    state: u32,
+}
+
+impl CartaRng {
+    /// Creates a generator from a seed. A zero seed (which would fix the
+    /// generator at zero forever) is replaced by 1.
+    #[must_use]
+    pub fn new(seed: u32) -> CartaRng {
+        let s = seed % MINSTD_M;
+        CartaRng {
+            state: if s == 0 { 1 } else { s },
+        }
+    }
+
+    /// Advances the generator and returns the next value in `1..=M-1`.
+    ///
+    /// This is Carta's two-part product: with `p = a * state`, write
+    /// `p = hi * 2^31 + lo`; then `p mod (2^31 - 1) == hi + lo` after at
+    /// most one folding step.
+    pub fn next_u31(&mut self) -> u32 {
+        let p = u64::from(MINSTD_A) * u64::from(self.state);
+        let lo = (p & u64::from(MINSTD_M)) as u32;
+        let hi = (p >> 31) as u32;
+        let mut s = lo.wrapping_add(hi);
+        if s >= MINSTD_M {
+            s -= MINSTD_M;
+        }
+        debug_assert!(s != 0 && s < MINSTD_M);
+        self.state = s;
+        s
+    }
+
+    /// Returns a value uniformly distributed in `[lo, hi]` (inclusive).
+    ///
+    /// Used to draw the next sampling period; the paper's default period is
+    /// distributed uniformly between 60K and 64K cycles (§4.1.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        let span = hi - lo + 1;
+        lo + u64::from(self.next_u31()) % span
+    }
+
+    /// Current internal state (useful for checkpointing the driver).
+    #[must_use]
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+/// Draws the default randomized sampling period of the paper: uniform in
+/// `[60K, 64K]` cycles (§4.1.1).
+pub fn default_cycles_period(rng: &mut CartaRng) -> u64 {
+    rng.uniform(60 * 1024, 64 * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known value from Park & Miller: starting from seed 1, the 10,000th
+    /// value of the minimal standard generator is 1043618065.
+    #[test]
+    fn park_miller_certification_value() {
+        let mut rng = CartaRng::new(1);
+        let mut v = 0;
+        for _ in 0..10_000 {
+            v = rng.next_u31();
+        }
+        assert_eq!(v, 1_043_618_065);
+    }
+
+    #[test]
+    fn zero_seed_is_mapped_to_one() {
+        let a = CartaRng::new(0);
+        let b = CartaRng::new(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn never_produces_zero_or_modulus() {
+        let mut rng = CartaRng::new(12345);
+        for _ in 0..100_000 {
+            let v = rng.next_u31();
+            assert!(v > 0 && v < MINSTD_M);
+        }
+    }
+
+    #[test]
+    fn uniform_is_in_range() {
+        let mut rng = CartaRng::new(42);
+        for _ in 0..10_000 {
+            let v = rng.uniform(60 * 1024, 64 * 1024);
+            assert!((61440..=65536).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_extremes_of_small_range() {
+        let mut rng = CartaRng::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[(rng.uniform(10, 13) - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn default_period_matches_paper_bounds() {
+        let mut rng = CartaRng::new(99);
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for _ in 0..50_000 {
+            let p = default_cycles_period(&mut rng);
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        assert!(lo >= 61_440);
+        assert!(hi <= 65_536);
+        // With 50K draws the sampled extremes should be close to the bounds.
+        assert!(lo < 61_540, "lo = {lo}");
+        assert!(hi > 65_436, "hi = {hi}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = CartaRng::new(4242);
+        let mut b = CartaRng::new(4242);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u31(), b.next_u31());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_panics_on_empty_range() {
+        let mut rng = CartaRng::new(1);
+        let _ = rng.uniform(10, 9);
+    }
+}

@@ -1,0 +1,389 @@
+//! In-memory profiles: aggregated event counts keyed by image offset.
+//!
+//! The daemon converts each raw sample's `(pid, pc)` to an `(image, offset)`
+//! pair and merges it into the profile for that image and event (§4.3.1).
+//! A separate profile file is stored per `(image, event)` combination
+//! (§4.3.3); [`ProfileKey`] mirrors that organization in memory.
+
+use crate::types::{Event, ImageId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies one profile: an executable image and an event type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProfileKey {
+    /// The image the samples fell in.
+    pub image: ImageId,
+    /// The event whose counter produced the samples.
+    pub event: Event,
+}
+
+/// An aggregated profile: a sorted map from image offset (in bytes from the
+/// start of the image text) to the accumulated sample count at that offset.
+///
+/// Offsets are kept sorted so that the on-disk codec can delta-encode them
+/// compactly; most executables have large never-executed regions, so
+/// profiles are much smaller than their images (§4.3.3).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Adds `count` samples at `offset`.
+    pub fn add(&mut self, offset: u64, count: u64) {
+        if count > 0 {
+            *self.counts.entry(offset).or_insert(0) += count;
+        }
+    }
+
+    /// Returns the count at `offset` (zero if absent).
+    #[must_use]
+    pub fn get(&self, offset: u64) -> u64 {
+        self.counts.get(&offset).copied().unwrap_or(0)
+    }
+
+    /// Merges another profile into this one, adding counts pointwise.
+    pub fn merge(&mut self, other: &Profile) {
+        for (&off, &cnt) in &other.counts {
+            self.add(off, cnt);
+        }
+    }
+
+    /// Total samples across all offsets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct offsets with nonzero counts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if the profile holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(offset, count)` pairs in increasing offset order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&o, &c)| (o, c))
+    }
+
+    /// Sums the counts over the half-open offset range `[lo, hi)`.
+    ///
+    /// Used by the analyzer to total the samples of a procedure or basic
+    /// block.
+    #[must_use]
+    pub fn range_total(&self, lo: u64, hi: u64) -> u64 {
+        self.counts.range(lo..hi).map(|(_, &c)| c).sum()
+    }
+}
+
+impl FromIterator<(u64, u64)> for Profile {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Profile {
+        let mut p = Profile::new();
+        for (off, cnt) in iter {
+            p.add(off, cnt);
+        }
+        p
+    }
+}
+
+/// Edge samples: per conditional branch, how many samples were taken with
+/// the branch about to be taken vs about to fall through.
+///
+/// This implements the paper's §7 "instruction interpretation" proposal:
+/// "each conditional branch can be interpreted to determine whether or
+/// not the branch will be taken, yielding edge samples that should prove
+/// valuable for analysis and optimization". Keys are `(image, byte offset
+/// of the branch)`.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeProfiles {
+    counts: HashMap<(ImageId, u64), (u64, u64)>,
+}
+
+impl EdgeProfiles {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> EdgeProfiles {
+        EdgeProfiles::default()
+    }
+
+    /// Records `count` edge samples at the branch at `offset` in `image`.
+    pub fn add(&mut self, image: ImageId, offset: u64, taken: bool, count: u64) {
+        let slot = self.counts.entry((image, offset)).or_insert((0, 0));
+        if taken {
+            slot.0 += count;
+        } else {
+            slot.1 += count;
+        }
+    }
+
+    /// `(taken, fall-through)` counts for the branch at `offset`.
+    #[must_use]
+    pub fn get(&self, image: ImageId, offset: u64) -> (u64, u64) {
+        self.counts.get(&(image, offset)).copied().unwrap_or((0, 0))
+    }
+
+    /// Merges another set into this one.
+    pub fn merge(&mut self, other: &EdgeProfiles) {
+        for (&(img, off), &(t, n)) in &other.counts {
+            self.add(img, off, true, t);
+            self.add(img, off, false, n);
+        }
+    }
+
+    /// Total edge samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().map(|(t, n)| t + n).sum()
+    }
+
+    /// Iterates `((image, offset), (taken, fallthrough))`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(ImageId, u64), &(u64, u64))> {
+        self.counts.iter()
+    }
+}
+
+/// Path samples from double sampling (§7): pairs of PCs along the
+/// execution path, keyed by `(image1, offset1, image2, offset2)`. Pairs
+/// that span a control transfer record its dynamic target — including
+/// indirect jumps, which static CFG analysis cannot resolve.
+#[derive(Clone, Debug, Default)]
+pub struct PathProfiles {
+    counts: HashMap<(ImageId, u64, ImageId, u64), u64>,
+}
+
+impl PathProfiles {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> PathProfiles {
+        PathProfiles::default()
+    }
+
+    /// Records `count` path samples from `(img1, off1)` to `(img2, off2)`.
+    pub fn add(&mut self, img1: ImageId, off1: u64, img2: ImageId, off2: u64, count: u64) {
+        *self.counts.entry((img1, off1, img2, off2)).or_insert(0) += count;
+    }
+
+    /// Count of the pair `(img1, off1) → (img2, off2)`.
+    #[must_use]
+    pub fn get(&self, img1: ImageId, off1: u64, img2: ImageId, off2: u64) -> u64 {
+        self.counts
+            .get(&(img1, off1, img2, off2))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All observed successors of `(image, offset)` within the same
+    /// image, as `(successor offset, count)` — what the CFG augmentation
+    /// consumes for indirect jumps.
+    #[must_use]
+    pub fn successors(&self, image: ImageId, offset: u64) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .filter(|(&(i1, o1, i2, _), _)| i1 == image && o1 == offset && i2 == image)
+            .map(|(&(_, _, _, o2), &c)| (o2, c))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merges another set into this one.
+    pub fn merge(&mut self, other: &PathProfiles) {
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+    }
+
+    /// Total path samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates all pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&(ImageId, u64, ImageId, u64), &u64)> {
+        self.counts.iter()
+    }
+}
+
+/// A collection of profiles keyed by `(image, event)`, as held by the
+/// daemon between flushes and by the analysis tools after loading an epoch.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSet {
+    profiles: HashMap<ProfileKey, Profile>,
+}
+
+impl ProfileSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> ProfileSet {
+        ProfileSet::default()
+    }
+
+    /// Adds `count` samples for `(image, event)` at `offset`.
+    pub fn add(&mut self, image: ImageId, event: Event, offset: u64, count: u64) {
+        self.profiles
+            .entry(ProfileKey { image, event })
+            .or_default()
+            .add(offset, count);
+    }
+
+    /// Returns the profile for a key, if any samples were recorded for it.
+    #[must_use]
+    pub fn get(&self, image: ImageId, event: Event) -> Option<&Profile> {
+        self.profiles.get(&ProfileKey { image, event })
+    }
+
+    /// Merges another set into this one.
+    pub fn merge(&mut self, other: &ProfileSet) {
+        for (key, prof) in &other.profiles {
+            self.profiles.entry(*key).or_default().merge(prof);
+        }
+    }
+
+    /// Inserts or merges a whole profile under `key`.
+    pub fn insert(&mut self, key: ProfileKey, profile: Profile) {
+        self.profiles.entry(key).or_default().merge(&profile);
+    }
+
+    /// Iterates all `(key, profile)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ProfileKey, &Profile)> {
+        self.profiles.iter()
+    }
+
+    /// Iterates keys in sorted order (stable output for tools).
+    #[must_use]
+    pub fn sorted_keys(&self) -> Vec<ProfileKey> {
+        let mut keys: Vec<_> = self.profiles.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Total samples of `event` across all images.
+    #[must_use]
+    pub fn event_total(&self, event: Event) -> u64 {
+        self.profiles
+            .iter()
+            .filter(|(k, _)| k.event == event)
+            .map(|(_, p)| p.total())
+            .sum()
+    }
+
+    /// Number of distinct profiles (image × event combinations).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True if no profiles are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Removes all profiles, keeping allocations.
+    pub fn clear(&mut self) {
+        self.profiles.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Event, ImageId};
+
+    #[test]
+    fn add_and_get() {
+        let mut p = Profile::new();
+        p.add(16, 3);
+        p.add(16, 2);
+        p.add(32, 1);
+        assert_eq!(p.get(16), 5);
+        assert_eq!(p.get(32), 1);
+        assert_eq!(p.get(48), 0);
+        assert_eq!(p.total(), 6);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn zero_count_adds_are_ignored() {
+        let mut p = Profile::new();
+        p.add(4, 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn merge_is_pointwise_sum() {
+        let a: Profile = [(0, 1), (8, 2)].into_iter().collect();
+        let b: Profile = [(8, 3), (12, 4)].into_iter().collect();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.get(0), 1);
+        assert_eq!(m.get(8), 5);
+        assert_eq!(m.get(12), 4);
+        assert_eq!(m.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn iter_is_sorted_by_offset() {
+        let p: Profile = [(40, 1), (0, 1), (16, 1)].into_iter().collect();
+        let offs: Vec<u64> = p.iter().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![0, 16, 40]);
+    }
+
+    #[test]
+    fn range_total_is_half_open() {
+        let p: Profile = [(0, 1), (4, 2), (8, 4), (12, 8)].into_iter().collect();
+        assert_eq!(p.range_total(4, 12), 6);
+        assert_eq!(p.range_total(0, 16), 15);
+        assert_eq!(p.range_total(5, 8), 0);
+    }
+
+    #[test]
+    fn profile_set_add_and_event_total() {
+        let mut s = ProfileSet::new();
+        s.add(ImageId(1), Event::Cycles, 0, 10);
+        s.add(ImageId(2), Event::Cycles, 4, 5);
+        s.add(ImageId(1), Event::IMiss, 0, 2);
+        assert_eq!(s.event_total(Event::Cycles), 15);
+        assert_eq!(s.event_total(Event::IMiss), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(ImageId(1), Event::Cycles).unwrap().total(), 10);
+        assert!(s.get(ImageId(3), Event::Cycles).is_none());
+    }
+
+    #[test]
+    fn profile_set_merge() {
+        let mut a = ProfileSet::new();
+        a.add(ImageId(1), Event::Cycles, 0, 1);
+        let mut b = ProfileSet::new();
+        b.add(ImageId(1), Event::Cycles, 0, 2);
+        b.add(ImageId(9), Event::DMiss, 8, 3);
+        a.merge(&b);
+        assert_eq!(a.get(ImageId(1), Event::Cycles).unwrap().get(0), 3);
+        assert_eq!(a.get(ImageId(9), Event::DMiss).unwrap().get(8), 3);
+    }
+
+    #[test]
+    fn sorted_keys_are_sorted() {
+        let mut s = ProfileSet::new();
+        s.add(ImageId(5), Event::IMiss, 0, 1);
+        s.add(ImageId(1), Event::Cycles, 0, 1);
+        s.add(ImageId(5), Event::Cycles, 0, 1);
+        let keys = s.sorted_keys();
+        assert_eq!(keys.len(), 3);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,262 @@
+//! Primitive identifiers and sample records shared across the system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A process identifier in the miniature operating system model.
+///
+/// The paper's driver records the PID of the interrupted process with every
+/// sample so that the daemon can associate the PC with the image loaded at
+/// that address in that process (§4.2, §4.3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// A processor identifier; the driver keeps per-CPU data structures (§4.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct CpuId(pub u32);
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu:{}", self.0)
+    }
+}
+
+/// A virtual address (or, depending on context, a PC value).
+///
+/// The toy ISA uses fixed 4-byte instruction words, so instruction addresses
+/// are always multiples of 4.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Size of one instruction word in bytes.
+    pub const INSN_BYTES: u64 = 4;
+
+    /// Returns the address of the next sequential instruction.
+    #[must_use]
+    pub fn next(self) -> Addr {
+        Addr(self.0 + Self::INSN_BYTES)
+    }
+
+    /// Returns the address `n` instruction words after this one.
+    #[must_use]
+    pub fn offset_insns(self, n: i64) -> Addr {
+        Addr((self.0 as i64 + n * Self::INSN_BYTES as i64) as u64)
+    }
+
+    /// Returns the index of the cache line containing this address, for a
+    /// line size of `line_bytes` (must be a power of two).
+    #[must_use]
+    pub fn line(self, line_bytes: u64) -> u64 {
+        debug_assert!(line_bytes.is_power_of_two());
+        self.0 / line_bytes
+    }
+
+    /// Returns the virtual page number for a page size of `page_bytes`.
+    #[must_use]
+    pub fn page(self, page_bytes: u64) -> u64 {
+        debug_assert!(page_bytes.is_power_of_two());
+        self.0 / page_bytes
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:06x}", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:06x}", self.0)
+    }
+}
+
+/// A loaded executable image identifier, unique per image file.
+///
+/// The modified loader assigns one to every image it maps (§4.3.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ImageId(pub u32);
+
+/// The distinguished image id used to aggregate samples whose PC could not
+/// be mapped to any loaded image (§4.3.2: "any remaining unknown samples are
+/// aggregated into a special profile").
+pub const UNKNOWN_IMAGE: ImageId = ImageId(u32::MAX);
+
+/// Performance-counter event types (§4.1).
+///
+/// The Alpha counters the paper uses plus the TLB-miss events its analysis
+/// can optionally consume. Only a limited number can be monitored at once
+/// (2 on the 21064, 3 on the 21164); the collection subsystem multiplexes
+/// among them at a fine grain in the `mux` configuration (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Event {
+    /// Processor clock cycles; overflow yields the time-biased PC samples
+    /// that drive the whole analysis.
+    Cycles,
+    /// Instruction-cache misses.
+    IMiss,
+    /// Data-cache misses.
+    DMiss,
+    /// Branch mispredictions.
+    BranchMp,
+    /// Data translation buffer (DTB) misses.
+    DtbMiss,
+    /// Instruction translation buffer (ITB) misses.
+    ItbMiss,
+}
+
+impl Event {
+    /// All event kinds, in a stable order used by on-disk encodings.
+    pub const ALL: [Event; 6] = [
+        Event::Cycles,
+        Event::IMiss,
+        Event::DMiss,
+        Event::BranchMp,
+        Event::DtbMiss,
+        Event::ItbMiss,
+    ];
+
+    /// A stable small integer code for the event, used by the profile codec.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Event::Cycles => 0,
+            Event::IMiss => 1,
+            Event::DMiss => 2,
+            Event::BranchMp => 3,
+            Event::DtbMiss => 4,
+            Event::ItbMiss => 5,
+        }
+    }
+
+    /// Inverse of [`Event::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Event> {
+        Event::ALL.get(code as usize).copied()
+    }
+
+    /// The lowercase name used in file names and tool output
+    /// (e.g. `cycles`, `imiss`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::Cycles => "cycles",
+            Event::IMiss => "imiss",
+            Event::DMiss => "dmiss",
+            Event::BranchMp => "branchmp",
+            Event::DtbMiss => "dtbmiss",
+            Event::ItbMiss => "itbmiss",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One raw performance-counter sample as delivered to the device driver's
+/// interrupt handler: the interrupted process, the delivered PC, and the
+/// identity of the overflowing counter (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Sample {
+    /// Process running when the counter overflowed.
+    pub pid: Pid,
+    /// PC of the instruction at the head of the issue queue when the
+    /// interrupt was delivered (six cycles after overflow on the 21164).
+    pub pc: Addr,
+    /// Which counter overflowed.
+    pub event: Event,
+}
+
+/// An aggregated sample: a [`Sample`] key plus the number of times it has
+/// been observed. This is the unit stored in the driver's hash table and
+/// overflow buffers (§4.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SampleEntry {
+    /// The aggregation key.
+    pub sample: Sample,
+    /// Occurrence count.
+    pub count: u64,
+}
+
+impl SampleEntry {
+    /// Creates an entry with a count of one, as the handler does when a new
+    /// key enters the hash table.
+    #[must_use]
+    pub fn once(sample: Sample) -> SampleEntry {
+        SampleEntry { sample, count: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_next_advances_one_word() {
+        assert_eq!(Addr(0x9810).next(), Addr(0x9814));
+    }
+
+    #[test]
+    fn addr_offset_insns_handles_negative() {
+        assert_eq!(Addr(0x100).offset_insns(-2), Addr(0xf8));
+        assert_eq!(Addr(0x100).offset_insns(3), Addr(0x10c));
+    }
+
+    #[test]
+    fn addr_line_uses_line_size() {
+        assert_eq!(Addr(0).line(64), 0);
+        assert_eq!(Addr(63).line(64), 0);
+        assert_eq!(Addr(64).line(64), 1);
+        assert_eq!(Addr(130).line(64), 2);
+    }
+
+    #[test]
+    fn addr_page_uses_page_size() {
+        assert_eq!(Addr(8191).page(8192), 0);
+        assert_eq!(Addr(8192).page(8192), 1);
+    }
+
+    #[test]
+    fn event_code_roundtrip() {
+        for ev in Event::ALL {
+            assert_eq!(Event::from_code(ev.code()), Some(ev));
+        }
+        assert_eq!(Event::from_code(200), None);
+    }
+
+    #[test]
+    fn event_names_are_distinct() {
+        let mut names: Vec<_> = Event::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Event::ALL.len());
+    }
+
+    #[test]
+    fn sample_entry_once_has_count_one() {
+        let s = Sample {
+            pid: Pid(7),
+            pc: Addr(0x1000),
+            event: Event::Cycles,
+        };
+        assert_eq!(SampleEntry::once(s).count, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Pid(3)), "pid:3");
+        assert_eq!(format!("{}", CpuId(1)), "cpu:1");
+        assert_eq!(format!("{}", Addr(0x9810)), "009810");
+        assert_eq!(format!("{}", Event::IMiss), "imiss");
+    }
+}

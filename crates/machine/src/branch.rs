@@ -1,0 +1,150 @@
+//! Branch prediction: a table of 2-bit saturating counters for conditional
+//! branches plus a last-target buffer for indirect jumps. Unconditional
+//! direct branches are free (their targets are known at fetch).
+
+use dcpi_core::Addr;
+
+/// The branch predictor state for one CPU.
+#[derive(Clone, Debug)]
+pub struct BranchPredictor {
+    counters: Vec<u8>, // 2-bit saturating, indexed by PC
+    btb: Vec<Option<u64>>,
+    mispredicts: u64,
+    predictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `entries` counter/BTB slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> BranchPredictor {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        BranchPredictor {
+            // Initialize weakly-taken: loops predict well from the start.
+            counters: vec![2; entries],
+            btb: vec![None; entries],
+            mispredicts: 0,
+            predictions: 0,
+        }
+    }
+
+    fn slot(&self, pc: Addr) -> usize {
+        ((pc.0 >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Records the outcome of a conditional branch and reports whether it
+    /// was mispredicted.
+    pub fn cond_branch(&mut self, pc: Addr, taken: bool) -> bool {
+        let slot = self.slot(pc);
+        let ctr = &mut self.counters[slot];
+        let predicted_taken = *ctr >= 2;
+        if taken && *ctr < 3 {
+            *ctr += 1;
+        } else if !taken && *ctr > 0 {
+            *ctr -= 1;
+        }
+        self.predictions += 1;
+        let wrong = predicted_taken != taken;
+        if wrong {
+            self.mispredicts += 1;
+        }
+        wrong
+    }
+
+    /// Records an indirect jump to `target` and reports whether the
+    /// last-target prediction was wrong.
+    pub fn indirect(&mut self, pc: Addr, target: Addr) -> bool {
+        let slot = self.slot(pc);
+        self.predictions += 1;
+        let wrong = self.btb[slot] != Some(target.0);
+        self.btb[slot] = Some(target.0);
+        if wrong {
+            self.mispredicts += 1;
+        }
+        wrong
+    }
+
+    /// Total mispredictions.
+    #[must_use]
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Total predictions made.
+    #[must_use]
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_branch_predicts_well_after_warmup() {
+        let mut bp = BranchPredictor::new(256);
+        let pc = Addr(0x1000);
+        let mut wrong = 0;
+        for _ in 0..100 {
+            if bp.cond_branch(pc, true) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 1, "taken loop should mispredict at most once");
+    }
+
+    #[test]
+    fn alternating_branch_mispredicts_often() {
+        let mut bp = BranchPredictor::new(256);
+        let pc = Addr(0x1000);
+        let mut wrong = 0;
+        for i in 0..100 {
+            if bp.cond_branch(pc, i % 2 == 0) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong >= 40, "2-bit counters can't learn alternation");
+    }
+
+    #[test]
+    fn two_bit_hysteresis() {
+        let mut bp = BranchPredictor::new(16);
+        let pc = Addr(0x40);
+        // Saturate to strongly-taken.
+        for _ in 0..4 {
+            let _ = bp.cond_branch(pc, true);
+        }
+        // One not-taken blip mispredicts but doesn't flip the prediction.
+        assert!(bp.cond_branch(pc, false));
+        assert!(!bp.cond_branch(pc, true), "still predicts taken");
+    }
+
+    #[test]
+    fn indirect_last_target() {
+        let mut bp = BranchPredictor::new(16);
+        let pc = Addr(0x80);
+        assert!(bp.indirect(pc, Addr(0x2000)), "cold BTB misses");
+        assert!(!bp.indirect(pc, Addr(0x2000)));
+        assert!(bp.indirect(pc, Addr(0x3000)), "target changed");
+        assert!(!bp.indirect(pc, Addr(0x3000)));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut bp = BranchPredictor::new(16);
+        let _ = bp.cond_branch(Addr(0), true);
+        let _ = bp.indirect(Addr(4), Addr(8));
+        assert_eq!(bp.predictions(), 2);
+        assert!(bp.mispredicts() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = BranchPredictor::new(100);
+    }
+}

@@ -1,0 +1,132 @@
+//! Machine configuration.
+
+use crate::counters::CounterConfig;
+use dcpi_isa::pipeline::PipelineModel;
+
+/// Geometry of one cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+/// Full configuration of the simulated machine.
+///
+/// Defaults approximate the paper's AlphaStation 500 5/333: 8KB
+/// direct-mapped split L1 caches, a 2MB direct-mapped board cache (whose
+/// physical indexing produces the wave5 conflict-miss variance of §3.3),
+/// 64-entry TLBs, 8KB pages, and a six-cycle interrupt skid.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub cpus: usize,
+    /// The shared pipeline timing model.
+    pub model: PipelineModel,
+    /// L1 instruction cache geometry.
+    pub icache: CacheGeom,
+    /// L1 data cache geometry.
+    pub dcache: CacheGeom,
+    /// Unified board cache geometry (per CPU).
+    pub bcache: CacheGeom,
+    /// Instruction TLB entries.
+    pub itb_entries: usize,
+    /// Data TLB entries.
+    pub dtb_entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Branch predictor table entries (power of two).
+    pub bp_entries: usize,
+    /// Performance counter configuration.
+    pub counters: CounterConfig,
+    /// Scheduler timeslice in cycles.
+    pub timeslice: u64,
+    /// Cycles charged for a context switch (pipeline drain + kernel work).
+    pub ctx_switch_cost: u64,
+    /// Master seed for sampling-period randomization and page placement.
+    pub seed: u32,
+    /// If true, physical pages are assigned pseudo-randomly on first
+    /// touch, so board-cache conflicts vary run to run (the wave5 effect);
+    /// if false, pages are assigned sequentially (reproducible layout).
+    pub page_alloc_random: bool,
+    /// Record exact retirement counts (the pixie/dcpix role). Slightly
+    /// slows simulation.
+    pub ground_truth: bool,
+    /// Double sampling (§7): every N-th delivered sample also captures
+    /// the next PC executed, yielding `(pc1, pc2)` path samples. 0
+    /// disables.
+    pub double_sample_every: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            cpus: 1,
+            model: PipelineModel::default(),
+            icache: CacheGeom {
+                size: 8 * 1024,
+                line: 32,
+                ways: 1,
+            },
+            dcache: CacheGeom {
+                size: 8 * 1024,
+                line: 32,
+                ways: 1,
+            },
+            bcache: CacheGeom {
+                size: 2 * 1024 * 1024,
+                line: 64,
+                ways: 1,
+            },
+            itb_entries: 48,
+            dtb_entries: 64,
+            page_bytes: 8192,
+            bp_entries: 2048,
+            counters: CounterConfig::default_config((60 * 1024, 64 * 1024)),
+            timeslice: 500_000,
+            ctx_switch_cost: 2_000,
+            seed: 1,
+            page_alloc_random: false,
+            ground_truth: true,
+            double_sample_every: 0,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A config with the given counter setup, other fields default.
+    #[must_use]
+    pub fn with_counters(counters: CounterConfig) -> MachineConfig {
+        MachineConfig {
+            counters,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::Event;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = MachineConfig::default();
+        assert_eq!(c.model.interrupt_skid, 6);
+        assert_eq!(c.model.write_buffer_entries, 6);
+        assert_eq!(c.page_bytes, 8192);
+        assert!(c.counters.groups[0].contains(&Event::Cycles));
+        assert!(c.counters.groups[0].contains(&Event::IMiss));
+        assert_eq!(c.counters.period, (61_440, 65_536));
+    }
+
+    #[test]
+    fn with_counters_overrides_only_counters() {
+        let c = MachineConfig::with_counters(crate::counters::CounterConfig::off());
+        assert!(!c.counters.enabled());
+        assert_eq!(c.cpus, 1);
+    }
+}

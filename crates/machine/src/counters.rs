@@ -1,0 +1,312 @@
+//! Per-CPU performance counters (§4.1).
+//!
+//! Each monitored event has a countdown initialized from a randomized
+//! sampling period (uniform in a configured range, drawn from the Carta
+//! minimal-standard generator exactly as the paper's driver does at the
+//! end of each interrupt, §4.1.1). When a countdown reaches zero the
+//! counter *overflows*; the CPU model delivers the interrupt
+//! `interrupt_skid` cycles later with the PC at the head of the issue
+//! queue.
+//!
+//! Only a limited number of events can be monitored simultaneously (2 on
+//! the 21064, 3 on the 21164); [`CounterSet`] supports time-multiplexing
+//! among event groups at a fine grain for the paper's `mux` configuration.
+
+use dcpi_core::prng::CartaRng;
+use dcpi_core::Event;
+
+/// Counter configuration: which events to monitor and how often to sample.
+#[derive(Clone, Debug)]
+pub struct CounterConfig {
+    /// Multiplex groups. The set rotates through these; each group is the
+    /// set of simultaneously monitored events (hardware allows at most a
+    /// few). A single group means no multiplexing.
+    pub groups: Vec<Vec<Event>>,
+    /// Sampling period range `[lo, hi]`, drawn uniformly per overflow.
+    pub period: (u64, u64),
+    /// Cycles between multiplex-group rotations.
+    pub mux_interval: u64,
+}
+
+impl CounterConfig {
+    /// The paper's `cycles` configuration: CYCLES only.
+    #[must_use]
+    pub fn cycles_only(period: (u64, u64)) -> CounterConfig {
+        CounterConfig {
+            groups: vec![vec![Event::Cycles]],
+            period,
+            mux_interval: u64::MAX,
+        }
+    }
+
+    /// The paper's `default` configuration: CYCLES and IMISS.
+    #[must_use]
+    pub fn default_config(period: (u64, u64)) -> CounterConfig {
+        CounterConfig {
+            groups: vec![vec![Event::Cycles, Event::IMiss]],
+            period,
+            mux_interval: u64::MAX,
+        }
+    }
+
+    /// The paper's `mux` configuration: CYCLES on one counter, the second
+    /// counter multiplexing IMISS, DMISS, and BRANCHMP.
+    #[must_use]
+    pub fn mux_config(period: (u64, u64), mux_interval: u64) -> CounterConfig {
+        CounterConfig {
+            groups: vec![
+                vec![Event::Cycles, Event::IMiss],
+                vec![Event::Cycles, Event::DMiss],
+                vec![Event::Cycles, Event::BranchMp],
+            ],
+            period,
+            mux_interval,
+        }
+    }
+
+    /// No monitoring at all (the paper's `base` configuration).
+    #[must_use]
+    pub fn off() -> CounterConfig {
+        CounterConfig {
+            groups: vec![Vec::new()],
+            period: (60 * 1024, 64 * 1024),
+            mux_interval: u64::MAX,
+        }
+    }
+
+    /// True if any group monitors any event.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.groups.iter().any(|g| !g.is_empty())
+    }
+}
+
+/// An overflow produced by a counter: which event, and at which cycle the
+/// overflow occurred (delivery happens `interrupt_skid` cycles later).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Overflow {
+    /// The overflowing counter's event.
+    pub event: Event,
+    /// Absolute cycle of the overflow.
+    pub at_cycle: u64,
+}
+
+/// The performance counters of one CPU.
+#[derive(Clone, Debug)]
+pub struct CounterSet {
+    config: CounterConfig,
+    rng: CartaRng,
+    group: usize,
+    next_rotate: u64,
+    /// Remaining event occurrences until overflow, per event code.
+    countdown: [u64; 6],
+    /// Absolute cycle at which the CYCLES counter next overflows
+    /// (`u64::MAX` when CYCLES is not monitored).
+    cycles_next: u64,
+    /// Total raw event occurrences per event code (for statistics).
+    totals: [u64; 6],
+}
+
+impl CounterSet {
+    /// Creates the counter set, with the first periods drawn from `seed`.
+    #[must_use]
+    pub fn new(config: CounterConfig, seed: u32, start_cycle: u64) -> CounterSet {
+        let mut rng = CartaRng::new(seed);
+        let mut countdown = [u64::MAX; 6];
+        for ev in Event::ALL {
+            countdown[ev.code() as usize] = rng.uniform(config.period.0, config.period.1);
+        }
+        let mut set = CounterSet {
+            next_rotate: start_cycle.saturating_add(config.mux_interval),
+            config,
+            rng,
+            group: 0,
+            countdown,
+            cycles_next: u64::MAX,
+            totals: [0; 6],
+        };
+        set.reset_cycles_next(start_cycle);
+        set
+    }
+
+    fn reset_cycles_next(&mut self, now: u64) {
+        self.cycles_next = if self.monitored(Event::Cycles) {
+            now + self.draw_period()
+        } else {
+            u64::MAX
+        };
+    }
+
+    fn draw_period(&mut self) -> u64 {
+        self.rng.uniform(self.config.period.0, self.config.period.1)
+    }
+
+    /// True if `event` is monitored by the currently active group.
+    #[must_use]
+    pub fn monitored(&self, event: Event) -> bool {
+        self.config.groups[self.group].contains(&event)
+    }
+
+    /// The currently active multiplex group index.
+    #[must_use]
+    pub fn active_group(&self) -> usize {
+        self.group
+    }
+
+    /// Advances the cycle counter to `now`, collecting any CYCLES
+    /// overflows that occurred in `(prev, now]` and applying multiplex
+    /// rotations.
+    pub fn advance_cycles(&mut self, now: u64, out: &mut Vec<Overflow>) {
+        while now >= self.next_rotate {
+            let at = self.next_rotate;
+            self.group = (self.group + 1) % self.config.groups.len();
+            self.next_rotate = at.saturating_add(self.config.mux_interval);
+        }
+        while self.cycles_next <= now {
+            let at = self.cycles_next;
+            self.totals[Event::Cycles.code() as usize] += 1;
+            out.push(Overflow {
+                event: Event::Cycles,
+                at_cycle: at,
+            });
+            let p = self.draw_period();
+            self.cycles_next = at + p;
+        }
+    }
+
+    /// Records one occurrence of a discrete event at `cycle`, returning an
+    /// overflow if the counter wrapped. Unmonitored events are counted in
+    /// totals but never overflow (the hardware counts only monitored
+    /// events; totals are simulator-side statistics).
+    pub fn count(&mut self, event: Event, cycle: u64) -> Option<Overflow> {
+        debug_assert!(event != Event::Cycles, "CYCLES advances via cycles");
+        self.totals[event.code() as usize] += 1;
+        if !self.monitored(event) {
+            return None;
+        }
+        let idx = event.code() as usize;
+        self.countdown[idx] -= 1;
+        if self.countdown[idx] == 0 {
+            self.countdown[idx] = self.draw_period();
+            return Some(Overflow {
+                event,
+                at_cycle: cycle,
+            });
+        }
+        None
+    }
+
+    /// Raw occurrence totals per event (simulator statistics, not the
+    /// hardware-visible counter values).
+    #[must_use]
+    pub fn total(&self, event: Event) -> u64 {
+        self.totals[event.code() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_overflows_at_randomized_periods() {
+        let cfg = CounterConfig::cycles_only((100, 200));
+        let mut set = CounterSet::new(cfg, 1, 0);
+        let mut out = Vec::new();
+        set.advance_cycles(10_000, &mut out);
+        assert!(!out.is_empty());
+        // Inter-overflow gaps must lie within the period range.
+        let mut prev = 0;
+        for o in &out {
+            assert_eq!(o.event, Event::Cycles);
+            let gap = o.at_cycle - prev;
+            assert!((100..=200).contains(&gap), "gap {gap}");
+            prev = o.at_cycle;
+        }
+        // Roughly 10_000/150 overflows expected.
+        assert!(out.len() >= 50 && out.len() <= 100, "{}", out.len());
+    }
+
+    #[test]
+    fn discrete_event_overflow() {
+        let cfg = CounterConfig::default_config((10, 10));
+        let mut set = CounterSet::new(cfg, 7, 0);
+        let mut overflows = 0;
+        for i in 0..100 {
+            if set.count(Event::IMiss, i).is_some() {
+                overflows += 1;
+            }
+        }
+        assert_eq!(overflows, 10, "period 10, 100 events");
+        assert_eq!(set.total(Event::IMiss), 100);
+    }
+
+    #[test]
+    fn unmonitored_event_never_overflows() {
+        let cfg = CounterConfig::cycles_only((10, 10));
+        let mut set = CounterSet::new(cfg, 7, 0);
+        for i in 0..1000 {
+            assert!(set.count(Event::DMiss, i).is_none());
+        }
+        assert_eq!(set.total(Event::DMiss), 1000);
+    }
+
+    #[test]
+    fn mux_rotates_groups() {
+        let cfg = CounterConfig::mux_config((100, 100), 1000);
+        let mut set = CounterSet::new(cfg, 3, 0);
+        assert!(set.monitored(Event::IMiss));
+        assert!(!set.monitored(Event::DMiss));
+        let mut out = Vec::new();
+        set.advance_cycles(1000, &mut out);
+        assert_eq!(set.active_group(), 1);
+        assert!(set.monitored(Event::DMiss));
+        assert!(!set.monitored(Event::IMiss));
+        set.advance_cycles(2000, &mut out);
+        assert!(set.monitored(Event::BranchMp));
+        set.advance_cycles(3000, &mut out);
+        assert_eq!(set.active_group(), 0, "wraps around");
+    }
+
+    #[test]
+    fn cycles_monitored_in_every_mux_group() {
+        let cfg = CounterConfig::mux_config((100, 100), 50);
+        let mut set = CounterSet::new(cfg, 3, 0);
+        let mut out = Vec::new();
+        set.advance_cycles(10_000, &mut out);
+        // CYCLES overflows keep coming across rotations.
+        assert!(out.len() >= 90, "{}", out.len());
+    }
+
+    #[test]
+    fn off_config_produces_nothing() {
+        let cfg = CounterConfig::off();
+        assert!(!cfg.enabled());
+        let mut set = CounterSet::new(cfg, 3, 0);
+        let mut out = Vec::new();
+        set.advance_cycles(1_000_000, &mut out);
+        assert!(out.is_empty());
+        assert!(set.count(Event::IMiss, 5).is_none());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mk = || {
+            let mut s = CounterSet::new(CounterConfig::cycles_only((60, 100)), 42, 0);
+            let mut out = Vec::new();
+            s.advance_cycles(100_000, &mut out);
+            out
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn advance_from_nonzero_start() {
+        let cfg = CounterConfig::cycles_only((100, 100));
+        let mut set = CounterSet::new(cfg, 9, 5000);
+        let mut out = Vec::new();
+        set.advance_cycles(5200, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].at_cycle, 5100);
+    }
+}

@@ -1,0 +1,786 @@
+//! The per-CPU cycle-level timing core.
+//!
+//! The simulator advances one *issue group* (one or two instructions) at a
+//! time rather than one cycle at a time, which is exact for an in-order
+//! machine where all stalls happen at the head of the issue queue: the
+//! head instruction's issue cycle is the maximum of its constraints, and
+//! everything between the previous issue and its own is, by definition,
+//! time it spent at the head (§4.1.2). Performance-counter overflows are
+//! resolved against these head intervals, so a CYCLES sample lands on
+//! exactly the instruction that was at the head of the issue queue when
+//! the (skidded) interrupt was delivered — the property the paper's
+//! analysis depends on.
+
+use crate::branch::BranchPredictor;
+use crate::cache::{Cache, Probe};
+use crate::config::MachineConfig;
+use crate::counters::{CounterSet, Overflow};
+use crate::os::Os;
+use crate::proc::Process;
+use crate::stats::GroundTruth;
+use crate::tlb::Tlb;
+use dcpi_core::{Addr, CpuId, Event, ImageId, Pid, Sample};
+use dcpi_isa::insn::{Instruction, PalFunc, RegOrLit};
+use dcpi_isa::pipeline::{classify, pipes_compatible, InsnClass};
+use dcpi_isa::reg::Reg;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Cycles charged for the kernel side of a `call_pal syscall`.
+const SYSCALL_COST: u64 = 600;
+
+/// Receives performance-counter overflow samples (the role of the device
+/// driver's interrupt handler). Returns the handler's cost in cycles,
+/// which the CPU model charges to the interrupted execution — this is how
+/// profiling overhead (Tables 3–4) arises in the simulation.
+pub trait SampleSink {
+    /// Called at interrupt delivery with the sampled context.
+    fn counter_overflow(&mut self, cpu: CpuId, sample: Sample, at_cycle: u64) -> u64;
+
+    /// Edge sample (the paper's §7 instruction-interpretation extension):
+    /// the sampled instruction is a conditional branch and the handler
+    /// interpreted it to learn whether it is about to be taken. Default:
+    /// ignored.
+    fn edge_sample(&mut self, cpu: CpuId, pid: Pid, pc: Addr, taken: bool) {
+        let _ = (cpu, pid, pc, taken);
+    }
+
+    /// Double sample (the paper's §7 second proposal): two PCs along an
+    /// execution path, captured by a second interrupt immediately after
+    /// the first. `pc2` is the next PC executed after `pc1`'s group —
+    /// for control transfers this resolves the dynamic target, including
+    /// indirect jumps. Default: ignored.
+    fn double_sample(&mut self, cpu: CpuId, pid: Pid, pc1: Addr, pc2: Addr) {
+        let _ = (cpu, pid, pc1, pc2);
+    }
+}
+
+/// A sink that drops samples at zero cost (the `base` configuration).
+#[derive(Debug, Default, Clone)]
+pub struct NullSink;
+
+impl SampleSink for NullSink {
+    fn counter_overflow(&mut self, _cpu: CpuId, _sample: Sample, _at_cycle: u64) -> u64 {
+        0
+    }
+}
+
+/// Why a step ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// An issue group retired.
+    Ran,
+    /// The process executed `call_pal halt`.
+    Halted,
+    /// The process yielded the CPU.
+    Yielded,
+    /// The PC left all mapped text (the process is killed).
+    Fault,
+    /// No process is installed.
+    NoProcess,
+}
+
+/// The running process plus a one-entry mapping cache for fast fetch.
+#[derive(Debug)]
+pub struct RunningProc {
+    /// The process being executed.
+    pub proc: Process,
+    cur_base: u64,
+    cur_end: u64,
+    cur_image: ImageId,
+    cur_insns: Arc<Vec<Instruction>>,
+}
+
+impl RunningProc {
+    fn new(proc: Process) -> RunningProc {
+        RunningProc {
+            proc,
+            cur_base: 1,
+            cur_end: 0,
+            cur_image: ImageId(u32::MAX),
+            cur_insns: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Resolves `pc` to `(image, word index within image)`, refreshing the
+    /// mapping cache from the OS if needed.
+    fn lookup(&mut self, os: &Os, pc: Addr) -> Option<(ImageId, u32)> {
+        if pc.0 < self.cur_base || pc.0 >= self.cur_end {
+            let m = self.proc.mapping_at(pc)?;
+            let li = os.image(m.image)?;
+            self.cur_base = m.base.0;
+            self.cur_end = m.base.0 + m.size;
+            self.cur_image = m.image;
+            self.cur_insns = Arc::clone(&li.insns);
+        }
+        Some((self.cur_image, ((pc.0 - self.cur_base) / 4) as u32))
+    }
+}
+
+/// All architectural and micro-architectural state of one processor.
+#[derive(Debug)]
+pub struct CpuState {
+    /// This CPU's id.
+    pub id: CpuId,
+    /// Time of the last issued group (absolute cycles).
+    pub prev_issue: u64,
+    /// The CPU is busy (interrupt handler, context switch, PAL) until
+    /// this cycle.
+    pub resume_at: u64,
+    /// Earliest cycle the next instruction can issue due to fetch
+    /// redirects (branch mispredictions).
+    pub fetch_ready: u64,
+    ready: [u64; Reg::COUNT],
+    imul_free: u64,
+    fdiv_free: u64,
+    wb: VecDeque<u64>,
+    /// L1 instruction cache.
+    pub icache: Cache,
+    /// L1 data cache.
+    pub dcache: Cache,
+    /// Unified board cache.
+    pub bcache: Cache,
+    /// Instruction TLB.
+    pub itb: Tlb,
+    /// Data TLB.
+    pub dtb: Tlb,
+    /// Branch predictor.
+    pub bp: BranchPredictor,
+    /// Performance counters.
+    pub counters: CounterSet,
+    pending: Vec<(u64, Event)>,
+    overflow_scratch: Vec<Overflow>,
+    /// Armed second-sample state: `(pid, pc1)` captured at the last
+    /// delivery, resolved against the next executed PC.
+    double_armed: Option<(Pid, Addr)>,
+    double_countdown: u32,
+    /// The installed process, if any.
+    pub current: Option<RunningProc>,
+    /// Cycle at which the current timeslice expires.
+    pub slice_end: u64,
+    /// Total samples delivered to the sink.
+    pub samples_taken: u64,
+    /// Total cycles consumed by the interrupt handler (profiling
+    /// overhead).
+    pub handler_cycles: u64,
+    /// Instructions retired.
+    pub insns_retired: u64,
+    /// Issue groups where two instructions dual-issued.
+    pub dual_issues: u64,
+}
+
+impl CpuState {
+    /// Builds a CPU from the machine configuration.
+    #[must_use]
+    pub fn new(id: CpuId, cfg: &MachineConfig) -> CpuState {
+        CpuState {
+            id,
+            prev_issue: 0,
+            resume_at: 0,
+            fetch_ready: 0,
+            ready: [0; Reg::COUNT],
+            imul_free: 0,
+            fdiv_free: 0,
+            wb: VecDeque::with_capacity(cfg.model.write_buffer_entries),
+            icache: Cache::new(cfg.icache.size, cfg.icache.line, cfg.icache.ways),
+            dcache: Cache::new(cfg.dcache.size, cfg.dcache.line, cfg.dcache.ways),
+            bcache: Cache::new(cfg.bcache.size, cfg.bcache.line, cfg.bcache.ways),
+            itb: Tlb::new(cfg.itb_entries),
+            dtb: Tlb::new(cfg.dtb_entries),
+            bp: BranchPredictor::new(cfg.bp_entries),
+            counters: CounterSet::new(
+                cfg.counters.clone(),
+                cfg.seed.wrapping_add(id.0).wrapping_mul(2654435761).max(1),
+                0,
+            ),
+            pending: Vec::new(),
+            overflow_scratch: Vec::new(),
+            double_armed: None,
+            double_countdown: cfg.double_sample_every,
+            current: None,
+            slice_end: 0,
+            samples_taken: 0,
+            handler_cycles: 0,
+            insns_retired: 0,
+            dual_issues: 0,
+        }
+    }
+
+    /// Current time: the later of the last issue and any busy period.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.prev_issue.max(self.resume_at)
+    }
+
+    /// Installs a process, charging the context-switch cost and flushing
+    /// the TLBs (caches stay warm, as on real hardware).
+    pub fn install(&mut self, proc: Process, cfg: &MachineConfig) {
+        debug_assert!(self.current.is_none(), "CPU already busy");
+        let now = self.now() + cfg.ctx_switch_cost;
+        self.resume_at = self.resume_at.max(now);
+        self.itb.flush();
+        self.dtb.flush();
+        let base = self.now();
+        self.ready = [base; Reg::COUNT];
+        self.imul_free = self.imul_free.max(base);
+        self.fdiv_free = self.fdiv_free.max(base);
+        self.fetch_ready = base;
+        self.slice_end = base + cfg.timeslice;
+        self.current = Some(RunningProc::new(proc));
+    }
+
+    /// Removes the current process (for rescheduling or exit).
+    pub fn deschedule(&mut self) -> Option<Process> {
+        self.current.take().map(|r| r.proc)
+    }
+
+    /// True once the timeslice has expired.
+    #[must_use]
+    pub fn slice_expired(&self) -> bool {
+        self.now() >= self.slice_end
+    }
+}
+
+/// What a control instruction decided.
+enum Next {
+    Seq,
+    Jump(Addr),
+    Halt,
+    Yield,
+    Syscall,
+}
+
+/// Executes one issue group on `cpu`. See module docs for the timing
+/// discipline.
+pub fn step<S: SampleSink>(
+    cpu: &mut CpuState,
+    os: &mut Os,
+    gt: &mut GroundTruth,
+    sink: &mut S,
+    cfg: &MachineConfig,
+) -> Outcome {
+    // Detach the running process so `cpu` and `run` can be borrowed
+    // independently by the helpers below.
+    let Some(mut run) = cpu.current.take() else {
+        return Outcome::NoProcess;
+    };
+    let outcome = step_inner(cpu, &mut run, os, gt, sink, cfg);
+    cpu.current = Some(run);
+    outcome
+}
+
+fn step_inner<S: SampleSink>(
+    cpu: &mut CpuState,
+    run: &mut RunningProc,
+    os: &mut Os,
+    gt: &mut GroundTruth,
+    sink: &mut S,
+    cfg: &MachineConfig,
+) -> Outcome {
+    let model = &cfg.model;
+    let pc = run.proc.pc;
+    // Resolve an armed double sample: this PC is the next one executed
+    // after the delivery that armed it (§7).
+    if let Some((dpid, pc1)) = cpu.double_armed.take() {
+        if dpid == run.proc.pid {
+            sink.double_sample(cpu.id, dpid, pc1, pc);
+        }
+    }
+    let Some((image, word)) = run.lookup(os, pc) else {
+        return Outcome::Fault;
+    };
+    let Some(&insn) = run.cur_insns.clone().get(word as usize) else {
+        return Outcome::Fault;
+    };
+    let class = classify(&insn);
+    let head_base0 = (cpu.prev_issue + 1).max(cpu.resume_at).max(cpu.fetch_ready);
+
+    // --- instruction fetch: ITB and I-cache -------------------------------
+    let mut fetch_pen = 0;
+    let ivpage = pc.0 / cfg.page_bytes;
+    if !cpu.itb.access(ivpage) {
+        fetch_pen += model.itb_miss_penalty;
+        if let Some(o) = cpu.counters.count(Event::ItbMiss, head_base0) {
+            cpu.overflow_scratch.push(o);
+        }
+    }
+    let ipaddr = os.translate(&mut run.proc, pc.0);
+    if cpu.icache.access(ipaddr) == Probe::Miss {
+        if let Some(o) = cpu.counters.count(Event::IMiss, head_base0) {
+            cpu.overflow_scratch.push(o);
+        }
+        fetch_pen += if cpu.bcache.access(ipaddr) == Probe::Hit {
+            model.icache_miss_penalty
+        } else {
+            model.icache_memory_penalty
+        };
+    }
+    let head_base = head_base0 + fetch_pen;
+
+    // --- senior issue time -------------------------------------------------
+    let mut issue = head_base;
+    for r in insn.reads() {
+        issue = issue.max(cpu.ready[r.index()]);
+    }
+    if let Some(w) = insn.writes() {
+        issue = issue.max(cpu.ready[w.index()]);
+    }
+    match class {
+        InsnClass::IntMul => issue = issue.max(cpu.imul_free),
+        InsnClass::FpDiv => issue = issue.max(cpu.fdiv_free),
+        _ => {}
+    }
+    // Memory timing for the senior.
+    if insn.is_memory() {
+        issue = mem_timing(cpu, os, &mut run.proc, &insn, issue, cfg, true);
+    }
+
+    // --- senior semantics ---------------------------------------------------
+    let next = exec_semantics(&mut run.proc, &insn, pc);
+    commit_result(cpu, &insn, class, issue, model);
+    if cfg.ground_truth {
+        gt.count_insn(image, word);
+    }
+    cpu.insns_retired += 1;
+
+    // Branch resolution, prediction, and ground-truth edges.
+    let mut new_pc = match &next {
+        Next::Seq | Next::Syscall => pc.next(),
+        Next::Jump(t) => *t,
+        Next::Halt | Next::Yield => pc.next(),
+    };
+    resolve_control(cpu, run, &insn, pc, &next, image, word, issue, cfg, gt);
+
+    // --- junior: aligned-pair dual issue ------------------------------------
+    let mut retired: u64 = 1;
+    if !insn.is_control()
+        && class != InsnClass::Pal
+        && (pc.0 / 4).is_multiple_of(2)
+        && new_pc == pc.next()
+    {
+        if let Some((jimage, jword)) = run.lookup(os, new_pc) {
+            if let Some(&junior) = run.cur_insns.clone().get(jword as usize) {
+                if try_pair(cpu, run, &insn, &junior, issue, cfg) {
+                    let jclass = classify(&junior);
+                    // Junior memory timing first (the effective address
+                    // uses pre-execution register values).
+                    if junior.is_memory() {
+                        let _ = mem_timing(cpu, os, &mut run.proc, &junior, issue, cfg, false);
+                    }
+                    let jnext = exec_semantics(&mut run.proc, &junior, new_pc);
+                    commit_result(cpu, &junior, jclass, issue, model);
+                    if cfg.ground_truth {
+                        gt.count_insn(jimage, jword);
+                    }
+                    cpu.insns_retired += 1;
+                    cpu.dual_issues += 1;
+                    retired = 2;
+                    let jpc = new_pc;
+                    new_pc = match &jnext {
+                        Next::Seq => jpc.next(),
+                        Next::Jump(t) => *t,
+                        _ => jpc.next(),
+                    };
+                    resolve_control(
+                        cpu, run, &junior, jpc, &jnext, jimage, jword, issue, cfg, gt,
+                    );
+                    debug_assert!(
+                        !matches!(jnext, Next::Halt | Next::Yield | Next::Syscall),
+                        "PAL never pairs"
+                    );
+                }
+            }
+        }
+    }
+    let _ = retired;
+    let pid = run.proc.pid;
+    run.proc.pc = new_pc;
+    // Edge-sample interpretation (§7): samples attributed to a
+    // conditional branch also learn its direction.
+    let senior_taken = match (&insn, &next) {
+        (Instruction::CondBr { .. }, Next::Jump(_)) => Some(true),
+        (Instruction::CondBr { .. }, _) => Some(false),
+        _ => None,
+    };
+
+    // --- counters and sampling ----------------------------------------------
+    let mut scratch = std::mem::take(&mut cpu.overflow_scratch);
+    cpu.counters.advance_cycles(issue, &mut scratch);
+    for o in scratch.drain(..) {
+        cpu.pending
+            .push((o.at_cycle + model.interrupt_skid, o.event));
+    }
+    cpu.overflow_scratch = scratch;
+    if !cpu.pending.is_empty() {
+        deliver_due(
+            cpu,
+            sink,
+            pc,
+            pid,
+            issue,
+            senior_taken,
+            cfg.double_sample_every,
+        );
+    }
+
+    cpu.prev_issue = issue;
+
+    match next {
+        Next::Halt => Outcome::Halted,
+        Next::Yield => Outcome::Yielded,
+        Next::Syscall => {
+            cpu.resume_at = cpu.resume_at.max(issue) + SYSCALL_COST;
+            Outcome::Ran
+        }
+        _ => Outcome::Ran,
+    }
+}
+
+/// Delivers pending interrupts due by `issue`, attributing the sample to
+/// the instruction currently at the head of the issue queue (`head_pc`).
+#[allow(clippy::too_many_arguments)]
+fn deliver_due<S: SampleSink>(
+    cpu: &mut CpuState,
+    sink: &mut S,
+    head_pc: Addr,
+    pid: Pid,
+    issue: u64,
+    head_taken: Option<bool>,
+    double_every: u32,
+) {
+    let mut i = 0;
+    while i < cpu.pending.len() {
+        let (deliver_at, event) = cpu.pending[i];
+        if deliver_at <= issue {
+            cpu.pending.swap_remove(i);
+            let sample = Sample {
+                pid,
+                pc: head_pc,
+                event,
+            };
+            let cost = sink.counter_overflow(cpu.id, sample, deliver_at);
+            if let Some(taken) = head_taken {
+                sink.edge_sample(cpu.id, pid, head_pc, taken);
+            }
+            if double_every > 0 {
+                cpu.double_countdown = cpu.double_countdown.saturating_sub(1);
+                if cpu.double_countdown == 0 {
+                    cpu.double_countdown = double_every;
+                    // The second interrupt fires as soon as the handler
+                    // returns; the next executed PC closes the pair.
+                    cpu.double_armed = Some((pid, head_pc));
+                }
+            }
+            cpu.samples_taken += 1;
+            cpu.handler_cycles += cost;
+            cpu.resume_at = cpu.resume_at.max(issue) + cost;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Computes a memory instruction's timing: DTB, D-cache/board-cache, and
+/// write-buffer effects. Returns the (possibly delayed) issue cycle for
+/// seniors; for juniors (`is_senior == false`) the issue cycle is fixed
+/// and only latencies/events apply.
+fn mem_timing(
+    cpu: &mut CpuState,
+    os: &mut Os,
+    proc: &mut Process,
+    insn: &Instruction,
+    mut issue: u64,
+    cfg: &MachineConfig,
+    is_senior: bool,
+) -> u64 {
+    let model = &cfg.model;
+    let vaddr = mem_vaddr(proc, insn);
+    let vpage = vaddr / cfg.page_bytes;
+    if !cpu.dtb.access(vpage) {
+        if let Some(o) = cpu.counters.count(Event::DtbMiss, issue) {
+            cpu.overflow_scratch.push(o);
+        }
+        if is_senior {
+            // The fill trap stalls the pipeline at this instruction.
+            issue += model.dtb_miss_penalty;
+        }
+    }
+    let paddr = os.translate(proc, vaddr);
+    if insn.is_load() {
+        let extra = if cpu.dcache.access(paddr) == Probe::Miss {
+            if let Some(o) = cpu.counters.count(Event::DMiss, issue) {
+                cpu.overflow_scratch.push(o);
+            }
+            if cpu.bcache.access(paddr) == Probe::Hit {
+                model.bcache_latency
+            } else {
+                model.memory_latency
+            }
+        } else {
+            0
+        };
+        if let Some(w) = insn.writes() {
+            // Loads commit their latency here; `commit_result` will not
+            // override a later ready time.
+            cpu.ready[w.index()] = issue + model.load_latency + extra;
+        }
+    } else {
+        // Store: consume a write-buffer entry; stall on overflow.
+        while cpu.wb.front().is_some_and(|&t| t <= issue) {
+            cpu.wb.pop_front();
+        }
+        if cpu.wb.len() >= model.write_buffer_entries {
+            let head = cpu.wb.pop_front().expect("nonempty buffer");
+            if is_senior {
+                issue = issue.max(head);
+            }
+        }
+        let retire_base = cpu.wb.back().copied().unwrap_or(issue).max(issue);
+        cpu.wb.push_back(retire_base + model.write_retire_cycles);
+    }
+    issue
+}
+
+fn mem_vaddr(proc: &Process, insn: &Instruction) -> u64 {
+    match *insn {
+        Instruction::Ldq { rb, disp, .. }
+        | Instruction::Ldl { rb, disp, .. }
+        | Instruction::Ldt { rb, disp, .. }
+        | Instruction::Stq { rb, disp, .. }
+        | Instruction::Stl { rb, disp, .. }
+        | Instruction::Stt { rb, disp, .. } => proc.reg(rb).wrapping_add(disp as i64 as u64),
+        _ => unreachable!("not a memory instruction"),
+    }
+}
+
+/// Records the senior's (or junior's) register-result timing and unit
+/// occupancy.
+fn commit_result(
+    cpu: &mut CpuState,
+    insn: &Instruction,
+    class: InsnClass,
+    issue: u64,
+    model: &dcpi_isa::pipeline::PipelineModel,
+) {
+    if !insn.is_load() {
+        if let Some(w) = insn.writes() {
+            let lat = model.result_latency(class).unwrap_or(1);
+            cpu.ready[w.index()] = issue + lat;
+        }
+    }
+    match class {
+        InsnClass::IntMul => cpu.imul_free = issue + model.imul_busy,
+        InsnClass::FpDiv => cpu.fdiv_free = issue + model.fdiv_busy,
+        _ => {}
+    }
+}
+
+/// Decides whether `junior` can dual-issue with `senior` at `issue`.
+fn try_pair(
+    cpu: &CpuState,
+    run: &RunningProc,
+    senior: &Instruction,
+    junior: &Instruction,
+    issue: u64,
+    cfg: &MachineConfig,
+) -> bool {
+    let jclass = classify(junior);
+    let sclass = classify(senior);
+    if !pipes_compatible(sclass, jclass) {
+        return false;
+    }
+    // Same-cycle data conflicts with the senior.
+    if let Some(w) = senior.writes() {
+        if junior.reads().contains(&w) || junior.writes() == Some(w) {
+            return false;
+        }
+    }
+    // Junior operands and destination must be ready.
+    if junior.reads().iter().any(|r| cpu.ready[r.index()] > issue) {
+        return false;
+    }
+    if let Some(w) = junior.writes() {
+        if cpu.ready[w.index()] > issue {
+            return false;
+        }
+    }
+    match jclass {
+        InsnClass::IntMul if cpu.imul_free > issue => return false,
+        InsnClass::FpDiv if cpu.fdiv_free > issue => return false,
+        _ => {}
+    }
+    // Junior must already be fetchable without a miss (side-effect-free
+    // peeks; if it would miss, it issues alone next step and pays there).
+    let jpc = run.proc.pc.next();
+    let jvpage = jpc.0 / cfg.page_bytes;
+    if !cpu.itb.peek(jvpage) {
+        return false;
+    }
+    if let Some(&ppage) = run.proc.page_table.get(&jvpage) {
+        let jpaddr = ppage * cfg.page_bytes + jpc.0 % cfg.page_bytes;
+        if !cpu.icache.peek(jpaddr) {
+            return false;
+        }
+    } else {
+        return false;
+    }
+    // Junior memory preconditions.
+    if junior.is_memory() {
+        let vaddr = mem_vaddr(&run.proc, junior);
+        if !cpu.dtb.peek(vaddr / cfg.page_bytes) {
+            return false;
+        }
+        if junior.is_store() {
+            let occupied = cpu.wb.iter().filter(|&&t| t > issue).count();
+            if occupied >= cfg.model.write_buffer_entries {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Applies branch prediction effects and records ground-truth edges for a
+/// control instruction.
+#[allow(clippy::too_many_arguments)]
+fn resolve_control(
+    cpu: &mut CpuState,
+    run: &RunningProc,
+    insn: &Instruction,
+    pc: Addr,
+    next: &Next,
+    image: ImageId,
+    word: u32,
+    issue: u64,
+    cfg: &MachineConfig,
+    gt: &mut GroundTruth,
+) {
+    let model = &cfg.model;
+    match insn {
+        Instruction::CondBr { .. } => {
+            let taken = matches!(next, Next::Jump(_));
+            if cpu.bp.cond_branch(pc, taken) {
+                if let Some(o) = cpu.counters.count(Event::BranchMp, issue) {
+                    cpu.overflow_scratch.push(o);
+                }
+                cpu.fetch_ready = cpu.fetch_ready.max(issue + model.mispredict_penalty);
+            }
+            if cfg.ground_truth {
+                let target = match next {
+                    Next::Jump(t) => *t,
+                    _ => pc.next(),
+                };
+                record_edge(run, gt, image, word, target);
+            }
+        }
+        Instruction::Br { .. } if cfg.ground_truth => {
+            if let Next::Jump(t) = next {
+                record_edge(run, gt, image, word, *t);
+            }
+        }
+        Instruction::Jmp { .. } => {
+            if let Next::Jump(t) = next {
+                if cpu.bp.indirect(pc, *t) {
+                    if let Some(o) = cpu.counters.count(Event::BranchMp, issue) {
+                        cpu.overflow_scratch.push(o);
+                    }
+                    cpu.fetch_ready = cpu.fetch_ready.max(issue + model.mispredict_penalty);
+                }
+                if cfg.ground_truth {
+                    record_edge(run, gt, image, word, *t);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Records a CFG edge if the target lies in the same image mapping.
+fn record_edge(run: &RunningProc, gt: &mut GroundTruth, image: ImageId, word: u32, target: Addr) {
+    if target.0 >= run.cur_base && target.0 < run.cur_end {
+        gt.count_edge(image, word, ((target.0 - run.cur_base) / 4) as u32);
+    }
+}
+
+/// Executes an instruction's architectural semantics and reports the
+/// control decision.
+fn exec_semantics(proc: &mut Process, insn: &Instruction, pc: Addr) -> Next {
+    match *insn {
+        Instruction::Lda { ra, rb, disp } => {
+            let v = proc.reg(rb).wrapping_add(disp as i64 as u64);
+            proc.set_reg(ra, v);
+            Next::Seq
+        }
+        Instruction::Ldah { ra, rb, disp } => {
+            let v = proc.reg(rb).wrapping_add(((disp as i64) << 16) as u64);
+            proc.set_reg(ra, v);
+            Next::Seq
+        }
+        Instruction::Ldq { ra, rb, disp } => {
+            let v = proc.read_u64(proc.reg(rb).wrapping_add(disp as i64 as u64) & !7);
+            proc.set_reg(ra, v);
+            Next::Seq
+        }
+        Instruction::Ldl { ra, rb, disp } => {
+            let v = proc.read_u32_sext(proc.reg(rb).wrapping_add(disp as i64 as u64) & !3);
+            proc.set_reg(ra, v);
+            Next::Seq
+        }
+        Instruction::Ldt { fa, rb, disp } => {
+            let v = proc.read_u64(proc.reg(rb).wrapping_add(disp as i64 as u64) & !7);
+            proc.set_reg(fa, v);
+            Next::Seq
+        }
+        Instruction::Stq { ra, rb, disp } => {
+            let addr = proc.reg(rb).wrapping_add(disp as i64 as u64) & !7;
+            proc.write_u64(addr, proc.reg(ra));
+            Next::Seq
+        }
+        Instruction::Stl { ra, rb, disp } => {
+            let addr = proc.reg(rb).wrapping_add(disp as i64 as u64) & !3;
+            proc.write_u32(addr, proc.reg(ra) as u32);
+            Next::Seq
+        }
+        Instruction::Stt { fa, rb, disp } => {
+            let addr = proc.reg(rb).wrapping_add(disp as i64 as u64) & !7;
+            proc.write_u64(addr, proc.reg(fa));
+            Next::Seq
+        }
+        Instruction::IntOp { op, ra, rb, rc } => {
+            let b = match rb {
+                RegOrLit::Reg(r) => proc.reg(r),
+                RegOrLit::Lit(l) => u64::from(l),
+            };
+            let v = op.eval(proc.reg(ra), b);
+            proc.set_reg(rc, v);
+            Next::Seq
+        }
+        Instruction::FpOp { op, fa, fb, fc } => {
+            let v = op.eval(proc.reg(fa), proc.reg(fb));
+            proc.set_reg(fc, v);
+            Next::Seq
+        }
+        Instruction::CondBr { cond, ra, disp } => {
+            if cond.test(proc.reg(ra)) {
+                Next::Jump(pc.offset_insns(1 + i64::from(disp)))
+            } else {
+                Next::Seq
+            }
+        }
+        Instruction::Br { ra, disp } => {
+            proc.set_reg(ra, pc.next().0);
+            Next::Jump(pc.offset_insns(1 + i64::from(disp)))
+        }
+        Instruction::Jmp { ra, rb } => {
+            let target = proc.reg(rb) & !3;
+            proc.set_reg(ra, pc.next().0);
+            Next::Jump(Addr(target))
+        }
+        Instruction::CallPal { func } => match func {
+            PalFunc::Halt => Next::Halt,
+            PalFunc::Yield => Next::Yield,
+            PalFunc::Syscall => Next::Syscall,
+            PalFunc::Noop => Next::Seq,
+        },
+    }
+}

@@ -1,0 +1,45 @@
+//! The simulated hardware and miniature operating system DCPI-RS profiles.
+//!
+//! The paper ran on Alpha 21064/21164 systems under DIGITAL Unix; this
+//! crate is the substitute substrate: a cycle-level, in-order, dual-issue
+//! processor model with
+//!
+//! * split L1 I/D caches and a unified board cache (physically indexed, so
+//!   virtual-to-physical page assignment affects conflict misses — the
+//!   effect behind the paper's wave5 run-to-run variance, §3.3),
+//! * instruction and data translation buffers,
+//! * a branch predictor, a six-entry write buffer, and non-pipelined
+//!   IMUL/FDIV units,
+//! * per-CPU performance counters (CYCLES, IMISS, DMISS, BRANCHMP, TLB
+//!   misses) with randomized sampling periods and the 21164's six-cycle
+//!   interrupt skid delivering the PC at the head of the issue queue
+//!   (§4.1.1–4.1.2),
+//! * a miniature OS: processes, an image loader that emits the
+//!   notifications the daemon consumes (§4.3.2), and a round-robin
+//!   scheduler.
+//!
+//! Because instructions stall only at the head of the issue queue — the
+//! same contract the 21164 gave the paper's authors — the analysis
+//! subsystem's heuristics exercise exactly the code paths they were
+//! designed for.
+//!
+//! The simulator also retires exact per-instruction and per-edge execution
+//! counts ([`GroundTruth`]), playing the role of pixie/dcpix
+//! instrumentation when evaluating frequency estimates (§6.2).
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod cpu;
+pub mod machine;
+pub mod os;
+pub mod proc;
+pub mod stats;
+pub mod tlb;
+
+pub use config::MachineConfig;
+pub use machine::{Machine, NullSink, SampleSink};
+pub use os::{Os, OsEvent};
+pub use proc::Process;
+pub use stats::GroundTruth;

@@ -1,0 +1,165 @@
+//! Exact execution counts retired by the simulator.
+//!
+//! The paper evaluates its frequency estimates against execution counts
+//! measured by pixie-style binary instrumentation (dcpix, §6.2). Our
+//! simulator retires instructions anyway, so it records the same ground
+//! truth directly: per-instruction retirement counts and per-CFG-edge
+//! traversal counts, keyed by image and word index.
+
+use dcpi_core::ImageId;
+use std::collections::HashMap;
+
+/// Exact per-instruction and per-edge execution counts.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    insns: HashMap<ImageId, Vec<u64>>,
+    edges: HashMap<(ImageId, u32, u32), u64>,
+}
+
+impl GroundTruth {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> GroundTruth {
+        GroundTruth::default()
+    }
+
+    /// Registers an image so its count vector has the right size.
+    pub fn register_image(&mut self, image: ImageId, text_words: usize) {
+        self.insns
+            .entry(image)
+            .or_insert_with(|| vec![0; text_words]);
+    }
+
+    /// Records the retirement of the instruction at `word` in `image`.
+    #[inline]
+    pub fn count_insn(&mut self, image: ImageId, word: u32) {
+        if let Some(v) = self.insns.get_mut(&image) {
+            if let Some(c) = v.get_mut(word as usize) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Records a control-flow edge traversal from the instruction at
+    /// `from_word` to the instruction at `to_word` (taken branches, falls
+    /// through of conditional branches, and indirect jumps).
+    #[inline]
+    pub fn count_edge(&mut self, image: ImageId, from_word: u32, to_word: u32) {
+        *self.edges.entry((image, from_word, to_word)).or_insert(0) += 1;
+    }
+
+    /// Execution count of the instruction at byte `offset` in `image`.
+    #[must_use]
+    pub fn insn_count(&self, image: ImageId, offset: u64) -> u64 {
+        self.insns
+            .get(&image)
+            .and_then(|v| v.get((offset / 4) as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Traversal count of the edge between byte offsets `from` and `to`.
+    #[must_use]
+    pub fn edge_count(&self, image: ImageId, from: u64, to: u64) -> u64 {
+        self.edges
+            .get(&(image, (from / 4) as u32, (to / 4) as u32))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All recorded edges of an image as `(from_offset, to_offset, count)`.
+    #[must_use]
+    pub fn edges_of(&self, image: ImageId) -> Vec<(u64, u64, u64)> {
+        let mut out: Vec<_> = self
+            .edges
+            .iter()
+            .filter(|((img, _, _), _)| *img == image)
+            .map(|(&(_, f, t), &c)| (u64::from(f) * 4, u64::from(t) * 4, c))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total instructions retired across all images.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.insns.values().flatten().sum()
+    }
+
+    /// Merges another recorder's counts into this one (for aggregating
+    /// ground truth across repeated runs, as profiles are merged).
+    pub fn merge(&mut self, other: &GroundTruth) {
+        for (&image, counts) in &other.insns {
+            let mine = self
+                .insns
+                .entry(image)
+                .or_insert_with(|| vec![0; counts.len()]);
+            if mine.len() < counts.len() {
+                mine.resize(counts.len(), 0);
+            }
+            for (m, c) in mine.iter_mut().zip(counts) {
+                *m += c;
+            }
+        }
+        for (&key, &c) in &other.edges {
+            *self.edges.entry(key).or_insert(0) += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IMG: ImageId = ImageId(1);
+
+    #[test]
+    fn insn_counts_accumulate() {
+        let mut gt = GroundTruth::new();
+        gt.register_image(IMG, 4);
+        gt.count_insn(IMG, 0);
+        gt.count_insn(IMG, 0);
+        gt.count_insn(IMG, 3);
+        assert_eq!(gt.insn_count(IMG, 0), 2);
+        assert_eq!(gt.insn_count(IMG, 12), 1);
+        assert_eq!(gt.insn_count(IMG, 8), 0);
+        assert_eq!(gt.total_retired(), 3);
+    }
+
+    #[test]
+    fn unregistered_image_is_ignored() {
+        let mut gt = GroundTruth::new();
+        gt.count_insn(IMG, 0);
+        assert_eq!(gt.insn_count(IMG, 0), 0);
+    }
+
+    #[test]
+    fn out_of_range_word_is_ignored() {
+        let mut gt = GroundTruth::new();
+        gt.register_image(IMG, 2);
+        gt.count_insn(IMG, 99);
+        assert_eq!(gt.total_retired(), 0);
+    }
+
+    #[test]
+    fn edge_counts_by_byte_offset() {
+        let mut gt = GroundTruth::new();
+        gt.register_image(IMG, 8);
+        gt.count_edge(IMG, 3, 0);
+        gt.count_edge(IMG, 3, 0);
+        gt.count_edge(IMG, 3, 4);
+        assert_eq!(gt.edge_count(IMG, 12, 0), 2);
+        assert_eq!(gt.edge_count(IMG, 12, 16), 1);
+        assert_eq!(gt.edge_count(IMG, 0, 4), 0);
+        let edges = gt.edges_of(IMG);
+        assert_eq!(edges, vec![(12, 0, 2), (12, 16, 1)]);
+    }
+
+    #[test]
+    fn edges_of_filters_by_image() {
+        let mut gt = GroundTruth::new();
+        gt.count_edge(ImageId(1), 0, 1);
+        gt.count_edge(ImageId(2), 0, 1);
+        assert_eq!(gt.edges_of(ImageId(1)).len(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Translation buffers (ITB/DTB): small fully-associative virtual-page
+//! caches with LRU replacement, flushed on context switch.
+
+/// A fully-associative TLB over virtual page numbers.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<u64>, // virtual page numbers, MRU first
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a virtual page, filling on miss. Returns `true` on hit.
+    pub fn access(&mut self, vpage: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&p| p == vpage) {
+            self.entries[..=pos].rotate_right(1);
+            self.hits += 1;
+            return true;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, vpage);
+        self.misses += 1;
+        false
+    }
+
+    /// Probes without filling or updating statistics or LRU order (used
+    /// when testing whether an aligned-pair junior could issue without
+    /// perturbing state).
+    #[must_use]
+    pub fn peek(&self, vpage: u64) -> bool {
+        self.entries.contains(&vpage)
+    }
+
+    /// Flushes all translations (context switch).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Total hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(10));
+        assert!(t.access(10));
+        assert_eq!((t.hits(), t.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = Tlb::new(2);
+        assert!(!t.access(1));
+        assert!(!t.access(2));
+        assert!(t.access(1)); // 1 becomes MRU
+        assert!(!t.access(3)); // evicts 2
+        assert!(t.access(1));
+        assert!(!t.access(2), "2 was evicted");
+    }
+
+    #[test]
+    fn flush_forgets() {
+        let mut t = Tlb::new(4);
+        let _ = t.access(7);
+        t.flush();
+        assert!(!t.access(7));
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let mut t = Tlb::new(3);
+        for p in 0..10 {
+            let _ = t.access(p);
+        }
+        // Only the 3 most recent remain.
+        assert!(t.access(9));
+        assert!(t.access(8));
+        assert!(t.access(7));
+        assert!(!t.access(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0);
+    }
+}

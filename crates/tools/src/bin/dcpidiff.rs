@@ -1,0 +1,35 @@
+//! `dcpidiff <db-before> <db-after>` — per-procedure share changes
+//! between two profiles of the same program (§3's comparison tool).
+
+use dcpi_core::Event;
+use dcpi_tools::{dcpidiff, load_db, ImageRegistry};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(before), Some(after)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: dcpidiff <db-before> <db-after>");
+        std::process::exit(2);
+    };
+    let run = || -> Result<String, Box<dyn std::error::Error>> {
+        let b = load_db(before)?;
+        let a = load_db(after)?;
+        let mut registry = ImageRegistry::new();
+        for (id, img) in b.registry.iter().chain(a.registry.iter()) {
+            registry.insert(id, img.clone());
+        }
+        Ok(dcpidiff(
+            &b.profiles,
+            &a.profiles,
+            &registry,
+            Event::Cycles,
+            30,
+        ))
+    };
+    match run() {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("dcpidiff: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! `dcpiprof <db-dir> [--images] [--limit N]` — samples per procedure or
+//! per image, from an on-disk profile database (§3.1, Figure 1).
+
+use dcpi_core::Event;
+use dcpi_tools::{dcpiprof, dcpiprof_images, load_db};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: dcpiprof <db-dir> [--images] [--limit N]");
+        std::process::exit(2);
+    };
+    let by_image = args.iter().any(|a| a == "--images");
+    let limit = args
+        .iter()
+        .position(|a| a == "--limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    match load_db(dir) {
+        Ok(db) => {
+            let text = if by_image {
+                dcpiprof_images(&db.profiles, &db.registry, Event::IMiss, limit)
+            } else {
+                dcpiprof(&db.profiles, &db.registry, Event::IMiss, limit)
+            };
+            print!("{text}");
+        }
+        Err(e) => {
+            eprintln!("dcpiprof: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! `dcpistats <db-dir>...` — per-procedure variance across several
+//! database directories (one per run), sorted by normalized range
+//! (§3.3, Figure 3).
+
+use dcpi_core::Event;
+use dcpi_tools::{dcpistats, load_db, ImageRegistry};
+
+fn main() {
+    let dirs: Vec<String> = std::env::args().skip(1).collect();
+    if dirs.len() < 2 {
+        eprintln!("usage: dcpistats <db-dir> <db-dir> [more...]");
+        std::process::exit(2);
+    }
+    let mut sets = Vec::new();
+    let mut registry = ImageRegistry::new();
+    for dir in &dirs {
+        match load_db(dir) {
+            Ok(db) => {
+                for (id, img) in db.registry.iter() {
+                    registry.insert(id, img.clone());
+                }
+                sets.push(db.profiles);
+            }
+            Err(e) => {
+                eprintln!("dcpistats: {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    print!("{}", dcpistats(&sets, &registry, Event::Cycles, 30));
+}

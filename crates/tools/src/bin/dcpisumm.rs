@@ -1,0 +1,34 @@
+//! `dcpisumm <db-dir> <procedure>` — the Figure 4 cycle breakdown for one
+//! procedure, from an on-disk database.
+
+use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
+use dcpi_isa::pipeline::PipelineModel;
+use dcpi_tools::{dcpisumm, find_procedure, load_db};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(dir), Some(proc_name)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: dcpisumm <db-dir> <procedure>");
+        std::process::exit(2);
+    };
+    let run = || -> Result<String, Box<dyn std::error::Error>> {
+        let db = load_db(dir)?;
+        let (id, image, sym) = find_procedure(&db.registry, proc_name)?;
+        let pa = analyze_procedure(
+            &image,
+            &sym,
+            &db.profiles,
+            id,
+            &PipelineModel::default(),
+            &AnalysisOptions::default(),
+        )?;
+        Ok(dcpisumm(&pa))
+    };
+    match run() {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("dcpisumm: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Loading a profile database directory for the command-line tools: the
+//! merged profiles of all epochs plus an [`ImageRegistry`] built from the
+//! executables the daemon saved alongside (`<db>/images/*.img`).
+
+use crate::registry::ImageRegistry;
+use dcpi_core::codec::Format;
+use dcpi_core::db::ProfileDb;
+use dcpi_core::{Error, ImageId, ProfileSet, Result};
+use dcpi_isa::image::Image;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Everything a tool needs from one database directory.
+#[derive(Debug)]
+pub struct LoadedDb {
+    /// Merged profiles of every epoch.
+    pub profiles: ProfileSet,
+    /// Images saved by the daemon, for symbolization.
+    pub registry: ImageRegistry,
+}
+
+/// Loads `dir` (a daemon database directory).
+///
+/// # Errors
+///
+/// Returns an error if the database cannot be opened or a profile file is
+/// corrupt; unreadable image files are skipped (their samples fall back
+/// to hex-offset symbolization).
+pub fn load_db(dir: impl AsRef<Path>) -> Result<LoadedDb> {
+    let dir = dir.as_ref();
+    let db = ProfileDb::open(dir, Format::V2)?;
+    let profiles = db.read_all()?;
+    let mut registry = ImageRegistry::new();
+    let images_dir = dir.join("images");
+    if images_dir.exists() {
+        for entry in std::fs::read_dir(&images_dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(id) = name
+                .strip_suffix(".img")
+                .and_then(|h| u32::from_str_radix(h, 16).ok())
+            else {
+                continue;
+            };
+            let data = std::fs::read(entry.path())?;
+            match Image::from_bytes(&data) {
+                Ok(image) => registry.insert(ImageId(id), Arc::new(image)),
+                Err(e) => {
+                    eprintln!("warning: skipping {}: {e}", entry.path().display());
+                }
+            }
+        }
+    }
+    Ok(LoadedDb { profiles, registry })
+}
+
+/// Finds the image and symbol for a procedure name across a registry.
+///
+/// # Errors
+///
+/// Returns [`Error::NotFound`] if no saved image defines the procedure.
+pub fn find_procedure(
+    registry: &ImageRegistry,
+    name: &str,
+) -> Result<(ImageId, Arc<Image>, dcpi_isa::image::Symbol)> {
+    for (id, image) in registry.iter() {
+        if let Some(sym) = image.symbol_named(name) {
+            return Ok((id, Arc::clone(image), sym.clone()));
+        }
+    }
+    Err(Error::NotFound(format!("procedure {name}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::codec::Format;
+    use dcpi_core::{Event, ProfileKey};
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::reg::Reg;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("dcpi-dbload-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn sample_image() -> Image {
+        let mut a = Asm::new("/bin/app");
+        a.proc("hot");
+        a.addq_lit(Reg::T0, 1, Reg::T0);
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn load_db_with_saved_images() {
+        let dir = temp("ok");
+        let mut db = ProfileDb::create(&dir, Format::V2).unwrap();
+        let mut set = ProfileSet::new();
+        set.add(ImageId(3), Event::Cycles, 0, 42);
+        db.merge(&set).unwrap();
+        let img = sample_image();
+        std::fs::create_dir_all(dir.join("images")).unwrap();
+        std::fs::write(dir.join("images/00000003.img"), img.to_bytes()).unwrap();
+        let loaded = load_db(&dir).unwrap();
+        assert_eq!(loaded.profiles.event_total(Event::Cycles), 42);
+        assert_eq!(loaded.registry.name(ImageId(3)), "/bin/app");
+        assert_eq!(loaded.registry.proc_name(ImageId(3), 0), "hot");
+        let (id, _, sym) = find_procedure(&loaded.registry, "hot").unwrap();
+        assert_eq!(id, ImageId(3));
+        assert_eq!(sym.offset, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_image_files_are_skipped() {
+        let dir = temp("corrupt");
+        let mut db = ProfileDb::create(&dir, Format::V2).unwrap();
+        let mut set = ProfileSet::new();
+        set.insert(
+            ProfileKey {
+                image: ImageId(1),
+                event: Event::Cycles,
+            },
+            [(0u64, 1u64)].into_iter().collect(),
+        );
+        db.merge(&set).unwrap();
+        std::fs::create_dir_all(dir.join("images")).unwrap();
+        std::fs::write(dir.join("images/00000001.img"), b"garbage").unwrap();
+        std::fs::write(dir.join("images/not-an-image.txt"), b"x").unwrap();
+        let loaded = load_db(&dir).unwrap();
+        assert_eq!(loaded.registry.name(ImageId(1)), "?", "skipped");
+        assert_eq!(loaded.profiles.event_total(Event::Cycles), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_db_errors() {
+        assert!(load_db("/nonexistent/dcpi-db").is_err());
+        assert!(matches!(
+            find_procedure(&ImageRegistry::new(), "nope"),
+            Err(Error::NotFound(_))
+        ));
+    }
+}

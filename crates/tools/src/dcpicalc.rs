@@ -1,0 +1,225 @@
+//! dcpicalc: per-instruction CPI and stall bubbles (§3.2, Figure 2).
+//!
+//! Renders a procedure analysis as the paper's annotated listing: the
+//! best-case and actual CPI header, then each instruction with its sample
+//! count and average cycles, with *bubble* lines above stalled
+//! instructions naming the possible culprits (e.g. `dwD`) and the
+//! instructions that may have caused them.
+
+use dcpi_analyze::analysis::ProcAnalysis;
+use dcpi_analyze::culprit::DynamicCause;
+use dcpi_isa::pipeline::StaticCause;
+use std::fmt::Write as _;
+
+fn legend(cause: DynamicCause) -> &'static str {
+    match cause {
+        DynamicCause::ICacheMiss => "I-cache miss",
+        DynamicCause::ItbMiss => "ITB miss",
+        DynamicCause::DCacheMiss => "D-cache miss",
+        DynamicCause::DtbMiss => "DTB miss",
+        DynamicCause::WriteBuffer => "write-buffer overflow",
+        DynamicCause::BranchMispredict => "branch mispredict",
+        DynamicCause::ImulBusy => "IMUL busy",
+        DynamicCause::FdivBusy => "FDIV busy",
+        DynamicCause::Other => "PAL/other",
+        DynamicCause::Unexplained => "unexplained",
+    }
+}
+
+/// Renders the Figure 2 style listing for a procedure. `image_base` is
+/// the address at which the image is (nominally) loaded, used only for
+/// the printed addresses.
+#[must_use]
+pub fn dcpicalc(pa: &ProcAnalysis, image_base: u64) -> String {
+    let mut out = String::new();
+    let n = pa.insns.len().max(1);
+    let best = pa.best_case_cpi();
+    let actual = pa.actual_cpi();
+    let freq_sum: f64 = pa.insns.iter().map(|i| i.freq).sum();
+    let _ = writeln!(out, "*** Procedure {}", pa.name);
+    let _ = writeln!(
+        out,
+        "*** Best-case {:.0}/{:.0} = {:.2}CPI",
+        best * freq_sum.max(1.0),
+        freq_sum.max(1.0),
+        best
+    );
+    let _ = writeln!(
+        out,
+        "*** Actual    {:.0}/{:.0} = {:.2}CPI",
+        actual * freq_sum.max(1.0),
+        freq_sum.max(1.0),
+        actual
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>8}  {:<30} {:>9} {:>10}  Culprit",
+        "Addr", "Instruction", "Samples", "CPI"
+    );
+    let _ = n;
+    let mut seen_legend = std::collections::HashSet::new();
+    for ia in &pa.insns {
+        let addr = image_base + ia.offset;
+        // Bubble lines for dynamic culprits.
+        if !ia.culprits.is_empty() {
+            let letters: String = ia.culprits.iter().map(|c| c.cause.letter()).collect();
+            for c in &ia.culprits {
+                if seen_legend.insert(c.cause) {
+                    let _ = writeln!(
+                        out,
+                        "{:>51}  ({} = {})",
+                        letters,
+                        c.cause.letter(),
+                        legend(c.cause)
+                    );
+                }
+            }
+            let stall = ia.dynamic_stall();
+            if stall >= 0.05 {
+                let _ = writeln!(out, "{:>51}  ... {:.1}cy", letters, stall);
+            }
+        }
+        // Bubble lines for static slotting stalls.
+        for st in &ia.static_stalls {
+            if st.cause == StaticCause::Slotting {
+                if seen_legend.insert(DynamicCause::Unexplained) { /* separate space */ }
+                let _ = writeln!(out, "{:>51}  (s = slotting hazard)", "s");
+            }
+        }
+        // The instruction row.
+        let cpi_text = if ia.dual_with_prev && ia.samples == 0 {
+            "(dual issue)".to_string()
+        } else if ia.freq > 0.0 {
+            format!("{:.1}cy", ia.cpi)
+        } else if ia.samples == 0 {
+            String::new()
+        } else {
+            "?".to_string()
+        };
+        let culprit_addrs: Vec<String> = ia
+            .culprits
+            .iter()
+            .filter_map(|c| c.culprit_insn)
+            .map(|j| format!("{:x}", image_base + pa.start_offset + (j as u64) * 4))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:>08x}  {:<30} {:>9} {:>12}  {}",
+            addr,
+            ia.insn.to_string(),
+            ia.samples,
+            cpi_text,
+            culprit_addrs.join(" ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
+    use dcpi_core::{Event, ImageId, ProfileSet};
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::pipeline::PipelineModel;
+    use dcpi_isa::reg::Reg;
+
+    fn copy_analysis() -> ProcAnalysis {
+        use dcpi_isa::insn::{Instruction, IntOp, RegOrLit};
+        let mut a = Asm::new("/t");
+        a.proc("pad");
+        a.halt();
+        a.halt();
+        a.proc("copy");
+        let top = a.here();
+        a.ldq(Reg::T4, 0, Reg::T1);
+        a.addq_lit(Reg::T0, 4, Reg::T0);
+        a.ldq(Reg::T5, 8, Reg::T1);
+        a.ldq(Reg::T6, 16, Reg::T1);
+        a.ldq(Reg::A0, 24, Reg::T1);
+        a.lda(Reg::T1, 32, Reg::T1);
+        a.stq(Reg::T4, 0, Reg::T2);
+        a.emit(Instruction::IntOp {
+            op: IntOp::Cmpult,
+            ra: Reg::T0,
+            rb: RegOrLit::Reg(Reg::V0),
+            rc: Reg::T4,
+        });
+        a.stq(Reg::T5, 8, Reg::T2);
+        a.stq(Reg::T6, 16, Reg::T2);
+        a.stq(Reg::A0, 24, Reg::T2);
+        a.lda(Reg::T2, 32, Reg::T2);
+        a.bne(Reg::T4, top);
+        a.halt();
+        let image = a.finish();
+        let sym = image.symbol_named("copy").unwrap().clone();
+        let mut set = ProfileSet::new();
+        let counts = [
+            3126, 0, 1636, 390, 1482, 0, 27766, 0, 1493, 174_727, 1548, 0, 1586, 0,
+        ];
+        for (i, &c) in counts.iter().enumerate() {
+            set.add(ImageId(1), Event::Cycles, sym.offset + (i as u64) * 4, c);
+        }
+        analyze_procedure(
+            &image,
+            &sym,
+            &set,
+            ImageId(1),
+            &PipelineModel::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn output_contains_figure_2_elements() {
+        let pa = copy_analysis();
+        let text = dcpicalc(&pa, 0x9800);
+        assert!(text.contains("Best-case"), "{text}");
+        assert!(text.contains("0.62CPI"), "{text}");
+        assert!(text.contains("ldq t4, 0(t1)"));
+        assert!(text.contains("(dual issue)"));
+        assert!(text.contains("(d = D-cache miss)"));
+        assert!(text.contains("(w = write-buffer overflow)"));
+        assert!(text.contains("(D = DTB miss)"));
+        assert!(text.contains("(p = branch mispredict)"));
+        assert!(text.contains("(s = slotting hazard)"));
+    }
+
+    #[test]
+    fn addresses_use_image_base() {
+        let pa = copy_analysis();
+        let text = dcpicalc(&pa, 0x9808);
+        // pad is 2 words, so copy starts at 0x9808 + 8 = 0x9810.
+        assert!(text.contains("00009810"), "{text}");
+    }
+
+    #[test]
+    fn stall_duration_lines_present() {
+        let pa = copy_analysis();
+        let text = dcpicalc(&pa, 0);
+        // The 114.5cy class stall of stq t6 should appear (approximately),
+        // with the d/w/D letters of Figure 2 in its bubble.
+        let has_big_stall = text.lines().any(|l| {
+            l.contains("cy")
+                && l.contains("...")
+                && l.contains('d')
+                && l.contains('w')
+                && l.contains('D')
+        });
+        assert!(has_big_stall, "{text}");
+    }
+
+    #[test]
+    fn culprit_addresses_point_at_loads() {
+        let pa = copy_analysis();
+        let text = dcpicalc(&pa, 0x9808);
+        // stq t4's row should name the ldq's address 9810 as a culprit.
+        let stq_line = text
+            .lines()
+            .find(|l| l.contains("stq t4"))
+            .expect("stq row");
+        assert!(stq_line.contains("9810"), "{stq_line}");
+    }
+}

@@ -1,0 +1,176 @@
+//! dcpidiff: highlight the differences between two profiles of the same
+//! program (one of the auxiliary tools of §3).
+
+use crate::registry::ImageRegistry;
+use dcpi_core::{Event, ProfileSet};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One row of dcpidiff output.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Procedure name.
+    pub name: String,
+    /// Samples in the first profile.
+    pub before: u64,
+    /// Samples in the second profile.
+    pub after: u64,
+    /// `after/total_after - before/total_before` in percentage points.
+    pub delta_pp: f64,
+}
+
+/// Computes per-procedure share deltas between two profile sets.
+#[must_use]
+pub fn dcpidiff_rows(
+    before: &ProfileSet,
+    after: &ProfileSet,
+    registry: &ImageRegistry,
+    event: Event,
+) -> Vec<DiffRow> {
+    let collect = |set: &ProfileSet| -> HashMap<String, u64> {
+        let mut m = HashMap::new();
+        for (key, profile) in set.iter() {
+            if key.event != event {
+                continue;
+            }
+            for (off, count) in profile.iter() {
+                *m.entry(registry.proc_name(key.image, off)).or_insert(0) += count;
+            }
+        }
+        m
+    };
+    let b = collect(before);
+    let a = collect(after);
+    let tb: u64 = b.values().sum();
+    let ta: u64 = a.values().sum();
+    let mut names: Vec<String> = b.keys().chain(a.keys()).cloned().collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut rows: Vec<DiffRow> = names
+        .into_iter()
+        .map(|name| {
+            let x = b.get(&name).copied().unwrap_or(0);
+            let y = a.get(&name).copied().unwrap_or(0);
+            let pb = if tb > 0 {
+                x as f64 / tb as f64 * 100.0
+            } else {
+                0.0
+            };
+            let pa = if ta > 0 {
+                y as f64 / ta as f64 * 100.0
+            } else {
+                0.0
+            };
+            DiffRow {
+                name,
+                before: x,
+                after: y,
+                delta_pp: pa - pb,
+            }
+        })
+        .collect();
+    rows.sort_by(|p, q| {
+        q.delta_pp
+            .abs()
+            .partial_cmp(&p.delta_pp.abs())
+            .expect("finite")
+            .then(p.name.cmp(&q.name))
+    });
+    rows
+}
+
+/// Renders the diff report.
+#[must_use]
+pub fn dcpidiff(
+    before: &ProfileSet,
+    after: &ProfileSet,
+    registry: &ImageRegistry,
+    event: Event,
+    limit: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Differences in {event} sample shares (positive = grew in the second profile)"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>9}  procedure",
+        "before", "after", "Δshare"
+    );
+    for r in dcpidiff_rows(before, after, registry, event)
+        .iter()
+        .take(limit)
+    {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>+8.2}pp  {}",
+            r.before, r.after, r.delta_pp, r.name
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::ImageId;
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::reg::Reg;
+    use std::sync::Arc;
+
+    fn registry() -> ImageRegistry {
+        let mut a = Asm::new("/bin/app");
+        a.proc("hot");
+        for _ in 0..2 {
+            a.addq_lit(Reg::T0, 1, Reg::T0);
+        }
+        a.proc("cold");
+        for _ in 0..2 {
+            a.addq_lit(Reg::T0, 1, Reg::T0);
+        }
+        let mut r = ImageRegistry::new();
+        r.insert(ImageId(1), Arc::new(a.finish()));
+        r
+    }
+
+    #[test]
+    fn detects_share_shift() {
+        let mut before = ProfileSet::new();
+        before.add(ImageId(1), Event::Cycles, 0, 900);
+        before.add(ImageId(1), Event::Cycles, 8, 100);
+        let mut after = ProfileSet::new();
+        after.add(ImageId(1), Event::Cycles, 0, 500);
+        after.add(ImageId(1), Event::Cycles, 8, 500);
+        let rows = dcpidiff_rows(&before, &after, &registry(), Event::Cycles);
+        assert_eq!(rows.len(), 2);
+        let hot = rows.iter().find(|r| r.name == "hot").unwrap();
+        let cold = rows.iter().find(|r| r.name == "cold").unwrap();
+        assert!((hot.delta_pp - -40.0).abs() < 1e-9);
+        assert!((cold.delta_pp - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn procedures_missing_from_one_side() {
+        let mut before = ProfileSet::new();
+        before.add(ImageId(1), Event::Cycles, 0, 100);
+        let after = ProfileSet::new();
+        let rows = dcpidiff_rows(&before, &after, &registry(), Event::Cycles);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].after, 0);
+        assert!((rows[0].delta_pp - -100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendered_output() {
+        let mut before = ProfileSet::new();
+        before.add(ImageId(1), Event::Cycles, 0, 100);
+        let mut after = ProfileSet::new();
+        after.add(ImageId(1), Event::Cycles, 8, 100);
+        let text = dcpidiff(&before, &after, &registry(), Event::Cycles, 10);
+        assert!(text.contains("hot"));
+        assert!(text.contains("cold"));
+        assert!(text.contains("Δshare"));
+    }
+}

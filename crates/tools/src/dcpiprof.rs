@@ -1,0 +1,301 @@
+//! dcpiprof: samples per procedure or per image (§3.1, Figure 1).
+
+use crate::registry::ImageRegistry;
+use dcpi_core::{Event, ImageId, ProfileSet};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One row of dcpiprof output.
+#[derive(Clone, Debug)]
+pub struct ProfRow {
+    /// CYCLES samples.
+    pub cycles: u64,
+    /// Percentage of all CYCLES samples.
+    pub pct: f64,
+    /// Cumulative percentage.
+    pub cum_pct: f64,
+    /// Secondary event samples (e.g. IMISS) and their percentage.
+    pub secondary: u64,
+    /// Secondary percentage.
+    pub secondary_pct: f64,
+    /// Procedure (or image) name.
+    pub name: String,
+    /// Image pathname.
+    pub image: String,
+}
+
+fn rows_by_key(
+    set: &ProfileSet,
+    registry: &ImageRegistry,
+    secondary: Event,
+    key: impl Fn(ImageId, u64) -> (String, String),
+) -> Vec<ProfRow> {
+    let mut cycles: HashMap<(String, String), u64> = HashMap::new();
+    let mut sec: HashMap<(String, String), u64> = HashMap::new();
+    for (k, profile) in set.iter() {
+        if k.event != Event::Cycles && k.event != secondary {
+            continue;
+        }
+        for (off, count) in profile.iter() {
+            let id = key(k.image, off);
+            if k.event == Event::Cycles {
+                *cycles.entry(id).or_insert(0) += count;
+            } else {
+                *sec.entry(id).or_insert(0) += count;
+            }
+        }
+    }
+    let total: u64 = cycles.values().sum();
+    let sec_total: u64 = sec.values().sum();
+    let mut rows: Vec<ProfRow> = cycles
+        .into_iter()
+        .map(|((name, image), c)| {
+            let s = sec
+                .get(&(name.clone(), image.clone()))
+                .copied()
+                .unwrap_or(0);
+            ProfRow {
+                cycles: c,
+                pct: pct(c, total),
+                cum_pct: 0.0,
+                secondary: s,
+                secondary_pct: pct(s, sec_total),
+                name,
+                image,
+            }
+        })
+        .collect();
+    let _ = registry;
+    rows.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.name.cmp(&b.name)));
+    let mut cum = 0.0;
+    for r in &mut rows {
+        cum += r.pct;
+        r.cum_pct = cum;
+    }
+    rows
+}
+
+fn pct(x: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        x as f64 / total as f64 * 100.0
+    }
+}
+
+/// Computes the per-procedure rows (Figure 1).
+#[must_use]
+pub fn dcpiprof_rows(set: &ProfileSet, registry: &ImageRegistry, secondary: Event) -> Vec<ProfRow> {
+    rows_by_key(set, registry, secondary, |image, off| {
+        (
+            registry.proc_name(image, off),
+            registry.name(image).to_string(),
+        )
+    })
+}
+
+/// Computes per-image rows (`dcpiprof -i`).
+#[must_use]
+pub fn dcpiprof_image_rows(
+    set: &ProfileSet,
+    registry: &ImageRegistry,
+    secondary: Event,
+) -> Vec<ProfRow> {
+    rows_by_key(set, registry, secondary, |image, _| {
+        let name = registry.name(image).to_string();
+        (name.clone(), name)
+    })
+}
+
+fn render(rows: &[ProfRow], set: &ProfileSet, secondary: Event, limit: usize) -> String {
+    let mut out = String::new();
+    let total = set.event_total(Event::Cycles);
+    let sec_total = set.event_total(secondary);
+    let _ = writeln!(
+        out,
+        "Total samples for event type cycles = {total}, {} = {sec_total}",
+        secondary.name()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "The counts given below are the number of samples for each listed event type."
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>7} {:>7} {:>9} {:>7}  {:<28} image",
+        "cycles",
+        "%",
+        "cum%",
+        secondary.name(),
+        "%",
+        "procedure"
+    );
+    for r in rows.iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>6.2}% {:>6.2}% {:>9} {:>6.2}%  {:<28} {}",
+            r.cycles, r.pct, r.cum_pct, r.secondary, r.secondary_pct, r.name, r.image
+        );
+    }
+    out
+}
+
+/// Renders the Figure 1 per-procedure listing.
+#[must_use]
+pub fn dcpiprof(
+    set: &ProfileSet,
+    registry: &ImageRegistry,
+    secondary: Event,
+    limit: usize,
+) -> String {
+    render(
+        &dcpiprof_rows(set, registry, secondary),
+        set,
+        secondary,
+        limit,
+    )
+}
+
+/// Renders the per-image listing.
+#[must_use]
+pub fn dcpiprof_images(
+    set: &ProfileSet,
+    registry: &ImageRegistry,
+    secondary: Event,
+    limit: usize,
+) -> String {
+    render(
+        &dcpiprof_image_rows(set, registry, secondary),
+        set,
+        secondary,
+        limit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::reg::Reg;
+    use std::sync::Arc;
+
+    fn setup() -> (ProfileSet, ImageRegistry) {
+        let mut a = Asm::new("/usr/shlib/X11/lib_dec_ffb_ev5.so");
+        a.proc("ffb8ZeroPolyArc");
+        for _ in 0..4 {
+            a.addq_lit(Reg::T0, 1, Reg::T0);
+        }
+        a.proc("ffb8FillPolygon");
+        for _ in 0..4 {
+            a.addq_lit(Reg::T0, 1, Reg::T0);
+        }
+        let img1 = Arc::new(a.finish());
+        let mut b = Asm::new("/vmunix");
+        b.proc("bcopy");
+        for _ in 0..4 {
+            b.addq_lit(Reg::T0, 1, Reg::T0);
+        }
+        let img2 = Arc::new(b.finish());
+        let mut reg = ImageRegistry::new();
+        reg.insert(ImageId(1), img1);
+        reg.insert(ImageId(2), img2);
+        let mut set = ProfileSet::new();
+        set.add(ImageId(1), Event::Cycles, 0, 2_064_143);
+        set.add(ImageId(1), Event::Cycles, 4, 1);
+        set.add(ImageId(1), Event::Cycles, 16, 186_413);
+        set.add(ImageId(2), Event::Cycles, 0, 245_450);
+        set.add(ImageId(1), Event::IMiss, 0, 43_443);
+        set.add(ImageId(2), Event::IMiss, 0, 11_954);
+        (set, reg)
+    }
+
+    #[test]
+    fn rows_sorted_by_cycles_descending() {
+        let (set, reg) = setup();
+        let rows = dcpiprof_rows(&set, &reg, Event::IMiss);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "ffb8ZeroPolyArc");
+        assert_eq!(rows[1].name, "bcopy");
+        assert_eq!(rows[2].name, "ffb8FillPolygon");
+        assert!(rows.windows(2).all(|w| w[0].cycles >= w[1].cycles));
+    }
+
+    #[test]
+    fn percentages_and_cumulative() {
+        let (set, reg) = setup();
+        let rows = dcpiprof_rows(&set, &reg, Event::IMiss);
+        let total: f64 = rows.iter().map(|r| r.pct).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((rows.last().unwrap().cum_pct - 100.0).abs() < 1e-9);
+        assert!(rows[0].pct > 80.0, "ZeroPolyArc dominates");
+    }
+
+    #[test]
+    fn secondary_event_counted() {
+        let (set, reg) = setup();
+        let rows = dcpiprof_rows(&set, &reg, Event::IMiss);
+        assert_eq!(rows[0].secondary, 43_443);
+        assert_eq!(rows[1].secondary, 11_954);
+    }
+
+    #[test]
+    fn samples_within_one_procedure_aggregate() {
+        let (set, reg) = setup();
+        let rows = dcpiprof_rows(&set, &reg, Event::IMiss);
+        // Offsets 0 and 4 are both in ffb8ZeroPolyArc.
+        assert_eq!(rows[0].cycles, 2_064_144);
+    }
+
+    #[test]
+    fn image_rows_aggregate_per_image() {
+        let (set, reg) = setup();
+        let rows = dcpiprof_image_rows(&set, &reg, Event::IMiss);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].image, "/usr/shlib/X11/lib_dec_ffb_ev5.so");
+        assert_eq!(rows[0].cycles, 2_064_144 + 186_413);
+    }
+
+    #[test]
+    fn rendered_output_has_figure_1_shape() {
+        let (set, reg) = setup();
+        let text = dcpiprof(&set, &reg, Event::IMiss, 10);
+        assert!(text.contains("Total samples for event type cycles ="));
+        assert!(text.contains("ffb8ZeroPolyArc"));
+        assert!(text.contains("/vmunix"));
+        assert!(text.contains("cum%"));
+    }
+
+    #[test]
+    fn unknown_image_samples_are_listed() {
+        // Samples the daemon could not attribute land under the special
+        // unknown image (§4.3.2) and must still be visible.
+        let (mut set, reg) = setup();
+        set.add(dcpi_core::UNKNOWN_IMAGE, Event::Cycles, 0xdead, 7);
+        let rows = dcpiprof_rows(&set, &reg, Event::IMiss);
+        let unknown = rows
+            .iter()
+            .find(|r| r.image == "unknown")
+            .expect("unknown row present");
+        assert_eq!(unknown.cycles, 7);
+        assert_eq!(unknown.name, "0xdead");
+    }
+
+    #[test]
+    fn empty_profiles_render_without_panic() {
+        let reg = ImageRegistry::new();
+        let set = ProfileSet::new();
+        let text = dcpiprof(&set, &reg, Event::IMiss, 5);
+        assert!(text.contains("cycles = 0"));
+        assert!(dcpiprof_rows(&set, &reg, Event::IMiss).is_empty());
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let (set, reg) = setup();
+        let text = dcpiprof(&set, &reg, Event::IMiss, 1);
+        assert!(text.contains("ffb8ZeroPolyArc"));
+        assert!(!text.contains("bcopy"));
+    }
+}

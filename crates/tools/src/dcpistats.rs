@@ -1,0 +1,226 @@
+//! dcpistats: variance across profile sets (§3.3, Figure 3).
+//!
+//! Reads multiple sets of sample files and computes per-procedure
+//! statistics across them, sorted by normalized range — the tool the
+//! paper used to isolate wave5's high-variance `smooth_` procedure.
+
+use crate::registry::ImageRegistry;
+use dcpi_core::{Event, ProfileSet};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-procedure statistics across runs.
+#[derive(Clone, Debug)]
+pub struct StatsRow {
+    /// Procedure name.
+    pub name: String,
+    /// Normalized range: `(max - min) / sum`, in percent.
+    pub range_pct: f64,
+    /// Sum of samples across runs.
+    pub sum: u64,
+    /// Share of the total samples, in percent.
+    pub sum_pct: f64,
+    /// Number of runs.
+    pub n: usize,
+    /// Mean samples per run.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum across runs.
+    pub min: u64,
+    /// Maximum across runs.
+    pub max: u64,
+}
+
+/// Computes per-procedure statistics across `sets`.
+#[must_use]
+pub fn dcpistats_rows(
+    sets: &[ProfileSet],
+    registry: &ImageRegistry,
+    event: Event,
+) -> Vec<StatsRow> {
+    let n = sets.len();
+    let mut per_proc: HashMap<String, Vec<u64>> = HashMap::new();
+    for (run, set) in sets.iter().enumerate() {
+        for (key, profile) in set.iter() {
+            if key.event != event {
+                continue;
+            }
+            for (off, count) in profile.iter() {
+                let name = registry.proc_name(key.image, off);
+                per_proc.entry(name).or_insert_with(|| vec![0; n])[run] += count;
+            }
+        }
+    }
+    let grand_total: u64 = per_proc.values().flatten().sum();
+    let mut rows: Vec<StatsRow> = per_proc
+        .into_iter()
+        .map(|(name, counts)| {
+            let sum: u64 = counts.iter().sum();
+            let min = counts.iter().copied().min().unwrap_or(0);
+            let max = counts.iter().copied().max().unwrap_or(0);
+            let mean = sum as f64 / n as f64;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / (n as f64 - 1.0).max(1.0);
+            StatsRow {
+                name,
+                range_pct: if sum > 0 {
+                    (max - min) as f64 / sum as f64 * 100.0
+                } else {
+                    0.0
+                },
+                sum,
+                sum_pct: if grand_total > 0 {
+                    sum as f64 / grand_total as f64 * 100.0
+                } else {
+                    0.0
+                },
+                n,
+                mean,
+                std_dev: var.sqrt(),
+                min,
+                max,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.range_pct
+            .partial_cmp(&a.range_pct)
+            .expect("finite")
+            .then(a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Renders the Figure 3 report.
+#[must_use]
+pub fn dcpistats(
+    sets: &[ProfileSet],
+    registry: &ImageRegistry,
+    event: Event,
+    limit: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Number of samples of type {event}");
+    let mut total = 0u64;
+    for (i, set) in sets.iter().enumerate() {
+        let t = set.event_total(event);
+        total += t;
+        let _ = write!(out, "set {} = {:>9}  ", i + 1, t);
+        if (i + 1) % 4 == 0 {
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(out, "TOTAL {total}");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Statistics calculated using the sample counts for each procedure from {} different sample set(s)",
+        sets.len()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>7} {:>3} {:>12} {:>10} {:>10} {:>10}  procedure",
+        "range%", "sum", "sum%", "N", "mean", "std-dev", "min", "max"
+    );
+    for r in dcpistats_rows(sets, registry, event).iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "{:>7.2}% {:>12} {:>6.2}% {:>3} {:>12.2} {:>10.2} {:>10} {:>10}  {}",
+            r.range_pct, r.sum, r.sum_pct, r.n, r.mean, r.std_dev, r.min, r.max, r.name
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::ImageId;
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::reg::Reg;
+    use std::sync::Arc;
+
+    fn registry() -> ImageRegistry {
+        let mut a = Asm::new("/bin/wave5");
+        a.proc("smooth_");
+        for _ in 0..4 {
+            a.addq_lit(Reg::T0, 1, Reg::T0);
+        }
+        a.proc("parmvr_");
+        for _ in 0..4 {
+            a.addq_lit(Reg::T0, 1, Reg::T0);
+        }
+        let mut r = ImageRegistry::new();
+        r.insert(ImageId(1), Arc::new(a.finish()));
+        r
+    }
+
+    fn sets() -> Vec<ProfileSet> {
+        // smooth_ varies wildly across runs; parmvr_ is stable.
+        let smooth = [38_155u64, 88_075, 55_000, 50_000];
+        let parmvr = [515_253u64, 520_000, 518_000, 555_180];
+        smooth
+            .iter()
+            .zip(&parmvr)
+            .map(|(&s, &p)| {
+                let mut set = ProfileSet::new();
+                set.add(ImageId(1), Event::Cycles, 0, s);
+                set.add(ImageId(1), Event::Cycles, 16, p);
+                set
+            })
+            .collect()
+    }
+
+    #[test]
+    fn high_variance_procedure_sorts_first() {
+        let rows = dcpistats_rows(&sets(), &registry(), Event::Cycles);
+        assert_eq!(rows[0].name, "smooth_");
+        assert_eq!(rows[1].name, "parmvr_");
+        assert!(rows[0].range_pct > rows[1].range_pct * 3.0);
+    }
+
+    #[test]
+    fn statistics_are_correct() {
+        let rows = dcpistats_rows(&sets(), &registry(), Event::Cycles);
+        let smooth = &rows[0];
+        assert_eq!(smooth.sum, 38_155 + 88_075 + 55_000 + 50_000);
+        assert_eq!(smooth.min, 38_155);
+        assert_eq!(smooth.max, 88_075);
+        assert_eq!(smooth.n, 4);
+        let mean = smooth.sum as f64 / 4.0;
+        assert!((smooth.mean - mean).abs() < 1e-9);
+        assert!(smooth.std_dev > 0.0);
+        let expected_range = (88_075 - 38_155) as f64 / smooth.sum as f64 * 100.0;
+        assert!((smooth.range_pct - expected_range).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_pct_totals_100() {
+        let rows = dcpistats_rows(&sets(), &registry(), Event::Cycles);
+        let total: f64 = rows.iter().map(|r| r.sum_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendered_output_matches_figure_3_shape() {
+        let text = dcpistats(&sets(), &registry(), Event::Cycles, 10);
+        assert!(text.contains("Number of samples of type cycles"));
+        assert!(text.contains("set 1 ="));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("range%"));
+        assert!(text.contains("smooth_"));
+    }
+
+    #[test]
+    fn single_run_has_zero_stddev() {
+        let s = vec![sets().remove(0)];
+        let rows = dcpistats_rows(&s, &registry(), Event::Cycles);
+        assert!(rows.iter().all(|r| r.std_dev == 0.0));
+        assert!(rows.iter().all(|r| r.range_pct == 0.0));
+    }
+}

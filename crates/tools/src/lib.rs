@@ -1,0 +1,41 @@
+//! The DCPI analysis tools (§3 of the paper).
+//!
+//! Each tool is a library function producing the same report the paper
+//! shows, as a `String`:
+//!
+//! * [`dcpiprof()`](dcpiprof::dcpiprof) — samples per procedure or per
+//!   image (Figure 1),
+//! * [`dcpicalc()`](dcpicalc::dcpicalc) — per-instruction CPI and stall
+//!   bubbles (Figure 2),
+//! * [`dcpistats()`](dcpistats::dcpistats) — variance across multiple
+//!   runs (Figure 3),
+//! * [`dcpisumm()`](dcpisumm::dcpisumm) — the where-have-the-cycles-gone
+//!   summary (Figure 4),
+//! * [`dcpidiff()`](dcpidiff::dcpidiff) — side-by-side comparison of two
+//!   profiles of the same program,
+//! * [`dcpicfg()`](dcpicfg::dcpicfg) — annotated control-flow graphs
+//!   (Graphviz DOT; the paper emitted PostScript).
+//!
+//! Each also ships as a CLI binary of the same name operating on a
+//! database directory (see [`dbload`]).
+//!
+//! Tools consume the on-disk profile database via `dcpi-core` and the
+//! analysis results of `dcpi-analyze`; they only format.
+
+pub mod dbload;
+pub mod dcpicalc;
+pub mod dcpicfg;
+pub mod dcpidiff;
+pub mod dcpiprof;
+pub mod dcpistats;
+pub mod dcpisumm;
+pub mod registry;
+
+pub use dbload::{find_procedure, load_db, LoadedDb};
+pub use dcpicalc::dcpicalc;
+pub use dcpicfg::dcpicfg;
+pub use dcpidiff::dcpidiff;
+pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
+pub use dcpistats::{dcpistats, StatsRow};
+pub use dcpisumm::dcpisumm;
+pub use registry::ImageRegistry;

@@ -1,0 +1,129 @@
+//! Drives the installed CLI binaries against a freshly written profile
+//! database, end to end through real processes.
+
+use dcpi_collect::session::{ProfiledRun, SessionConfig};
+use dcpi_isa::asm::Asm;
+use dcpi_isa::reg::Reg;
+use dcpi_machine::counters::CounterConfig;
+use std::process::Command;
+
+fn write_db(dir: &std::path::Path, seed: u32) {
+    let mut cfg = SessionConfig::default();
+    cfg.machine.counters = CounterConfig::default_config((4_000, 4_400));
+    cfg.machine.seed = seed;
+    cfg.daemon.db_path = Some(dir.to_path_buf());
+    let mut run = ProfiledRun::new(cfg).expect("session");
+    let mut a = Asm::new("/bin/cli_app");
+    a.proc("hot_loop");
+    a.mov(Reg::A1, Reg::T0);
+    let top = a.here();
+    a.ldq(Reg::T4, 0, Reg::T1);
+    a.addq(Reg::T4, Reg::V0, Reg::V0);
+    a.lda(Reg::T1, 64, Reg::T1);
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bne(Reg::T0, top);
+    a.ret(Reg::RA);
+    a.proc("main");
+    let entry = a.proc_offsets()[0].1;
+    a.li(Reg::A1, 300_000);
+    a.li(Reg::T12, dcpi_machine::os::MAIN_BASE.0 as i64 + entry);
+    a.jsr(Reg::RA, Reg::T12);
+    a.halt();
+    let id = run.register_image(a.finish());
+    run.spawn(0, id, &[], |_| {});
+    run.run_to_completion(4_000_000_000);
+    assert!(run.machine.total_samples() > 100);
+}
+
+fn bin(name: &str) -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dcpiprof").replace("dcpiprof", name))
+}
+
+#[test]
+fn cli_binaries_work_on_a_real_database() {
+    let dir = std::env::temp_dir().join(format!("dcpi-cli-test-{}", std::process::id()));
+    let dir2 = dir.with_extension("second");
+    for d in [&dir, &dir2] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    write_db(&dir, 1);
+    write_db(&dir2, 2);
+
+    // dcpiprof.
+    let out = bin("dcpiprof").arg(&dir).output().expect("run dcpiprof");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hot_loop"), "{text}");
+    assert!(text.contains("/bin/cli_app"), "{text}");
+
+    // dcpiprof --images aggregates per image.
+    let out = bin("dcpiprof")
+        .args([dir.to_str().unwrap(), "--images"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("/bin/cli_app"));
+
+    // dcpicalc on the hot procedure.
+    let out = bin("dcpicalc")
+        .args([dir.to_str().unwrap(), "hot_loop"])
+        .output()
+        .expect("run dcpicalc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Best-case"), "{text}");
+    assert!(text.contains("ldq t4, 0(t1)"), "{text}");
+
+    // dcpisumm.
+    let out = bin("dcpisumm")
+        .args([dir.to_str().unwrap(), "hot_loop"])
+        .output()
+        .expect("run dcpisumm");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Total tallied"));
+
+    // dcpistats over the two runs.
+    let out = bin("dcpistats")
+        .args([dir.to_str().unwrap(), dir2.to_str().unwrap()])
+        .output()
+        .expect("run dcpistats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("range%"), "{text}");
+    assert!(text.contains("hot_loop"), "{text}");
+
+    // dcpidiff between the runs.
+    let out = bin("dcpidiff")
+        .args([dir.to_str().unwrap(), dir2.to_str().unwrap()])
+        .output()
+        .expect("run dcpidiff");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hot_loop"));
+
+    // dcpicfg emits well-formed DOT.
+    let out = bin("dcpicfg")
+        .args([dir.to_str().unwrap(), "hot_loop"])
+        .output()
+        .expect("run dcpicfg");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"), "{text}");
+    assert!(text.contains("fillcolor"), "{text}");
+
+    // Error paths exit nonzero with a message.
+    let out = bin("dcpicalc")
+        .args([dir.to_str().unwrap(), "no_such_proc"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not found"));
+    let out = bin("dcpiprof").arg("/nonexistent-db").output().unwrap();
+    assert!(!out.status.success());
+
+    for d in [&dir, &dir2] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

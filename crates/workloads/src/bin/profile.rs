@@ -1,0 +1,91 @@
+//! `profile <workload> <db-dir> [--seed N] [--scale N] [--period LO HI]
+//! [--config base|cycles|default|mux]` — runs a named workload under
+//! continuous profiling and writes the profile database (with saved
+//! images) that the dcpi* tools consume.
+
+use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+
+fn usage() -> ! {
+    eprintln!("usage: profile <workload> <db-dir> [--seed N] [--scale N] [--config CFG]");
+    eprintln!("workloads:");
+    for w in Workload::ALL {
+        eprintln!("  {}", w.name());
+    }
+    eprintln!("configs: cycles (default), default, mux");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(name), Some(dir)) = (args.get(1), args.get(2)) else {
+        usage();
+    };
+    let Some(workload) = Workload::ALL.into_iter().find(|w| &w.name() == name) else {
+        eprintln!("profile: unknown workload `{name}`");
+        usage();
+    };
+    let mut opts = RunOptions {
+        db_path: Some(dir.into()),
+        period: (20_000, 21_600),
+        ..RunOptions::default()
+    };
+    opts.scale = workload.default_scale();
+    let mut config = ProfConfig::Cycles;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                opts.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--scale" => {
+                let s: u32 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.scale = workload.default_scale() * s;
+                i += 1;
+            }
+            "--config" => {
+                config = match args.get(i + 1).map(String::as_str) {
+                    Some("cycles") => ProfConfig::Cycles,
+                    Some("default") => ProfConfig::Default,
+                    Some("mux") => ProfConfig::Mux,
+                    Some("base") => ProfConfig::Base,
+                    _ => usage(),
+                };
+                i += 1;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if std::path::Path::new(dir).exists() {
+        eprintln!("profile: {dir} already exists; choose a fresh directory");
+        std::process::exit(1);
+    }
+    let r = run_workload(workload, config, &opts);
+    if config == ProfConfig::Base {
+        // Base disables monitoring entirely: no samples, no database.
+        println!(
+            "ran {} unprofiled (base): {} cycles; no database written",
+            workload.name(),
+            r.cycles
+        );
+        return;
+    }
+    println!(
+        "profiled {} ({}): {} cycles, {} samples, {} bytes of profiles in {dir}",
+        workload.name(),
+        config.name(),
+        r.cycles,
+        r.samples,
+        r.disk_bytes
+    );
+    if r.samples == 0 {
+        eprintln!("warning: no samples collected; increase --scale");
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: profile a program end to end and print where its cycles
+//! went.
+//!
+//! This walks the full DCPI pipeline in one file:
+//! 1. assemble a small program,
+//! 2. run it on the simulated machine under the collection subsystem
+//!    (driver + daemon),
+//! 3. analyze the hottest procedure (frequency, CPI, culprits),
+//! 4. print the dcpiprof and dcpicalc reports.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dcpi::analyze::analysis::{analyze_procedure, AnalysisOptions};
+use dcpi::collect::session::{ProfiledRun, SessionConfig};
+use dcpi::core::Event;
+use dcpi::isa::asm::Asm;
+use dcpi::isa::pipeline::PipelineModel;
+use dcpi::isa::reg::Reg;
+use dcpi::machine::counters::CounterConfig;
+use dcpi::machine::os::MAIN_BASE;
+use dcpi::tools::{dcpicalc, dcpiprof, ImageRegistry};
+
+fn main() {
+    // 1. A program: sum a linked array, then a tight squaring loop.
+    let mut a = Asm::new("/bin/quickstart");
+    a.proc("main");
+    a.li(Reg::S0, 60_000); // outer iterations
+    let outer = a.here();
+    // Walk 64 cache lines (some D-cache misses).
+    a.li(Reg::T1, 0x1000_0000);
+    a.li(Reg::T0, 64);
+    let scan = a.here();
+    a.ldq(Reg::T4, 0, Reg::T1);
+    a.addq(Reg::V0, Reg::T4, Reg::V0);
+    a.lda(Reg::T1, 64, Reg::T1);
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bne(Reg::T0, scan);
+    // Integer work (multiplier pressure).
+    a.mulq(Reg::V0, Reg::V0, Reg::T5);
+    a.subq_lit(Reg::S0, 1, Reg::S0);
+    a.bne(Reg::S0, outer);
+    a.halt();
+    let image = a.finish();
+
+    // 2. Profile it: CYCLES + IMISS, the paper's default configuration.
+    let mut cfg = SessionConfig::default();
+    cfg.machine.counters = CounterConfig::default_config((20_000, 21_600));
+    let mut run = ProfiledRun::new(cfg).expect("session");
+    let id = run.register_image(image.clone());
+    run.spawn(0, id, &[], |_| {});
+    let cycles = run.run_to_completion(10_000_000_000);
+    println!(
+        "ran {cycles} simulated cycles, took {} samples\n",
+        run.machine.total_samples()
+    );
+
+    // 3. Where did the time go, per procedure?
+    let mut registry = ImageRegistry::new();
+    registry.insert(id, std::sync::Arc::new(image.clone()));
+    registry.insert(
+        run.machine.os.kernel_image(),
+        std::sync::Arc::clone(
+            &run.machine
+                .os
+                .image(run.machine.os.kernel_image())
+                .unwrap()
+                .image,
+        ),
+    );
+    println!("{}", dcpiprof(run.profiles(), &registry, Event::IMiss, 8));
+
+    // 4. Instruction-level analysis of main.
+    let sym = image.symbol_named("main").expect("symbol").clone();
+    let pa = analyze_procedure(
+        &image,
+        &sym,
+        run.profiles(),
+        id,
+        &PipelineModel::default(),
+        &AnalysisOptions::default(),
+    )
+    .expect("analysis");
+    println!("{}", dcpicalc(&pa, MAIN_BASE.0));
+}

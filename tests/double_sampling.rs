@@ -1,0 +1,103 @@
+//! Integration tests for §7 double sampling: PC pairs flow from the
+//! machine to the daemon and resolve indirect-jump targets the static
+//! CFG cannot see.
+
+use dcpi::analyze::analysis::{analyze_procedure_extended, AnalysisOptions};
+use dcpi::analyze::cfg::Cfg;
+use dcpi::collect::session::{ProfiledRun, SessionConfig};
+use dcpi::isa::pipeline::PipelineModel;
+use dcpi::machine::counters::CounterConfig;
+use dcpi::workloads::programs::{interp_image, interp_setup};
+
+#[test]
+fn double_sampling_resolves_interpreter_dispatch() {
+    let mut cfg = SessionConfig::default();
+    cfg.machine.counters = CounterConfig::cycles_only((3_000, 3_300));
+    cfg.machine.double_sample_every = 2;
+    let mut run = ProfiledRun::new(cfg).expect("session");
+    let image = interp_image(4);
+    let id = run.register_image(image.clone());
+    {
+        let img = image.clone();
+        run.spawn(0, id, &[], move |p| interp_setup(p, &img));
+    }
+    run.run_to_completion(8_000_000_000);
+    assert!(run.machine.total_samples() > 300);
+
+    // Path samples were collected.
+    let paths = run.daemon.path_profiles();
+    assert!(paths.total() > 50, "path samples = {}", paths.total());
+
+    // The dispatch procedure's indirect jump: static analysis has
+    // missing edges...
+    let sym = image.symbol_named("dispatch").unwrap().clone();
+    let static_cfg = Cfg::build(&image, &sym).unwrap();
+    assert!(static_cfg.missing_edges);
+
+    // ...but the observed successors of the jmp identify the handlers.
+    let jmp_off = sym.offset + 6 * 4; // 7th instruction of dispatch
+    let succ = paths.successors(id, jmp_off);
+    assert!(
+        succ.len() >= 4,
+        "several handlers should be observed: {succ:?}"
+    );
+    let handler_base = sym.offset + 8 * 4;
+    for &(t, _) in &succ {
+        assert_eq!((t - handler_base) % 32, 0, "targets are handler starts");
+    }
+
+    // Path-augmented CFG resolves the jump: no missing edges, indirect
+    // edges present.
+    let resolved = Cfg::build_with_paths(&image, &sym, id, paths).unwrap();
+    assert!(!resolved.missing_edges);
+    let indirect = resolved
+        .edges
+        .iter()
+        .filter(|e| e.kind == dcpi::analyze::cfg::EdgeKind::Indirect)
+        .count();
+    assert!(indirect >= 4, "indirect edges = {indirect}");
+
+    // The extended analysis consumes the paths and produces frequency
+    // estimates for the dispatch block that the degraded (per-block
+    // class) analysis also has — but the resolved CFG groups handler
+    // blocks with their edges, improving edge coverage.
+    let pa = analyze_procedure_extended(
+        &image,
+        &sym,
+        run.profiles(),
+        None,
+        Some(paths),
+        id,
+        &PipelineModel::default(),
+        &AnalysisOptions::default(),
+    )
+    .expect("analysis");
+    assert!(!pa.cfg.missing_edges);
+    let estimated_edges = pa
+        .frequencies
+        .edge_freq
+        .iter()
+        .filter(|e| e.is_some())
+        .count();
+    assert!(
+        estimated_edges * 2 >= pa.cfg.edges.len(),
+        "most edges estimated: {estimated_edges}/{}",
+        pa.cfg.edges.len()
+    );
+}
+
+#[test]
+fn double_sampling_off_by_default() {
+    let mut cfg = SessionConfig::default();
+    cfg.machine.counters = CounterConfig::cycles_only((3_000, 3_300));
+    let mut run = ProfiledRun::new(cfg).expect("session");
+    let image = interp_image(1);
+    let id = run.register_image(image.clone());
+    {
+        let img = image.clone();
+        run.spawn(0, id, &[], move |p| interp_setup(p, &img));
+    }
+    run.run_to_completion(2_000_000_000);
+    assert_eq!(run.daemon.path_profiles().total(), 0);
+    let _ = id;
+}

@@ -1,0 +1,164 @@
+//! Cross-crate property tests on the system's key invariants.
+
+use dcpi::collect::driver::{CostModel, CpuDriver, DriverConfig, EvictPolicy, HashKind};
+use dcpi::core::codec::{decode_profile, encode_profile, Format};
+use dcpi::core::{Addr, Event, Pid, Profile, Sample};
+use dcpi::isa::asm::Asm;
+use dcpi::isa::pipeline::PipelineModel;
+use dcpi::isa::reg::Reg;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any profile survives both codec formats exactly.
+    #[test]
+    fn codec_roundtrip_arbitrary_profiles(
+        entries in prop::collection::btree_map(0u64..1u64 << 33, 1u64..1u64 << 32, 0..200)
+    ) {
+        let profile: Profile = entries.iter().map(|(&o, &c)| (o, c)).collect();
+        for fmt in [Format::V1, Format::V2] {
+            // V1 stores 32-bit offsets; skip when out of range.
+            if fmt == Format::V1 && entries.keys().any(|&o| o > u64::from(u32::MAX)) {
+                continue;
+            }
+            let bytes = encode_profile(&profile, Event::Cycles, fmt);
+            let (back, ev) = decode_profile(&bytes).unwrap();
+            prop_assert_eq!(&back, &profile);
+            prop_assert_eq!(ev, Event::Cycles);
+        }
+    }
+
+    /// Driver conservation: across arbitrary sample streams interleaved
+    /// with flushes and drains, every sample is either counted out or
+    /// explicitly dropped.
+    #[test]
+    fn driver_conserves_samples(
+        ops in prop::collection::vec((0u8..10, 0u32..6, 0u64..64), 1..800),
+        policy_swap in any::<bool>(),
+    ) {
+        let mut d = CpuDriver::new(
+            DriverConfig {
+                buckets: 8,
+                associativity: 4,
+                overflow_entries: 32,
+                policy: if policy_swap { EvictPolicy::SwapToFront } else { EvictPolicy::ModCounter },
+                hash: HashKind::Multiplicative,
+            },
+            CostModel::default(),
+        );
+        let mut recorded = 0u64;
+        let mut drained = 0u64;
+        for (op, pid, pc) in ops {
+            if op == 0 {
+                drained += d.flush().iter().map(|e| e.count).sum::<u64>();
+            } else if op == 1 {
+                drained += d.drain_overflow().iter().map(|e| e.count).sum::<u64>();
+            } else {
+                let _ = d.record(Sample {
+                    pid: Pid(pid),
+                    pc: Addr(pc * 4),
+                    event: Event::Cycles,
+                });
+                recorded += 1;
+            }
+        }
+        drained += d.flush().iter().map(|e| e.count).sum::<u64>();
+        prop_assert_eq!(drained + d.stats.dropped, recorded);
+    }
+
+    /// The static scheduler is total and self-consistent on random
+    /// straight-line code: M sums to the block's span, every junior has
+    /// M = 0, and static stalls account exactly for M − M_ideal.
+    #[test]
+    fn scheduler_invariants(
+        ops in prop::collection::vec((0u8..5, 0u8..8, 0u8..8, 1u8..30), 1..40),
+        base_word in 0u64..4,
+    ) {
+        let mut a = Asm::new("/prop");
+        a.proc("p");
+        for (kind, r1, r2, lit) in &ops {
+            let (r1, r2) = (Reg::int(*r1), Reg::int(*r2));
+            match kind {
+                0 => a.addq_lit(r1, *lit, r2),
+                1 => a.ldq(r1, i16::from(*lit) * 8, r2),
+                2 => a.stq(r1, i16::from(*lit) * 8, r2),
+                3 => a.mulq(r1, r2, Reg::T7),
+                _ => a.mult(Reg::fp(*lit % 30), Reg::fp(2), Reg::fp(3)),
+            }
+        }
+        let image = a.finish();
+        let insns = image.decode_all().unwrap();
+        let model = PipelineModel::default();
+        let sched = model.schedule_block(base_word, &insns);
+        prop_assert_eq!(sched.entries.len(), insns.len());
+        let sum_m: u64 = sched.entries.iter().map(|e| e.m).sum();
+        let last_issue = sched.entries.last().unwrap().issue_cycle;
+        prop_assert_eq!(sum_m, last_issue + 1, "ΣM spans block issue time");
+        for (i, e) in sched.entries.iter().enumerate() {
+            if e.dual_with_prev {
+                prop_assert_eq!(e.m, 0);
+                prop_assert!(i > 0);
+                prop_assert_eq!(sched.entries[i - 1].issue_cycle, e.issue_cycle);
+            }
+            let stall_sum: u64 = e.stalls.iter().map(|s| s.cycles).sum();
+            prop_assert_eq!(stall_sum, e.m.saturating_sub(e.m_ideal),
+                "stalls must account for M - M_ideal at insn {}", i);
+            for s in &e.stalls {
+                if let Some(c) = s.culprit {
+                    prop_assert!(c < i, "culprit precedes the stalled insn");
+                }
+            }
+        }
+        // Determinism.
+        let again = model.schedule_block(base_word, &insns);
+        let ms: Vec<u64> = sched.entries.iter().map(|e| e.m).collect();
+        let ms2: Vec<u64> = again.entries.iter().map(|e| e.m).collect();
+        prop_assert_eq!(ms, ms2);
+    }
+
+    /// Random programs execute deterministically under the same seed, and
+    /// profiled executions retire exactly the same instructions as
+    /// unprofiled ones.
+    #[test]
+    fn machine_profiling_is_transparent(seed in 1u32..500, n in 1u32..60) {
+        use dcpi::machine::counters::CounterConfig;
+        use dcpi::machine::machine::{Machine, NullSink};
+        use dcpi::machine::MachineConfig;
+
+        let build = || {
+            let mut a = Asm::new("/prop");
+            a.proc("main");
+            a.li(Reg::T0, i64::from(n) * 50);
+            let top = a.here();
+            a.ldq(Reg::T4, 0, Reg::T1);
+            a.addq(Reg::T4, Reg::T0, Reg::T5);
+            a.stq(Reg::T5, 8, Reg::T1);
+            a.lda(Reg::T1, 16, Reg::T1);
+            a.subq_lit(Reg::T0, 1, Reg::T0);
+            a.bne(Reg::T0, top);
+            a.halt();
+            a.finish()
+        };
+        let run = |counters: CounterConfig| {
+            let mut cfg = MachineConfig::with_counters(counters);
+            cfg.seed = seed;
+            let mut m = Machine::new(cfg, NullSink);
+            let img = m.register_image(build());
+            m.spawn(0, img, &[], |p| p.set_reg(Reg::T1, 0x1000_0000));
+            m.run_to_completion(100_000, 200_000_000);
+            let mut per_insn = Vec::new();
+            if let Some(li) = m.os.image(img) {
+                for w in 0..li.image.words().len() as u64 {
+                    per_insn.push(m.gt.insn_count(img, w * 4));
+                }
+            }
+            (m.last_exit, per_insn)
+        };
+        let (t1, c1) = run(CounterConfig::off());
+        let (t1b, c1b) = run(CounterConfig::off());
+        prop_assert_eq!(t1, t1b, "deterministic timing");
+        prop_assert_eq!(&c1, &c1b);
+        // Profiling (with a zero-cost sink) must not change retirement.
+        let (_, c2) = run(CounterConfig::cycles_only((500, 600)));
+        prop_assert_eq!(&c1, &c2, "profiling transparency");
+    }
+}
