@@ -287,7 +287,6 @@ mod tests {
     use crate::cfg::Cfg;
     use dcpi_isa::asm::Asm;
     use dcpi_isa::reg::Reg;
-    use proptest::prelude::*;
 
     fn loop_cfg() -> Cfg {
         let mut a = Asm::new("/t");
@@ -431,75 +430,92 @@ mod tests {
         (edges, exits)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
-        #[test]
-        fn same_class_means_same_counts(seed in 0u64..10_000, n in 2usize..10) {
-            let (edges, exits) = random_cfg(n, seed);
-            let eq = classes_raw(n, &edges, 0, &exits);
-            // Walk the graph: many complete entry→exit traversals with
-            // pseudo-random branch choices.
-            let mut succ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-            for (i, &(f, t)) in edges.iter().enumerate() {
-                succ[f].push((t, i));
+    /// Random-walk validation over a deterministic sweep of seeds and
+    /// sizes: same-class members must have identical counts over any set
+    /// of complete entry→exit walks.
+    #[test]
+    fn same_class_means_same_counts() {
+        for seed in 0u64..60 {
+            for n in 2usize..10 {
+                same_class_case(seed * 167 + 13, n);
             }
-            let mut bcount = vec![0u64; n];
-            let mut ecount = vec![0u64; edges.len()];
-            let mut state = seed.wrapping_add(12345);
-            let mut rnd = move |m: usize| {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ((state >> 33) as usize) % m
-            };
-            let mut walks = 0;
-            'outer: for _ in 0..2000 {
-                if walks >= 50 { break; }
-                let mut at = 0usize;
-                let mut trail_b = Vec::new();
-                let mut trail_e = Vec::new();
-                for _ in 0..10_000 {
-                    trail_b.push(at);
-                    let can_exit_here = exits.contains(&at);
-                    let outs = &succ[at];
-                    if can_exit_here && (outs.is_empty() || rnd(2) == 0) {
-                        // Complete walk: commit counts.
-                        for &b in &trail_b { bcount[b] += 1; }
-                        for &e in &trail_e { ecount[e] += 1; }
-                        walks += 1;
-                        continue 'outer;
-                    }
-                    if outs.is_empty() {
-                        continue 'outer; // dead end that is not an exit
-                    }
-                    let (t, e) = outs[rnd(outs.len())];
-                    trail_e.push(e);
-                    at = t;
-                }
-                // Non-terminating walk: discard.
+        }
+    }
+
+    fn same_class_case(seed: u64, n: usize) {
+        let (edges, exits) = random_cfg(n, seed);
+        let eq = classes_raw(n, &edges, 0, &exits);
+        // Walk the graph: many complete entry→exit traversals with
+        // pseudo-random branch choices.
+        let mut succ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (i, &(f, t)) in edges.iter().enumerate() {
+            succ[f].push((t, i));
+        }
+        let mut bcount = vec![0u64; n];
+        let mut ecount = vec![0u64; edges.len()];
+        let mut state = seed.wrapping_add(12345);
+        let mut rnd = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        let mut walks = 0;
+        'outer: for _ in 0..2000 {
+            if walks >= 50 {
+                break;
             }
-            prop_assume!(walks >= 10);
-            // Same class ⇒ equal counts (blocks and edges).
-            for a in 0..n {
-                for b in 0..n {
-                    if eq.block_class[a] == eq.block_class[b] {
-                        prop_assert_eq!(
-                            bcount[a], bcount[b],
-                            "blocks {} and {} share class {}", a, b, eq.block_class[a]
-                        );
+            let mut at = 0usize;
+            let mut trail_b = Vec::new();
+            let mut trail_e = Vec::new();
+            for _ in 0..10_000 {
+                trail_b.push(at);
+                let can_exit_here = exits.contains(&at);
+                let outs = &succ[at];
+                if can_exit_here && (outs.is_empty() || rnd(2) == 0) {
+                    // Complete walk: commit counts.
+                    for &b in &trail_b {
+                        bcount[b] += 1;
                     }
+                    for &e in &trail_e {
+                        ecount[e] += 1;
+                    }
+                    walks += 1;
+                    continue 'outer;
+                }
+                if outs.is_empty() {
+                    continue 'outer; // dead end that is not an exit
+                }
+                let (t, e) = outs[rnd(outs.len())];
+                trail_e.push(e);
+                at = t;
+            }
+            // Non-terminating walk: discard.
+        }
+        if walks < 10 {
+            return; // degenerate graph: too few complete walks to check
+        }
+        // Same class ⇒ equal counts (blocks and edges).
+        for a in 0..n {
+            for b in 0..n {
+                if eq.block_class[a] == eq.block_class[b] {
+                    assert_eq!(
+                        bcount[a], bcount[b],
+                        "seed {seed}: blocks {a} and {b} share class {}",
+                        eq.block_class[a]
+                    );
                 }
             }
-            for i in 0..edges.len() {
-                for j in 0..edges.len() {
-                    if eq.edge_class[i] == eq.edge_class[j] {
-                        prop_assert_eq!(ecount[i], ecount[j]);
-                    }
+        }
+        for i in 0..edges.len() {
+            for j in 0..edges.len() {
+                if eq.edge_class[i] == eq.edge_class[j] {
+                    assert_eq!(ecount[i], ecount[j], "seed {seed}: edges {i} vs {j}");
                 }
-                for (b, &bc) in bcount.iter().enumerate().take(n) {
-                    if eq.edge_class[i] == eq.block_class[b] {
-                        prop_assert_eq!(ecount[i], bc);
-                    }
+            }
+            for (b, &bc) in bcount.iter().enumerate().take(n) {
+                if eq.edge_class[i] == eq.block_class[b] {
+                    assert_eq!(ecount[i], bc, "seed {seed}: edge {i} vs block {b}");
                 }
             }
         }

@@ -1,16 +1,47 @@
-//! Criterion micro-benchmarks for the performance-critical paths the
-//! paper engineered: the driver's interrupt handler (hash hit and miss
-//! paths), the daemon's per-entry processing, the profile codec, and the
-//! analysis subsystem (CFG + equivalence + frequency estimation).
+//! Micro-benchmarks for the performance-critical paths the paper
+//! engineered: the driver's interrupt handler (hash hit and miss paths),
+//! the profile codec, and the analysis subsystem (CFG + equivalence +
+//! frequency estimation).
+//!
+//! This is a plain `harness = false` benchmark with a minimal timing loop
+//! (median of several batched runs), so it needs no external crates. Run
+//! with `cargo bench -p dcpi-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dcpi_collect::driver::{CostModel, CpuDriver, DriverConfig, EvictPolicy, HashKind};
 use dcpi_core::codec::{decode_profile, encode_profile, Format};
 use dcpi_core::{Addr, Event, Pid, Profile, Sample};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn driver_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("driver");
-    g.bench_function("record_hit", |b| {
+/// Times `iters` invocations of `f`, repeated over a few batches, and
+/// prints the best per-iteration time (lowest-noise estimator for a
+/// batched loop).
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    // Warm-up.
+    for _ in 0..iters.min(1000) {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = start.elapsed().as_secs_f64() / iters as f64;
+        best = best.min(per);
+    }
+    let (scaled, unit) = if best >= 1e-3 {
+        (best * 1e3, "ms")
+    } else if best >= 1e-6 {
+        (best * 1e6, "µs")
+    } else {
+        (best * 1e9, "ns")
+    };
+    println!("{name:<40} {scaled:>10.2} {unit}/iter");
+}
+
+fn driver_benches() {
+    {
         let mut d = CpuDriver::new(DriverConfig::default(), CostModel::default());
         let s = Sample {
             pid: Pid(1),
@@ -18,70 +49,67 @@ fn driver_benches(c: &mut Criterion) {
             event: Event::Cycles,
         };
         let _ = d.record(s);
-        b.iter(|| black_box(d.record(black_box(s))));
-    });
-    g.bench_function("record_miss_stream", |b| {
+        bench("driver/record_hit", 1_000_000, || {
+            black_box(d.record(black_box(s)));
+        });
+    }
+    {
         let mut d = CpuDriver::new(DriverConfig::default(), CostModel::default());
         let mut pc = 0u64;
-        b.iter(|| {
+        bench("driver/record_miss_stream", 1_000_000, || {
             pc += 4;
             let s = Sample {
                 pid: Pid((pc >> 8) as u32),
                 pc: Addr(pc),
                 event: Event::Cycles,
             };
-            black_box(d.record(s))
-        });
-    });
-    for (name, policy) in [
-        ("mod_counter", EvictPolicy::ModCounter),
-        ("swap_to_front", EvictPolicy::SwapToFront),
-    ] {
-        g.bench_function(format!("policy_{name}"), |b| {
-            let mut d = CpuDriver::new(
-                DriverConfig {
-                    buckets: 64,
-                    associativity: 4,
-                    overflow_entries: 1 << 20,
-                    policy,
-                    hash: HashKind::Multiplicative,
-                },
-                CostModel::default(),
-            );
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                let s = Sample {
-                    pid: Pid(1),
-                    pc: Addr((i % 300) * 4),
-                    event: Event::Cycles,
-                };
-                black_box(d.record(s))
-            });
+            black_box(d.record(s));
         });
     }
-    g.finish();
+    for (name, policy) in [
+        ("driver/policy_mod_counter", EvictPolicy::ModCounter),
+        ("driver/policy_swap_to_front", EvictPolicy::SwapToFront),
+    ] {
+        let mut d = CpuDriver::new(
+            DriverConfig {
+                buckets: 64,
+                associativity: 4,
+                overflow_entries: 1 << 20,
+                policy,
+                hash: HashKind::Multiplicative,
+            },
+            CostModel::default(),
+        );
+        let mut i = 0u64;
+        bench(name, 1_000_000, || {
+            i += 1;
+            let s = Sample {
+                pid: Pid(1),
+                pc: Addr((i % 300) * 4),
+                event: Event::Cycles,
+            };
+            black_box(d.record(s));
+        });
+    }
 }
 
-fn codec_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codec");
+fn codec_benches() {
     let mut profile = Profile::new();
     for i in 0..10_000u64 {
         profile.add(i * 4, 1 + (i * 37) % 500);
     }
     for fmt in [Format::V1, Format::V2] {
-        g.bench_function(format!("encode_{fmt:?}"), |b| {
-            b.iter(|| black_box(encode_profile(black_box(&profile), Event::Cycles, fmt)));
+        bench(&format!("codec/encode_{fmt:?}"), 1_000, || {
+            black_box(encode_profile(black_box(&profile), Event::Cycles, fmt));
         });
         let bytes = encode_profile(&profile, Event::Cycles, fmt);
-        g.bench_function(format!("decode_{fmt:?}"), |b| {
-            b.iter(|| black_box(decode_profile(black_box(&bytes)).unwrap()));
+        bench(&format!("codec/decode_{fmt:?}"), 1_000, || {
+            black_box(decode_profile(black_box(&bytes)).unwrap());
         });
     }
-    g.finish();
 }
 
-fn analysis_benches(c: &mut Criterion) {
+fn analysis_benches() {
     use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
     use dcpi_core::{ImageId, ProfileSet};
     use dcpi_isa::asm::Asm;
@@ -112,45 +140,39 @@ fn analysis_benches(c: &mut Criterion) {
     }
     let model = PipelineModel::default();
     let opts = AnalysisOptions::default();
-    c.bench_function("analyze_procedure_200insn", |b| {
-        b.iter(|| {
-            black_box(analyze_procedure(&image, &sym, &set, ImageId(1), &model, &opts).unwrap())
-        });
+    bench("analyze/procedure_200insn", 200, || {
+        black_box(analyze_procedure(&image, &sym, &set, ImageId(1), &model, &opts).unwrap());
     });
 }
 
-fn machine_bench(c: &mut Criterion) {
+fn machine_bench() {
     use dcpi_isa::asm::Asm;
     use dcpi_isa::reg::Reg;
     use dcpi_machine::counters::CounterConfig;
     use dcpi_machine::machine::{Machine, NullSink};
     use dcpi_machine::MachineConfig;
 
-    c.bench_function("simulate_1m_cycles", |b| {
-        b.iter(|| {
-            let cfg = MachineConfig::with_counters(CounterConfig::off());
-            let mut m = Machine::new(cfg, NullSink);
-            let mut a = Asm::new("/spin");
-            a.proc("main");
-            a.li(Reg::T0, 200_000);
-            let top = a.here();
-            a.addq_lit(Reg::T1, 1, Reg::T1);
-            a.subq_lit(Reg::T0, 1, Reg::T0);
-            a.bne(Reg::T0, top);
-            a.halt();
-            let img = m.register_image(a.finish());
-            m.spawn(0, img, &[], |_| {});
-            m.run_to_completion(1_000_000, 10_000_000);
-            black_box(m.time())
-        });
+    bench("machine/simulate_1m_cycles", 10, || {
+        let cfg = MachineConfig::with_counters(CounterConfig::off());
+        let mut m = Machine::new(cfg, NullSink);
+        let mut a = Asm::new("/spin");
+        a.proc("main");
+        a.li(Reg::T0, 200_000);
+        let top = a.here();
+        a.addq_lit(Reg::T1, 1, Reg::T1);
+        a.subq_lit(Reg::T0, 1, Reg::T0);
+        a.bne(Reg::T0, top);
+        a.halt();
+        let img = m.register_image(a.finish());
+        m.spawn(0, img, &[], |_| {});
+        m.run_to_completion(1_000_000, 10_000_000);
+        black_box(m.time());
     });
 }
 
-criterion_group!(
-    benches,
-    driver_benches,
-    codec_benches,
-    analysis_benches,
-    machine_bench
-);
-criterion_main!(benches);
+fn main() {
+    driver_benches();
+    codec_benches();
+    analysis_benches();
+    machine_bench();
+}

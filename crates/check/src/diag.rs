@@ -1,0 +1,324 @@
+//! Diagnostic types: everything `dcpicheck` reports is a [`Diagnostic`]
+//! collected into a [`Report`].
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but possibly benign (e.g. dead padding blocks).
+    Warning,
+    /// An invariant violation: the artifact is inconsistent.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which checking layer produced a diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Layer {
+    /// Image / ISA lints: decoding, encoding, branch targets, dataflow.
+    Image,
+    /// CFG structure and equivalence-class audits.
+    Cfg,
+    /// Frequency-estimate and summary audits.
+    Estimate,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Image => write!(f, "image"),
+            Layer::Cfg => write!(f, "cfg"),
+            Layer::Estimate => write!(f, "estimate"),
+        }
+    }
+}
+
+/// The specific check a diagnostic came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Category {
+    /// A text word failed to decode.
+    Undecodable,
+    /// decode→encode did not reproduce the original word.
+    Roundtrip,
+    /// Symbol-table shape problems (overlap, misalignment, bounds).
+    SymbolTable,
+    /// A branch target escapes its procedure (or the whole image).
+    EscapedBranch,
+    /// A basic block unreachable from the procedure entry.
+    UnreachableBlock,
+    /// A register read before any definition on some path.
+    UseBeforeDef,
+    /// Block partition problems: gaps, overlaps, bad entry.
+    BlockStructure,
+    /// An edge that contradicts its source block's terminator.
+    EdgeTarget,
+    /// Fall-through / exit-flag inconsistencies.
+    FallThrough,
+    /// Cycle-equivalence classes disagree with the brute-force rederivation.
+    EquivMismatch,
+    /// Block frequency inconsistent with incident edge frequencies.
+    FlowConservation,
+    /// Confidence labels break their invariants (e.g. High on Propagated).
+    ConfidenceLabel,
+    /// Class→block/edge/insn fan-out is inconsistent.
+    FanOutMismatch,
+    /// A significant dynamic stall with no culprit (or vice versa).
+    CulpritCompleteness,
+    /// The Figure 4 summary books do not reconcile.
+    SummaryBooks,
+}
+
+impl Category {
+    /// The layer this category belongs to.
+    #[must_use]
+    pub fn layer(self) -> Layer {
+        match self {
+            Category::Undecodable
+            | Category::Roundtrip
+            | Category::SymbolTable
+            | Category::EscapedBranch
+            | Category::UnreachableBlock
+            | Category::UseBeforeDef => Layer::Image,
+            Category::BlockStructure
+            | Category::EdgeTarget
+            | Category::FallThrough
+            | Category::EquivMismatch => Layer::Cfg,
+            Category::FlowConservation
+            | Category::ConfidenceLabel
+            | Category::FanOutMismatch
+            | Category::CulpritCompleteness
+            | Category::SummaryBooks => Layer::Estimate,
+        }
+    }
+
+    /// A short stable name used in rendered output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Undecodable => "undecodable",
+            Category::Roundtrip => "roundtrip",
+            Category::SymbolTable => "symbol-table",
+            Category::EscapedBranch => "escaped-branch",
+            Category::UnreachableBlock => "unreachable-block",
+            Category::UseBeforeDef => "use-before-def",
+            Category::BlockStructure => "block-structure",
+            Category::EdgeTarget => "edge-target",
+            Category::FallThrough => "fall-through",
+            Category::EquivMismatch => "equiv-mismatch",
+            Category::FlowConservation => "flow-conservation",
+            Category::ConfidenceLabel => "confidence-label",
+            Category::FanOutMismatch => "fan-out-mismatch",
+            Category::CulpritCompleteness => "culprit-completeness",
+            Category::SummaryBooks => "summary-books",
+        }
+    }
+}
+
+/// One finding, located as precisely as the check allows.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Which check fired.
+    pub category: Category,
+    /// The procedure (or image pathname for image-wide checks).
+    pub context: String,
+    /// Byte offset within the image, when the finding has one.
+    pub pc: Option<u64>,
+    /// Basic-block index, when the finding is block-level.
+    pub block: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}/{}] {}",
+            self.severity,
+            self.category.layer(),
+            self.category.name(),
+            self.context
+        )?;
+        if let Some(pc) = self.pc {
+            write!(f, "+{pc:#x}")?;
+        }
+        if let Some(b) = self.block {
+            write!(f, " (block {b})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A collection of diagnostics from one or more checks.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The findings, in discovery order.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(
+        &mut self,
+        severity: Severity,
+        category: Category,
+        context: impl Into<String>,
+        pc: Option<u64>,
+        block: Option<usize>,
+        message: impl Into<String>,
+    ) {
+        self.diags.push(Diagnostic {
+            severity,
+            category,
+            context: context.into(),
+            pc,
+            block,
+            message: message.into(),
+        });
+    }
+
+    /// Appends another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True when no error-severity findings exist.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Findings from one layer.
+    pub fn layer(&self, layer: Layer) -> impl Iterator<Item = &Diagnostic> {
+        self.diags
+            .iter()
+            .filter(move |d| d.category.layer() == layer)
+    }
+
+    /// Renders every finding, one per line, plus a closing tally.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diags {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "dcpicheck: {} error(s), {} warning(s)",
+            self.errors(),
+            self.warnings()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let d = Diagnostic {
+            severity: Severity::Error,
+            category: Category::EdgeTarget,
+            context: "main".into(),
+            pc: Some(0x40),
+            block: Some(2),
+            message: "taken edge lands mid-block".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("error[cfg/edge-target]"));
+        assert!(s.contains("main+0x40"));
+        assert!(s.contains("(block 2)"));
+    }
+
+    #[test]
+    fn report_tallies() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        r.push(
+            Severity::Warning,
+            Category::UnreachableBlock,
+            "f",
+            None,
+            Some(1),
+            "dead block",
+        );
+        assert!(r.is_clean());
+        r.push(
+            Severity::Error,
+            Category::Roundtrip,
+            "/img",
+            Some(4),
+            None,
+            "bad word",
+        );
+        assert!(!r.is_clean());
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.layer(Layer::Image).count(), 2);
+        assert_eq!(r.layer(Layer::Cfg).count(), 0);
+        assert!(r.render().contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn every_category_has_a_layer_and_name() {
+        let all = [
+            Category::Undecodable,
+            Category::Roundtrip,
+            Category::SymbolTable,
+            Category::EscapedBranch,
+            Category::UnreachableBlock,
+            Category::UseBeforeDef,
+            Category::BlockStructure,
+            Category::EdgeTarget,
+            Category::FallThrough,
+            Category::EquivMismatch,
+            Category::FlowConservation,
+            Category::ConfidenceLabel,
+            Category::FanOutMismatch,
+            Category::CulpritCompleteness,
+            Category::SummaryBooks,
+        ];
+        for c in all {
+            assert!(!c.name().is_empty());
+            let _ = c.layer();
+        }
+    }
+}

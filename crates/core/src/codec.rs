@@ -19,7 +19,6 @@
 use crate::error::{Error, Result};
 use crate::profile::Profile;
 use crate::types::Event;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic bytes at the start of every profile file.
 pub const MAGIC: [u8; 4] = *b"DCPI";
@@ -55,32 +54,43 @@ impl Format {
 }
 
 /// Appends `value` to `buf` as an unsigned LEB128 varint.
-pub fn put_varint(buf: &mut BytesMut, mut value: u64) {
+pub fn put_varint(buf: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
         if value == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-/// Reads an unsigned LEB128 varint from `buf`.
+fn take_u8(buf: &mut &[u8]) -> Option<u8> {
+    let (&first, rest) = buf.split_first()?;
+    *buf = rest;
+    Some(first)
+}
+
+fn take_u32_le(buf: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = buf.split_first_chunk::<4>()?;
+    *buf = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+/// Reads an unsigned LEB128 varint from the front of `buf`, advancing it.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Corrupt`] if the buffer ends mid-varint or the varint
 /// overflows 64 bits.
-pub fn get_varint(buf: &mut impl Buf) -> Result<u64> {
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     loop {
-        if !buf.has_remaining() {
+        let Some(byte) = take_u8(buf) else {
             return Err(Error::Corrupt("truncated varint".into()));
-        }
-        let byte = buf.get_u8();
+        };
         if shift == 63 && byte > 1 {
             return Err(Error::Corrupt("varint overflows u64".into()));
         }
@@ -97,17 +107,17 @@ pub fn get_varint(buf: &mut impl Buf) -> Result<u64> {
 
 /// Serializes a profile for `event` in the requested format.
 #[must_use]
-pub fn encode_profile(profile: &Profile, event: Event, format: Format) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + profile.len() * 8);
-    buf.put_slice(&MAGIC);
-    buf.put_u8(format.version());
-    buf.put_u8(event.code());
+pub fn encode_profile(profile: &Profile, event: Event, format: Format) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + profile.len() * 8);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(format.version());
+    buf.push(event.code());
     put_varint(&mut buf, profile.len() as u64);
     match format {
         Format::V1 => {
             for (off, cnt) in profile.iter() {
-                buf.put_u32_le(u32::try_from(off).unwrap_or(u32::MAX));
-                buf.put_u32_le(u32::try_from(cnt).unwrap_or(u32::MAX));
+                buf.extend_from_slice(&u32::try_from(off).unwrap_or(u32::MAX).to_le_bytes());
+                buf.extend_from_slice(&u32::try_from(cnt).unwrap_or(u32::MAX).to_le_bytes());
             }
         }
         Format::V2 => {
@@ -126,7 +136,7 @@ pub fn encode_profile(profile: &Profile, event: Event, format: Format) -> Bytes 
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a profile, returning the profile and the event it was
@@ -138,17 +148,17 @@ pub fn encode_profile(profile: &Profile, event: Event, format: Format) -> Bytes 
 /// offsets; [`Error::UnsupportedVersion`] on an unknown version byte.
 pub fn decode_profile(mut data: &[u8]) -> Result<(Profile, Event)> {
     let buf = &mut data;
-    if buf.remaining() < 6 {
+    if buf.len() < 6 {
         return Err(Error::Corrupt("header truncated".into()));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if magic != MAGIC {
+    let (magic, rest) = buf.split_first_chunk::<4>().expect("length checked");
+    if *magic != MAGIC {
         return Err(Error::Corrupt("bad magic".into()));
     }
-    let version = buf.get_u8();
+    *buf = rest;
+    let version = take_u8(buf).expect("length checked");
     let format = Format::from_version(version).ok_or(Error::UnsupportedVersion(version))?;
-    let event_code = buf.get_u8();
+    let event_code = take_u8(buf).expect("length checked");
     let event = Event::from_code(event_code)
         .ok_or_else(|| Error::Corrupt(format!("unknown event code {event_code}")))?;
     let n = get_varint(buf)?;
@@ -157,11 +167,10 @@ pub fn decode_profile(mut data: &[u8]) -> Result<(Profile, Event)> {
         Format::V1 => {
             let mut prev: Option<u64> = None;
             for _ in 0..n {
-                if buf.remaining() < 8 {
+                let (Some(off), Some(cnt)) = (take_u32_le(buf), take_u32_le(buf)) else {
                     return Err(Error::Corrupt("record truncated".into()));
-                }
-                let off = u64::from(buf.get_u32_le());
-                let cnt = u64::from(buf.get_u32_le());
+                };
+                let (off, cnt) = (u64::from(off), u64::from(cnt));
                 if prev.is_some_and(|p| off <= p) {
                     return Err(Error::Corrupt("offsets not strictly increasing".into()));
                 }
@@ -190,7 +199,7 @@ pub fn decode_profile(mut data: &[u8]) -> Result<(Profile, Event)> {
             }
         }
     }
-    if buf.has_remaining() {
+    if !buf.is_empty() {
         return Err(Error::Corrupt("trailing bytes after records".into()));
     }
     Ok((profile, event))
@@ -209,17 +218,17 @@ mod tests {
     #[test]
     fn varint_roundtrip_edges() {
         for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
-            let mut buf = BytesMut::new();
+            let mut buf = Vec::new();
             put_varint(&mut buf, v);
             let mut slice = &buf[..];
             assert_eq!(get_varint(&mut slice).unwrap(), v);
-            assert!(!slice.has_remaining());
+            assert!(slice.is_empty());
         }
     }
 
     #[test]
     fn varint_truncated_fails() {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         put_varint(&mut buf, u64::MAX);
         let mut slice = &buf[..buf.len() - 1];
         assert!(get_varint(&mut slice).is_err());
@@ -286,7 +295,7 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let p = sample_profile();
-        let mut bytes = encode_profile(&p, Event::Cycles, Format::V1).to_vec();
+        let mut bytes = encode_profile(&p, Event::Cycles, Format::V1);
         bytes[0] = b'X';
         assert!(matches!(decode_profile(&bytes), Err(Error::Corrupt(_))));
     }
@@ -294,7 +303,7 @@ mod tests {
     #[test]
     fn unknown_version_is_rejected() {
         let p = sample_profile();
-        let mut bytes = encode_profile(&p, Event::Cycles, Format::V1).to_vec();
+        let mut bytes = encode_profile(&p, Event::Cycles, Format::V1);
         bytes[4] = 99;
         assert!(matches!(
             decode_profile(&bytes),
@@ -305,7 +314,7 @@ mod tests {
     #[test]
     fn unknown_event_is_rejected() {
         let p = sample_profile();
-        let mut bytes = encode_profile(&p, Event::Cycles, Format::V1).to_vec();
+        let mut bytes = encode_profile(&p, Event::Cycles, Format::V1);
         bytes[5] = 77;
         assert!(matches!(decode_profile(&bytes), Err(Error::Corrupt(_))));
     }
@@ -313,7 +322,7 @@ mod tests {
     #[test]
     fn trailing_garbage_is_rejected() {
         let p = sample_profile();
-        let mut bytes = encode_profile(&p, Event::Cycles, Format::V2).to_vec();
+        let mut bytes = encode_profile(&p, Event::Cycles, Format::V2);
         bytes.push(0);
         assert!(matches!(decode_profile(&bytes), Err(Error::Corrupt(_))));
     }

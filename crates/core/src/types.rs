@@ -1,6 +1,5 @@
 //! Primitive identifiers and sample records shared across the system.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A process identifier in the miniature operating system model.
@@ -8,7 +7,7 @@ use std::fmt;
 /// The paper's driver records the PID of the interrupted process with every
 /// sample so that the daemon can associate the PC with the image loaded at
 /// that address in that process (§4.2, §4.3.1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pid(pub u32);
 
 impl fmt::Display for Pid {
@@ -18,7 +17,7 @@ impl fmt::Display for Pid {
 }
 
 /// A processor identifier; the driver keeps per-CPU data structures (§4.2.1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CpuId(pub u32);
 
 impl fmt::Display for CpuId {
@@ -31,7 +30,7 @@ impl fmt::Display for CpuId {
 ///
 /// The toy ISA uses fixed 4-byte instruction words, so instruction addresses
 /// are always multiples of 4.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -81,7 +80,7 @@ impl fmt::Display for Addr {
 /// A loaded executable image identifier, unique per image file.
 ///
 /// The modified loader assigns one to every image it maps (§4.3.2).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ImageId(pub u32);
 
 /// The distinguished image id used to aggregate samples whose PC could not
@@ -95,7 +94,7 @@ pub const UNKNOWN_IMAGE: ImageId = ImageId(u32::MAX);
 /// can optionally consume. Only a limited number can be monitored at once
 /// (2 on the 21064, 3 on the 21164); the collection subsystem multiplexes
 /// among them at a fine grain in the `mux` configuration (§4.1).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Event {
     /// Processor clock cycles; overflow yields the time-biased PC samples
     /// that drive the whole analysis.

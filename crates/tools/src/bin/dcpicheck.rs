@@ -1,0 +1,34 @@
+//! `dcpicheck <db-dir>` — static analysis and invariant verification
+//! over every image in a profile database. Exits nonzero when any
+//! error-severity diagnostic is found.
+
+use dcpi_check::CheckConfig;
+use dcpi_tools::{dcpicheck_report, load_db};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(dir) = args.get(1) else {
+        eprintln!("usage: dcpicheck <db-dir>");
+        std::process::exit(2);
+    };
+    let run = || -> Result<dcpi_check::Report, Box<dyn std::error::Error>> {
+        let db = load_db(dir)?;
+        Ok(dcpicheck_report(
+            &db.profiles,
+            &db.registry,
+            &CheckConfig::default(),
+        ))
+    };
+    match run() {
+        Ok(report) => {
+            print!("{}", report.render());
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("dcpicheck: {e}");
+            std::process::exit(1);
+        }
+    }
+}

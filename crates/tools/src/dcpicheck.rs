@@ -1,0 +1,107 @@
+//! dcpicheck: static analysis and invariant verification over a profile
+//! database (see the `dcpi-check` crate for the checks themselves).
+
+use crate::registry::ImageRegistry;
+use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
+use dcpi_check::{Category, CheckConfig, Report, Severity};
+use dcpi_core::{Event, ProfileSet};
+use dcpi_isa::pipeline::PipelineModel;
+
+/// Runs every check over every image in the registry: the image and CFG
+/// layers on all procedures, plus the estimate layer on procedures that
+/// have CYCLES samples (those are the only ones with estimates to audit).
+#[must_use]
+pub fn dcpicheck_report(
+    set: &ProfileSet,
+    registry: &ImageRegistry,
+    config: &CheckConfig,
+) -> Report {
+    let mut report = Report::new();
+    let mut images: Vec<_> = registry.iter().collect();
+    images.sort_by_key(|&(id, _)| id);
+    for (id, image) in images {
+        report.merge(dcpi_check::check_image(image, config));
+        let Some(profile) = set.get(id, Event::Cycles) else {
+            continue;
+        };
+        for sym in image.symbols() {
+            if profile.range_total(sym.offset, sym.offset + sym.size) == 0 {
+                continue;
+            }
+            match analyze_procedure(
+                image,
+                sym,
+                set,
+                id,
+                &PipelineModel::default(),
+                &AnalysisOptions::default(),
+            ) {
+                Ok(pa) => report.merge(dcpi_check::check_analysis(&pa, config)),
+                Err(e) => report.push(
+                    Severity::Error,
+                    Category::BlockStructure,
+                    &sym.name,
+                    Some(sym.offset),
+                    None,
+                    format!("analysis failed: {e}"),
+                ),
+            }
+        }
+    }
+    report
+}
+
+/// The CLI text: every diagnostic plus the closing tally.
+#[must_use]
+pub fn dcpicheck(set: &ProfileSet, registry: &ImageRegistry) -> String {
+    dcpicheck_report(set, registry, &CheckConfig::default()).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::ImageId;
+    use dcpi_isa::asm::Asm;
+    use dcpi_isa::reg::Reg;
+    use std::sync::Arc;
+
+    #[test]
+    fn clean_image_with_samples_reports_no_errors() {
+        let mut a = Asm::new("/bin/app");
+        a.proc("loop");
+        a.li(Reg::T0, 8);
+        let top = a.here();
+        a.subq_lit(Reg::T0, 1, Reg::T0);
+        a.bne(Reg::T0, top);
+        a.ret(Reg::RA);
+        let image = a.finish();
+        let id = ImageId(7);
+        let mut registry = ImageRegistry::new();
+        registry.insert(id, Arc::new(image));
+        let mut set = ProfileSet::new();
+        for off in [4u64, 8] {
+            set.add(id, Event::Cycles, off, 800);
+        }
+        let report = dcpicheck_report(&set, &registry, &CheckConfig::default());
+        assert!(report.is_clean(), "{}", report.render());
+        let text = dcpicheck(&set, &registry);
+        assert!(text.contains("0 error(s)"), "{text}");
+    }
+
+    #[test]
+    fn corrupted_image_reports_errors() {
+        let mut a = Asm::new("/bin/bad");
+        a.proc("f");
+        a.addq_lit(Reg::A0, 1, Reg::V0);
+        a.ret(Reg::RA);
+        let good = a.finish();
+        let mut words = good.words().to_vec();
+        words[0] = 0x0000_00ff;
+        let image =
+            dcpi_isa::image::Image::new(good.name().to_string(), words, good.symbols().to_vec());
+        let mut registry = ImageRegistry::new();
+        registry.insert(ImageId(1), Arc::new(image));
+        let report = dcpicheck_report(&ProfileSet::new(), &registry, &CheckConfig::default());
+        assert!(!report.is_clean());
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`dcpidiff()`](dcpidiff::dcpidiff) — side-by-side comparison of two
 //!   profiles of the same program,
 //! * [`dcpicfg()`](dcpicfg::dcpicfg) — annotated control-flow graphs
-//!   (Graphviz DOT; the paper emitted PostScript).
+//!   (Graphviz DOT; the paper emitted PostScript),
+//! * [`dcpicheck()`](dcpicheck::dcpicheck) — static analysis and
+//!   invariant verification of images, CFGs, and estimates (the
+//!   `dcpi-check` crate driven over a whole database).
 //!
 //! Each also ships as a CLI binary of the same name operating on a
 //! database directory (see [`dbload`]).
@@ -25,6 +28,7 @@
 pub mod dbload;
 pub mod dcpicalc;
 pub mod dcpicfg;
+pub mod dcpicheck;
 pub mod dcpidiff;
 pub mod dcpiprof;
 pub mod dcpistats;
@@ -34,8 +38,9 @@ pub mod registry;
 pub use dbload::{find_procedure, load_db, LoadedDb};
 pub use dcpicalc::dcpicalc;
 pub use dcpicfg::dcpicfg;
+pub use dcpicheck::{dcpicheck, dcpicheck_report};
 pub use dcpidiff::dcpidiff;
 pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
 pub use dcpistats::{dcpistats, StatsRow};
 pub use dcpisumm::dcpisumm;
-pub use registry::ImageRegistry;
+pub use registry::{ImageRegistry, TOOL_NAMES};

@@ -6,6 +6,19 @@ use dcpi_isa::image::Image;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Every CLI binary this crate ships, in the order the paper (and
+/// README) present them. Kept in one place so shell completion, docs,
+/// and the test suite agree on the roster.
+pub const TOOL_NAMES: &[&str] = &[
+    "dcpiprof",
+    "dcpicalc",
+    "dcpistats",
+    "dcpisumm",
+    "dcpidiff",
+    "dcpicfg",
+    "dcpicheck",
+];
+
 /// Maps image ids to images for symbol and name lookup.
 #[derive(Clone, Debug, Default)]
 pub struct ImageRegistry {
@@ -89,6 +102,22 @@ mod tests {
         assert_eq!(r.proc_name(ImageId(3), 0), "alpha");
         assert_eq!(r.proc_name(ImageId(3), 4), "beta");
         assert_eq!(r.proc_name(ImageId(3), 0x100), "0x100");
+    }
+
+    #[test]
+    fn tool_roster_matches_the_bin_directory() {
+        let bins = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+        let mut found: Vec<String> = std::fs::read_dir(bins)
+            .expect("src/bin")
+            .map(|e| {
+                let name = e.expect("entry").file_name();
+                name.to_string_lossy().trim_end_matches(".rs").to_string()
+            })
+            .collect();
+        found.sort();
+        let mut roster: Vec<String> = TOOL_NAMES.iter().map(ToString::to_string).collect();
+        roster.sort();
+        assert_eq!(found, roster);
     }
 
     #[test]

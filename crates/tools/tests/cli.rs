@@ -113,6 +113,20 @@ fn cli_binaries_work_on_a_real_database() {
     assert!(text.starts_with("digraph"), "{text}");
     assert!(text.contains("fillcolor"), "{text}");
 
+    // dcpicheck verifies the database's images and estimates clean.
+    let out = bin("dcpicheck")
+        .arg(dir.to_str().unwrap())
+        .output()
+        .expect("run dcpicheck");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+
+    // dcpicheck without arguments prints usage and exits 2.
+    let out = bin("dcpicheck").output().expect("run dcpicheck");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
     // Error paths exit nonzero with a message.
     let out = bin("dcpicalc")
         .args([dir.to_str().unwrap(), "no_such_proc"])

@@ -11,10 +11,13 @@
 //! * [`machine`] — the cycle-level simulated machine and miniature OS.
 //! * [`collect`] — the data-collection subsystem (driver + daemon).
 //! * [`analyze`] — the analysis subsystem (frequency, CPI, culprits).
+//! * [`check`] — static analysis and invariant verification of images,
+//!   CFGs, and analysis outputs (`dcpicheck`).
 //! * [`tools`] — dcpiprof / dcpicalc / dcpistats / dcpidiff / dcpisumm.
 //! * [`workloads`] — synthetic workloads and the experiment driver.
 
 pub use dcpi_analyze as analyze;
+pub use dcpi_check as check;
 pub use dcpi_collect as collect;
 pub use dcpi_core as core;
 pub use dcpi_isa as isa;

@@ -3,6 +3,7 @@
 
 use dcpi::analyze::analysis::{analyze_procedure, AnalysisOptions};
 use dcpi::analyze::culprit::DynamicCause;
+use dcpi::check::{check_analysis, check_image, CheckConfig};
 use dcpi::collect::session::{ProfiledRun, SessionConfig};
 use dcpi::core::db::ProfileDb;
 use dcpi::core::{codec, Event};
@@ -84,6 +85,14 @@ fn copy_loop_full_pipeline() {
     let text = dcpicalc(&pa, 0x10000);
     assert!(text.contains("(dual issue)"));
     assert!(text.contains("w = write-buffer overflow"));
+
+    // The dcpicheck invariants hold for the image and the analysis:
+    // round-trips, CFG structure, flow conservation, culprit books.
+    let cfg = CheckConfig::default();
+    let checked = check_image(image, &cfg);
+    assert!(checked.is_clean(), "{}", checked.render());
+    let checked = check_analysis(&pa, &cfg);
+    assert!(checked.is_clean(), "{}", checked.render());
 }
 
 /// Whole-system coverage: multiple processes, shared kernel, everything

@@ -1,19 +1,35 @@
-//! Cross-crate property tests on the system's key invariants.
+//! Cross-crate randomized tests on the system's key invariants.
+//!
+//! These were property tests; without a property-testing dependency they
+//! run as deterministic seeded sweeps, so every failure reproduces exactly
+//! from the seed printed in the assertion message.
 
 use dcpi::collect::driver::{CostModel, CpuDriver, DriverConfig, EvictPolicy, HashKind};
 use dcpi::core::codec::{decode_profile, encode_profile, Format};
+use dcpi::core::prng::CartaRng;
 use dcpi::core::{Addr, Event, Pid, Profile, Sample};
 use dcpi::isa::asm::Asm;
 use dcpi::isa::pipeline::PipelineModel;
 use dcpi::isa::reg::Reg;
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
-proptest! {
-    /// Any profile survives both codec formats exactly.
-    #[test]
-    fn codec_roundtrip_arbitrary_profiles(
-        entries in prop::collection::btree_map(0u64..1u64 << 33, 1u64..1u64 << 32, 0..200)
-    ) {
+/// Draws a u64 with 62 bits of entropy from two generator steps.
+fn wide(rng: &mut CartaRng) -> u64 {
+    (u64::from(rng.next_u31()) << 31) | u64::from(rng.next_u31())
+}
+
+/// Any profile survives both codec formats exactly.
+#[test]
+fn codec_roundtrip_arbitrary_profiles() {
+    let mut rng = CartaRng::new(0xc0dec);
+    for case in 0..200 {
+        let len = rng.uniform(0, 199) as usize;
+        let mut entries: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..len {
+            let off = wide(&mut rng) % (1 << 33);
+            let cnt = 1 + wide(&mut rng) % ((1 << 32) - 1);
+            entries.insert(off, cnt);
+        }
         let profile: Profile = entries.iter().map(|(&o, &c)| (o, c)).collect();
         for fmt in [Format::V1, Format::V2] {
             // V1 stores 32-bit offsets; skip when out of range.
@@ -22,89 +38,103 @@ proptest! {
             }
             let bytes = encode_profile(&profile, Event::Cycles, fmt);
             let (back, ev) = decode_profile(&bytes).unwrap();
-            prop_assert_eq!(&back, &profile);
-            prop_assert_eq!(ev, Event::Cycles);
+            assert_eq!(back, profile, "case {case} format {fmt:?}");
+            assert_eq!(ev, Event::Cycles);
         }
     }
+}
 
-    /// Driver conservation: across arbitrary sample streams interleaved
-    /// with flushes and drains, every sample is either counted out or
-    /// explicitly dropped.
-    #[test]
-    fn driver_conserves_samples(
-        ops in prop::collection::vec((0u8..10, 0u32..6, 0u64..64), 1..800),
-        policy_swap in any::<bool>(),
-    ) {
+/// Driver conservation: across arbitrary sample streams interleaved with
+/// flushes and drains, every sample is either counted out or explicitly
+/// dropped.
+#[test]
+fn driver_conserves_samples() {
+    let mut rng = CartaRng::new(0xd21fe2);
+    for case in 0..200 {
+        let policy = if rng.uniform(0, 1) == 0 {
+            EvictPolicy::SwapToFront
+        } else {
+            EvictPolicy::ModCounter
+        };
         let mut d = CpuDriver::new(
             DriverConfig {
                 buckets: 8,
                 associativity: 4,
                 overflow_entries: 32,
-                policy: if policy_swap { EvictPolicy::SwapToFront } else { EvictPolicy::ModCounter },
+                policy,
                 hash: HashKind::Multiplicative,
             },
             CostModel::default(),
         );
         let mut recorded = 0u64;
         let mut drained = 0u64;
-        for (op, pid, pc) in ops {
+        let n_ops = rng.uniform(1, 799);
+        for _ in 0..n_ops {
+            let op = rng.uniform(0, 9);
             if op == 0 {
                 drained += d.flush().iter().map(|e| e.count).sum::<u64>();
             } else if op == 1 {
                 drained += d.drain_overflow().iter().map(|e| e.count).sum::<u64>();
             } else {
                 let _ = d.record(Sample {
-                    pid: Pid(pid),
-                    pc: Addr(pc * 4),
+                    pid: Pid(rng.uniform(0, 5) as u32),
+                    pc: Addr(rng.uniform(0, 63) * 4),
                     event: Event::Cycles,
                 });
                 recorded += 1;
             }
         }
         drained += d.flush().iter().map(|e| e.count).sum::<u64>();
-        prop_assert_eq!(drained + d.stats.dropped, recorded);
+        assert_eq!(drained + d.stats.dropped, recorded, "case {case}");
     }
+}
 
-    /// The static scheduler is total and self-consistent on random
-    /// straight-line code: M sums to the block's span, every junior has
-    /// M = 0, and static stalls account exactly for M − M_ideal.
-    #[test]
-    fn scheduler_invariants(
-        ops in prop::collection::vec((0u8..5, 0u8..8, 0u8..8, 1u8..30), 1..40),
-        base_word in 0u64..4,
-    ) {
+/// The static scheduler is total and self-consistent on random
+/// straight-line code: M sums to the block's span, every junior has
+/// M = 0, and static stalls account exactly for M − M_ideal.
+#[test]
+fn scheduler_invariants() {
+    let mut rng = CartaRng::new(0x5ced);
+    for case in 0..300 {
+        let base_word = rng.uniform(0, 3);
         let mut a = Asm::new("/prop");
         a.proc("p");
-        for (kind, r1, r2, lit) in &ops {
-            let (r1, r2) = (Reg::int(*r1), Reg::int(*r2));
+        for _ in 0..rng.uniform(1, 39) {
+            let kind = rng.uniform(0, 4);
+            let r1 = Reg::int(rng.uniform(0, 7) as u8);
+            let r2 = Reg::int(rng.uniform(0, 7) as u8);
+            let lit = rng.uniform(1, 29) as u8;
             match kind {
-                0 => a.addq_lit(r1, *lit, r2),
-                1 => a.ldq(r1, i16::from(*lit) * 8, r2),
-                2 => a.stq(r1, i16::from(*lit) * 8, r2),
+                0 => a.addq_lit(r1, lit, r2),
+                1 => a.ldq(r1, i16::from(lit) * 8, r2),
+                2 => a.stq(r1, i16::from(lit) * 8, r2),
                 3 => a.mulq(r1, r2, Reg::T7),
-                _ => a.mult(Reg::fp(*lit % 30), Reg::fp(2), Reg::fp(3)),
+                _ => a.mult(Reg::fp(lit % 30), Reg::fp(2), Reg::fp(3)),
             }
         }
         let image = a.finish();
         let insns = image.decode_all().unwrap();
         let model = PipelineModel::default();
         let sched = model.schedule_block(base_word, &insns);
-        prop_assert_eq!(sched.entries.len(), insns.len());
+        assert_eq!(sched.entries.len(), insns.len());
         let sum_m: u64 = sched.entries.iter().map(|e| e.m).sum();
         let last_issue = sched.entries.last().unwrap().issue_cycle;
-        prop_assert_eq!(sum_m, last_issue + 1, "ΣM spans block issue time");
+        assert_eq!(sum_m, last_issue + 1, "case {case}: ΣM spans issue time");
         for (i, e) in sched.entries.iter().enumerate() {
             if e.dual_with_prev {
-                prop_assert_eq!(e.m, 0);
-                prop_assert!(i > 0);
-                prop_assert_eq!(sched.entries[i - 1].issue_cycle, e.issue_cycle);
+                assert_eq!(e.m, 0);
+                assert!(i > 0);
+                assert_eq!(sched.entries[i - 1].issue_cycle, e.issue_cycle);
             }
             let stall_sum: u64 = e.stalls.iter().map(|s| s.cycles).sum();
-            prop_assert_eq!(stall_sum, e.m.saturating_sub(e.m_ideal),
-                "stalls must account for M - M_ideal at insn {}", i);
+            assert_eq!(
+                stall_sum,
+                e.m.saturating_sub(e.m_ideal),
+                "case {case}: stalls must account for M - M_ideal at insn {i}"
+            );
             for s in &e.stalls {
                 if let Some(c) = s.culprit {
-                    prop_assert!(c < i, "culprit precedes the stalled insn");
+                    assert!(c < i, "culprit precedes the stalled insn");
                 }
             }
         }
@@ -112,18 +142,29 @@ proptest! {
         let again = model.schedule_block(base_word, &insns);
         let ms: Vec<u64> = sched.entries.iter().map(|e| e.m).collect();
         let ms2: Vec<u64> = again.entries.iter().map(|e| e.m).collect();
-        prop_assert_eq!(ms, ms2);
+        assert_eq!(ms, ms2);
     }
+}
 
-    /// Random programs execute deterministically under the same seed, and
-    /// profiled executions retire exactly the same instructions as
-    /// unprofiled ones.
-    #[test]
-    fn machine_profiling_is_transparent(seed in 1u32..500, n in 1u32..60) {
-        use dcpi::machine::counters::CounterConfig;
-        use dcpi::machine::machine::{Machine, NullSink};
-        use dcpi::machine::MachineConfig;
+/// Random programs execute deterministically under the same seed, and
+/// profiled executions retire exactly the same instructions as
+/// unprofiled ones.
+#[test]
+fn machine_profiling_is_transparent() {
+    use dcpi::machine::counters::CounterConfig;
+    use dcpi::machine::machine::{Machine, NullSink};
+    use dcpi::machine::MachineConfig;
 
+    for (seed, n) in [
+        (1u32, 1u32),
+        (17, 3),
+        (42, 7),
+        (99, 12),
+        (123, 20),
+        (250, 33),
+        (333, 45),
+        (499, 59),
+    ] {
         let build = || {
             let mut a = Asm::new("/prop");
             a.proc("main");
@@ -155,10 +196,10 @@ proptest! {
         };
         let (t1, c1) = run(CounterConfig::off());
         let (t1b, c1b) = run(CounterConfig::off());
-        prop_assert_eq!(t1, t1b, "deterministic timing");
-        prop_assert_eq!(&c1, &c1b);
+        assert_eq!(t1, t1b, "seed {seed}: deterministic timing");
+        assert_eq!(c1, c1b);
         // Profiling (with a zero-cost sink) must not change retirement.
         let (_, c2) = run(CounterConfig::cycles_only((500, 600)));
-        prop_assert_eq!(&c1, &c2, "profiling transparency");
+        assert_eq!(c1, c2, "seed {seed}: profiling transparency");
     }
 }
