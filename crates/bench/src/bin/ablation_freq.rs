@@ -42,7 +42,7 @@ fn main() {
                 period,
                 ..RunOptions::default()
             };
-            let r = run_merged(w, ProfConfig::Cycles, &ro, opts.runs);
+            let r = run_merged(w, ProfConfig::Cycles, &ro, opts.runs, opts.threads);
             let aopts = AnalysisOptions {
                 estimator: estimator(variant),
                 ..AnalysisOptions::default()

@@ -1,0 +1,146 @@
+//! Performance-trajectory report: times the simulator on the speedtest
+//! workloads plus one representative multi-run experiment, prints a
+//! human-readable summary, and writes `BENCH_perf.json` so throughput can
+//! be tracked across commits (see EXPERIMENTS.md for recorded history).
+//!
+//! `--quick` shrinks the workload scales and run count for CI;
+//! `--threads N` sets the experiment's worker count; `--json` echoes the
+//! JSON to stdout as well.
+
+use dcpi_bench::{run_merged, ExpOptions, ACCURACY_PERIOD};
+use dcpi_workloads::programs::StreamKind;
+use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct WorkloadRow {
+    name: &'static str,
+    scale: u32,
+    cycles: u64,
+    samples: u64,
+    retired: u64,
+    wall_s: f64,
+}
+
+struct ExperimentRow {
+    name: String,
+    runs: usize,
+    threads: usize,
+    samples: u64,
+    wall_s: f64,
+}
+
+fn main() {
+    let opts = ExpOptions::from_args(4);
+    // Same workloads and options as the `speedtest` binary, so the
+    // throughput numbers are directly comparable; `--quick` divides the
+    // scales for CI wall-time budgets.
+    let div = if opts.quick { 4 } else { 1 };
+    let suite = [
+        (Workload::McCalpin(StreamKind::Copy), "mccalpin-copy", 8),
+        (Workload::Gcc, "gcc", 8),
+        (Workload::Wave5, "wave5", 4),
+    ];
+    let mut rows = Vec::new();
+    for (w, name, scale) in suite {
+        let scale = (scale / div).max(1) * opts.scale;
+        let ro = RunOptions {
+            scale,
+            period: (20_000, 21_600),
+            seed: opts.seed,
+            ..RunOptions::default()
+        };
+        let t = Instant::now();
+        let r = run_workload(w, ProfConfig::Cycles, &ro);
+        let wall_s = t.elapsed().as_secs_f64();
+        println!(
+            "{name:<18} scale {scale}: {} cycles in {wall_s:.2}s = {:.1}M cyc/s",
+            r.cycles,
+            r.cycles as f64 / wall_s / 1e6
+        );
+        rows.push(WorkloadRow {
+            name,
+            scale,
+            cycles: r.cycles,
+            samples: r.samples,
+            retired: r.retired,
+            wall_s,
+        });
+    }
+
+    // One representative multi-run experiment: the accuracy suite's
+    // McCalpin copy cell, merged across `opts.runs` runs — the shape every
+    // figure-8/9/10 binary fans out.
+    let (ew, escale) = (
+        Workload::McCalpin(StreamKind::Copy),
+        if opts.quick { 6 } else { 24 },
+    );
+    let ro = RunOptions {
+        scale: escale * opts.scale,
+        period: ACCURACY_PERIOD,
+        seed: opts.seed,
+        ..RunOptions::default()
+    };
+    let t = Instant::now();
+    let merged = run_merged(ew, ProfConfig::Cycles, &ro, opts.runs, opts.threads);
+    let wall_s = t.elapsed().as_secs_f64();
+    println!(
+        "run_merged {} x{} ({} threads): {} samples in {wall_s:.2}s",
+        ew.name(),
+        opts.runs,
+        opts.threads,
+        merged.samples
+    );
+    let experiment = ExperimentRow {
+        name: format!("run_merged-{}-scale{}", ew.name(), escale * opts.scale),
+        runs: opts.runs,
+        threads: opts.threads,
+        samples: merged.samples,
+        wall_s,
+    };
+
+    let json = render_json(&rows, &experiment, &opts);
+    if opts.json {
+        println!("{json}");
+    }
+    let path = "BENCH_perf.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+fn render_json(rows: &[WorkloadRow], exp: &ExperimentRow, opts: &ExpOptions) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"threads\": {},", opts.threads);
+    let _ = writeln!(s, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(s, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"scale\": {}, \"cycles\": {}, \"samples\": {}, \
+             \"retired\": {}, \"wall_s\": {:.4}, \"mcycles_per_s\": {:.2}}}{comma}",
+            r.name,
+            r.scale,
+            r.cycles,
+            r.samples,
+            r.retired,
+            r.wall_s,
+            r.cycles as f64 / r.wall_s / 1e6
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"experiments\": [");
+    let _ = writeln!(
+        s,
+        "    {{\"name\": \"{}\", \"runs\": {}, \"threads\": {}, \"samples\": {}, \
+         \"wall_s\": {:.4}}}",
+        exp.name, exp.runs, exp.threads, exp.samples, exp.wall_s
+    );
+    let _ = writeln!(s, "  ]");
+    let _ = write!(s, "}}");
+    s
+}

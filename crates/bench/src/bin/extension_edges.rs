@@ -87,7 +87,7 @@ fn main() {
             period,
             ..RunOptions::default()
         };
-        let r = run_merged(w, ProfConfig::Cycles, &ro, opts.runs);
+        let r = run_merged(w, ProfConfig::Cycles, &ro, opts.runs, opts.threads);
         let h1 = edge_errors(&r, true, p);
         let h0 = edge_errors(&r, false, p);
         for i in 0..h1.weights.len() {

@@ -25,7 +25,7 @@ fn main() {
             ..RunOptions::default()
         };
         // `default` config so IMISS profiles exist.
-        let mut r = run_merged(w, ProfConfig::Default, &ro, opts.runs);
+        let mut r = run_merged(w, ProfConfig::Default, &ro, opts.runs, opts.threads);
         // IMISS was monitored, so an image with no IMISS samples has a
         // *zero* profile, not an unknown one: materialize empty profiles
         // so the culprit analysis can rule I-cache out (§6.3).

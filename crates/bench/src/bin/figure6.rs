@@ -2,7 +2,9 @@
 //! wave5 under all four configurations (scatter data plus 95% CIs).
 
 use dcpi_bench::{mean_ci, ExpOptions};
-use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+use dcpi_workloads::{run_indexed, run_workload, ProfConfig, RunOptions, Workload};
+
+const WORKLOADS: [Workload; 3] = [Workload::AltaVista, Workload::Gcc, Workload::Wave5];
 
 fn main() {
     let opts = ExpOptions::from_args(6);
@@ -10,23 +12,29 @@ fn main() {
         "Figure 6: running-time distributions ({} runs per configuration)",
         opts.runs
     );
-    for w in [Workload::AltaVista, Workload::Gcc, Workload::Wave5] {
+    // Fan the whole (workload, config, run) grid out through the pool;
+    // index-ordered results keep the printed figure identical for any
+    // thread count.
+    let runs = opts.runs.max(1);
+    let per_w = ProfConfig::ALL.len() * runs;
+    let cycles = run_indexed(WORKLOADS.len() * per_w, opts.threads, |i| {
+        let w = WORKLOADS[i / per_w];
+        let p = ProfConfig::ALL[(i % per_w) / runs];
+        let ro = RunOptions {
+            seed: opts.seed + (i % runs) as u32 * 13,
+            scale: opts.scale * w.default_scale(),
+            ..RunOptions::default()
+        };
+        run_workload(w, p, &ro).cycles as f64
+    });
+    for (wi, w) in WORKLOADS.iter().enumerate() {
         println!();
         println!("== {} ==", w.name());
         let mut base_mean = 0.0;
-        for p in ProfConfig::ALL {
-            let times: Vec<f64> = (0..opts.runs)
-                .map(|run| {
-                    let ro = RunOptions {
-                        seed: opts.seed + run as u32 * 13,
-                        scale: opts.scale * w.default_scale(),
-                        ..RunOptions::default()
-                    };
-                    run_workload(w, p, &ro).cycles as f64
-                })
-                .collect();
-            let (mean, ci) = mean_ci(&times);
-            if p == ProfConfig::Base {
+        for (pi, p) in ProfConfig::ALL.iter().enumerate() {
+            let times = &cycles[wi * per_w + pi * runs..wi * per_w + (pi + 1) * runs];
+            let (mean, ci) = mean_ci(times);
+            if *p == ProfConfig::Base {
                 base_mean = mean;
             }
             let rel: Vec<String> = times

@@ -30,7 +30,7 @@ fn main() {
             period,
             ..RunOptions::default()
         };
-        let r = run_merged(w, ProfConfig::Cycles, &ro, opts.runs);
+        let r = run_merged(w, ProfConfig::Cycles, &ro, opts.runs, opts.threads);
         for (id, _, pa) in analyze_run(&r, 50) {
             // Sampling-adequacy filter; see figure9 and EXPERIMENTS.md.
             if pa.total_samples() < 2 * pa.insns.len() as u64 {

@@ -23,7 +23,7 @@ fn main() {
             period,
             ..RunOptions::default()
         };
-        let r = run_merged(w, ProfConfig::Cycles, &ro, opts.runs);
+        let r = run_merged(w, ProfConfig::Cycles, &ro, opts.runs, opts.threads);
         for (id, _, pa) in analyze_run(&r, 50) {
             // Sampling-adequacy filter: our simulated runs are orders of
             // magnitude shorter than the paper's production runs, so we

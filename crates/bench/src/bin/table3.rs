@@ -2,7 +2,14 @@
 //! `default`, and `mux` configurations relative to `base`.
 
 use dcpi_bench::{mean_ci, ExpOptions};
-use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+use dcpi_workloads::{run_indexed, run_workload, ProfConfig, RunOptions, Workload};
+
+const CONFIGS: [ProfConfig; 4] = [
+    ProfConfig::Base,
+    ProfConfig::Cycles,
+    ProfConfig::Default,
+    ProfConfig::Mux,
+];
 
 fn main() {
     let opts = ExpOptions::from_args(5);
@@ -15,25 +22,29 @@ fn main() {
         "{:<18} {:>16} {:>16} {:>16}",
         "workload", "cycles (%)", "default (%)", "mux (%)"
     );
-    for w in Workload::ALL {
-        let times = |p: ProfConfig| -> Vec<f64> {
-            (0..opts.runs)
-                .map(|r| {
-                    let ro = RunOptions {
-                        seed: opts.seed + r as u32,
-                        scale: opts.scale * w.default_scale(),
-                        ..RunOptions::default()
-                    };
-                    run_workload(w, p, &ro).cycles as f64
-                })
-                .collect()
+    // Every (workload, config, run) cell is independent, so the whole grid
+    // fans out through one pool; results land in index order so the table
+    // is identical for any thread count.
+    let runs = opts.runs.max(1);
+    let per_w = CONFIGS.len() * runs;
+    let cycles = run_indexed(Workload::ALL.len() * per_w, opts.threads, |i| {
+        let w = Workload::ALL[i / per_w];
+        let p = CONFIGS[(i % per_w) / runs];
+        let ro = RunOptions {
+            seed: opts.seed + (i % runs) as u32,
+            scale: opts.scale * w.default_scale(),
+            ..RunOptions::default()
         };
-        let (base, base_ci) = mean_ci(&times(ProfConfig::Base));
+        run_workload(w, p, &ro).cycles as f64
+    });
+    for (wi, w) in Workload::ALL.iter().enumerate() {
+        let times = |ci: usize| &cycles[wi * per_w + ci * runs..wi * per_w + (ci + 1) * runs];
+        let (base, base_ci) = mean_ci(times(0));
         let mut cells = Vec::new();
-        for p in [ProfConfig::Cycles, ProfConfig::Default, ProfConfig::Mux] {
-            let (t, ci) = mean_ci(&times(p));
+        for ci in 1..CONFIGS.len() {
+            let (t, ci95) = mean_ci(times(ci));
             let slow = (t / base - 1.0) * 100.0;
-            let err = (ci + base_ci) / base * 100.0;
+            let err = (ci95 + base_ci) / base * 100.0;
             cells.push(format!("{slow:>6.1} ±{err:>4.1}"));
         }
         println!(

@@ -4,32 +4,41 @@
 
 use dcpi_bench::ExpOptions;
 use dcpi_collect::driver::CostModel;
-use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+use dcpi_workloads::{run_indexed, run_workload, ProfConfig, RunOptions, Workload};
+
+const CONFIGS: [ProfConfig; 3] = [ProfConfig::Cycles, ProfConfig::Default, ProfConfig::Mux];
 
 fn main() {
     let opts = ExpOptions::from_args(1);
     let cost = CostModel::default();
-    for prof in [ProfConfig::Cycles, ProfConfig::Default, ProfConfig::Mux] {
+    // All (config, workload) cells are independent; fan the grid out and
+    // print from the index-ordered results.
+    let n_w = Workload::ALL.len();
+    let results = run_indexed(CONFIGS.len() * n_w, opts.threads, |i| {
+        let w = Workload::ALL[i % n_w];
+        // Sampling density is scaled with our shortened workloads
+        // (paper: 5-minute runs at 60K-cycle periods; ours: ~30M-cycle
+        // runs at 6K), so per-process sample counts relate to hot-key
+        // footprints the way they did in the paper — the regime where
+        // hash-table behaviour differentiates workloads.
+        let ro = RunOptions {
+            seed: opts.seed,
+            scale: opts.scale * w.default_scale(),
+            period: (6_000, 6_400),
+            ..RunOptions::default()
+        };
+        run_workload(w, CONFIGS[i / n_w], &ro)
+    });
+    for (pi, prof) in CONFIGS.iter().enumerate() {
         println!("Table 4 — configuration `{}`:", prof.name());
         println!(
             "{:<18} {:>9} {:>20} {:>12} {:>8}",
             "workload", "miss rate", "intr cost (hit/miss)", "daemon/sample", "agg"
         );
-        for w in Workload::ALL {
-            // Sampling density is scaled with our shortened workloads
-            // (paper: 5-minute runs at 60K-cycle periods; ours: ~30M-cycle
-            // runs at 6K), so per-process sample counts relate to hot-key
-            // footprints the way they did in the paper — the regime where
-            // hash-table behaviour differentiates workloads.
-            let ro = RunOptions {
-                seed: opts.seed,
-                scale: opts.scale * w.default_scale(),
-                period: (6_000, 6_400),
-                ..RunOptions::default()
-            };
-            let r = run_workload(w, prof, &ro);
-            let d = r.driver.expect("profiled run has driver stats");
-            let day = r.daemon.expect("profiled run has daemon stats");
+        for (wi, w) in Workload::ALL.iter().enumerate() {
+            let r = &results[pi * n_w + wi];
+            let d = r.driver.as_ref().expect("profiled run has driver stats");
+            let day = r.daemon.as_ref().expect("profiled run has daemon stats");
             println!(
                 "{:<18} {:>8.1}% {:>9.0} ({:.0}/{:.0}) {:>12.0} {:>8.1}",
                 w.name(),

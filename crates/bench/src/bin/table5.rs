@@ -2,32 +2,44 @@
 //! and on-disk profile database size — per workload and configuration.
 
 use dcpi_bench::ExpOptions;
-use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+use dcpi_workloads::{run_indexed, run_workload, ProfConfig, RunOptions, Workload};
+
+const CONFIGS: [ProfConfig; 3] = [ProfConfig::Cycles, ProfConfig::Default, ProfConfig::Mux];
 
 fn main() {
     let opts = ExpOptions::from_args(1);
-    for prof in [ProfConfig::Cycles, ProfConfig::Default, ProfConfig::Mux] {
+    // Each cell writes its own uniquely-named temp database, so the grid is
+    // safe to fan out; results come back in index order.
+    let n_w = Workload::ALL.len();
+    let results = run_indexed(CONFIGS.len() * n_w, opts.threads, |i| {
+        let w = Workload::ALL[i % n_w];
+        let prof = CONFIGS[i / n_w];
+        let db = std::env::temp_dir().join(format!(
+            "dcpi-table5-{}-{}-{}",
+            std::process::id(),
+            w.name(),
+            prof.name()
+        ));
+        let _ = std::fs::remove_dir_all(&db);
+        let ro = RunOptions {
+            seed: opts.seed,
+            scale: opts.scale * w.default_scale(),
+            db_path: Some(db.clone()),
+            ..RunOptions::default()
+        };
+        let r = run_workload(w, prof, &ro);
+        let _ = std::fs::remove_dir_all(&db);
+        r
+    });
+    for (pi, prof) in CONFIGS.iter().enumerate() {
         println!("Table 5 — configuration `{}`:", prof.name());
         println!(
             "{:<18} {:>14} {:>12} {:>12} {:>12} {:>12}",
             "workload", "uptime (cyc)", "mem (KB)", "peak (KB)", "disk (B)", "drv kern KB"
         );
-        for w in Workload::ALL {
-            let db = std::env::temp_dir().join(format!(
-                "dcpi-table5-{}-{}-{}",
-                std::process::id(),
-                w.name(),
-                prof.name()
-            ));
-            let _ = std::fs::remove_dir_all(&db);
-            let ro = RunOptions {
-                seed: opts.seed,
-                scale: opts.scale * w.default_scale(),
-                db_path: Some(db.clone()),
-                ..RunOptions::default()
-            };
-            let r = run_workload(w, prof, &ro);
-            let day = r.daemon.expect("daemon stats");
+        for (wi, w) in Workload::ALL.iter().enumerate() {
+            let r = &results[pi * n_w + wi];
+            let day = r.daemon.as_ref().expect("daemon stats");
             println!(
                 "{:<18} {:>14} {:>12} {:>12} {:>12} {:>12}",
                 w.name(),
@@ -37,7 +49,6 @@ fn main() {
                 r.disk_bytes,
                 r.driver_kernel_bytes / 1024,
             );
-            let _ = std::fs::remove_dir_all(&db);
         }
         println!();
     }

@@ -43,52 +43,77 @@ pub struct ExpOptions {
     pub seed: u32,
     /// Reduced-cost mode.
     pub quick: bool,
+    /// Worker threads for independent runs (`--threads N`; defaults to
+    /// the machine's available parallelism, `1` reproduces the serial
+    /// path exactly).
+    pub threads: usize,
+    /// Machine-readable JSON output where a binary supports it.
+    pub json: bool,
 }
 
 impl ExpOptions {
-    /// Parses `--runs`, `--scale`, `--seed`, `--quick` from `std::env`.
+    /// Parses `--runs`, `--scale`, `--seed`, `--threads`, `--quick`, and
+    /// `--json` from `std::env`, printing a warning to stderr for unknown
+    /// flags, missing values, and unparsable values.
     #[must_use]
     pub fn from_args(default_runs: usize) -> ExpOptions {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick_env = std::env::var("DCPI_QUICK").is_ok();
+        let (opts, warnings) = ExpOptions::parse(&args, default_runs, quick_env);
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
+        opts
+    }
+
+    /// Parses an argument slice (without the program name). Returns the
+    /// options plus warnings for anything not understood: unknown flags,
+    /// flags missing their value, and unparsable values (which keep the
+    /// default instead of being silently swallowed).
+    #[must_use]
+    pub fn parse(args: &[String], default_runs: usize, quick: bool) -> (ExpOptions, Vec<String>) {
         let mut opts = ExpOptions {
             runs: default_runs,
             scale: 1,
             seed: 1,
-            quick: std::env::var("DCPI_QUICK").is_ok(),
+            quick,
+            threads: dcpi_workloads::default_threads(),
+            json: false,
         };
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let mut warnings = Vec::new();
+        let mut i = 0;
         while i < args.len() {
-            match args[i].as_str() {
-                "--runs" => {
-                    opts.runs = args
-                        .get(i + 1)
-                        .and_then(|x| x.parse().ok())
-                        .unwrap_or(opts.runs);
-                    i += 1;
-                }
-                "--scale" => {
-                    opts.scale = args
-                        .get(i + 1)
-                        .and_then(|x| x.parse().ok())
-                        .unwrap_or(opts.scale);
-                    i += 1;
-                }
-                "--seed" => {
-                    opts.seed = args
-                        .get(i + 1)
-                        .and_then(|x| x.parse().ok())
-                        .unwrap_or(opts.seed);
-                    i += 1;
-                }
+            let flag = args[i].as_str();
+            match flag {
                 "--quick" => opts.quick = true,
-                _ => {}
+                "--json" => opts.json = true,
+                "--runs" | "--scale" | "--seed" | "--threads" => {
+                    // A following flag is not a value: warn and reparse it.
+                    match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                        None => warnings.push(format!("flag {flag} expects a value")),
+                        Some(v) => {
+                            let parsed = match flag {
+                                "--runs" => v.parse().map(|x| opts.runs = x).is_ok(),
+                                "--scale" => v.parse().map(|x| opts.scale = x).is_ok(),
+                                "--seed" => v.parse().map(|x| opts.seed = x).is_ok(),
+                                _ => v.parse().map(|x| opts.threads = x).is_ok(),
+                            };
+                            if !parsed {
+                                warnings
+                                    .push(format!("ignoring unparsable value {v:?} for {flag}"));
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                other => warnings.push(format!("unknown flag {other:?}")),
             }
             i += 1;
         }
         if opts.quick {
             opts.runs = opts.runs.min(2);
         }
-        opts
+        (opts, warnings)
     }
 }
 
@@ -278,29 +303,33 @@ pub const ACCURACY_PERIOD: (u64, u64) = (40_000, 43_200);
 
 /// Runs `w` `runs` times under `config`, merging profiles and ground
 /// truth across runs (the paper's 1-run vs 80-run comparison, §6.2).
+///
+/// The runs execute on up to `threads` workers; each run's seed is fixed
+/// by its index (`base.seed + k*97`) and the merge always proceeds in
+/// index order, so the merged result is bit-identical for any thread
+/// count (`threads == 1` runs serially on the caller's thread).
 #[must_use]
 pub fn run_merged(
     w: dcpi_workloads::Workload,
     config: dcpi_workloads::ProfConfig,
     base: &dcpi_workloads::RunOptions,
     runs: usize,
+    threads: usize,
 ) -> RunResult {
-    let mut acc: Option<RunResult> = None;
-    for k in 0..runs.max(1) {
+    let results = dcpi_workloads::run_indexed(runs.max(1), threads, |k| {
         let mut ro = base.clone();
         ro.seed = base.seed + k as u32 * 97;
-        let r = dcpi_workloads::run_workload(w, config, &ro);
-        match &mut acc {
-            None => acc = Some(r),
-            Some(a) => {
-                a.profiles.merge(&r.profiles);
-                a.edge_profiles.merge(&r.edge_profiles);
-                a.gt.merge(&r.gt);
-                a.samples += r.samples;
-            }
-        }
+        dcpi_workloads::run_workload(w, config, &ro)
+    });
+    let mut it = results.into_iter();
+    let mut acc = it.next().expect("at least one run");
+    for r in it {
+        acc.profiles.merge(&r.profiles);
+        acc.edge_profiles.merge(&r.edge_profiles);
+        acc.gt.merge(&r.gt);
+        acc.samples += r.samples;
     }
-    acc.expect("at least one run")
+    acc
 }
 
 #[cfg(test)]
@@ -346,5 +375,82 @@ mod tests {
         let h = ErrorHistogram::new();
         assert_eq!(h.labels.len(), h.weights.len());
         assert_eq!(h.labels.len(), 20);
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_known_flags() {
+        let (o, warnings) = ExpOptions::parse(
+            &argv(&[
+                "--runs",
+                "7",
+                "--scale",
+                "3",
+                "--seed",
+                "42",
+                "--threads",
+                "2",
+                "--json",
+            ]),
+            10,
+            false,
+        );
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(o.runs, 7);
+        assert_eq!(o.scale, 3);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.threads, 2);
+        assert!(o.json);
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let (o, warnings) = ExpOptions::parse(&[], 10, false);
+        assert!(warnings.is_empty());
+        assert_eq!(o.runs, 10);
+        assert_eq!(o.scale, 1);
+        assert_eq!(o.seed, 1);
+        assert!(o.threads >= 1, "defaults to available parallelism");
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn quick_clamps_runs() {
+        let (o, _) = ExpOptions::parse(&argv(&["--quick", "--runs", "50"]), 10, false);
+        assert!(o.quick);
+        assert_eq!(o.runs, 2);
+        // DCPI_QUICK arrives via the `quick` parameter and clamps too.
+        let (o, _) = ExpOptions::parse(&[], 10, true);
+        assert!(o.quick);
+        assert_eq!(o.runs, 2);
+    }
+
+    #[test]
+    fn unknown_flag_warns() {
+        let (o, warnings) = ExpOptions::parse(&argv(&["--bogus", "--runs", "3"]), 10, false);
+        assert_eq!(o.runs, 3, "later flags still parse");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("--bogus"), "{warnings:?}");
+    }
+
+    #[test]
+    fn unparsable_value_warns_and_keeps_default() {
+        let (o, warnings) = ExpOptions::parse(&argv(&["--runs", "lots"]), 10, false);
+        assert_eq!(o.runs, 10);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("lots"), "{warnings:?}");
+    }
+
+    #[test]
+    fn missing_value_warns_without_eating_next_flag() {
+        let (o, warnings) = ExpOptions::parse(&argv(&["--runs", "--quick"]), 10, false);
+        assert!(o.quick, "--quick must not be consumed as --runs' value");
+        assert_eq!(o.runs, 2, "default runs, then quick-clamped");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("expects a value"), "{warnings:?}");
     }
 }

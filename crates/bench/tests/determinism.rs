@@ -1,0 +1,106 @@
+//! Determinism guarantees the fast lane must preserve:
+//!
+//! 1. The simulator's outputs at fixed seeds are golden — the decoded
+//!    side table, translation caches, and any future hot-loop work must
+//!    not shift a single cycle, sample, or retire count.
+//! 2. A merged multi-run experiment is bit-identical for any worker
+//!    thread count (the pool's index-ordered merge contract).
+//!
+//! Set `DCPI_QUICK` to trim the heavier cases for CI wall-time budgets.
+
+use dcpi_bench::run_merged;
+use dcpi_workloads::programs::StreamKind;
+use dcpi_workloads::{ProfConfig, RunOptions, RunResult, Workload};
+
+fn quick() -> bool {
+    std::env::var("DCPI_QUICK").is_ok()
+}
+
+/// Golden `(cycles, samples, retired)` triples for the speedtest
+/// workloads, recorded from the pre-optimization simulator. These pin the
+/// fast path to the exact behaviour of the straightforward
+/// classify-per-step implementation.
+#[test]
+fn simulator_outputs_match_golden_values() {
+    let cases: &[(Workload, u32, (u64, u64, u64))] = &[
+        (Workload::Gcc, 8, (14_180_366, 682, 6_127_577)),
+        (Workload::Wave5, 4, (19_021_501, 922, 2_675_616)),
+        (
+            Workload::McCalpin(StreamKind::Copy),
+            8,
+            (77_991_836, 3750, 13_640_730),
+        ),
+    ];
+    // Quick mode drops the McCalpin case (the longest run).
+    let n = if quick() { 2 } else { cases.len() };
+    for (w, scale, want) in &cases[..n] {
+        let ro = RunOptions {
+            scale: *scale,
+            period: (20_000, 21_600),
+            ..RunOptions::default()
+        };
+        let r = dcpi_workloads::run_workload(*w, ProfConfig::Cycles, &ro);
+        assert_eq!(
+            (r.cycles, r.samples, r.retired),
+            *want,
+            "{} scale {scale} drifted from golden values",
+            w.name()
+        );
+    }
+}
+
+/// Flattens everything observable about a merged result into a comparable
+/// form: scalar counters, every profile in key order, sorted edge-sample
+/// counts, and the ground truth's per-image counts and edges.
+fn fingerprint(r: &RunResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "cycles={} samples={} retired={}",
+        r.cycles, r.samples, r.retired
+    );
+    for key in r.profiles.sorted_keys() {
+        let p = r.profiles.get(key.image, key.event).expect("keyed profile");
+        let _ = writeln!(
+            s,
+            "profile {:?} {:?}: {:?}",
+            key.image,
+            key.event,
+            p.iter().collect::<Vec<_>>()
+        );
+    }
+    let mut edges: Vec<_> = r.edge_profiles.iter().map(|(k, v)| (*k, *v)).collect();
+    edges.sort_unstable();
+    let _ = writeln!(s, "edges: {edges:?}");
+    let _ = writeln!(s, "gt retired: {}", r.gt.total_retired());
+    for (id, image) in &r.images {
+        let counts: Vec<u64> = (0..image.words().len())
+            .map(|w| r.gt.insn_count(*id, w as u64 * 4))
+            .collect();
+        let mut gt_edges = r.gt.edges_of(*id);
+        gt_edges.sort_unstable();
+        let _ = writeln!(s, "gt {id:?}: {counts:?} {gt_edges:?}");
+    }
+    s
+}
+
+/// `run_merged` returns a bit-identical result whether the runs execute
+/// serially or on four workers.
+#[test]
+fn merged_runs_are_identical_across_thread_counts() {
+    let runs = if quick() { 2 } else { 4 };
+    let ro = RunOptions {
+        scale: 4,
+        period: (20_000, 21_600),
+        ..RunOptions::default()
+    };
+    let serial = run_merged(Workload::Gcc, ProfConfig::Cycles, &ro, runs, 1);
+    let parallel = run_merged(Workload::Gcc, ProfConfig::Cycles, &ro, runs, 4);
+    assert!(serial.samples > 0, "experiment produced no samples");
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "thread count changed the merged result"
+    );
+}

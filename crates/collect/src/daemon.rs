@@ -456,7 +456,13 @@ mod tests {
 
     #[test]
     fn startup_scan_learns_idle_processes() {
-        let os = Os::new(2, 8192, default_kernel(), None);
+        let os = Os::new(
+            2,
+            8192,
+            default_kernel(),
+            None,
+            dcpi_isa::pipeline::PipelineModel::default(),
+        );
         let mut d = Daemon::new(DaemonConfig::default()).unwrap();
         d.startup_scan(&os);
         assert_eq!(d.tracked_processes(), 2);
@@ -533,7 +539,13 @@ mod tests {
 
     #[test]
     fn memory_accounting_tracks_peak() {
-        let os = Os::new(1, 8192, default_kernel(), None);
+        let os = Os::new(
+            1,
+            8192,
+            default_kernel(),
+            None,
+            dcpi_isa::pipeline::PipelineModel::default(),
+        );
         let mut d = daemon_with_map();
         d.update_memory(&os);
         let first = d.stats.memory_bytes;

@@ -13,11 +13,13 @@ pub mod asm;
 pub mod encode;
 pub mod image;
 pub mod insn;
+pub mod meta;
 pub mod pipeline;
 pub mod reg;
 
 pub use asm::Asm;
 pub use image::{Image, Symbol};
 pub use insn::{BrCond, FpOp, Instruction, IntOp, PalFunc, RegOrLit};
+pub use meta::InsnMeta;
 pub use pipeline::{BlockSchedule, InsnClass, Pipe, PipelineModel, StaticCause};
 pub use reg::Reg;

@@ -21,7 +21,8 @@ use crate::stats::GroundTruth;
 use crate::tlb::Tlb;
 use dcpi_core::{Addr, CpuId, Event, ImageId, Pid, Sample};
 use dcpi_isa::insn::{Instruction, PalFunc, RegOrLit};
-use dcpi_isa::pipeline::{classify, pipes_compatible, InsnClass};
+use dcpi_isa::meta::InsnMeta;
+use dcpi_isa::pipeline::{pipes_compatible, InsnClass};
 use dcpi_isa::reg::Reg;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -80,7 +81,19 @@ pub enum Outcome {
     NoProcess,
 }
 
-/// The running process plus a one-entry mapping cache for fast fetch.
+/// Sentinel virtual page marking a translation cache as empty.
+const NO_VPAGE: u64 = u64::MAX;
+
+/// The running process plus per-process fast-path caches: a one-entry
+/// mapping cache for fetch, and one-entry fetch/data translation caches.
+///
+/// Invalidation contract: a process's `page_table` is insert-only
+/// (`Os::translate` assigns a physical page on first touch and never
+/// remaps), so a cached vpage→physical-base pair can only go stale across
+/// a context switch — and `CpuState::install` constructs a fresh
+/// `RunningProc`, which resets every cache. The caches only ever hold
+/// pages that have already been translated, so first-touch physical-page
+/// allocation order is unchanged and simulation results stay bit-identical.
 #[derive(Debug)]
 pub struct RunningProc {
     /// The process being executed.
@@ -89,6 +102,11 @@ pub struct RunningProc {
     cur_end: u64,
     cur_image: ImageId,
     cur_insns: Arc<Vec<Instruction>>,
+    cur_meta: Arc<Vec<InsnMeta>>,
+    fetch_vpage: u64,
+    fetch_pbase: u64,
+    data_vpage: u64,
+    data_pbase: u64,
 }
 
 impl RunningProc {
@@ -99,6 +117,11 @@ impl RunningProc {
             cur_end: 0,
             cur_image: ImageId(u32::MAX),
             cur_insns: Arc::new(Vec::new()),
+            cur_meta: Arc::new(Vec::new()),
+            fetch_vpage: NO_VPAGE,
+            fetch_pbase: 0,
+            data_vpage: NO_VPAGE,
+            data_pbase: 0,
         }
     }
 
@@ -112,8 +135,34 @@ impl RunningProc {
             self.cur_end = m.base.0 + m.size;
             self.cur_image = m.image;
             self.cur_insns = Arc::clone(&li.insns);
+            self.cur_meta = Arc::clone(&li.meta);
         }
         Some((self.cur_image, ((pc.0 - self.cur_base) / 4) as u32))
+    }
+
+    /// Translates an instruction-fetch address through the one-entry
+    /// fetch cache, falling back to [`Os::translate`] on a page change.
+    #[inline]
+    fn translate_fetch(&mut self, os: &mut Os, vaddr: u64, page_bytes: u64) -> u64 {
+        let vpage = vaddr / page_bytes;
+        let off = vaddr % page_bytes;
+        if vpage != self.fetch_vpage {
+            self.fetch_pbase = os.translate(&mut self.proc, vaddr) - off;
+            self.fetch_vpage = vpage;
+        }
+        self.fetch_pbase + off
+    }
+
+    /// Translates a data address through the one-entry data cache.
+    #[inline]
+    fn translate_data(&mut self, os: &mut Os, vaddr: u64, page_bytes: u64) -> u64 {
+        let vpage = vaddr / page_bytes;
+        let off = vaddr % page_bytes;
+        if vpage != self.data_vpage {
+            self.data_pbase = os.translate(&mut self.proc, vaddr) - off;
+            self.data_vpage = vpage;
+        }
+        self.data_pbase + off
     }
 }
 
@@ -289,10 +338,11 @@ fn step_inner<S: SampleSink>(
     let Some((image, word)) = run.lookup(os, pc) else {
         return Outcome::Fault;
     };
-    let Some(&insn) = run.cur_insns.clone().get(word as usize) else {
+    let Some(insn) = run.cur_insns.get(word as usize).copied() else {
         return Outcome::Fault;
     };
-    let class = classify(&insn);
+    let m = run.cur_meta[word as usize];
+    let class = m.class;
     let head_base0 = (cpu.prev_issue + 1).max(cpu.resume_at).max(cpu.fetch_ready);
 
     // --- instruction fetch: ITB and I-cache -------------------------------
@@ -304,7 +354,7 @@ fn step_inner<S: SampleSink>(
             cpu.overflow_scratch.push(o);
         }
     }
-    let ipaddr = os.translate(&mut run.proc, pc.0);
+    let ipaddr = run.translate_fetch(os, pc.0, cfg.page_bytes);
     if cpu.icache.access(ipaddr) == Probe::Miss {
         if let Some(o) = cpu.counters.count(Event::IMiss, head_base0) {
             cpu.overflow_scratch.push(o);
@@ -319,11 +369,11 @@ fn step_inner<S: SampleSink>(
 
     // --- senior issue time -------------------------------------------------
     let mut issue = head_base;
-    for r in insn.reads() {
+    for r in m.reads() {
         issue = issue.max(cpu.ready[r.index()]);
     }
-    if let Some(w) = insn.writes() {
-        issue = issue.max(cpu.ready[w.index()]);
+    if let Some(w) = m.write_index() {
+        issue = issue.max(cpu.ready[w]);
     }
     match class {
         InsnClass::IntMul => issue = issue.max(cpu.imul_free),
@@ -331,13 +381,13 @@ fn step_inner<S: SampleSink>(
         _ => {}
     }
     // Memory timing for the senior.
-    if insn.is_memory() {
-        issue = mem_timing(cpu, os, &mut run.proc, &insn, issue, cfg, true);
+    if m.is_memory() {
+        issue = mem_timing(cpu, os, run, &insn, &m, issue, cfg, true);
     }
 
     // --- senior semantics ---------------------------------------------------
     let next = exec_semantics(&mut run.proc, &insn, pc);
-    commit_result(cpu, &insn, class, issue, model);
+    commit_result(cpu, &m, issue, model);
     if cfg.ground_truth {
         gt.count_insn(image, word);
     }
@@ -353,22 +403,22 @@ fn step_inner<S: SampleSink>(
 
     // --- junior: aligned-pair dual issue ------------------------------------
     let mut retired: u64 = 1;
-    if !insn.is_control()
+    if !m.is_control()
         && class != InsnClass::Pal
         && (pc.0 / 4).is_multiple_of(2)
         && new_pc == pc.next()
     {
         if let Some((jimage, jword)) = run.lookup(os, new_pc) {
-            if let Some(&junior) = run.cur_insns.clone().get(jword as usize) {
-                if try_pair(cpu, run, &insn, &junior, issue, cfg) {
-                    let jclass = classify(&junior);
+            if let Some(junior) = run.cur_insns.get(jword as usize).copied() {
+                let jm = run.cur_meta[jword as usize];
+                if try_pair(cpu, run, &m, &junior, &jm, issue, cfg) {
                     // Junior memory timing first (the effective address
                     // uses pre-execution register values).
-                    if junior.is_memory() {
-                        let _ = mem_timing(cpu, os, &mut run.proc, &junior, issue, cfg, false);
+                    if jm.is_memory() {
+                        let _ = mem_timing(cpu, os, run, &junior, &jm, issue, cfg, false);
                     }
                     let jnext = exec_semantics(&mut run.proc, &junior, new_pc);
-                    commit_result(cpu, &junior, jclass, issue, model);
+                    commit_result(cpu, &jm, issue, model);
                     if cfg.ground_truth {
                         gt.count_insn(jimage, jword);
                     }
@@ -484,17 +534,19 @@ fn deliver_due<S: SampleSink>(
 /// write-buffer effects. Returns the (possibly delayed) issue cycle for
 /// seniors; for juniors (`is_senior == false`) the issue cycle is fixed
 /// and only latencies/events apply.
+#[allow(clippy::too_many_arguments)]
 fn mem_timing(
     cpu: &mut CpuState,
     os: &mut Os,
-    proc: &mut Process,
+    run: &mut RunningProc,
     insn: &Instruction,
+    m: &InsnMeta,
     mut issue: u64,
     cfg: &MachineConfig,
     is_senior: bool,
 ) -> u64 {
     let model = &cfg.model;
-    let vaddr = mem_vaddr(proc, insn);
+    let vaddr = mem_vaddr(&run.proc, insn);
     let vpage = vaddr / cfg.page_bytes;
     if !cpu.dtb.access(vpage) {
         if let Some(o) = cpu.counters.count(Event::DtbMiss, issue) {
@@ -505,8 +557,8 @@ fn mem_timing(
             issue += model.dtb_miss_penalty;
         }
     }
-    let paddr = os.translate(proc, vaddr);
-    if insn.is_load() {
+    let paddr = run.translate_data(os, vaddr, cfg.page_bytes);
+    if m.is_load() {
         let extra = if cpu.dcache.access(paddr) == Probe::Miss {
             if let Some(o) = cpu.counters.count(Event::DMiss, issue) {
                 cpu.overflow_scratch.push(o);
@@ -519,10 +571,10 @@ fn mem_timing(
         } else {
             0
         };
-        if let Some(w) = insn.writes() {
+        if let Some(w) = m.write_index() {
             // Loads commit their latency here; `commit_result` will not
             // override a later ready time.
-            cpu.ready[w.index()] = issue + model.load_latency + extra;
+            cpu.ready[w] = issue + model.load_latency + extra;
         }
     } else {
         // Store: consume a write-buffer entry; stall on overflow.
@@ -557,54 +609,51 @@ fn mem_vaddr(proc: &Process, insn: &Instruction) -> u64 {
 /// occupancy.
 fn commit_result(
     cpu: &mut CpuState,
-    insn: &Instruction,
-    class: InsnClass,
+    m: &InsnMeta,
     issue: u64,
     model: &dcpi_isa::pipeline::PipelineModel,
 ) {
-    if !insn.is_load() {
-        if let Some(w) = insn.writes() {
-            let lat = model.result_latency(class).unwrap_or(1);
-            cpu.ready[w.index()] = issue + lat;
+    if !m.is_load() {
+        if let Some(w) = m.write_index() {
+            cpu.ready[w] = issue + m.result_latency;
         }
     }
-    match class {
+    match m.class {
         InsnClass::IntMul => cpu.imul_free = issue + model.imul_busy,
         InsnClass::FpDiv => cpu.fdiv_free = issue + model.fdiv_busy,
         _ => {}
     }
 }
 
-/// Decides whether `junior` can dual-issue with `senior` at `issue`.
+/// Decides whether the junior can dual-issue with the senior at `issue`.
 fn try_pair(
     cpu: &CpuState,
     run: &RunningProc,
-    senior: &Instruction,
+    sm: &InsnMeta,
     junior: &Instruction,
+    jm: &InsnMeta,
     issue: u64,
     cfg: &MachineConfig,
 ) -> bool {
-    let jclass = classify(junior);
-    let sclass = classify(senior);
-    if !pipes_compatible(sclass, jclass) {
+    if !pipes_compatible(sm.class, jm.class) {
         return false;
     }
     // Same-cycle data conflicts with the senior.
-    if let Some(w) = senior.writes() {
-        if junior.reads().contains(&w) || junior.writes() == Some(w) {
+    if let Some(w) = sm.writes() {
+        if jm.reads().contains(&w) || jm.writes() == Some(w) {
             return false;
         }
     }
     // Junior operands and destination must be ready.
-    if junior.reads().iter().any(|r| cpu.ready[r.index()] > issue) {
+    if jm.reads().iter().any(|r| cpu.ready[r.index()] > issue) {
         return false;
     }
-    if let Some(w) = junior.writes() {
-        if cpu.ready[w.index()] > issue {
+    if let Some(w) = jm.write_index() {
+        if cpu.ready[w] > issue {
             return false;
         }
     }
-    match jclass {
+    match jm.class {
         InsnClass::IntMul if cpu.imul_free > issue => return false,
         InsnClass::FpDiv if cpu.fdiv_free > issue => return false,
         _ => {}
@@ -616,21 +665,25 @@ fn try_pair(
     if !cpu.itb.peek(jvpage) {
         return false;
     }
-    if let Some(&ppage) = run.proc.page_table.get(&jvpage) {
-        let jpaddr = ppage * cfg.page_bytes + jpc.0 % cfg.page_bytes;
-        if !cpu.icache.peek(jpaddr) {
-            return false;
-        }
+    let jpaddr = if jvpage == run.fetch_vpage {
+        // Fast path: the junior is on the senior's (already translated)
+        // fetch page, which is the common case.
+        run.fetch_pbase + jpc.0 % cfg.page_bytes
+    } else if let Some(&ppage) = run.proc.page_table.get(&jvpage) {
+        ppage * cfg.page_bytes + jpc.0 % cfg.page_bytes
     } else {
+        return false;
+    };
+    if !cpu.icache.peek(jpaddr) {
         return false;
     }
     // Junior memory preconditions.
-    if junior.is_memory() {
+    if jm.is_memory() {
         let vaddr = mem_vaddr(&run.proc, junior);
         if !cpu.dtb.peek(vaddr / cfg.page_bytes) {
             return false;
         }
-        if junior.is_store() {
+        if jm.is_store() {
             let occupied = cpu.wb.iter().filter(|&&t| t > issue).count();
             if occupied >= cfg.model.write_buffer_entries {
                 return false;

@@ -46,7 +46,13 @@ impl<S: SampleSink> Machine<S> {
         let page_seed = cfg
             .page_alloc_random
             .then_some(cfg.seed.wrapping_mul(7919).max(1));
-        let os = Os::new(cfg.cpus, cfg.page_bytes, kernel, page_seed);
+        let os = Os::new(
+            cfg.cpus,
+            cfg.page_bytes,
+            kernel,
+            page_seed,
+            cfg.model.clone(),
+        );
         let mut gt = GroundTruth::new();
         for li in os.images() {
             gt.register_image(li.id, li.image.words().len());

@@ -14,8 +14,10 @@ use dcpi_core::{Addr, ImageId, Pid};
 use dcpi_isa::asm::Asm;
 use dcpi_isa::image::Image;
 use dcpi_isa::insn::Instruction;
+use dcpi_isa::meta::{side_table, InsnMeta};
+use dcpi_isa::pipeline::PipelineModel;
 use dcpi_isa::reg::Reg;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Virtual base address at which the kernel image is mapped in every
@@ -40,6 +42,10 @@ pub struct LoadedImage {
     pub image: Arc<Image>,
     /// Pre-decoded text.
     pub insns: Arc<Vec<Instruction>>,
+    /// Precomputed per-instruction issue metadata (positional with
+    /// `insns`), so the simulator's hot loop never re-derives classes,
+    /// register sets, or latency hints.
+    pub meta: Arc<Vec<InsnMeta>>,
 }
 
 /// Notifications consumed by the profiling daemon (§4.3.2).
@@ -74,7 +80,9 @@ pub enum OsEvent {
 /// The operating system model.
 #[derive(Debug)]
 pub struct Os {
-    images: HashMap<ImageId, LoadedImage>,
+    // A BTreeMap so `images()` iterates in id order: experiment outputs
+    // and merged-run fingerprints must not depend on hash iteration order.
+    images: BTreeMap<ImageId, LoadedImage>,
     by_name: HashMap<String, ImageId>,
     run_queues: Vec<VecDeque<Process>>,
     idle: Vec<Option<Process>>,
@@ -87,15 +95,24 @@ pub struct Os {
     page_bytes: u64,
     kernel: ImageId,
     live_processes: usize,
+    model: PipelineModel,
 }
 
 impl Os {
     /// Creates the OS with `cpus` processors, using `kernel` as the kernel
     /// image (see [`default_kernel`]) and the given page-placement policy.
+    /// `model` is the pipeline model of the CPUs the OS will run on; it is
+    /// used to precompute per-image instruction metadata at registration.
     #[must_use]
-    pub fn new(cpus: usize, page_bytes: u64, kernel: Image, page_alloc_seed: Option<u32>) -> Os {
+    pub fn new(
+        cpus: usize,
+        page_bytes: u64,
+        kernel: Image,
+        page_alloc_seed: Option<u32>,
+        model: PipelineModel,
+    ) -> Os {
         let mut os = Os {
-            images: HashMap::new(),
+            images: BTreeMap::new(),
             by_name: HashMap::new(),
             run_queues: (0..cpus).map(|_| VecDeque::new()).collect(),
             idle: (0..cpus).map(|_| None).collect(),
@@ -108,6 +125,7 @@ impl Os {
             page_bytes,
             kernel: ImageId(0),
             live_processes: 0,
+            model,
         };
         let kid = os.register_image(kernel);
         os.kernel = kid;
@@ -146,6 +164,7 @@ impl Os {
         let id = ImageId(self.next_image);
         self.next_image += 1;
         let insns = image.decode_all().expect("image text must decode");
+        let meta = side_table(&insns, &self.model);
         self.by_name.insert(image.name().to_string(), id);
         self.images.insert(
             id,
@@ -153,6 +172,7 @@ impl Os {
                 id,
                 image: Arc::new(image),
                 insns: Arc::new(insns),
+                meta: Arc::new(meta),
             },
         );
         id
@@ -389,7 +409,7 @@ mod tests {
     use super::*;
 
     fn os() -> Os {
-        Os::new(2, 8192, default_kernel(), None)
+        Os::new(2, 8192, default_kernel(), None, PipelineModel::default())
     }
 
     #[test]
@@ -483,8 +503,8 @@ mod tests {
 
     #[test]
     fn random_page_allocation_differs_by_seed() {
-        let mut a = Os::new(1, 8192, default_kernel(), Some(1));
-        let mut b = Os::new(1, 8192, default_kernel(), Some(2));
+        let mut a = Os::new(1, 8192, default_kernel(), Some(1), PipelineModel::default());
+        let mut b = Os::new(1, 8192, default_kernel(), Some(2), PipelineModel::default());
         let pa: Vec<u64> = (0..8).map(|_| a.alloc_ppage()).collect();
         let pb: Vec<u64> = (0..8).map(|_| b.alloc_ppage()).collect();
         assert_ne!(pa, pb);

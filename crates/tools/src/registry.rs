@@ -122,7 +122,13 @@ mod tests {
 
     #[test]
     fn from_os_includes_kernel() {
-        let os = dcpi_machine::Os::new(1, 8192, dcpi_machine::os::default_kernel(), None);
+        let os = dcpi_machine::Os::new(
+            1,
+            8192,
+            dcpi_machine::os::default_kernel(),
+            None,
+            dcpi_isa::pipeline::PipelineModel::default(),
+        );
         let r = ImageRegistry::from_os(&os);
         assert_eq!(r.name(os.kernel_image()), "/vmunix");
     }

@@ -24,6 +24,8 @@
 //! benchmark harness needs to regenerate the tables and figures.
 
 pub mod driver;
+pub mod pool;
 pub mod programs;
 
 pub use driver::{run_workload, ProfConfig, RunOptions, RunResult, Workload};
+pub use pool::{default_threads, run_indexed};

@@ -1,0 +1,119 @@
+//! A std-only scoped-thread worker pool for independent simulation runs.
+//!
+//! Every multi-run experiment in the bench crate is a fan-out over
+//! independent `(workload, config, seed)` cells: each run constructs its
+//! own `Machine` and shares nothing with its siblings, so the only thing a
+//! parallel runner must guarantee is that the *merge order* of results is
+//! independent of scheduling. [`run_indexed`] provides exactly that
+//! contract: jobs are claimed from an atomic counter by `threads` scoped
+//! workers, each result is parked in its input-index slot, and the output
+//! `Vec` is returned in input order — so downstream index-ordered merging
+//! is bit-for-bit identical for any thread count, including the
+//! `threads == 1` serial fallback (which does not spawn at all and
+//! reproduces the plain `for` loop exactly).
+//!
+//! The workspace builds offline, so this is plain `std::thread::scope` —
+//! no rayon, no crossbeam.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the machine's available parallelism, or 1 if
+/// it cannot be determined.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `job(0..n)` across `threads` workers and returns the results in
+/// index order.
+///
+/// `job` must be independent across indices (no shared mutable state);
+/// each invocation's result lands at its own index in the returned `Vec`,
+/// so the output is deterministic regardless of which worker ran which
+/// index. With `threads <= 1` (or `n <= 1`) no threads are spawned and the
+/// jobs run serially on the caller's thread in index order.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_indexed<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = job(i);
+                *slots[i].lock().expect("slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every index was claimed and filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_indexed(13, threads, |i| i * i);
+            assert_eq!(
+                out,
+                (0..13).map(|i| i * i).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn serial_path_runs_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let ids = run_indexed(3, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        let out = run_indexed(2, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let _ = run_indexed(100, 4, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

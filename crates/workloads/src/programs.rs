@@ -715,7 +715,13 @@ mod tests {
     use super::*;
 
     fn kernel_addrs() -> KernelAddrs {
-        let os = dcpi_machine::Os::new(1, 8192, dcpi_machine::os::default_kernel(), None);
+        let os = dcpi_machine::Os::new(
+            1,
+            8192,
+            dcpi_machine::os::default_kernel(),
+            None,
+            dcpi_isa::pipeline::PipelineModel::default(),
+        );
         KernelAddrs {
             bcopy: os.kernel_proc_addr("bcopy").unwrap(),
             in_checksum: os.kernel_proc_addr("in_checksum").unwrap(),
