@@ -6,8 +6,15 @@
 //! `--quick` shrinks the workload scales and run count for CI;
 //! `--threads N` sets the experiment's worker count; `--json` echoes the
 //! JSON to stdout as well.
+//!
+//! `--check` additionally compares each workload's throughput against
+//! the committed `BENCH_perf.json` baseline and exits nonzero if any
+//! falls below half of it — a gross-regression guard (the tolerance is
+//! generous because CI hardware varies). The CI chaos job runs it to
+//! show that the collection pipeline's fault-injection hooks cost
+//! nothing when no `FaultPlan` is armed.
 
-use dcpi_bench::{run_merged, ExpOptions, ACCURACY_PERIOD};
+use dcpi_bench::{parse_baseline, run_merged, ExpOptions, ACCURACY_PERIOD};
 use dcpi_workloads::programs::StreamKind;
 use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
 use std::fmt::Write as _;
@@ -32,6 +39,11 @@ struct ExperimentRow {
 
 fn main() {
     let opts = ExpOptions::from_args(4);
+    // Read the committed baseline before we overwrite it below.
+    let baseline = opts
+        .check
+        .then(|| std::fs::read_to_string("BENCH_perf.json").ok())
+        .flatten();
     // Same workloads and options as the `speedtest` binary, so the
     // throughput numbers are directly comparable; `--quick` divides the
     // scales for CI wall-time budgets.
@@ -108,6 +120,39 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
+    if opts.check && !check_against_baseline(&rows, baseline.as_deref()) {
+        std::process::exit(1);
+    }
+}
+
+/// The `--check` guard: every workload must reach at least half the
+/// committed baseline's throughput. `mcycles_per_s` is (roughly) scale-
+/// independent, so `--quick` runs compare against a full-scale baseline;
+/// the 2x slack absorbs both that and CI hardware variance. Returns
+/// false on a regression.
+fn check_against_baseline(rows: &[WorkloadRow], baseline: Option<&str>) -> bool {
+    let Some(baseline) = baseline else {
+        eprintln!("warning: --check but no committed BENCH_perf.json; nothing to compare");
+        return true;
+    };
+    let base = parse_baseline(baseline);
+    let mut ok = true;
+    for r in rows {
+        let now = r.cycles as f64 / r.wall_s / 1e6;
+        match base.iter().find(|(n, _)| n == r.name) {
+            Some((_, was)) => {
+                let pass = now >= was / 2.0;
+                println!(
+                    "check {:<18} {now:7.1}M cyc/s vs baseline {was:7.1}M  {}",
+                    r.name,
+                    if pass { "ok" } else { "** REGRESSED **" }
+                );
+                ok &= pass;
+            }
+            None => println!("check {:<18} has no baseline row; skipping", r.name),
+        }
+    }
+    ok
 }
 
 fn render_json(rows: &[WorkloadRow], exp: &ExperimentRow, opts: &ExpOptions) -> String {

@@ -49,6 +49,10 @@ pub struct ExpOptions {
     pub threads: usize,
     /// Machine-readable JSON output where a binary supports it.
     pub json: bool,
+    /// Regression-guard mode (`bench_report --check`): compare against
+    /// the committed `BENCH_perf.json` baseline and exit nonzero on a
+    /// gross throughput regression.
+    pub check: bool,
 }
 
 impl ExpOptions {
@@ -79,6 +83,7 @@ impl ExpOptions {
             quick,
             threads: dcpi_workloads::default_threads(),
             json: false,
+            check: false,
         };
         let mut warnings = Vec::new();
         let mut i = 0;
@@ -87,6 +92,7 @@ impl ExpOptions {
             match flag {
                 "--quick" => opts.quick = true,
                 "--json" => opts.json = true,
+                "--check" => opts.check = true,
                 "--runs" | "--scale" | "--seed" | "--threads" => {
                     // A following flag is not a value: warn and reparse it.
                     match args.get(i + 1).filter(|v| !v.starts_with("--")) {
@@ -115,6 +121,26 @@ impl ExpOptions {
         }
         (opts, warnings)
     }
+}
+
+/// Extracts `(name, mcycles_per_s)` per workload from a committed
+/// `BENCH_perf.json` baseline. The file is our own single-line-per-row
+/// output (see `bench_report`), so a line scan suffices — no JSON
+/// dependency. Rows without both fields are skipped.
+#[must_use]
+pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = &line[line.find(&format!("\"{key}\":"))? + key.len() + 3..];
+        let rest = rest.trim_start();
+        Some(rest[..rest.find([',', '}']).unwrap_or(rest.len())].trim())
+    }
+    json.lines()
+        .filter_map(|line| {
+            let name = field(line, "name")?.trim_matches('"').to_string();
+            let thru: f64 = field(line, "mcycles_per_s")?.parse().ok()?;
+            Some((name, thru))
+        })
+        .collect()
 }
 
 /// Mean and 95% confidence half-interval of a sample.
@@ -335,6 +361,25 @@ pub fn run_merged(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_baseline_extracts_throughput_rows() {
+        let json = concat!(
+            "{\n  \"workloads\": [\n",
+            "    {\"name\": \"gcc\", \"scale\": 8, \"wall_s\": 0.5407, \"mcycles_per_s\": 26.23},\n",
+            "    {\"name\": \"wave5\", \"mcycles_per_s\": 78.58}\n",
+            "  ],\n",
+            "  \"experiments\": [\n",
+            "    {\"name\": \"run_merged\", \"samples\": 22172, \"wall_s\": 14.5}\n",
+            "  ]\n}",
+        );
+        let rows = parse_baseline(json);
+        assert_eq!(
+            rows,
+            vec![("gcc".to_string(), 26.23), ("wave5".to_string(), 78.58)]
+        );
+        assert!(parse_baseline("not json at all").is_empty());
+    }
 
     #[test]
     fn mean_ci_basics() {

@@ -30,6 +30,9 @@ pub enum Layer {
     Cfg,
     /// Frequency-estimate and summary audits.
     Estimate,
+    /// On-disk profile-database audits: checksums, epoch structure,
+    /// image-name records.
+    Database,
 }
 
 impl fmt::Display for Layer {
@@ -38,6 +41,7 @@ impl fmt::Display for Layer {
             Layer::Image => write!(f, "image"),
             Layer::Cfg => write!(f, "cfg"),
             Layer::Estimate => write!(f, "estimate"),
+            Layer::Database => write!(f, "db"),
         }
     }
 }
@@ -75,6 +79,17 @@ pub enum Category {
     CulpritCompleteness,
     /// The Figure 4 summary books do not reconcile.
     SummaryBooks,
+    /// A profile file fails its length/checksum framing.
+    FileChecksum,
+    /// Epoch directory structure problems (gaps, unparseable names,
+    /// foreign files).
+    EpochStructure,
+    /// Image-name records missing or malformed for profiled images.
+    ImageNameRecord,
+    /// A stale `.tmp` from an interrupted merge (§4.3.3).
+    StaleTemp,
+    /// A quarantined profile file: its samples are sealed off.
+    QuarantinedFile,
 }
 
 impl Category {
@@ -97,6 +112,11 @@ impl Category {
             | Category::FanOutMismatch
             | Category::CulpritCompleteness
             | Category::SummaryBooks => Layer::Estimate,
+            Category::FileChecksum
+            | Category::EpochStructure
+            | Category::ImageNameRecord
+            | Category::StaleTemp
+            | Category::QuarantinedFile => Layer::Database,
         }
     }
 
@@ -119,6 +139,11 @@ impl Category {
             Category::FanOutMismatch => "fan-out-mismatch",
             Category::CulpritCompleteness => "culprit-completeness",
             Category::SummaryBooks => "summary-books",
+            Category::FileChecksum => "file-checksum",
+            Category::EpochStructure => "epoch-structure",
+            Category::ImageNameRecord => "image-name",
+            Category::StaleTemp => "stale-temp",
+            Category::QuarantinedFile => "quarantined-file",
         }
     }
 }
@@ -315,6 +340,11 @@ mod tests {
             Category::FanOutMismatch,
             Category::CulpritCompleteness,
             Category::SummaryBooks,
+            Category::FileChecksum,
+            Category::EpochStructure,
+            Category::ImageNameRecord,
+            Category::StaleTemp,
+            Category::QuarantinedFile,
         ];
         for c in all {
             assert!(!c.name().is_empty());

@@ -70,6 +70,11 @@ pub struct DaemonStats {
     pub memory_bytes: u64,
     /// Peak modeled resident memory in bytes.
     pub peak_memory_bytes: u64,
+    /// Failed writes of image names or saved executables. These were once
+    /// silently swallowed; a database that cannot say which binary image
+    /// 3 was is damaged, so the failures are counted and surfaced in
+    /// session summaries.
+    pub image_write_failures: u64,
 }
 
 impl DaemonStats {
@@ -122,7 +127,35 @@ impl Daemon {
             Some(p) => Some(ProfileDb::create(p.clone(), cfg.format)?),
             None => None,
         };
-        Ok(Daemon {
+        Ok(Daemon::with_db(cfg, db))
+    }
+
+    /// Restarts the daemon after a crash: reopens the database where it
+    /// left off — resuming the newest epoch and sweeping any `.tmp` file
+    /// the crash tore mid-merge — instead of resetting to epoch 0. The
+    /// caller must follow with [`Daemon::startup_scan`] to relearn
+    /// loadmaps (§4.3.2), exactly the paper's recovery sequence. In-memory
+    /// profiles, stats, and loadmaps of the crashed instance are gone:
+    /// that bounded loss is what the periodic flush epochs are for.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the database cannot be reopened (a missing or
+    /// empty directory falls back to creating a fresh one).
+    pub fn reopen(cfg: DaemonConfig) -> Result<Daemon> {
+        let db = match &cfg.db_path {
+            Some(p) => Some(match ProfileDb::open(p.clone(), cfg.format) {
+                Ok(db) => db,
+                Err(Error::NotFound(_) | Error::Io(_)) => ProfileDb::create(p.clone(), cfg.format)?,
+                Err(e) => return Err(e),
+            }),
+            None => None,
+        };
+        Ok(Daemon::with_db(cfg, db))
+    }
+
+    fn with_db(cfg: DaemonConfig, db: Option<ProfileDb>) -> Daemon {
+        Daemon {
             cfg,
             loadmaps: HashMap::new(),
             exited: Vec::new(),
@@ -133,7 +166,7 @@ impl Daemon {
             db,
             stats: DaemonStats::default(),
             accrued_cycles: 0,
-        })
+        }
     }
 
     /// Startup scan (§4.3.2): learn the mappings of already-active
@@ -150,14 +183,21 @@ impl Daemon {
         if let Some(db) = &mut self.db {
             let images_dir = db.root().join("images");
             for li in os.images() {
-                let _ = db.record_image_name(li.id, li.image.name());
+                if db.record_image_name(li.id, li.image.name()).is_err() {
+                    self.stats.image_write_failures += 1;
+                }
                 // Keep the profiled executables next to the profiles so
                 // the offline tools can symbolize and analyze without
                 // the original build tree.
                 let path = images_dir.join(format!("{:08x}.img", li.id.0));
-                if !path.exists() {
-                    let _ = std::fs::create_dir_all(&images_dir);
-                    let _ = std::fs::write(&path, li.image.to_bytes());
+                if path.exists() {
+                    continue;
+                }
+                if std::fs::create_dir_all(&images_dir)
+                    .and_then(|()| std::fs::write(&path, li.image.to_bytes()))
+                    .is_err()
+                {
+                    self.stats.image_write_failures += 1;
                 }
             }
         }
@@ -534,6 +574,74 @@ mod tests {
         let set = db.read_all().unwrap();
         assert_eq!(set.get(ImageId(3), Event::Cycles).unwrap().get(8), 6);
         assert!(db.disk_usage().unwrap() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_resumes_newest_epoch_with_names() {
+        let dir = std::env::temp_dir().join(format!("dcpi-daemon-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DaemonConfig {
+            db_path: Some(dir.clone()),
+            ..DaemonConfig::default()
+        };
+        {
+            let mut d = Daemon::new(cfg.clone()).unwrap();
+            d.handle_events(vec![OsEvent::ImageLoaded {
+                pid: Pid(7),
+                image: ImageId(3),
+                base: Addr(0x10000),
+                size: 0x1000,
+                path: "/bin/app".into(),
+            }]);
+            d.process_entries(&[entry(7, 0x10008, 6)]);
+            d.flush_to_disk().unwrap();
+            d.new_epoch().unwrap();
+            // Crash here: the daemon is dropped mid-epoch.
+        }
+        let d = Daemon::reopen(cfg).unwrap();
+        let db = d.db().unwrap();
+        assert_eq!(db.current_epoch().0, 1, "resumes the newest epoch");
+        let set = db.read_all().unwrap();
+        assert_eq!(set.get(ImageId(3), Event::Cycles).unwrap().get(8), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_without_prior_database_creates_one() {
+        let dir = std::env::temp_dir().join(format!("dcpi-daemon-fresh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DaemonConfig {
+            db_path: Some(dir.clone()),
+            ..DaemonConfig::default()
+        };
+        let d = Daemon::reopen(cfg).unwrap();
+        assert!(d.db().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn image_write_failures_are_counted() {
+        let dir = std::env::temp_dir().join(format!("dcpi-daemon-iofail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DaemonConfig {
+            db_path: Some(dir.clone()),
+            ..DaemonConfig::default()
+        };
+        let mut d = Daemon::new(cfg).unwrap();
+        // Occupy the `images` directory name with a file: saving the
+        // profiled executables must now fail, and the failure must be
+        // counted rather than swallowed.
+        std::fs::write(dir.join("images"), b"not a directory").unwrap();
+        let os = Os::new(
+            1,
+            8192,
+            default_kernel(),
+            None,
+            dcpi_isa::pipeline::PipelineModel::default(),
+        );
+        d.startup_scan(&os);
+        assert!(d.stats.image_write_failures > 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -312,10 +312,14 @@ impl CpuDriver {
         cost
     }
 
-    /// Begins a flush (§4.2.3): raises the flag (modeling the IPI) and
-    /// drains the hash table into the returned vector, followed by both
-    /// overflow buffers. Ends with the flag lowered.
-    pub fn flush(&mut self) -> Vec<SampleEntry> {
+    /// Opens the flush window (§4.2.3): raises the flag (modeling the
+    /// IPI) and drains the hash table into the returned vector. While the
+    /// window is open, [`CpuDriver::record`] bypasses the table and
+    /// appends samples straight to the overflow buffers; close the window
+    /// with [`CpuDriver::end_flush`]. Splitting the two halves makes the
+    /// bypass window schedulable — fault-injection harnesses stretch it
+    /// to verify no samples are lost however long the daemon dawdles.
+    pub fn begin_flush(&mut self) -> Vec<SampleEntry> {
         self.flushing = true;
         let mut out = Vec::new();
         for e in self.table.iter_mut() {
@@ -326,11 +330,35 @@ impl CpuDriver {
                 });
             }
         }
+        out
+    }
+
+    /// Closes the flush window: drains both overflow buffers (catching
+    /// everything that bypassed the table since [`CpuDriver::begin_flush`])
+    /// and lowers the flag.
+    pub fn end_flush(&mut self) -> Vec<SampleEntry> {
+        let mut out = Vec::new();
         for buf in &mut self.buffers {
             out.append(buf);
         }
         self.buffer_full = false;
         self.flushing = false;
+        out
+    }
+
+    /// True while a flush window opened by [`CpuDriver::begin_flush`] is
+    /// still open.
+    #[must_use]
+    pub fn mid_flush(&self) -> bool {
+        self.flushing
+    }
+
+    /// A complete flush (§4.2.3): the begin/end halves back to back —
+    /// table first, then both overflow buffers, ending with the flag
+    /// lowered.
+    pub fn flush(&mut self) -> Vec<SampleEntry> {
+        let mut out = self.begin_flush();
+        out.extend(self.end_flush());
         out
     }
 
@@ -546,6 +574,26 @@ mod tests {
         let out = d.drain_overflow();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].count, 1);
+    }
+
+    #[test]
+    fn split_flush_window_catches_bypassed_samples() {
+        let mut d = tiny(EvictPolicy::ModCounter);
+        let _ = d.record(sample(1, 0x100));
+        let _ = d.record(sample(1, 0x100));
+        let table_part = d.begin_flush();
+        assert!(d.mid_flush());
+        assert_eq!(table_part.iter().map(|e| e.count).sum::<u64>(), 2);
+        // Interrupts that land while the window is open bypass the table.
+        let _ = d.record(sample(2, 0x200));
+        let _ = d.record(sample(2, 0x204));
+        assert_eq!(d.stats.flush_bypass, 2);
+        let buffer_part = d.end_flush();
+        assert!(!d.mid_flush());
+        assert_eq!(buffer_part.iter().map(|e| e.count).sum::<u64>(), 2);
+        // Nothing left behind, and nothing dropped.
+        assert!(d.flush().is_empty());
+        assert_eq!(d.stats.dropped, 0);
     }
 
     #[test]

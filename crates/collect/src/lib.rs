@@ -10,6 +10,10 @@
 //!   notifications and startup scans (§4.3.2), associates samples with
 //!   images, accumulates per-`(image, event)` profiles, and periodically
 //!   merges them into the on-disk database (§4.3.3).
+//! * [`faults`] — deterministic fault injection: seeded plans of daemon
+//!   stalls, crashes (with on-disk corruption), dropped/delayed loader
+//!   notifications, and torn flush windows, plus the `LossLedger` that
+//!   proves samples are conserved end-to-end under all of them.
 //! * [`htsim`] — the trace-driven hash-table design simulator the paper
 //!   used to evaluate associativity, replacement policy, table size, and
 //!   hash function alternatives (§5.4).
@@ -17,9 +21,11 @@
 
 pub mod daemon;
 pub mod driver;
+pub mod faults;
 pub mod htsim;
 pub mod session;
 
 pub use daemon::{Daemon, DaemonConfig, DaemonStats};
 pub use driver::{CostModel, Driver, DriverConfig, DriverStats, EvictPolicy, HashKind};
+pub use faults::{Backpressure, CrashRecord, FaultInjector, FaultPlan, LossLedger};
 pub use session::{ProfiledRun, SessionConfig};

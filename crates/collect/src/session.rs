@@ -10,7 +10,8 @@
 
 use crate::daemon::{Daemon, DaemonConfig};
 use crate::driver::{CostModel, Driver, DriverConfig};
-use dcpi_core::{Addr, CpuId};
+use crate::faults::{Backpressure, CrashFault, FaultInjector, FaultPlan, LossLedger};
+use dcpi_core::{Addr, CpuId, UNKNOWN_IMAGE};
 use dcpi_core::{ImageId, Pid, ProfileSet, Result, Sample};
 use dcpi_isa::image::Image;
 use dcpi_machine::machine::{Machine, SampleSink};
@@ -66,6 +67,12 @@ pub struct SessionConfig {
     pub charge_daemon: bool,
     /// Log up to this many raw samples for trace-driven analysis.
     pub trace_limit: usize,
+    /// Fault schedule to inject ([`FaultPlan::none`] for a clean run —
+    /// the default, which costs nothing on the pump path).
+    pub faults: FaultPlan,
+    /// Driver backpressure: raise the sampling period when the drop
+    /// rate crosses a threshold (`None` = fixed period).
+    pub backpressure: Option<Backpressure>,
 }
 
 impl Default for SessionConfig {
@@ -79,6 +86,8 @@ impl Default for SessionConfig {
             flush_interval: 20_000_000,
             charge_daemon: true,
             trace_limit: 0,
+            faults: FaultPlan::none(),
+            backpressure: None,
         }
     }
 }
@@ -90,10 +99,25 @@ pub struct ProfiledRun {
     pub machine: Machine<TracingDriver>,
     /// The user-mode daemon.
     pub daemon: Daemon,
+    /// The fault injector applying the configured [`FaultPlan`] (empty
+    /// plan = every check short-circuits).
+    pub injector: FaultInjector,
+    /// Disk flushes that failed (the error is surfaced here instead of
+    /// being swallowed; the samples stay in daemon memory).
+    pub flush_failures: u64,
+    /// Times backpressure raised the sampling period.
+    pub backpressure_raises: u64,
+    daemon_cfg: DaemonConfig,
+    backpressure: Option<Backpressure>,
     cfg_poll: u64,
     cfg_flush: u64,
     charge_daemon: bool,
     next_flush: u64,
+    last_disk_flush: u64,
+    crash_lost: u64,
+    mid_flush: bool,
+    bp_last_dropped: u64,
+    bp_last_interrupts: u64,
 }
 
 impl ProfiledRun {
@@ -115,10 +139,20 @@ impl ProfiledRun {
         Ok(ProfiledRun {
             machine,
             daemon,
+            injector: FaultInjector::new(cfg.faults),
+            flush_failures: 0,
+            backpressure_raises: 0,
+            daemon_cfg: cfg.daemon,
+            backpressure: cfg.backpressure,
             cfg_poll: cfg.poll_quantum.max(1),
             cfg_flush: cfg.flush_interval.max(1),
             charge_daemon: cfg.charge_daemon,
             next_flush: cfg.flush_interval.max(1),
+            last_disk_flush: 0,
+            crash_lost: 0,
+            mid_flush: false,
+            bp_last_dropped: 0,
+            bp_last_interrupts: 0,
         })
     }
 
@@ -143,14 +177,37 @@ impl ProfiledRun {
 
     /// One daemon service pass: consume OS events, drain full buffers (or
     /// everything when the flush timer fires), and charge daemon cost.
+    /// Injected faults act here: a stalled daemon services nothing, a
+    /// scheduled crash replaces it (restarting against the same database
+    /// and re-running the §4.3.2 startup scan), and a torn flush leaves
+    /// the §4.2.3 bypass window open until the next pump.
     pub fn pump(&mut self) {
-        let events = self.machine.os.drain_events();
-        self.daemon.handle_events(events);
         let now = self.machine.time();
+        if self.injector.stalled(now) {
+            // The daemon is wedged: notifications queue in the OS and
+            // the kernel-side buffers fill until samples drop (§4.2.1).
+            return;
+        }
+        if let Some(crash) = self.injector.crash_due(now) {
+            self.crash(now, &crash);
+        }
+        let drained = self.machine.os.drain_events();
+        let events = self.injector.admit_events(now, drained);
+        self.daemon.handle_events(events);
+        if self.mid_flush {
+            // Close the flush window torn open at the previous pump: the
+            // overflow buffers caught everything the bypass path wrote.
+            for cpu in &mut self.machine.sink.driver.per_cpu {
+                let entries = cpu.end_flush();
+                self.daemon.process_entries(&entries);
+            }
+            self.mid_flush = false;
+        }
         let full_flush = now >= self.next_flush;
         if full_flush {
             self.next_flush = now + self.cfg_flush;
         }
+        let torn = self.injector.torn_flush_due(now);
         for cpu in &mut self.machine.sink.driver.per_cpu {
             let edges = cpu.drain_edges();
             if !edges.is_empty() {
@@ -160,7 +217,11 @@ impl ProfiledRun {
             if !paths.is_empty() {
                 self.daemon.process_path_samples(&paths);
             }
-            let entries = if full_flush {
+            let entries = if torn {
+                // Tear the flush: drain the table but leave the flag up;
+                // interrupts bypass to the buffers until the next pump.
+                cpu.begin_flush()
+            } else if full_flush {
                 cpu.flush()
             } else if cpu.buffer_full {
                 cpu.drain_overflow()
@@ -169,14 +230,69 @@ impl ProfiledRun {
             };
             self.daemon.process_entries(&entries);
         }
+        if torn {
+            self.mid_flush = true;
+        }
         if full_flush {
             self.daemon.reap();
             self.daemon.update_memory(&self.machine.os);
+            // The paper's periodic database merge (§4.3.3): after it, a
+            // daemon crash can lose at most one flush interval of data.
+            if self.daemon.flush_to_disk().is_err() {
+                self.flush_failures += 1;
+            } else {
+                self.last_disk_flush = now;
+            }
         }
+        self.apply_backpressure();
         let cost = self.daemon.take_accrued_cycles();
         if self.charge_daemon && cost > 0 {
             self.machine.charge_cycles(0, cost);
         }
+    }
+
+    /// Raises the sampling period when the drop rate since the previous
+    /// pump crosses the configured threshold: shedding interrupt load is
+    /// the graceful alternative to losing an unbounded sample stream.
+    fn apply_backpressure(&mut self) {
+        let Some(bp) = self.backpressure else { return };
+        let s = self.machine.sink.driver.total_stats();
+        let d_dropped = s.dropped - self.bp_last_dropped;
+        let d_interrupts = s.interrupts - self.bp_last_interrupts;
+        self.bp_last_dropped = s.dropped;
+        self.bp_last_interrupts = s.interrupts;
+        if d_interrupts == 0 || (d_dropped as f64) < bp.drop_threshold * (d_interrupts as f64) {
+            return;
+        }
+        let (lo, hi) = self.machine.sampling_period();
+        let new = (
+            lo.saturating_mul(bp.factor).min(bp.max_period),
+            hi.saturating_mul(bp.factor).min(bp.max_period),
+        );
+        if new != (lo, hi) {
+            self.machine.set_sampling_period(new);
+            self.backpressure_raises += 1;
+        }
+    }
+
+    /// A scheduled daemon crash: whatever lived only in daemon memory —
+    /// profiles, loadmaps, stats — is gone; the on-disk database may be
+    /// torn. The replacement daemon reopens the database where it left
+    /// off and re-runs the startup scan, the paper's recovery sequence
+    /// (§4.3.2–§4.3.3). A flush window left open by the crash is closed
+    /// (and its samples recovered) by the next pump: the flag and the
+    /// buffers are kernel state and survive the daemon.
+    fn crash(&mut self, now: u64, crash: &CrashFault) {
+        let lost = self.daemon.profiles().total_samples();
+        self.crash_lost += lost;
+        self.injector
+            .record_crash(now, lost, now - self.last_disk_flush);
+        if let Some(root) = self.daemon.db().map(|db| db.root().to_path_buf()) {
+            self.injector.apply_corruption(&root, crash);
+        }
+        let mut fresh = Daemon::reopen(self.daemon_cfg.clone()).expect("daemon restart");
+        fresh.startup_scan(&self.machine.os);
+        self.daemon = fresh;
     }
 
     /// Runs the machine until all spawned processes exit (or `limit`
@@ -209,9 +325,14 @@ impl ProfiledRun {
     }
 
     /// Final drain: flush every driver, process remaining entries, write
-    /// the database.
+    /// the database. Delayed loader notifications are delivered late
+    /// rather than never, and a torn-open flush window is closed so its
+    /// bypassed samples are recovered.
     pub fn finish(&mut self) {
-        let events = self.machine.os.drain_events();
+        let now = self.machine.time();
+        let mut events = self.machine.os.drain_events();
+        events = self.injector.admit_events(now, events);
+        events.extend(self.injector.drain_pending());
         self.daemon.handle_events(events);
         // Late-registered images (spawned directly on the machine) still
         // get their names and executables recorded with the database.
@@ -225,15 +346,23 @@ impl ProfiledRun {
             if !paths.is_empty() {
                 self.daemon.process_path_samples(&paths);
             }
+            // flush() begins and ends a window, so it also closes one
+            // left open by a torn flush and drains what bypassed into
+            // the buffers.
             let entries = cpu.flush();
             self.daemon.process_entries(&entries);
         }
+        self.mid_flush = false;
         let cost = self.daemon.take_accrued_cycles();
         if self.charge_daemon && cost > 0 {
             self.machine.charge_cycles(0, cost);
         }
         self.daemon.update_memory(&self.machine.os);
-        let _ = self.daemon.flush_to_disk();
+        if self.daemon.flush_to_disk().is_err() {
+            self.flush_failures += 1;
+        } else {
+            self.last_disk_flush = self.machine.time();
+        }
     }
 
     /// The accumulated profiles (valid when no database is configured;
@@ -241,6 +370,63 @@ impl ProfiledRun {
     #[must_use]
     pub fn profiles(&self) -> &ProfileSet {
         self.daemon.profiles()
+    }
+
+    /// The end-to-end sample ledger. Call after [`ProfiledRun::finish`]
+    /// (which `run_to_completion`/`run_for` do): the driver must be
+    /// drained so no sample is in flight between kernel and daemon.
+    /// Conservation — `generated = attributed + unknown + dropped +
+    /// crash-lost + quarantined` — holds under every fault plan.
+    #[must_use]
+    pub fn ledger(&self) -> LossLedger {
+        let mut attributed = 0;
+        let mut unknown = 0;
+        let mut split = |set: &ProfileSet| {
+            for (key, p) in set.iter() {
+                if key.image == UNKNOWN_IMAGE {
+                    unknown += p.total();
+                } else {
+                    attributed += p.total();
+                }
+            }
+        };
+        if let Some(db) = self.daemon.db() {
+            if let Ok(set) = db.read_all() {
+                split(&set);
+            }
+        }
+        // Whatever a failed flush (or the lack of a database) left in
+        // daemon memory still counts — those samples are not lost.
+        split(self.daemon.profiles());
+        LossLedger {
+            generated: self.machine.total_samples(),
+            attributed,
+            unknown,
+            driver_dropped: self.machine.sink.driver.total_stats().dropped,
+            crash_lost: self.crash_lost,
+            quarantined: self.injector.quarantined_samples,
+        }
+    }
+
+    /// One-line session summary: the ledger plus the failure counters
+    /// the run accumulated.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = self.ledger().render();
+        let iw = self.daemon.stats.image_write_failures;
+        if iw > 0 {
+            s.push_str(&format!("; image-record write failures: {iw}"));
+        }
+        if self.flush_failures > 0 {
+            s.push_str(&format!("; failed disk flushes: {}", self.flush_failures));
+        }
+        if !self.injector.crashes.is_empty() {
+            s.push_str(&format!(
+                "; daemon crashes: {}",
+                self.injector.crashes.len()
+            ));
+        }
+        s
     }
 }
 

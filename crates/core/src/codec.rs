@@ -13,8 +13,13 @@
 //!   deltas and counts are LEB128 varints. Typical profiles shrink by
 //!   roughly 3× relative to V1, matching the paper's claim.
 //!
-//! Both formats share a small header: magic `DCPI`, a version byte, an
-//! event code byte, and a varint entry count.
+//! Both formats share a small framed header: magic `DCPI`, a version
+//! byte, an event code byte, a varint payload length, and a CRC-32 of the
+//! version/event bytes plus the payload. The payload holds a varint entry
+//! count followed by the records. Framing makes corruption — truncation,
+//! torn writes, bit flips — a detectable, contained condition: the
+//! database layer quarantines files that fail these checks instead of
+//! aborting a whole read (§4.3.3's bounded-loss story).
 
 use crate::error::{Error, Result};
 use crate::profile::Profile;
@@ -22,6 +27,49 @@ use crate::types::Event;
 
 /// Magic bytes at the start of every profile file.
 pub const MAGIC: [u8; 4] = *b"DCPI";
+
+const CRC32_POLY: u32 = 0xedb8_8320;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                (c >> 1) ^ CRC32_POLY
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Feeds `data` into a running CRC-32 state (start from `!0`).
+#[must_use]
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = (state >> 8) ^ CRC32_TABLE[((state ^ u32::from(b)) & 0xff) as usize];
+    }
+    state
+}
+
+/// CRC-32 (IEEE) of `data`.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(!0, data)
+}
+
+fn frame_crc(version: u8, event_code: u8, payload: &[u8]) -> u32 {
+    !crc32_update(crc32_update(!0, &[version, event_code]), payload)
+}
 
 /// Profile file format version.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,16 +156,13 @@ pub fn get_varint(buf: &mut &[u8]) -> Result<u64> {
 /// Serializes a profile for `event` in the requested format.
 #[must_use]
 pub fn encode_profile(profile: &Profile, event: Event, format: Format) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + profile.len() * 8);
-    buf.extend_from_slice(&MAGIC);
-    buf.push(format.version());
-    buf.push(event.code());
-    put_varint(&mut buf, profile.len() as u64);
+    let mut payload = Vec::with_capacity(4 + profile.len() * 8);
+    put_varint(&mut payload, profile.len() as u64);
     match format {
         Format::V1 => {
             for (off, cnt) in profile.iter() {
-                buf.extend_from_slice(&u32::try_from(off).unwrap_or(u32::MAX).to_le_bytes());
-                buf.extend_from_slice(&u32::try_from(cnt).unwrap_or(u32::MAX).to_le_bytes());
+                payload.extend_from_slice(&u32::try_from(off).unwrap_or(u32::MAX).to_le_bytes());
+                payload.extend_from_slice(&u32::try_from(cnt).unwrap_or(u32::MAX).to_le_bytes());
             }
         }
         Format::V2 => {
@@ -127,15 +172,22 @@ pub fn encode_profile(profile: &Profile, event: Event, format: Format) -> Vec<u8
                 // Instruction offsets are 4-byte aligned; shifting the
                 // delta right when possible saves a byte on dense regions.
                 if delta.is_multiple_of(4) {
-                    put_varint(&mut buf, (delta / 4) << 1);
+                    put_varint(&mut payload, (delta / 4) << 1);
                 } else {
-                    put_varint(&mut buf, (delta << 1) | 1);
+                    put_varint(&mut payload, (delta << 1) | 1);
                 }
-                put_varint(&mut buf, cnt);
+                put_varint(&mut payload, cnt);
                 prev = off;
             }
         }
     }
+    let mut buf = Vec::with_capacity(16 + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(format.version());
+    buf.push(event.code());
+    put_varint(&mut buf, payload.len() as u64);
+    buf.extend_from_slice(&frame_crc(format.version(), event.code(), &payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
     buf
 }
 
@@ -144,8 +196,9 @@ pub fn encode_profile(profile: &Profile, event: Event, format: Format) -> Vec<u8
 ///
 /// # Errors
 ///
-/// Returns [`Error::Corrupt`] on bad magic, truncation, or unsorted
-/// offsets; [`Error::UnsupportedVersion`] on an unknown version byte.
+/// Returns [`Error::Corrupt`] on bad magic, truncation, a frame-length or
+/// checksum mismatch, or unsorted offsets; [`Error::UnsupportedVersion`]
+/// on an unknown version byte.
 pub fn decode_profile(mut data: &[u8]) -> Result<(Profile, Event)> {
     let buf = &mut data;
     if buf.len() < 6 {
@@ -161,6 +214,19 @@ pub fn decode_profile(mut data: &[u8]) -> Result<(Profile, Event)> {
     let event_code = take_u8(buf).expect("length checked");
     let event = Event::from_code(event_code)
         .ok_or_else(|| Error::Corrupt(format!("unknown event code {event_code}")))?;
+    let payload_len = get_varint(buf)?;
+    let Some(stored_crc) = take_u32_le(buf) else {
+        return Err(Error::Corrupt("frame header truncated".into()));
+    };
+    if buf.len() as u64 != payload_len {
+        return Err(Error::Corrupt(format!(
+            "frame length mismatch: header says {payload_len} payload bytes, found {}",
+            buf.len()
+        )));
+    }
+    if frame_crc(version, event_code, buf) != stored_crc {
+        return Err(Error::Corrupt("checksum mismatch".into()));
+    }
     let n = get_varint(buf)?;
     let mut profile = Profile::new();
     match format {
@@ -317,6 +383,40 @@ mod tests {
         let mut bytes = encode_profile(&p, Event::Cycles, Format::V1);
         bytes[5] = 77;
         assert!(matches!(decode_profile(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected() {
+        let p = sample_profile();
+        for fmt in [Format::V1, Format::V2] {
+            let bytes = encode_profile(&p, Event::Cycles, fmt);
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut bad = bytes.clone();
+                    bad[i] ^= 1 << bit;
+                    assert!(
+                        decode_profile(&bad).is_err(),
+                        "flip of byte {i} bit {bit} in {fmt:?} went undetected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected() {
+        let p = sample_profile();
+        let bytes = encode_profile(&p, Event::Cycles, Format::V2);
+        for cut in 0..bytes.len() {
+            assert!(decode_profile(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

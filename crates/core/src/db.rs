@@ -23,6 +23,7 @@ use crate::codec::{decode_profile, encode_profile, Format};
 use crate::error::{Error, Result};
 use crate::profile::{Profile, ProfileKey, ProfileSet};
 use crate::types::{Event, ImageId};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write;
@@ -32,6 +33,34 @@ use std::path::{Path, PathBuf};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct EpochId(pub u32);
 
+/// Damage discovered — and contained — while recovering or reading a
+/// database: torn merges swept at [`ProfileDb::open`] and corrupt profile
+/// files quarantined instead of aborting a read. Each entry names the
+/// original profile path.
+#[derive(Clone, Debug, Default)]
+pub struct DbDamage {
+    /// Stale `.tmp` files removed at open (a crash interrupted the
+    /// write-then-rename merge protocol; the durable file is intact).
+    pub swept_tmp: Vec<PathBuf>,
+    /// Profile files that failed framing/checksum/decode validation and
+    /// were renamed aside with a `.quar` extension.
+    pub quarantined: Vec<PathBuf>,
+}
+
+impl DbDamage {
+    /// True when no damage has been observed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.swept_tmp.is_empty() && self.quarantined.is_empty()
+    }
+
+    /// Number of quarantined profile files.
+    #[must_use]
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
 /// A profile database rooted at a directory, holding epochs of profiles
 /// plus an image-name map.
 #[derive(Debug)]
@@ -40,6 +69,10 @@ pub struct ProfileDb {
     current: EpochId,
     format: Format,
     image_names: BTreeMap<u32, String>,
+    // Interior mutability: reads take `&self` (tools hold shared
+    // references) but must still be able to record the damage they
+    // contained.
+    damage: RefCell<DbDamage>,
 }
 
 impl ProfileDb {
@@ -57,12 +90,16 @@ impl ProfileDb {
             current: EpochId(0),
             format,
             image_names: BTreeMap::new(),
+            damage: RefCell::new(DbDamage::default()),
         };
         fs::create_dir_all(db.epoch_dir(db.current))?;
         Ok(db)
     }
 
-    /// Opens an existing database, resuming at its newest epoch.
+    /// Opens an existing database, resuming at its newest epoch. Stale
+    /// `.tmp` files left by a merge interrupted mid-write are swept (the
+    /// rename never happened, so the durable profile is intact) and
+    /// recorded in [`ProfileDb::damage`].
     ///
     /// # Errors
     ///
@@ -71,12 +108,22 @@ impl ProfileDb {
     pub fn open(root: impl Into<PathBuf>, format: Format) -> Result<ProfileDb> {
         let root = root.into();
         let mut newest: Option<EpochId> = None;
+        let mut swept = Vec::new();
         for entry in fs::read_dir(&root)? {
             let entry = entry?;
             if let Some(id) = parse_epoch_dir(&entry.file_name().to_string_lossy()) {
                 newest = Some(newest.map_or(id, |n: EpochId| n.max(id)));
+                for file in fs::read_dir(entry.path())? {
+                    let file = file?;
+                    let path = file.path();
+                    if path.extension().is_some_and(|e| e == "tmp") {
+                        fs::remove_file(&path)?;
+                        swept.push(path);
+                    }
+                }
             }
         }
+        swept.sort();
         let current =
             newest.ok_or_else(|| Error::NotFound(format!("no epochs in {}", root.display())))?;
         let mut db = ProfileDb {
@@ -84,9 +131,40 @@ impl ProfileDb {
             current,
             format,
             image_names: BTreeMap::new(),
+            damage: RefCell::new(DbDamage {
+                swept_tmp: swept,
+                quarantined: Vec::new(),
+            }),
         };
         db.load_image_names()?;
         Ok(db)
+    }
+
+    /// The damage contained so far: `.tmp` files swept at open plus
+    /// profile files quarantined during reads and merges.
+    #[must_use]
+    pub fn damage(&self) -> DbDamage {
+        self.damage.borrow().clone()
+    }
+
+    /// Moves a corrupt profile file aside (appending `.quar`, never
+    /// clobbering an earlier quarantine) and records it. Best-effort: if
+    /// even the rename fails the file is removed so readers and merges
+    /// cannot trip over it again.
+    fn quarantine(&self, path: &Path) {
+        let mut dst = path.with_extension("prof.quar");
+        let mut n = 1;
+        while dst.exists() {
+            n += 1;
+            dst = path.with_extension(format!("prof.quar{n}"));
+        }
+        if fs::rename(path, &dst).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.damage
+            .borrow_mut()
+            .quarantined
+            .push(path.to_path_buf());
     }
 
     /// The directory this database lives in.
@@ -155,12 +233,15 @@ impl ProfileDb {
     }
 
     /// Merges a set of in-memory profiles into the current epoch,
-    /// read-modify-writing each affected file.
+    /// read-modify-writing each affected file. Writes are crash-safe
+    /// (write `.tmp`, sync, rename); an existing file that fails
+    /// validation is quarantined and the merge proceeds from empty rather
+    /// than aborting the flush.
     ///
     /// # Errors
     ///
-    /// Returns an I/O or corruption error if an existing file cannot be
-    /// read or a new one cannot be written.
+    /// Returns an I/O error if an existing file cannot be read or a new
+    /// one cannot be written.
     pub fn merge(&mut self, set: &ProfileSet) -> Result<()> {
         for key in set.sorted_keys() {
             let incoming = set
@@ -169,15 +250,17 @@ impl ProfileDb {
             let path = self.profile_path(self.current, key);
             let mut merged = if path.exists() {
                 let data = fs::read(&path)?;
-                let (existing, ev) = decode_profile(&data)?;
-                if ev != key.event {
-                    return Err(Error::Corrupt(format!(
-                        "event mismatch in {}: file says {ev}, name says {}",
-                        path.display(),
-                        key.event
-                    )));
+                match decode_profile(&data) {
+                    Ok((existing, ev)) if ev == key.event => existing,
+                    // Corrupt or mislabeled: quarantine the old file and
+                    // keep this flush's samples; the lost counts stay
+                    // recoverable from the quarantined copy.
+                    Ok(_) | Err(Error::Corrupt(_)) | Err(Error::UnsupportedVersion(_)) => {
+                        self.quarantine(&path);
+                        Profile::new()
+                    }
+                    Err(e) => return Err(e),
                 }
-                existing
             } else {
                 Profile::new()
             };
@@ -210,12 +293,16 @@ impl ProfileDb {
         Ok(profile)
     }
 
-    /// Loads every profile in an epoch into a [`ProfileSet`].
+    /// Loads every profile in an epoch into a [`ProfileSet`]. Files that
+    /// fail framing/checksum validation (or whose encoded event
+    /// contradicts their name) are quarantined and counted in
+    /// [`ProfileDb::damage`], not fatal: a single corrupt file must never
+    /// cost the rest of the database.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::NotFound`] for a missing epoch or a corruption
-    /// error for undecodable files.
+    /// Returns [`Error::NotFound`] for a missing epoch or an I/O error if
+    /// the directory cannot be read.
     pub fn read_epoch(&self, epoch: EpochId) -> Result<ProfileSet> {
         let dir = self.epoch_dir(epoch);
         if !dir.exists() {
@@ -229,17 +316,26 @@ impl ProfileDb {
                 continue;
             };
             let data = fs::read(entry.path())?;
-            let (profile, _) = decode_profile(&data)?;
-            set.insert(key, profile);
+            match decode_profile(&data) {
+                Ok((profile, ev)) if ev == key.event => {
+                    set.insert(key, profile);
+                }
+                Ok(_) | Err(Error::Corrupt(_)) | Err(Error::UnsupportedVersion(_)) => {
+                    self.quarantine(&entry.path());
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(set)
     }
 
-    /// Loads and merges the profiles of *all* epochs.
+    /// Loads and merges the profiles of *all* epochs. Corrupt files are
+    /// quarantined and counted (see [`ProfileDb::read_epoch`]), never
+    /// fatal.
     ///
     /// # Errors
     ///
-    /// Propagates any epoch read failure.
+    /// Propagates only I/O-level epoch read failures.
     pub fn read_all(&self) -> Result<ProfileSet> {
         let mut set = ProfileSet::new();
         for epoch in self.epochs()? {
@@ -258,7 +354,12 @@ impl ProfileDb {
         let mut total = 0;
         for epoch in self.epochs()? {
             for entry in fs::read_dir(self.epoch_dir(epoch))? {
-                total += entry?.metadata()?.len();
+                let entry = entry?;
+                // Count live profiles only — not quarantined or stale
+                // temporary files.
+                if entry.path().extension().is_some_and(|e| e == "prof") {
+                    total += entry.metadata()?.len();
+                }
             }
         }
         Ok(total)
@@ -434,6 +535,111 @@ mod tests {
         assert_eq!(db.disk_usage().unwrap(), 0);
         db.merge(&sample_set()).unwrap();
         assert!(db.disk_usage().unwrap() > 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let root = temp_root("sweep");
+        {
+            let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+            db.merge(&sample_set()).unwrap();
+        }
+        // A crash between the `.tmp` write and the rename leaves both the
+        // durable file and the stale temporary behind.
+        let stale = root.join("epoch_0000/00000003.cycles.tmp");
+        fs::write(&stale, b"torn half-written merge").unwrap();
+        let db = ProfileDb::open(&root, Format::V2).unwrap();
+        assert!(!stale.exists(), "stale tmp swept at open");
+        assert_eq!(db.damage().swept_tmp, vec![stale]);
+        // The durable profile still reads back intact.
+        let back = db.read_epoch(EpochId(0)).unwrap();
+        assert_eq!(back.get(ImageId(3), Event::Cycles).unwrap().get(0), 10);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_profile_is_quarantined_not_fatal() {
+        let root = temp_root("truncated");
+        let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+        db.merge(&sample_set()).unwrap();
+        let victim = root.join("epoch_0000/00000003.cycles.prof");
+        let data = fs::read(&victim).unwrap();
+        fs::write(&victim, &data[..data.len() / 2]).unwrap();
+        let back = db.read_all().unwrap();
+        // The torn file's samples are gone, the rest of the epoch is not.
+        assert!(back.get(ImageId(3), Event::Cycles).is_none());
+        assert_eq!(back.get(ImageId(7), Event::Cycles).unwrap().get(400), 1);
+        assert_eq!(db.damage().quarantined, vec![victim.clone()]);
+        assert!(victim.with_extension("prof.quar").exists());
+        assert!(!victim.exists());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_profile_is_quarantined() {
+        let root = temp_root("bitflip");
+        let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+        db.merge(&sample_set()).unwrap();
+        let victim = root.join("epoch_0000/00000003.imiss.prof");
+        let mut data = fs::read(&victim).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x40;
+        fs::write(&victim, &data).unwrap();
+        let back = db.read_all().unwrap();
+        assert!(back.get(ImageId(3), Event::IMiss).is_none());
+        assert_eq!(db.damage().quarantined_count(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merge_onto_corrupt_file_quarantines_and_proceeds() {
+        let root = temp_root("merge-corrupt");
+        let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+        db.merge(&sample_set()).unwrap();
+        let victim = root.join("epoch_0000/00000003.cycles.prof");
+        fs::write(&victim, b"DCPI garbage").unwrap();
+        db.merge(&sample_set()).unwrap();
+        // The second flush survives; the first flush's samples sit in the
+        // quarantined copy.
+        let back = db.read_epoch(EpochId(0)).unwrap();
+        assert_eq!(back.get(ImageId(3), Event::Cycles).unwrap().get(0), 10);
+        assert_eq!(db.damage().quarantined_count(), 1);
+        assert!(victim.with_extension("prof.quar").exists());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn repeated_quarantines_never_clobber() {
+        let root = temp_root("quar-seq");
+        let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+        let victim = root.join("epoch_0000/00000003.cycles.prof");
+        for _ in 0..2 {
+            fs::write(&victim, b"DCPI nonsense").unwrap();
+            db.merge(&sample_set()).unwrap();
+        }
+        assert!(victim.with_extension("prof.quar").exists());
+        assert!(victim.with_extension("prof.quar2").exists());
+        assert_eq!(db.damage().quarantined_count(), 2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn interrupted_new_epoch_opens_cleanly() {
+        let root = temp_root("interrupted-epoch");
+        {
+            let mut db = ProfileDb::create(&root, Format::V2).unwrap();
+            db.merge(&sample_set()).unwrap();
+            // Crash right after `new_epoch` created the directory: the
+            // newest epoch exists but holds nothing.
+            db.new_epoch().unwrap();
+        }
+        let db = ProfileDb::open(&root, Format::V2).unwrap();
+        assert_eq!(db.current_epoch(), EpochId(1));
+        assert!(db.read_epoch(EpochId(1)).unwrap().is_empty());
+        let all = db.read_all().unwrap();
+        assert_eq!(all.get(ImageId(3), Event::Cycles).unwrap().get(0), 10);
+        assert!(db.damage().is_clean());
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -20,6 +20,7 @@
 pub mod codec;
 pub mod db;
 pub mod error;
+pub mod fsfault;
 pub mod prng;
 pub mod profile;
 pub mod types;

@@ -271,6 +271,13 @@ impl ProfileSet {
         keys
     }
 
+    /// Total samples across every `(image, event)` profile in the set —
+    /// the quantity the collection pipeline's loss ledger conserves.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.profiles.values().map(Profile::total).sum()
+    }
+
     /// Total samples of `event` across all images.
     #[must_use]
     pub fn event_total(&self, event: Event) -> u64 {

@@ -141,6 +141,28 @@ impl CounterSet {
         self.rng.uniform(self.config.period.0, self.config.period.1)
     }
 
+    /// The current sampling-period range.
+    #[must_use]
+    pub fn period(&self) -> (u64, u64) {
+        self.config.period
+    }
+
+    /// Replaces the sampling-period range (driver backpressure: the
+    /// collection layer slows sampling down when it is losing samples).
+    /// Takes effect from the next drawn period; the countdown already in
+    /// flight completes at its old pace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period.0` is zero or the range is empty.
+    pub fn set_period(&mut self, period: (u64, u64)) {
+        assert!(
+            period.0 >= 1 && period.1 >= period.0,
+            "period range must be non-empty and positive"
+        );
+        self.config.period = period;
+    }
+
     /// True if `event` is monitored by the currently active group.
     #[must_use]
     pub fn monitored(&self, event: Event) -> bool {

@@ -165,6 +165,22 @@ impl<S: SampleSink> Machine<S> {
         self.cpus.iter().map(CpuState::now).max().unwrap_or(0)
     }
 
+    /// The sampling-period range currently programmed into the counters
+    /// (uniform across CPUs; reads CPU 0).
+    #[must_use]
+    pub fn sampling_period(&self) -> (u64, u64) {
+        self.cpus[0].counters.period()
+    }
+
+    /// Reprograms the sampling-period range on every CPU's counters — the
+    /// lever driver backpressure pulls when overflow buffers are dropping
+    /// samples. Takes effect from each counter's next drawn period.
+    pub fn set_sampling_period(&mut self, period: (u64, u64)) {
+        for cpu in &mut self.cpus {
+            cpu.counters.set_period(period);
+        }
+    }
+
     /// Total samples delivered to the sink across CPUs.
     #[must_use]
     pub fn total_samples(&self) -> u64 {

@@ -1,34 +1,43 @@
 //! `dcpicheck <db-dir>` — static analysis and invariant verification
-//! over every image in a profile database. Exits nonzero when any
-//! error-severity diagnostic is found.
+//! over every image in a profile database.
+//!
+//! `dcpicheck db <db-dir>` — audit the on-disk database itself: profile
+//! file checksums, epoch directory structure, stale `.tmp` leftovers,
+//! quarantined files, and image-name records.
+//!
+//! Both forms exit nonzero when any error-severity diagnostic is found.
 
 use dcpi_check::CheckConfig;
-use dcpi_tools::{dcpicheck_report, load_db};
+use dcpi_tools::{dcpicheck_db, dcpicheck_report, load_db};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let Some(dir) = args.get(1) else {
-        eprintln!("usage: dcpicheck <db-dir>");
-        std::process::exit(2);
-    };
-    let run = || -> Result<dcpi_check::Report, Box<dyn std::error::Error>> {
-        let db = load_db(dir)?;
-        Ok(dcpicheck_report(
-            &db.profiles,
-            &db.registry,
-            &CheckConfig::default(),
-        ))
-    };
-    match run() {
-        Ok(report) => {
-            print!("{}", report.render());
-            if !report.is_clean() {
-                std::process::exit(1);
+    let report = match (args.get(1).map(String::as_str), args.get(2)) {
+        (Some("db"), Some(dir)) => dcpicheck_db(std::path::Path::new(dir)),
+        (Some("db"), None) | (None, _) => {
+            eprintln!("usage: dcpicheck <db-dir> | dcpicheck db <db-dir>");
+            std::process::exit(2);
+        }
+        (Some(dir), _) => {
+            let run = || -> Result<dcpi_check::Report, Box<dyn std::error::Error>> {
+                let db = load_db(dir)?;
+                Ok(dcpicheck_report(
+                    &db.profiles,
+                    &db.registry,
+                    &CheckConfig::default(),
+                ))
+            };
+            match run() {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("dcpicheck: {e}");
+                    std::process::exit(1);
+                }
             }
         }
-        Err(e) => {
-            eprintln!("dcpicheck: {e}");
-            std::process::exit(1);
-        }
+    };
+    print!("{}", report.render());
+    if !report.is_clean() {
+        std::process::exit(1);
     }
 }

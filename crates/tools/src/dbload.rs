@@ -23,9 +23,10 @@ pub struct LoadedDb {
 ///
 /// # Errors
 ///
-/// Returns an error if the database cannot be opened or a profile file is
-/// corrupt; unreadable image files are skipped (their samples fall back
-/// to hex-offset symbolization).
+/// Returns an error if the database cannot be opened; corrupt profile
+/// files are quarantined by `read_all` rather than failing the load
+/// (`dcpicheck db` surfaces them), and unreadable image files are
+/// skipped (their samples fall back to hex-offset symbolization).
 pub fn load_db(dir: impl AsRef<Path>) -> Result<LoadedDb> {
     let dir = dir.as_ref();
     let db = ProfileDb::open(dir, Format::V2)?;

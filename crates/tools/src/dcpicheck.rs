@@ -4,8 +4,10 @@
 use crate::registry::ImageRegistry;
 use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
 use dcpi_check::{Category, CheckConfig, Report, Severity};
-use dcpi_core::{Event, ProfileSet};
+use dcpi_core::{codec, Event, ProfileSet, UNKNOWN_IMAGE};
 use dcpi_isa::pipeline::PipelineModel;
+use std::collections::BTreeSet;
+use std::path::Path;
 
 /// Runs every check over every image in the registry: the image and CFG
 /// layers on all procedures, plus the estimate layer on procedures that
@@ -57,13 +59,360 @@ pub fn dcpicheck(set: &ProfileSet, registry: &ImageRegistry) -> String {
     dcpicheck_report(set, registry, &CheckConfig::default()).render()
 }
 
+/// Audits a profile database *directory* (`dcpicheck db <path>`): every
+/// profile file must pass its length/checksum framing and carry the
+/// event its filename claims, epoch directories must be contiguous and
+/// free of foreign files, stale `.tmp` and quarantined files are
+/// surfaced, and every profiled image should have a name record in
+/// `images.tsv`. Runs on the raw filesystem — a database too damaged
+/// for `ProfileDb::open` still gets a report instead of an error.
+#[must_use]
+pub fn dcpicheck_db(root: &Path) -> Report {
+    let mut report = Report::new();
+    let ctx = root.display().to_string();
+    let entries = match std::fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                Category::EpochStructure,
+                &ctx,
+                None,
+                None,
+                format!("cannot read database directory: {e}"),
+            );
+            return report;
+        }
+    };
+    let mut epochs: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            match name.strip_prefix("epoch_").and_then(|s| s.parse().ok()) {
+                Some(n) => epochs.push((n, path)),
+                None if name == "images" => {}
+                None => report.push(
+                    Severity::Warning,
+                    Category::EpochStructure,
+                    &ctx,
+                    None,
+                    None,
+                    format!("unexpected directory `{name}`"),
+                ),
+            }
+        } else if name != "images.tsv" {
+            report.push(
+                Severity::Warning,
+                Category::EpochStructure,
+                &ctx,
+                None,
+                None,
+                format!("unexpected file `{name}` in database root"),
+            );
+        }
+    }
+    epochs.sort();
+    if epochs.is_empty() {
+        report.push(
+            Severity::Error,
+            Category::EpochStructure,
+            &ctx,
+            None,
+            None,
+            "no epoch directories",
+        );
+        return report;
+    }
+    for (want, (got, _)) in epochs.iter().enumerate() {
+        if *got as usize != want {
+            report.push(
+                Severity::Error,
+                Category::EpochStructure,
+                &ctx,
+                None,
+                None,
+                format!(
+                    "epoch numbering has a gap: expected epoch_{want:04}, found epoch_{got:04}"
+                ),
+            );
+            break;
+        }
+    }
+    let mut profiled_images = BTreeSet::new();
+    for (_, dir) in &epochs {
+        audit_epoch_dir(dir, &mut report, &mut profiled_images);
+    }
+    audit_image_names(root, &profiled_images, &mut report);
+    report
+}
+
+/// One epoch directory: decode every `.prof`, flag stale `.tmp` and
+/// quarantined files, and collect the image ids seen in filenames.
+fn audit_epoch_dir(dir: &Path, report: &mut Report, profiled_images: &mut BTreeSet<u32>) {
+    let ctx = dir.display().to_string();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        report.push(
+            Severity::Error,
+            Category::EpochStructure,
+            &ctx,
+            None,
+            None,
+            "cannot read epoch directory",
+        );
+        return;
+    };
+    let mut names: Vec<String> = entries
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    for name in names {
+        let fctx = format!("{ctx}/{name}");
+        if name.ends_with(".tmp") {
+            report.push(
+                Severity::Warning,
+                Category::StaleTemp,
+                &fctx,
+                None,
+                None,
+                "stale temporary from an interrupted merge; reopen the database to sweep it",
+            );
+            continue;
+        }
+        if name.contains(".quar") {
+            report.push(
+                Severity::Warning,
+                Category::QuarantinedFile,
+                &fctx,
+                None,
+                None,
+                "quarantined profile file: its samples are counted as lost",
+            );
+            continue;
+        }
+        let Some(stem) = name.strip_suffix(".prof") else {
+            report.push(
+                Severity::Warning,
+                Category::EpochStructure,
+                &fctx,
+                None,
+                None,
+                "foreign file in epoch directory",
+            );
+            continue;
+        };
+        let parsed = stem.split_once('.').and_then(|(hex, event)| {
+            let id = u32::from_str_radix(hex, 16).ok()?;
+            Some((id, event.to_string()))
+        });
+        let Some((image_id, event_name)) = parsed else {
+            report.push(
+                Severity::Error,
+                Category::EpochStructure,
+                &fctx,
+                None,
+                None,
+                "profile filename is not `<imagehex>.<event>.prof`",
+            );
+            continue;
+        };
+        if image_id != UNKNOWN_IMAGE.0 {
+            profiled_images.insert(image_id);
+        }
+        match std::fs::read(dir.join(&name))
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| codec::decode_profile(&bytes).map_err(|e| e.to_string()))
+        {
+            Ok((_, event)) => {
+                if event.name() != event_name {
+                    report.push(
+                        Severity::Error,
+                        Category::FileChecksum,
+                        &fctx,
+                        None,
+                        None,
+                        format!(
+                            "filename claims event `{event_name}` but the record holds `{}`",
+                            event.name()
+                        ),
+                    );
+                }
+            }
+            Err(e) => report.push(
+                Severity::Error,
+                Category::FileChecksum,
+                &fctx,
+                None,
+                None,
+                format!("profile record rejected: {e}"),
+            ),
+        }
+    }
+}
+
+/// `images.tsv` must parse, and every image with profile data should
+/// have a name record (the daemon writes them on its startup scan).
+fn audit_image_names(root: &Path, profiled_images: &BTreeSet<u32>, report: &mut Report) {
+    let tsv = root.join("images.tsv");
+    let ctx = tsv.display().to_string();
+    let mut named = BTreeSet::new();
+    match std::fs::read_to_string(&tsv) {
+        Ok(text) => {
+            for (lineno, line) in text.lines().enumerate() {
+                match line.split_once('\t').and_then(|(id, name)| {
+                    let id: u32 = id.parse().ok()?;
+                    (!name.is_empty()).then_some(id)
+                }) {
+                    Some(id) => {
+                        named.insert(id);
+                    }
+                    None => report.push(
+                        Severity::Error,
+                        Category::ImageNameRecord,
+                        &ctx,
+                        None,
+                        None,
+                        format!("line {}: not `<id>\\t<name>`", lineno + 1),
+                    ),
+                }
+            }
+        }
+        Err(_) if profiled_images.is_empty() => {}
+        Err(e) => report.push(
+            Severity::Warning,
+            Category::ImageNameRecord,
+            &ctx,
+            None,
+            None,
+            format!("cannot read image-name records: {e}"),
+        ),
+    }
+    for id in profiled_images {
+        if !named.contains(id) {
+            report.push(
+                Severity::Warning,
+                Category::ImageNameRecord,
+                &ctx,
+                None,
+                None,
+                format!("image {id:#010x} has profile data but no name record"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcpi_core::codec::Format;
+    use dcpi_core::db::ProfileDb;
     use dcpi_core::ImageId;
     use dcpi_isa::asm::Asm;
     use dcpi_isa::reg::Reg;
+    use std::path::PathBuf;
     use std::sync::Arc;
+
+    fn temp_db(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("dcpicheck-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    fn seed_db(root: &Path) {
+        let mut db = ProfileDb::create(root, Format::V2).unwrap();
+        db.record_image_name(ImageId(7), "/bin/app").unwrap();
+        let mut set = ProfileSet::new();
+        set.add(ImageId(7), Event::Cycles, 0x40, 12);
+        set.add(ImageId(7), Event::IMiss, 0x44, 3);
+        db.merge(&set).unwrap();
+    }
+
+    #[test]
+    fn db_audit_passes_on_a_clean_database() {
+        let root = temp_db("clean");
+        seed_db(&root);
+        let report = dcpicheck_db(&root);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.warnings(), 0, "{}", report.render());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn db_audit_flags_damage_without_aborting() {
+        let root = temp_db("damaged");
+        seed_db(&root);
+        let epoch = root.join("epoch_0000");
+        // Truncate one profile mid-record: a checksum error.
+        let victim = epoch.join("00000007.cycles.prof");
+        let data = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &data[..data.len() / 2]).unwrap();
+        // Leave an interrupted-merge temporary and a quarantined file.
+        std::fs::write(epoch.join("00000007.imiss.tmp"), b"partial").unwrap();
+        std::fs::rename(
+            epoch.join("00000007.imiss.prof"),
+            epoch.join("00000007.imiss.prof.quar"),
+        )
+        .unwrap();
+        // An image with samples but no name record.
+        let mut db = ProfileDb::open(&root, Format::V2).unwrap();
+        let mut set = ProfileSet::new();
+        set.add(ImageId(9), Event::Cycles, 0x10, 5);
+        db.merge(&set).unwrap();
+
+        let report = dcpicheck_db(&root);
+        let text = report.render();
+        assert!(!report.is_clean(), "{text}");
+        let has = |cat: Category| report.diags.iter().any(|d| d.category == cat);
+        assert!(has(Category::FileChecksum), "{text}");
+        // ProfileDb::open swept the stale tmp we planted above, so plant
+        // another one after it to exercise the audit path.
+        std::fs::write(epoch.join("00000009.cycles.tmp"), b"partial").unwrap();
+        let report = dcpicheck_db(&root);
+        let text = report.render();
+        let has = |cat: Category| report.diags.iter().any(|d| d.category == cat);
+        assert!(has(Category::StaleTemp), "{text}");
+        assert!(has(Category::QuarantinedFile), "{text}");
+        assert!(has(Category::ImageNameRecord), "{text}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn db_audit_flags_structure_problems() {
+        let root = temp_db("structure");
+        seed_db(&root);
+        // A gap in epoch numbering and a foreign file in the root.
+        std::fs::create_dir(root.join("epoch_0005")).unwrap();
+        std::fs::write(root.join("notes.txt"), b"scratch").unwrap();
+        std::fs::write(root.join("epoch_0000/readme"), b"?").unwrap();
+        let report = dcpicheck_db(&root);
+        let text = report.render();
+        assert!(!report.is_clean(), "{text}");
+        assert!(text.contains("gap"), "{text}");
+        assert!(text.contains("notes.txt"), "{text}");
+        assert!(text.contains("foreign file"), "{text}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn db_audit_flags_malformed_name_records() {
+        let root = temp_db("names");
+        seed_db(&root);
+        std::fs::write(root.join("images.tsv"), "7\t/bin/app\nbogus line\n").unwrap();
+        let report = dcpicheck_db(&root);
+        assert!(!report.is_clean(), "{}", report.render());
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.category == Category::ImageNameRecord && d.severity == Severity::Error));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn db_audit_on_missing_directory_is_an_error() {
+        let report = dcpicheck_db(Path::new("/nonexistent/dcpi-db"));
+        assert!(!report.is_clean());
+    }
 
     #[test]
     fn clean_image_with_samples_reports_no_errors() {

@@ -38,7 +38,7 @@ pub mod registry;
 pub use dbload::{find_procedure, load_db, LoadedDb};
 pub use dcpicalc::dcpicalc;
 pub use dcpicfg::dcpicfg;
-pub use dcpicheck::{dcpicheck, dcpicheck_report};
+pub use dcpicheck::{dcpicheck, dcpicheck_db, dcpicheck_report};
 pub use dcpidiff::dcpidiff;
 pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
 pub use dcpistats::{dcpistats, StatsRow};

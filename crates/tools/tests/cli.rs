@@ -122,6 +122,32 @@ fn cli_binaries_work_on_a_real_database() {
     assert!(out.status.success(), "{text}");
     assert!(text.contains("0 error(s)"), "{text}");
 
+    // dcpicheck db audits the on-disk database itself.
+    let out = bin("dcpicheck")
+        .args(["db", dir.to_str().unwrap()])
+        .output()
+        .expect("run dcpicheck db");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+
+    // ... and exits nonzero once a profile file is torn.
+    let victim = std::fs::read_dir(dir.join("epoch_0000"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "prof"))
+        .expect("a profile file");
+    let data = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &data[..data.len() / 2]).unwrap();
+    let out = bin("dcpicheck")
+        .args(["db", dir.to_str().unwrap()])
+        .output()
+        .expect("run dcpicheck db on torn file");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "{text}");
+    assert!(text.contains("file-checksum"), "{text}");
+
     // dcpicheck without arguments prints usage and exits 2.
     let out = bin("dcpicheck").output().expect("run dcpicheck");
     assert_eq!(out.status.code(), Some(2));
