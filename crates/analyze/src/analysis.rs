@@ -116,6 +116,10 @@ pub struct AnalysisOptions {
     pub estimator: EstimatorConfig,
     /// Culprit-analysis knobs.
     pub culprit: CulpritConfig,
+    /// Observability handle; each analysis phase (CFG build, scheduling,
+    /// equivalence classes, frequency propagation, culprit elimination)
+    /// records a span when enabled. Default: disabled.
+    pub obs: dcpi_obs::Obs,
 }
 
 /// Analyzes one procedure of `image` against the profiles in `set`.
@@ -176,10 +180,19 @@ pub fn analyze_procedure_extended(
     model: &PipelineModel,
     opts: &AnalysisOptions,
 ) -> Result<ProcAnalysis, Error> {
+    use dcpi_obs::Component;
+    let obs = &opts.obs;
+    obs.begin(Component::Analyze, "analyze.cfg");
     let cfg = match path_samples {
         Some(paths) => Cfg::build_with_paths(image, sym, image_id, paths)?,
         None => Cfg::build(image, sym)?,
     };
+    obs.end(
+        Component::Analyze,
+        "analyze.cfg",
+        cfg.blocks.len() as u64,
+        cfg.insns.len() as u64,
+    );
     let n = cfg.insns.len();
     let extract = |p: Option<&Profile>| -> Vec<u64> {
         let mut v = vec![0u64; n];
@@ -200,6 +213,7 @@ pub fn analyze_procedure_extended(
     let dtbmiss = event_vec(Event::DtbMiss);
     let itbmiss = event_vec(Event::ItbMiss);
 
+    obs.begin(Component::Analyze, "analyze.schedule");
     let schedules: Vec<BlockSchedule> = cfg
         .blocks
         .iter()
@@ -208,7 +222,20 @@ pub fn analyze_procedure_extended(
             model.schedule_block(u64::from(b.start_word), &cfg.insns[s..s + b.len as usize])
         })
         .collect();
+    obs.end(
+        Component::Analyze,
+        "analyze.schedule",
+        schedules.len() as u64,
+        0,
+    );
+    obs.begin(Component::Analyze, "analyze.equiv");
     let classes = frequency_classes(&cfg);
+    obs.end(
+        Component::Analyze,
+        "analyze.equiv",
+        classes.n_classes as u64,
+        0,
+    );
     // Convert image-level edge samples to procedure instruction indices.
     let directions: Option<BranchDirections> = edge_samples.map(|es| {
         let mut map = BranchDirections::new();
@@ -219,6 +246,7 @@ pub fn analyze_procedure_extended(
         }
         map
     });
+    obs.begin(Component::Analyze, "analyze.propagate");
     let freqs = estimate_frequencies_with_edges(
         &cfg,
         &classes,
@@ -227,6 +255,12 @@ pub fn analyze_procedure_extended(
         directions.as_ref(),
         &opts.estimator,
     );
+    obs.end(
+        Component::Analyze,
+        "analyze.propagate",
+        freqs.block_freq.iter().filter(|f| f.is_some()).count() as u64,
+        freqs.block_freq.len() as u64,
+    );
     let events = EventSamples {
         imiss: imiss.as_deref(),
         dmiss: dmiss.as_deref(),
@@ -234,6 +268,7 @@ pub fn analyze_procedure_extended(
         dtbmiss: dtbmiss.as_deref(),
         itbmiss: itbmiss.as_deref(),
     };
+    obs.begin(Component::Analyze, "analyze.culprit");
     let culprits = find_culprits(
         &cfg,
         &schedules,
@@ -242,6 +277,12 @@ pub fn analyze_procedure_extended(
         &events,
         model,
         &opts.culprit,
+    );
+    obs.end(
+        Component::Analyze,
+        "analyze.culprit",
+        culprits.iter().map(|c| c.len() as u64).sum(),
+        0,
     );
 
     let mut insns = Vec::with_capacity(n);
@@ -355,6 +396,46 @@ mod tests {
             (9.0..=12.5).contains(&actual),
             "actual CPI {actual}, paper: 10.77"
         );
+    }
+
+    #[test]
+    fn analysis_phases_record_spans() {
+        use dcpi_obs::{EventKind, Obs, ObsConfig};
+        let image = copy_image();
+        let sym = image.symbol_named("copy").unwrap().clone();
+        let set = copy_profiles(ImageId(1), sym.offset);
+        let model = PipelineModel::default();
+        let opts = AnalysisOptions {
+            obs: Obs::new(&ObsConfig::on()),
+            ..AnalysisOptions::default()
+        };
+        analyze_procedure(&image, &sym, &set, ImageId(1), &model, &opts).unwrap();
+        let snap = opts.obs.snapshot();
+        let ring = snap
+            .rings
+            .iter()
+            .find(|r| r.component == "analyze")
+            .expect("analyze ring");
+        let phases = [
+            "analyze.cfg",
+            "analyze.schedule",
+            "analyze.equiv",
+            "analyze.propagate",
+            "analyze.culprit",
+        ];
+        for phase in phases {
+            let begins = ring
+                .events
+                .iter()
+                .filter(|e| e.name == phase && e.kind == EventKind::Begin)
+                .count();
+            let ends = ring
+                .events
+                .iter()
+                .filter(|e| e.name == phase && e.kind == EventKind::End)
+                .count();
+            assert_eq!((begins, ends), (1, 1), "span for {phase}");
+        }
     }
 
     #[test]

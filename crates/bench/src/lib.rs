@@ -334,6 +334,18 @@ pub const ACCURACY_PERIOD: (u64, u64) = (40_000, 43_200);
 /// by its index (`base.seed + k*97`) and the merge always proceeds in
 /// index order, so the merged result is bit-identical for any thread
 /// count (`threads == 1` runs serially on the caller's thread).
+///
+/// Every accumulator of the result is merged, not just the profiles:
+/// driver and daemon statistics, cycles, retired instructions, and the
+/// sample/overhead ledgers all sum across runs, so per-run rates and the
+/// conservation law stay meaningful for the merged result. (Earlier
+/// versions kept run 0's statistics, silently under-reporting drops and
+/// overhead in the grid experiments.)
+///
+/// # Panics
+///
+/// Panics if the merged sample ledger fails conservation — that means a
+/// run lost samples without a line item, which is a collection bug.
 #[must_use]
 pub fn run_merged(
     w: dcpi_workloads::Workload,
@@ -354,6 +366,42 @@ pub fn run_merged(
         acc.edge_profiles.merge(&r.edge_profiles);
         acc.gt.merge(&r.gt);
         acc.samples += r.samples;
+        acc.cycles += r.cycles;
+        acc.retired += r.retired;
+        acc.disk_bytes += r.disk_bytes;
+        acc.driver_kernel_bytes = acc.driver_kernel_bytes.max(r.driver_kernel_bytes);
+        match (&mut acc.driver, &r.driver) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+        match (&mut acc.daemon, &r.daemon) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+        match (&mut acc.ledger, &r.ledger) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+        match (&mut acc.overhead, &r.overhead) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+        match (&mut acc.obs, r.obs) {
+            (Some(a), Some(b)) => a.merge(&b),
+            (slot @ None, Some(b)) => *slot = Some(b),
+            _ => {}
+        }
+    }
+    if let Some(ledger) = &acc.ledger {
+        assert!(
+            ledger.conserves(),
+            "merged ledger violates conservation: {}",
+            ledger.render()
+        );
     }
     acc
 }
@@ -420,6 +468,52 @@ mod tests {
         let h = ErrorHistogram::new();
         assert_eq!(h.labels.len(), h.weights.len());
         assert_eq!(h.labels.len(), 20);
+    }
+
+    #[test]
+    fn run_merged_sums_stats_and_ledgers() {
+        use dcpi_workloads::programs::StreamKind;
+        use dcpi_workloads::{ProfConfig, RunOptions, Workload};
+        let w = Workload::McCalpin(StreamKind::Copy);
+        let base = RunOptions {
+            period: (6_000, 6_400),
+            limit: 200_000_000,
+            obs: true,
+            ..RunOptions::default()
+        };
+        let merged = run_merged(w, ProfConfig::Cycles, &base, 2, 2);
+        let single = |seed: u32| {
+            let mut ro = base.clone();
+            ro.seed = seed;
+            dcpi_workloads::run_workload(w, ProfConfig::Cycles, &ro)
+        };
+        let a = single(base.seed);
+        let b = single(base.seed + 97);
+        assert_eq!(merged.samples, a.samples + b.samples);
+        assert_eq!(merged.cycles, a.cycles + b.cycles);
+        assert_eq!(merged.retired, a.retired + b.retired);
+        let (da, db, dm) = (a.driver.unwrap(), b.driver.unwrap(), merged.driver.unwrap());
+        assert_eq!(dm.interrupts, da.interrupts + db.interrupts);
+        assert_eq!(dm.dropped, da.dropped + db.dropped);
+        assert_eq!(dm.handler_cycles, da.handler_cycles + db.handler_cycles);
+        let (na, nb, nm) = (a.daemon.unwrap(), b.daemon.unwrap(), merged.daemon.unwrap());
+        assert_eq!(nm.samples, na.samples + nb.samples);
+        assert_eq!(nm.entries, na.entries + nb.entries);
+        let lm = merged.ledger.unwrap();
+        assert!(lm.conserves(), "{}", lm.render());
+        assert_eq!(
+            lm.generated,
+            a.ledger.unwrap().generated + b.ledger.unwrap().generated
+        );
+        let om = merged.overhead.unwrap();
+        assert_eq!(
+            om.total_cycles,
+            a.overhead.unwrap().total_cycles + b.overhead.unwrap().total_cycles
+        );
+        assert!(om.consistent());
+        let snap = merged.obs.unwrap();
+        let ledger = snap.samples.unwrap();
+        assert_eq!(ledger.generated, lm.generated, "snapshot ledger merged");
     }
 
     fn argv(args: &[&str]) -> Vec<String> {

@@ -33,6 +33,8 @@ pub enum Layer {
     /// On-disk profile-database audits: checksums, epoch structure,
     /// image-name records.
     Database,
+    /// Observability-export audits: metrics, trace rings, ledgers.
+    Obs,
 }
 
 impl fmt::Display for Layer {
@@ -42,6 +44,7 @@ impl fmt::Display for Layer {
             Layer::Cfg => write!(f, "cfg"),
             Layer::Estimate => write!(f, "estimate"),
             Layer::Database => write!(f, "db"),
+            Layer::Obs => write!(f, "obs"),
         }
     }
 }
@@ -90,6 +93,16 @@ pub enum Category {
     StaleTemp,
     /// A quarantined profile file: its samples are sealed off.
     QuarantinedFile,
+    /// An observability export that does not parse or has a bad schema.
+    ObsExport,
+    /// Trace-ring invariant violations: non-monotonic cycle stamps,
+    /// overwrite accounting, unbalanced spans.
+    ObsRing,
+    /// Metric invariant violations (e.g. histogram count vs buckets).
+    ObsMetrics,
+    /// Ledger violations: sample conservation, overhead consistency,
+    /// or an overhead fraction outside the configured band.
+    ObsLedger,
 }
 
 impl Category {
@@ -117,6 +130,10 @@ impl Category {
             | Category::ImageNameRecord
             | Category::StaleTemp
             | Category::QuarantinedFile => Layer::Database,
+            Category::ObsExport
+            | Category::ObsRing
+            | Category::ObsMetrics
+            | Category::ObsLedger => Layer::Obs,
         }
     }
 
@@ -144,6 +161,10 @@ impl Category {
             Category::ImageNameRecord => "image-name",
             Category::StaleTemp => "stale-temp",
             Category::QuarantinedFile => "quarantined-file",
+            Category::ObsExport => "obs-export",
+            Category::ObsRing => "obs-ring",
+            Category::ObsMetrics => "obs-metrics",
+            Category::ObsLedger => "obs-ledger",
         }
     }
 }
@@ -345,6 +366,10 @@ mod tests {
             Category::ImageNameRecord,
             Category::StaleTemp,
             Category::QuarantinedFile,
+            Category::ObsExport,
+            Category::ObsRing,
+            Category::ObsMetrics,
+            Category::ObsLedger,
         ];
         for c in all {
             assert!(!c.name().is_empty());

@@ -20,6 +20,10 @@
 //!    each block (§6.1.4), confidence-label invariants (§6.1.5), culprit
 //!    completeness against the dynamic-stall threshold (§6.3), and an
 //!    independent reconciliation of the Figure 4 books.
+//! 4. **Observability audits** ([`obs_audit`]) — the profiler's own
+//!    metrics/trace exports: monotonic cycle stamps, ring overwrite
+//!    accounting, span pairing, histogram totals, sample-ledger
+//!    conservation, and the overhead fraction against the paper's band.
 //!
 //! Diagnostics are typed ([`Diagnostic`]) and carry a severity: errors
 //! are invariant violations, warnings are suspicious-but-possibly-benign
@@ -31,8 +35,10 @@ pub mod cfg_audit;
 pub mod diag;
 pub mod estimate_audit;
 pub mod image_lints;
+pub mod obs_audit;
 
 pub use diag::{Category, Diagnostic, Layer, Report, Severity};
+pub use obs_audit::{check_obs_export, check_snapshot, ObsCheckConfig};
 
 use dcpi_analyze::analysis::ProcAnalysis;
 use dcpi_analyze::cfg::Cfg;

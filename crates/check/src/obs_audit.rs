@@ -1,0 +1,379 @@
+//! Layer-4 audits: the profiler's own observability exports.
+//!
+//! `dcpistat`, `dcpitrace`, and the CI observability job all consume the
+//! JSON snapshot a profiled run exports ([`dcpi_obs::Snapshot`]). This
+//! module re-verifies the invariants those consumers silently assume:
+//! cycle stamps within a ring never run backwards, ring overwrite
+//! accounting balances, begin/end spans pair up, histogram counts match
+//! their buckets, the sample ledger conserves, and the overhead ledger is
+//! internally consistent and lands inside the configured band (the
+//! paper's 1–3% of total cycles at the default sampling period).
+
+use crate::diag::{Category, Report, Severity};
+use dcpi_obs::{EventKind, RingSnapshot, Snapshot};
+use std::collections::BTreeMap;
+
+/// Tuning for the observability audits.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsCheckConfig {
+    /// Overhead fractions above this are errors: collection charging
+    /// this much means a cost model or accounting bug.
+    pub max_overhead: f64,
+    /// The expected overhead band `(lo, hi)` as fractions of total
+    /// cycles; fractions outside it warn. The paper's Table 3 puts the
+    /// shipped configuration at 1–3%, with slack below for short runs.
+    pub band: (f64, f64),
+}
+
+impl Default for ObsCheckConfig {
+    fn default() -> ObsCheckConfig {
+        ObsCheckConfig {
+            max_overhead: 0.10,
+            band: (0.003, 0.05),
+        }
+    }
+}
+
+/// Parses an exported snapshot and runs every audit over it. A text that
+/// does not parse yields a single `ObsExport` error.
+#[must_use]
+pub fn check_obs_export(text: &str, config: &ObsCheckConfig) -> Report {
+    match Snapshot::parse(text) {
+        Ok(snap) => check_snapshot(&snap, config),
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(
+                Severity::Error,
+                Category::ObsExport,
+                "snapshot",
+                None,
+                None,
+                format!("export does not parse: {e}"),
+            );
+            report
+        }
+    }
+}
+
+/// Runs every audit over an in-memory snapshot.
+#[must_use]
+pub fn check_snapshot(snap: &Snapshot, config: &ObsCheckConfig) -> Report {
+    let mut report = Report::new();
+    for ring in &snap.rings {
+        check_ring(ring, &mut report);
+    }
+    check_metrics(snap, &mut report);
+    check_ledgers(snap, config, &mut report);
+    report
+}
+
+fn check_ring(ring: &RingSnapshot, report: &mut Report) {
+    let ctx = format!("ring/{}", ring.component);
+    let len = ring.events.len() as u64;
+    if len > ring.capacity {
+        report.push(
+            Severity::Error,
+            Category::ObsRing,
+            &ctx,
+            None,
+            None,
+            format!("{len} events exceed capacity {}", ring.capacity),
+        );
+    }
+    if ring.recorded < len || ring.overwritten != ring.recorded - len {
+        report.push(
+            Severity::Error,
+            Category::ObsRing,
+            &ctx,
+            None,
+            None,
+            format!(
+                "overwrite accounting broken: recorded {} - kept {len} != overwritten {}",
+                ring.recorded, ring.overwritten
+            ),
+        );
+    }
+    let mut last_cycle = 0u64;
+    let mut last_wall = 0u64;
+    for (i, ev) in ring.events.iter().enumerate() {
+        if ev.cycle < last_cycle {
+            report.push(
+                Severity::Error,
+                Category::ObsRing,
+                &ctx,
+                None,
+                None,
+                format!(
+                    "cycle stamps run backwards at event {i} ({}): {} < {last_cycle}",
+                    ev.name, ev.cycle
+                ),
+            );
+            break;
+        }
+        last_cycle = ev.cycle;
+        if ev.wall_ns < last_wall {
+            report.push(
+                Severity::Warning,
+                Category::ObsRing,
+                &ctx,
+                None,
+                None,
+                format!("wall stamps run backwards at event {i} ({})", ev.name),
+            );
+        }
+        last_wall = last_wall.max(ev.wall_ns);
+    }
+    // Span pairing is only checkable when nothing was overwritten: a
+    // ring that wrapped may have lost a Begin whose End survives.
+    if ring.overwritten == 0 {
+        let mut depth: BTreeMap<&str, i64> = BTreeMap::new();
+        for ev in &ring.events {
+            match ev.kind {
+                EventKind::Begin => *depth.entry(ev.name.as_str()).or_insert(0) += 1,
+                EventKind::End => {
+                    let d = depth.entry(ev.name.as_str()).or_insert(0);
+                    *d -= 1;
+                    if *d < 0 {
+                        report.push(
+                            Severity::Error,
+                            Category::ObsRing,
+                            &ctx,
+                            None,
+                            None,
+                            format!("span `{}` ends without a begin", ev.name),
+                        );
+                        return;
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+        for (name, d) in depth {
+            if d != 0 {
+                report.push(
+                    Severity::Error,
+                    Category::ObsRing,
+                    &ctx,
+                    None,
+                    None,
+                    format!("span `{name}` left {d} begin(s) unclosed"),
+                );
+            }
+        }
+    }
+}
+
+fn check_metrics(snap: &Snapshot, report: &mut Report) {
+    for (name, h) in &snap.metrics.histograms {
+        let bucket_total: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+        if bucket_total != h.count {
+            report.push(
+                Severity::Error,
+                Category::ObsMetrics,
+                format!("histogram/{name}"),
+                None,
+                None,
+                format!(
+                    "bucket counts sum to {bucket_total} but count is {}",
+                    h.count
+                ),
+            );
+        }
+    }
+}
+
+fn check_ledgers(snap: &Snapshot, config: &ObsCheckConfig, report: &mut Report) {
+    if let Some(samples) = &snap.samples {
+        if !samples.conserves() {
+            report.push(
+                Severity::Error,
+                Category::ObsLedger,
+                "samples",
+                None,
+                None,
+                samples.render(),
+            );
+        }
+    }
+    if let Some(oh) = &snap.overhead {
+        if !oh.consistent() {
+            report.push(
+                Severity::Error,
+                Category::ObsLedger,
+                "overhead",
+                None,
+                None,
+                format!(
+                    "collection cycles {} exceed total cycles {}",
+                    oh.collection_cycles(),
+                    oh.total_cycles
+                ),
+            );
+        } else if oh.fraction() > config.max_overhead {
+            report.push(
+                Severity::Error,
+                Category::ObsLedger,
+                "overhead",
+                None,
+                None,
+                format!(
+                    "overhead fraction {:.4} exceeds the hard ceiling {:.4}",
+                    oh.fraction(),
+                    config.max_overhead
+                ),
+            );
+        } else if oh.samples > 0 && !oh.in_band(config.band.0, config.band.1) {
+            report.push(
+                Severity::Warning,
+                Category::ObsLedger,
+                "overhead",
+                None,
+                None,
+                format!(
+                    "overhead fraction {:.4} outside the expected band {:.3}-{:.3}",
+                    oh.fraction(),
+                    config.band.0,
+                    config.band.1
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_obs::{Component, Obs, ObsConfig, OverheadLedger, SampleLedger};
+
+    fn sample_snapshot() -> Snapshot {
+        let obs = Obs::new(&ObsConfig::on());
+        obs.advance_cycle(100);
+        obs.begin(Component::Daemon, "daemon.flush");
+        obs.advance_cycle(200);
+        obs.end(Component::Daemon, "daemon.flush", 5, 0);
+        obs.counter("driver.interrupts").add(0, 42);
+        obs.histogram("daemon.flush_ns").observe(1000);
+        let mut snap = obs.snapshot();
+        snap.overhead = Some(OverheadLedger {
+            total_cycles: 1_000_000,
+            handler_cycles: 9_000,
+            daemon_cycles: 3_000,
+            samples: 20,
+        });
+        snap.samples = Some(SampleLedger {
+            generated: 20,
+            attributed: 18,
+            unknown: 1,
+            driver_dropped: 1,
+            crash_lost: 0,
+            quarantined: 0,
+        });
+        snap
+    }
+
+    #[test]
+    fn clean_snapshot_passes() {
+        let report = check_snapshot(&sample_snapshot(), &ObsCheckConfig::default());
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.warnings(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn export_roundtrip_passes() {
+        let text = sample_snapshot().to_json();
+        let report = check_obs_export(&text, &ObsCheckConfig::default());
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn garbage_export_is_one_error() {
+        let report = check_obs_export("not json", &ObsCheckConfig::default());
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.diags[0].category, Category::ObsExport);
+    }
+
+    #[test]
+    fn backwards_cycles_flagged() {
+        let mut snap = sample_snapshot();
+        snap.rings
+            .iter_mut()
+            .find(|r| r.component == "daemon")
+            .unwrap()
+            .events[1]
+            .cycle = 0;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.category == Category::ObsRing && d.message.contains("backwards")));
+    }
+
+    #[test]
+    fn overwrite_accounting_flagged() {
+        let mut snap = sample_snapshot();
+        let ring = snap
+            .rings
+            .iter_mut()
+            .find(|r| r.component == "daemon")
+            .unwrap();
+        ring.overwritten = 7;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn unbalanced_span_flagged() {
+        let mut snap = sample_snapshot();
+        let ring = snap
+            .rings
+            .iter_mut()
+            .find(|r| r.component == "daemon")
+            .unwrap();
+        ring.events.remove(1); // drop the End; Begin left open
+        ring.recorded -= 1;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report.diags.iter().any(|d| d.message.contains("unclosed")));
+    }
+
+    #[test]
+    fn histogram_mismatch_flagged() {
+        let mut snap = sample_snapshot();
+        snap.metrics
+            .histograms
+            .get_mut("daemon.flush_ns")
+            .unwrap()
+            .count += 1;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.category == Category::ObsMetrics));
+    }
+
+    #[test]
+    fn ledger_violations_flagged() {
+        let mut snap = sample_snapshot();
+        snap.samples.as_mut().unwrap().generated += 5;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.category == Category::ObsLedger && d.severity == Severity::Error));
+
+        let mut snap = sample_snapshot();
+        snap.overhead.as_mut().unwrap().handler_cycles = 2_000_000;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(!report.is_clean(), "inconsistent overhead is an error");
+
+        let mut snap = sample_snapshot();
+        snap.overhead.as_mut().unwrap().handler_cycles = 500_000;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(!report.is_clean(), "overhead above the ceiling is an error");
+
+        let mut snap = sample_snapshot();
+        snap.overhead.as_mut().unwrap().handler_cycles = 90_000;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(report.warnings(), 1, "out-of-band overhead warns");
+    }
+}

@@ -21,6 +21,7 @@ use dcpi_core::{
 use dcpi_machine::os::OsEvent;
 use dcpi_machine::proc::Mapping;
 use dcpi_machine::Os;
+use dcpi_obs::{Component, Counter, Obs};
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -98,6 +99,20 @@ impl DaemonStats {
             self.samples as f64 / self.entries as f64
         }
     }
+
+    /// Merges another run's stats. Counts sum; the memory figures also
+    /// sum, because merged runs model daemons running concurrently (one
+    /// per `Machine` in the grid experiments), so the combined footprint
+    /// is the total across instances.
+    pub fn merge(&mut self, other: &DaemonStats) {
+        self.entries += other.entries;
+        self.samples += other.samples;
+        self.unknown_samples += other.unknown_samples;
+        self.cycles += other.cycles;
+        self.memory_bytes += other.memory_bytes;
+        self.peak_memory_bytes += other.peak_memory_bytes;
+        self.image_write_failures += other.image_write_failures;
+    }
 }
 
 /// The user-mode daemon.
@@ -114,6 +129,12 @@ pub struct Daemon {
     /// Statistics.
     pub stats: DaemonStats,
     accrued_cycles: u64,
+    /// Observability handle (disabled unless attached; re-attach after
+    /// [`Daemon::reopen`] — a restarted daemon starts unobserved).
+    obs: Obs,
+    c_entries: Counter,
+    c_samples: Counter,
+    c_unknown: Counter,
 }
 
 impl Daemon {
@@ -166,17 +187,38 @@ impl Daemon {
             db,
             stats: DaemonStats::default(),
             accrued_cycles: 0,
+            obs: Obs::disabled(),
+            c_entries: Counter::default(),
+            c_samples: Counter::default(),
+            c_unknown: Counter::default(),
         }
+    }
+
+    /// Attaches an observability handle, caching the warm counter
+    /// handles. Must be called again on the fresh instance after a
+    /// crash/restart via [`Daemon::reopen`].
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.c_entries = obs.counter("daemon.entries");
+        self.c_samples = obs.counter("daemon.samples");
+        self.c_unknown = obs.counter("daemon.unknown_samples");
     }
 
     /// Startup scan (§4.3.2): learn the mappings of already-active
     /// processes.
     pub fn startup_scan(&mut self, os: &Os) {
+        self.obs.begin(Component::Daemon, "daemon.startup_scan");
         for (pid, map) in os.snapshot_loadmaps() {
             self.loadmaps.entry(pid).or_insert(map);
         }
         self.record_image_names(os);
         self.update_memory(os);
+        self.obs.end(
+            Component::Daemon,
+            "daemon.startup_scan",
+            self.loadmaps.len() as u64,
+            0,
+        );
     }
 
     fn record_image_names(&mut self, os: &Os) {
@@ -238,6 +280,7 @@ impl Daemon {
     /// Processes a batch of aggregated sample entries from one CPU's
     /// driver.
     pub fn process_entries(&mut self, entries: &[SampleEntry]) {
+        let before = self.stats;
         for e in entries {
             self.stats.entries += 1;
             self.stats.samples += e.count;
@@ -259,6 +302,12 @@ impl Daemon {
                     .or_default()
                     .add(image, s.event, offset, e.count);
             }
+        }
+        if self.obs.is_enabled() {
+            self.c_entries.add(0, self.stats.entries - before.entries);
+            self.c_samples.add(0, self.stats.samples - before.samples);
+            self.c_unknown
+                .add(0, self.stats.unknown_samples - before.unknown_samples);
         }
     }
 
@@ -293,6 +342,14 @@ impl Daemon {
         let baseline = 1_400_000;
         self.stats.memory_bytes = baseline + loadmap_bytes + profile_bytes + image_bytes;
         self.stats.peak_memory_bytes = self.stats.peak_memory_bytes.max(self.stats.memory_bytes);
+        if self.obs.is_enabled() {
+            self.obs
+                .gauge("daemon.memory_bytes")
+                .set(self.stats.memory_bytes);
+            self.obs
+                .gauge("daemon.peak_memory_bytes")
+                .raise(self.stats.peak_memory_bytes);
+        }
     }
 
     /// The accumulated in-memory profiles.
@@ -353,8 +410,16 @@ impl Daemon {
     /// Returns an error if a profile file cannot be written.
     pub fn flush_to_disk(&mut self) -> Result<()> {
         if let Some(db) = &mut self.db {
+            let start = self.obs.is_enabled().then(std::time::Instant::now);
+            self.obs.begin(Component::Daemon, "daemon.flush");
+            let flushed = self.profiles.iter().count() as u64;
             db.merge(&self.profiles)?;
             self.profiles.clear();
+            if let Some(t) = start {
+                let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.obs.histogram("daemon.flush_ns").observe(ns);
+            }
+            self.obs.end(Component::Daemon, "daemon.flush", flushed, 0);
             Ok(())
         } else {
             Ok(())

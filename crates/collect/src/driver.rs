@@ -14,6 +14,7 @@
 
 use dcpi_core::{Addr, CpuId, Pid, Sample, SampleEntry};
 use dcpi_machine::machine::SampleSink;
+use dcpi_obs::{Component, Counter, Obs};
 use std::collections::HashMap;
 
 /// Eviction/placement policy for the driver hash table (§5.4).
@@ -131,6 +132,18 @@ impl DriverStats {
             self.handler_cycles as f64 / self.interrupts as f64
         }
     }
+
+    /// Accumulates another stats block. Used both for per-CPU totals and
+    /// for merging independent runs in the grid experiments — every field
+    /// is a count, so a plain sum is the correct merge.
+    pub fn merge(&mut self, other: &DriverStats) {
+        self.interrupts += other.interrupts;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.flush_bypass += other.flush_bypass;
+        self.dropped += other.dropped;
+        self.handler_cycles += other.handler_cycles;
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -160,6 +173,17 @@ pub struct CpuDriver {
     pub buffer_full: bool,
     /// Statistics.
     pub stats: DriverStats,
+    /// Observability handle (disabled unless attached; a disabled probe
+    /// is one `AtomicBool` load).
+    obs: Obs,
+    /// Counter shard hint (the CPU index).
+    shard: usize,
+    c_interrupts: Counter,
+    c_hits: Counter,
+    c_misses: Counter,
+    c_spills: Counter,
+    c_drops: Counter,
+    c_bypass: Counter,
 }
 
 impl CpuDriver {
@@ -181,9 +205,31 @@ impl CpuDriver {
             path_samples: HashMap::new(),
             buffer_full: false,
             stats: DriverStats::default(),
+            obs: Obs::disabled(),
+            shard: 0,
+            c_interrupts: Counter::default(),
+            c_hits: Counter::default(),
+            c_misses: Counter::default(),
+            c_spills: Counter::default(),
+            c_drops: Counter::default(),
+            c_bypass: Counter::default(),
             cfg,
             cost,
         }
+    }
+
+    /// Attaches an observability handle, caching the hot counter handles
+    /// so the interrupt path never touches the registry lock. `shard` is
+    /// the CPU index this driver instance serves.
+    pub fn attach_obs(&mut self, obs: &Obs, shard: usize) {
+        self.obs = obs.clone();
+        self.shard = shard;
+        self.c_interrupts = obs.counter("driver.interrupts");
+        self.c_hits = obs.counter("driver.ht_hits");
+        self.c_misses = obs.counter("driver.ht_misses");
+        self.c_spills = obs.counter("driver.spilled_samples");
+        self.c_drops = obs.counter("driver.dropped_samples");
+        self.c_bypass = obs.counter("driver.flush_bypass");
     }
 
     /// Records an interpreted conditional-branch direction (§7).
@@ -215,7 +261,7 @@ impl CpuDriver {
         (h as usize) & (self.cfg.buckets - 1)
     }
 
-    fn push_overflow(&mut self, e: SampleEntry) {
+    fn push_overflow(&mut self, e: SampleEntry, at_cycle: u64) {
         let cap = self.cfg.overflow_entries;
         let buf = &mut self.buffers[self.active];
         if buf.len() < cap {
@@ -233,21 +279,48 @@ impl CpuDriver {
             self.buffer_full = true;
         } else {
             self.stats.dropped += e.count;
+            if self.obs.is_enabled() {
+                self.c_drops.add(self.shard, e.count);
+                self.obs.event_at(
+                    Component::Driver,
+                    "driver.drop",
+                    at_cycle,
+                    e.count,
+                    e.sample.pc.0,
+                );
+            }
         }
     }
 
     /// Handles one performance-counter interrupt; returns the cycles the
-    /// handler consumed.
+    /// handler consumed. Stamps probes with the obs cycle clock — callers
+    /// that know the delivery cycle should use [`CpuDriver::record_at`].
     pub fn record(&mut self, sample: Sample) -> u64 {
+        let cycle = self.obs.cycle();
+        self.record_at(sample, cycle)
+    }
+
+    /// Handles one performance-counter interrupt delivered at `at_cycle`;
+    /// returns the cycles the handler consumed.
+    pub fn record_at(&mut self, sample: Sample, at_cycle: u64) -> u64 {
         self.stats.interrupts += 1;
+        let obs_on = self.obs.is_enabled();
+        if obs_on {
+            self.c_interrupts.inc(self.shard);
+        }
         let cost;
         if self.flushing {
             // §4.2.3: while the hash table is being flushed, the handler
             // writes the sample directly into the overflow buffer.
-            self.push_overflow(SampleEntry::once(sample));
+            self.push_overflow(SampleEntry::once(sample), at_cycle);
             self.stats.flush_bypass += 1;
             cost = self.cost.setup + self.cost.hit;
             self.stats.handler_cycles += cost;
+            if obs_on {
+                self.c_bypass.inc(self.shard);
+                self.obs
+                    .event_at(Component::Driver, "driver.irq", at_cycle, cost, sample.pc.0);
+            }
             return cost;
         }
         let assoc = self.cfg.associativity;
@@ -267,6 +340,9 @@ impl CpuDriver {
                 }
             }
             self.stats.hits += 1;
+            if obs_on {
+                self.c_hits.inc(self.shard);
+            }
             cost = self.cost.setup + self.cost.hit;
         } else if let Some(pos) = line.iter().position(Option::is_none) {
             // Free slot: no eviction needed (still a miss path, minus the
@@ -280,6 +356,16 @@ impl CpuDriver {
                 }
             }
             self.stats.misses += 1;
+            if obs_on {
+                self.c_misses.inc(self.shard);
+                self.obs.event_at(
+                    Component::Driver,
+                    "driver.ht_insert",
+                    at_cycle,
+                    0, // no eviction
+                    sample.pc.0,
+                );
+            }
             cost = self.cost.setup + (self.cost.hit + self.cost.miss) / 2;
         } else {
             // Eviction.
@@ -292,10 +378,30 @@ impl CpuDriver {
                 EvictPolicy::SwapToFront => assoc - 1,
             };
             let victim = self.table[base + victim_pos].take().expect("full line");
-            self.push_overflow(SampleEntry {
-                sample: victim.sample,
-                count: victim.count,
-            });
+            if obs_on {
+                self.c_spills.add(self.shard, victim.count);
+                self.obs.event_at(
+                    Component::Driver,
+                    "driver.spill",
+                    at_cycle,
+                    victim.count,
+                    victim.sample.pc.0,
+                );
+                self.obs.event_at(
+                    Component::Driver,
+                    "driver.ht_insert",
+                    at_cycle,
+                    1, // evicted a victim
+                    sample.pc.0,
+                );
+            }
+            self.push_overflow(
+                SampleEntry {
+                    sample: victim.sample,
+                    count: victim.count,
+                },
+                at_cycle,
+            );
             let entry = Entry { sample, count: 1 };
             let line = &mut self.table[base..base + assoc];
             match self.cfg.policy {
@@ -306,9 +412,16 @@ impl CpuDriver {
                 }
             }
             self.stats.misses += 1;
+            if obs_on {
+                self.c_misses.inc(self.shard);
+            }
             cost = self.cost.setup + self.cost.miss;
         }
         self.stats.handler_cycles += cost;
+        if obs_on {
+            self.obs
+                .event_at(Component::Driver, "driver.irq", at_cycle, cost, sample.pc.0);
+        }
         cost
     }
 
@@ -408,23 +521,25 @@ impl Driver {
     pub fn total_stats(&self) -> DriverStats {
         let mut t = DriverStats::default();
         for c in &self.per_cpu {
-            t.interrupts += c.stats.interrupts;
-            t.hits += c.stats.hits;
-            t.misses += c.stats.misses;
-            t.flush_bypass += c.stats.flush_bypass;
-            t.dropped += c.stats.dropped;
-            t.handler_cycles += c.stats.handler_cycles;
+            t.merge(&c.stats);
         }
         t
+    }
+
+    /// Attaches an observability handle to every per-CPU instance.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        for (i, c) in self.per_cpu.iter_mut().enumerate() {
+            c.attach_obs(obs, i);
+        }
     }
 }
 
 impl SampleSink for Driver {
-    fn counter_overflow(&mut self, cpu: CpuId, sample: Sample, _at_cycle: u64) -> u64 {
+    fn counter_overflow(&mut self, cpu: CpuId, sample: Sample, at_cycle: u64) -> u64 {
         if !self.enabled {
             return 0;
         }
-        self.per_cpu[cpu.0 as usize].record(sample)
+        self.per_cpu[cpu.0 as usize].record_at(sample, at_cycle)
     }
 
     fn edge_sample(&mut self, cpu: CpuId, pid: Pid, pc: Addr, taken: bool) {

@@ -17,6 +17,7 @@
 use dcpi_core::prng::CartaRng;
 use dcpi_core::{codec, fsfault};
 use dcpi_machine::os::OsEvent;
+use dcpi_obs::{Component, Obs};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
@@ -179,7 +180,7 @@ pub struct CrashRecord {
 /// End-to-end sample accounting. Valid after the session's final drain
 /// ([`crate::ProfiledRun::finish`]); every generated sample must appear
 /// in exactly one bucket.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LossLedger {
     /// Counter-overflow samples the machine generated.
     pub generated: u64,
@@ -225,6 +226,19 @@ impl LossLedger {
             if self.conserves() { "" } else { "  ** NOT CONSERVED **" }
         )
     }
+
+    /// Merges another run's ledger (plain sums on every bucket, so the
+    /// conservation law survives the merge iff both inputs conserve).
+    /// This is the one correct way to combine ledgers from independent
+    /// `Machine` runs in the grid experiments.
+    pub fn merge(&mut self, other: &LossLedger) {
+        self.generated += other.generated;
+        self.attributed += other.attributed;
+        self.unknown += other.unknown;
+        self.driver_dropped += other.driver_dropped;
+        self.crash_lost += other.crash_lost;
+        self.quarantined += other.quarantined;
+    }
 }
 
 /// Driver backpressure (the tentpole's recovery knob): when the drop
@@ -268,6 +282,8 @@ pub struct FaultInjector {
     pub quarantined_samples: u64,
     /// Crashes that have fired, in order.
     pub crashes: Vec<CrashRecord>,
+    /// Observability handle: firings land in the `faults` trace ring.
+    obs: Obs,
 }
 
 impl FaultInjector {
@@ -286,10 +302,22 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// True while the daemon is stalled at `now`.
+    /// Attaches an observability handle so firings are traced.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+    }
+
+    /// True while the daemon is stalled at `now`. Each stalled pump is
+    /// traced as a `fault.stall` firing.
     #[must_use]
     pub fn stalled(&self, now: u64) -> bool {
-        self.plan.stalls.iter().any(|w| w.contains(now))
+        let stalled = self.plan.stalls.iter().any(|w| w.contains(now));
+        if stalled && self.obs.is_enabled() {
+            self.obs.counter("faults.stalled_pumps").inc(0);
+            self.obs
+                .event_at(Component::Faults, "fault.stall", now, 0, 0);
+        }
+        stalled
     }
 
     /// Returns the next scheduled crash if it is due at `now`, advancing
@@ -310,6 +338,11 @@ impl FaultInjector {
         match self.plan.torn_flushes.get(self.next_torn) {
             Some(&at) if now >= at => {
                 self.next_torn += 1;
+                if self.obs.is_enabled() {
+                    self.obs.counter("faults.torn_flushes").inc(0);
+                    self.obs
+                        .event_at(Component::Faults, "fault.torn_flush", now, at, 0);
+                }
                 true
             }
             _ => false,
@@ -327,6 +360,16 @@ impl FaultInjector {
                     self.notif_seen += 1;
                     if self.notif_seen.is_multiple_of(self.plan.notif_drop_period) {
                         self.notif_dropped += 1;
+                        if self.obs.is_enabled() {
+                            self.obs.counter("faults.notif_drops").inc(0);
+                            self.obs.event_at(
+                                Component::Faults,
+                                "fault.notif_drop",
+                                now,
+                                self.notif_seen,
+                                0,
+                            );
+                        }
                         continue;
                     }
                 }
@@ -352,6 +395,16 @@ impl FaultInjector {
     /// Records a crash that fired at `at_cycle`, losing `lost` in-memory
     /// samples, `since_flush` cycles after the last successful flush.
     pub fn record_crash(&mut self, at_cycle: u64, lost: u64, since_flush: u64) {
+        if self.obs.is_enabled() {
+            self.obs.counter("faults.crashes").inc(0);
+            self.obs.event_at(
+                Component::Faults,
+                "fault.crash",
+                at_cycle,
+                lost,
+                since_flush,
+            );
+        }
         self.crashes.push(CrashRecord {
             at_cycle,
             lost,

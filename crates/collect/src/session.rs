@@ -16,6 +16,7 @@ use dcpi_core::{ImageId, Pid, ProfileSet, Result, Sample};
 use dcpi_isa::image::Image;
 use dcpi_machine::machine::{Machine, SampleSink};
 use dcpi_machine::MachineConfig;
+use dcpi_obs::{Component, Obs, ObsConfig, OverheadLedger, SampleLedger, Snapshot};
 
 /// A driver wrapper that optionally logs the raw sample trace for the
 /// §5.4 hash-table sweep.
@@ -73,6 +74,10 @@ pub struct SessionConfig {
     /// Driver backpressure: raise the sampling period when the drop
     /// rate crosses a threshold (`None` = fixed period).
     pub backpressure: Option<Backpressure>,
+    /// Self-observability: metrics, trace rings, and the overhead
+    /// ledger. Disabled by default — a disabled probe is a single
+    /// atomic-bool load on every hook point.
+    pub obs: ObsConfig,
 }
 
 impl Default for SessionConfig {
@@ -88,6 +93,7 @@ impl Default for SessionConfig {
             trace_limit: 0,
             faults: FaultPlan::none(),
             backpressure: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -107,7 +113,10 @@ pub struct ProfiledRun {
     pub flush_failures: u64,
     /// Times backpressure raised the sampling period.
     pub backpressure_raises: u64,
+    /// The observability handle shared by every component of the run.
+    pub obs: Obs,
     daemon_cfg: DaemonConfig,
+    daemon_cycles: u64,
     backpressure: Option<Backpressure>,
     cfg_poll: u64,
     cfg_flush: u64,
@@ -127,22 +136,31 @@ impl ProfiledRun {
     ///
     /// Returns an error if the daemon's database cannot be created.
     pub fn new(cfg: SessionConfig) -> Result<ProfiledRun> {
+        let obs = Obs::new(&cfg.obs);
         let cpus = cfg.machine.cpus;
+        let mut driver = Driver::new(cpus, cfg.driver.clone(), cfg.cost);
+        driver.set_obs(&obs);
         let sink = TracingDriver {
-            driver: Driver::new(cpus, cfg.driver.clone(), cfg.cost),
+            driver,
             trace: Vec::new(),
             limit: cfg.trace_limit,
         };
-        let machine = Machine::new(cfg.machine.clone(), sink);
+        let mut machine = Machine::new(cfg.machine.clone(), sink);
+        machine.set_obs(&obs);
         let mut daemon = Daemon::new(cfg.daemon.clone())?;
+        daemon.attach_obs(&obs);
         daemon.startup_scan(&machine.os);
+        let mut injector = FaultInjector::new(cfg.faults);
+        injector.attach_obs(&obs);
         Ok(ProfiledRun {
             machine,
             daemon,
-            injector: FaultInjector::new(cfg.faults),
+            injector,
             flush_failures: 0,
             backpressure_raises: 0,
+            obs,
             daemon_cfg: cfg.daemon,
+            daemon_cycles: 0,
             backpressure: cfg.backpressure,
             cfg_poll: cfg.poll_quantum.max(1),
             cfg_flush: cfg.flush_interval.max(1),
@@ -183,6 +201,13 @@ impl ProfiledRun {
     /// the §4.2.3 bypass window open until the next pump.
     pub fn pump(&mut self) {
         let now = self.machine.time();
+        self.obs.advance_cycle(now);
+        self.obs.begin(Component::Session, "session.pump");
+        self.pump_inner(now);
+        self.obs.end(Component::Session, "session.pump", now, 0);
+    }
+
+    fn pump_inner(&mut self, now: u64) {
         if self.injector.stalled(now) {
             // The daemon is wedged: notifications queue in the OS and
             // the kernel-side buffers fill until samples drop (§4.2.1).
@@ -240,12 +265,14 @@ impl ProfiledRun {
             // daemon crash can lose at most one flush interval of data.
             if self.daemon.flush_to_disk().is_err() {
                 self.flush_failures += 1;
+                self.obs.counter("session.flush_failures").inc(0);
             } else {
                 self.last_disk_flush = now;
             }
         }
         self.apply_backpressure();
         let cost = self.daemon.take_accrued_cycles();
+        self.daemon_cycles += cost;
         if self.charge_daemon && cost > 0 {
             self.machine.charge_cycles(0, cost);
         }
@@ -291,6 +318,7 @@ impl ProfiledRun {
             self.injector.apply_corruption(&root, crash);
         }
         let mut fresh = Daemon::reopen(self.daemon_cfg.clone()).expect("daemon restart");
+        fresh.attach_obs(&self.obs);
         fresh.startup_scan(&self.machine.os);
         self.daemon = fresh;
     }
@@ -354,6 +382,7 @@ impl ProfiledRun {
         }
         self.mid_flush = false;
         let cost = self.daemon.take_accrued_cycles();
+        self.daemon_cycles += cost;
         if self.charge_daemon && cost > 0 {
             self.machine.charge_cycles(0, cost);
         }
@@ -363,6 +392,9 @@ impl ProfiledRun {
         } else {
             self.last_disk_flush = self.machine.time();
         }
+        self.obs.advance_cycle(self.machine.time());
+        self.obs
+            .event(Component::Session, "session.finish", self.machine.time(), 0);
     }
 
     /// The accumulated profiles (valid when no database is configured;
@@ -406,6 +438,39 @@ impl ProfiledRun {
             crash_lost: self.crash_lost,
             quarantined: self.injector.quarantined_samples,
         }
+    }
+
+    /// The overhead ledger: cycles charged to collection (interrupt
+    /// handlers plus modeled daemon processing) reconciled against the
+    /// total simulated cycles. At the paper's default sampling period
+    /// the fraction lands in the 1–3% band of its Table 3.
+    #[must_use]
+    pub fn overhead_ledger(&self) -> OverheadLedger {
+        OverheadLedger {
+            total_cycles: self.machine.time(),
+            handler_cycles: self.machine.total_handler_cycles(),
+            daemon_cycles: self.daemon_cycles,
+            samples: self.machine.total_samples(),
+        }
+    }
+
+    /// A full observability snapshot: metrics, trace rings, and both
+    /// ledgers. Call after [`ProfiledRun::finish`] so the sample ledger
+    /// conserves.
+    #[must_use]
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let mut snap = self.obs.snapshot();
+        snap.overhead = Some(self.overhead_ledger());
+        let l = self.ledger();
+        snap.samples = Some(SampleLedger {
+            generated: l.generated,
+            attributed: l.attributed,
+            unknown: l.unknown,
+            driver_dropped: l.driver_dropped,
+            crash_lost: l.crash_lost,
+            quarantined: l.quarantined,
+        });
+        snap
     }
 
     /// One-line session summary: the ledger plus the failure counters
@@ -554,6 +619,115 @@ mod tests {
         assert!(set.get(img, Event::Cycles).is_some());
         assert!(db.disk_usage().unwrap() > 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn obs_session(period: (u64, u64), faults: FaultPlan) -> ProfiledRun {
+        let mut cfg = SessionConfig::default();
+        cfg.machine.counters = CounterConfig::cycles_only(period);
+        cfg.poll_quantum = 50_000;
+        cfg.flush_interval = 500_000;
+        cfg.obs = ObsConfig::on();
+        cfg.faults = faults;
+        ProfiledRun::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn obs_snapshots_are_deterministic() {
+        let run_once = || {
+            let mut run = obs_session((1200, 1500), FaultPlan::none());
+            let img = run.register_image(loop_image(200_000));
+            run.spawn(0, img, &[], |_| {});
+            run.run_to_completion(10_000_000_000);
+            let mut snap = run.obs_snapshot();
+            snap.mask_wall();
+            snap
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "fixed-seed runs must produce identical snapshots");
+        assert_eq!(a.to_json(), b.to_json());
+        let parsed = Snapshot::parse(&a.to_json()).unwrap();
+        assert_eq!(parsed, a, "JSON roundtrip preserves the snapshot");
+        // The cycle-stamped trace sequences themselves must match, ring
+        // by ring, event by event.
+        for (ra, rb) in a.rings.iter().zip(&b.rings) {
+            assert_eq!(ra.component, rb.component);
+            assert_eq!(ra.events, rb.events, "ring {} diverged", ra.component);
+        }
+    }
+
+    #[test]
+    fn obs_ledgers_and_fault_events_recorded() {
+        let horizon = 20_000_000;
+        let plan = FaultPlan {
+            stalls: vec![crate::faults::StallWindow {
+                from: 2_000_000,
+                until: 3_000_000,
+            }],
+            crashes: vec![CrashFault {
+                at_cycle: 8_000_000,
+                corrupt: None,
+                victim_pick: 7,
+                stray_tmp: false,
+            }],
+            notif_drop_period: 0,
+            notif_delay: 0,
+            torn_flushes: vec![5_000_000],
+        };
+        let mut run = obs_session((1000, 1200), plan);
+        let img = run.register_image(loop_image(2_000_000));
+        run.spawn(0, img, &[], |_| {});
+        run.run_for(horizon);
+        let snap = run.obs_snapshot();
+        let samples = snap.samples.expect("sample ledger present");
+        assert!(samples.conserves(), "ledger must conserve under faults");
+        let overhead = snap.overhead.expect("overhead ledger present");
+        assert!(overhead.consistent());
+        assert!(overhead.samples > 0);
+        assert!(overhead.fraction() > 0.0);
+        let faults = snap
+            .rings
+            .iter()
+            .find(|r| r.component == "faults")
+            .expect("faults ring");
+        let names: Vec<&str> = faults.events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"fault.stall"), "stall visible: {names:?}");
+        assert!(names.contains(&"fault.crash"), "crash visible: {names:?}");
+        assert!(
+            names.contains(&"fault.torn_flush"),
+            "torn flush visible: {names:?}"
+        );
+        // Cycle stamps within each ring never run backwards.
+        for ring in &snap.rings {
+            let mut last = 0;
+            for ev in &ring.events {
+                assert!(
+                    ev.cycle >= last,
+                    "{}: {} < {last}",
+                    ring.component,
+                    ev.cycle
+                );
+                last = ev.cycle;
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_obs_changes_nothing() {
+        let run_with = |obs: ObsConfig| {
+            let mut cfg = SessionConfig::default();
+            cfg.machine.counters = CounterConfig::cycles_only((1500, 1800));
+            cfg.obs = obs;
+            let mut run = ProfiledRun::new(cfg).unwrap();
+            let img = run.register_image(loop_image(150_000));
+            run.spawn(0, img, &[], |_| {});
+            run.run_to_completion(10_000_000_000);
+            (run.machine.time(), run.ledger())
+        };
+        let (t_off, l_off) = run_with(ObsConfig::default());
+        let (t_on, l_on) = run_with(ObsConfig::on());
+        assert_eq!(t_off, t_on, "observation must not perturb the simulation");
+        assert_eq!(l_off, l_on);
     }
 
     #[test]

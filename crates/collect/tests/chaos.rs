@@ -56,6 +56,10 @@ fn chaotic_session(dir: &Path, faults: FaultPlan, bp: Option<Backpressure>) -> P
     cfg.daemon.db_path = Some(dir.to_path_buf());
     cfg.faults = faults;
     cfg.backpressure = bp;
+    // The whole suite runs with self-observability on: every fault
+    // firing and recovery path also exercises the obs probes, and
+    // conservation must hold with them enabled.
+    cfg.obs = dcpi_obs::ObsConfig::on();
     let mut run = ProfiledRun::new(cfg).expect("session setup");
     let img = run.register_image(loop_image(120_000));
     run.spawn(0, img, &[], |_| {});
@@ -286,6 +290,7 @@ fn torn_flush_window_loses_nothing() {
     cfg.flush_interval = FLUSH;
     cfg.daemon.db_path = Some(dir.to_path_buf());
     cfg.faults = plan;
+    cfg.obs = dcpi_obs::ObsConfig::on();
     let mut run = ProfiledRun::new(cfg).expect("session setup");
     let img = run.register_image(loop_image(120_000));
     run.spawn(0, img, &[], |_| {});

@@ -24,6 +24,7 @@ use dcpi_isa::insn::{Instruction, PalFunc, RegOrLit};
 use dcpi_isa::meta::InsnMeta;
 use dcpi_isa::pipeline::{pipes_compatible, InsnClass};
 use dcpi_isa::reg::Reg;
+use dcpi_obs::{Component, Counter, Obs};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -216,6 +217,14 @@ pub struct CpuState {
     pub insns_retired: u64,
     /// Issue groups where two instructions dual-issued.
     pub dual_issues: u64,
+    /// Observability handle (disabled by default: every probe is a single
+    /// `AtomicBool` load + branch, off the `step_inner` path entirely).
+    pub obs: Obs,
+    /// Cached `machine.samples` counter handle (no registry lookup in the
+    /// interrupt path).
+    obs_samples: Counter,
+    /// Cached `machine.handler_cycles` counter handle.
+    obs_handler: Counter,
 }
 
 impl CpuState {
@@ -252,7 +261,18 @@ impl CpuState {
             handler_cycles: 0,
             insns_retired: 0,
             dual_issues: 0,
+            obs: Obs::disabled(),
+            obs_samples: Counter::default(),
+            obs_handler: Counter::default(),
         }
+    }
+
+    /// Attaches an observability handle, caching the hot counter handles
+    /// so the interrupt path never touches the registry lock.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.obs_samples = obs.counter("machine.samples");
+        self.obs_handler = obs.counter("machine.handler_cycles");
     }
 
     /// Current time: the later of the last issue and any busy period.
@@ -275,6 +295,18 @@ impl CpuState {
         self.fdiv_free = self.fdiv_free.max(base);
         self.fetch_ready = base;
         self.slice_end = base + cfg.timeslice;
+        if self.obs.is_enabled() {
+            self.obs
+                .counter("machine.ctx_switches")
+                .inc(self.id.0 as usize);
+            self.obs.event_at(
+                Component::Machine,
+                "machine.ctx_switch",
+                base,
+                u64::from(proc.pid.0),
+                cfg.ctx_switch_cost,
+            );
+        }
         self.current = Some(RunningProc::new(proc));
     }
 
@@ -523,6 +555,18 @@ fn deliver_due<S: SampleSink>(
             }
             cpu.samples_taken += 1;
             cpu.handler_cycles += cost;
+            if cpu.obs.is_enabled() {
+                let shard = cpu.id.0 as usize;
+                cpu.obs_samples.inc(shard);
+                cpu.obs_handler.add(shard, cost);
+                cpu.obs.event_at(
+                    Component::Machine,
+                    "machine.sample",
+                    deliver_at,
+                    cost,
+                    head_pc.0,
+                );
+            }
             cpu.resume_at = cpu.resume_at.max(issue) + cost;
         } else {
             i += 1;

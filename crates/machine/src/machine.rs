@@ -33,6 +33,17 @@ pub struct Machine<S: SampleSink> {
 }
 
 impl<S: SampleSink> Machine<S> {
+    /// Attaches an observability handle to every CPU (the machine is the
+    /// simulated-cycle source for the obs clock). With obs disabled this
+    /// leaves the hot path untouched: probes gate on one `AtomicBool`.
+    pub fn set_obs(&mut self, obs: &dcpi_obs::Obs) {
+        for cpu in &mut self.cpus {
+            cpu.attach_obs(obs);
+        }
+    }
+}
+
+impl<S: SampleSink> Machine<S> {
     /// Builds a machine with the default kernel image.
     #[must_use]
     pub fn new(cfg: MachineConfig, sink: S) -> Machine<S> {

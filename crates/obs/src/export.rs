@@ -1,0 +1,468 @@
+//! Line-disciplined JSON export/import for observability snapshots.
+//!
+//! Same hand-rolled style as the rest of the repo (no external crates):
+//! the writer emits exactly one JSON object per line inside each section,
+//! so the reader is a simple line scanner with a `field` helper rather
+//! than a full JSON parser. String values are sanitised on write (no
+//! quotes, commas, braces, or newlines) to keep that discipline sound.
+//! `dcpistat`, `dcpitrace`, and `dcpicheck obs` all consume this format.
+
+use crate::ledger::{OverheadLedger, SampleLedger};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::trace::{EventKind, EventRecord, RingSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version stamped into every export.
+pub const SCHEMA: u32 = 1;
+
+/// A complete observability export: metadata, metrics, trace rings, and
+/// (when the producing layer owns them) the overhead and sample ledgers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Free-form metadata (seed, workload, …). Values are sanitised.
+    pub meta: BTreeMap<String, String>,
+    /// Metrics registry snapshot.
+    pub metrics: MetricsSnapshot,
+    /// One entry per component ring.
+    pub rings: Vec<RingSnapshot>,
+    /// Cycles charged to collection vs. total simulated cycles.
+    pub overhead: Option<OverheadLedger>,
+    /// End-to-end sample conservation.
+    pub samples: Option<SampleLedger>,
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if matches!(c, '"' | ',' | '{' | '}' | '\n' | '\r') {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// Zero every wall-clock field (trace `wall_ns`). Determinism tests
+    /// compare snapshots after masking, since wall time is the one
+    /// legitimately non-deterministic stamp.
+    pub fn mask_wall(&mut self) {
+        for ring in &mut self.rings {
+            for ev in &mut ring.events {
+                ev.wall_ns = 0;
+            }
+        }
+    }
+
+    /// Merge another run's snapshot: metrics merge per their semantics,
+    /// ledgers sum. Trace rings are kept from `self` (rings are per-run
+    /// timelines; merged runs keep the first run's timeline).
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.metrics.merge(&other.metrics);
+        match (&mut self.overhead, &other.overhead) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+        match (&mut self.samples, &other.samples) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+    }
+
+    /// Render the snapshot as line-disciplined JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", SCHEMA);
+
+        out.push_str("  \"meta\": [\n");
+        let metas: Vec<String> = self
+            .meta
+            .iter()
+            .map(|(k, v)| {
+                format!(
+                    "    {{\"key\": \"{}\", \"value\": \"{}\"}}",
+                    sanitize(k),
+                    sanitize(v)
+                )
+            })
+            .collect();
+        out.push_str(&metas.join(",\n"));
+        if !metas.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"counters\": [\n");
+        let rows: Vec<String> = self
+            .metrics
+            .counters
+            .iter()
+            .map(|(k, v)| format!("    {{\"name\": \"{}\", \"value\": {}}}", sanitize(k), v))
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"gauges\": [\n");
+        let rows: Vec<String> = self
+            .metrics
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("    {{\"name\": \"{}\", \"value\": {}}}", sanitize(k), v))
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"histograms\": [\n");
+        let rows: Vec<String> = self
+            .metrics
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets: Vec<String> =
+                    h.buckets.iter().map(|(i, n)| format!("{i}:{n}")).collect();
+                format!(
+                    "    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": \"{}\"}}",
+                    sanitize(k),
+                    h.count,
+                    h.sum,
+                    buckets.join(" "),
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"rings\": [\n");
+        let mut rows: Vec<String> = Vec::new();
+        for ring in &self.rings {
+            rows.push(format!(
+                "    {{\"component\": \"{}\", \"capacity\": {}, \"recorded\": {}, \"overwritten\": {}}}",
+                sanitize(&ring.component),
+                ring.capacity,
+                ring.recorded,
+                ring.overwritten,
+            ));
+            for ev in &ring.events {
+                rows.push(format!(
+                    "    {{\"event\": \"{}\", \"kind\": \"{}\", \"cycle\": {}, \"wall_ns\": {}, \"a\": {}, \"b\": {}}}",
+                    sanitize(&ev.name),
+                    ev.kind.name(),
+                    ev.cycle,
+                    ev.wall_ns,
+                    ev.a,
+                    ev.b,
+                ));
+            }
+        }
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        match &self.overhead {
+            Some(o) => {
+                let _ = writeln!(
+                    out,
+                    "  \"overhead\": {{\"total_cycles\": {}, \"handler_cycles\": {}, \"daemon_cycles\": {}, \"samples\": {}}},",
+                    o.total_cycles, o.handler_cycles, o.daemon_cycles, o.samples
+                );
+            }
+            None => out.push_str("  \"overhead\": null,\n"),
+        }
+        match &self.samples {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "  \"samples\": {{\"generated\": {}, \"attributed\": {}, \"unknown\": {}, \"driver_dropped\": {}, \"crash_lost\": {}, \"quarantined\": {}}}",
+                    s.generated, s.attributed, s.unknown, s.driver_dropped, s.crash_lost, s.quarantined
+                );
+            }
+            None => out.push_str("  \"samples\": null\n"),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse an export produced by [`Snapshot::to_json`].
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        let mut section = "";
+        let mut saw_schema = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line == "{" || line == "}" || line == "]," || line == "]" {
+                continue;
+            }
+            if let Some(v) = field(line, "schema") {
+                let v: u32 = v.parse().map_err(|_| bad(lineno, "schema"))?;
+                if v != SCHEMA {
+                    return Err(format!("unsupported obs schema {v} (expected {SCHEMA})"));
+                }
+                saw_schema = true;
+                continue;
+            }
+            if let Some(sec) = section_header(line) {
+                section = sec;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("\"overhead\": ") {
+                if rest.trim_end_matches(',') == "null" {
+                    continue;
+                }
+                snap.overhead = Some(OverheadLedger {
+                    total_cycles: num(rest, "total_cycles", lineno)?,
+                    handler_cycles: num(rest, "handler_cycles", lineno)?,
+                    daemon_cycles: num(rest, "daemon_cycles", lineno)?,
+                    samples: num(rest, "samples", lineno)?,
+                });
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("\"samples\": ") {
+                if rest.trim_end_matches(',') == "null" {
+                    continue;
+                }
+                snap.samples = Some(SampleLedger {
+                    generated: num(rest, "generated", lineno)?,
+                    attributed: num(rest, "attributed", lineno)?,
+                    unknown: num(rest, "unknown", lineno)?,
+                    driver_dropped: num(rest, "driver_dropped", lineno)?,
+                    crash_lost: num(rest, "crash_lost", lineno)?,
+                    quarantined: num(rest, "quarantined", lineno)?,
+                });
+                continue;
+            }
+            match section {
+                "meta" => {
+                    let k = field(line, "key").ok_or_else(|| bad(lineno, "key"))?;
+                    let v = field(line, "value").ok_or_else(|| bad(lineno, "value"))?;
+                    snap.meta.insert(k.to_string(), v.to_string());
+                }
+                "counters" => {
+                    let k = field(line, "name").ok_or_else(|| bad(lineno, "name"))?;
+                    snap.metrics
+                        .counters
+                        .insert(k.to_string(), num(line, "value", lineno)?);
+                }
+                "gauges" => {
+                    let k = field(line, "name").ok_or_else(|| bad(lineno, "name"))?;
+                    snap.metrics
+                        .gauges
+                        .insert(k.to_string(), num(line, "value", lineno)?);
+                }
+                "histograms" => {
+                    let k = field(line, "name").ok_or_else(|| bad(lineno, "name"))?;
+                    let spec = field(line, "buckets").ok_or_else(|| bad(lineno, "buckets"))?;
+                    let mut buckets = Vec::new();
+                    for part in spec.split_whitespace() {
+                        let (i, n) = part.split_once(':').ok_or_else(|| bad(lineno, "buckets"))?;
+                        buckets.push((
+                            i.parse().map_err(|_| bad(lineno, "buckets"))?,
+                            n.parse().map_err(|_| bad(lineno, "buckets"))?,
+                        ));
+                    }
+                    snap.metrics.histograms.insert(
+                        k.to_string(),
+                        HistogramSnapshot {
+                            count: num(line, "count", lineno)?,
+                            sum: num(line, "sum", lineno)?,
+                            buckets,
+                        },
+                    );
+                }
+                "rings" => {
+                    if let Some(comp) = field(line, "component") {
+                        snap.rings.push(RingSnapshot {
+                            component: comp.to_string(),
+                            capacity: num(line, "capacity", lineno)?,
+                            recorded: num(line, "recorded", lineno)?,
+                            overwritten: num(line, "overwritten", lineno)?,
+                            events: Vec::new(),
+                        });
+                    } else if let Some(name) = field(line, "event") {
+                        let kind = field(line, "kind")
+                            .and_then(EventKind::parse)
+                            .ok_or_else(|| bad(lineno, "kind"))?;
+                        let ring = snap.rings.last_mut().ok_or_else(|| {
+                            format!("line {}: event before any ring header", lineno + 1)
+                        })?;
+                        ring.events.push(EventRecord {
+                            cycle: num(line, "cycle", lineno)?,
+                            wall_ns: num(line, "wall_ns", lineno)?,
+                            name: name.to_string(),
+                            kind,
+                            a: num(line, "a", lineno)?,
+                            b: num(line, "b", lineno)?,
+                        });
+                    } else {
+                        return Err(format!("line {}: unrecognised ring row", lineno + 1));
+                    }
+                }
+                _ => return Err(format!("line {}: row outside any section", lineno + 1)),
+            }
+        }
+        if !saw_schema {
+            return Err("missing \"schema\" field (not an obs export?)".to_string());
+        }
+        Ok(snap)
+    }
+}
+
+/// Extract `"key": value` from a one-object line; quotes are stripped.
+/// This is the same line-scanning discipline `dcpi-bench` uses for its
+/// committed baseline.
+pub fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn num(line: &str, key: &str, lineno: usize) -> Result<u64, String> {
+    field(line, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(lineno, key))
+}
+
+fn bad(lineno: usize, key: &str) -> String {
+    format!("line {}: missing or malformed \"{key}\"", lineno + 1)
+}
+
+fn section_header(line: &str) -> Option<&'static str> {
+    for sec in ["meta", "counters", "gauges", "histograms", "rings"] {
+        if line.starts_with(&format!("\"{sec}\": [")) {
+            return Some(sec);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.meta.insert("workload".into(), "gcc".into());
+        s.meta.insert("seed".into(), "7".into());
+        s.metrics.counters.insert("driver.interrupts".into(), 1234);
+        s.metrics.counters.insert("machine.samples".into(), 1200);
+        s.metrics.gauges.insert("daemon.memory_bytes".into(), 65536);
+        s.metrics.histograms.insert(
+            "daemon.flush_ns".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 7000,
+                buckets: vec![(11, 2), (12, 1)],
+            },
+        );
+        s.rings.push(RingSnapshot {
+            component: "driver".into(),
+            capacity: 4,
+            recorded: 6,
+            overwritten: 2,
+            events: vec![
+                EventRecord {
+                    cycle: 10,
+                    wall_ns: 99,
+                    name: "driver.irq".into(),
+                    kind: EventKind::Instant,
+                    a: 634,
+                    b: 4096,
+                },
+                EventRecord {
+                    cycle: 20,
+                    wall_ns: 120,
+                    name: "driver.spill".into(),
+                    kind: EventKind::Instant,
+                    a: 3,
+                    b: 0,
+                },
+            ],
+        });
+        s.overhead = Some(OverheadLedger {
+            total_cycles: 1_000_000,
+            handler_cycles: 11_000,
+            daemon_cycles: 900,
+            samples: 16,
+        });
+        s.samples = Some(SampleLedger {
+            generated: 16,
+            attributed: 14,
+            unknown: 1,
+            driver_dropped: 1,
+            crash_lost: 0,
+            quarantined: 0,
+        });
+        s
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let s = sample_snapshot();
+        let text = s.to_json();
+        let back = Snapshot::parse(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let s = Snapshot::default();
+        let back = Snapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn mask_wall_zeroes_wall_stamps() {
+        let mut s = sample_snapshot();
+        s.mask_wall();
+        assert!(s.rings[0].events.iter().all(|e| e.wall_ns == 0));
+    }
+
+    #[test]
+    fn merge_sums_metrics_and_ledgers() {
+        let mut a = sample_snapshot();
+        let b = sample_snapshot();
+        a.merge(&b);
+        assert_eq!(a.metrics.counters["driver.interrupts"], 2468);
+        assert_eq!(a.metrics.gauges["daemon.memory_bytes"], 65536); // max
+        assert_eq!(a.overhead.unwrap().total_cycles, 2_000_000);
+        assert_eq!(a.samples.unwrap().generated, 32);
+        assert!(a.samples.unwrap().conserves());
+        // Rings keep the first run's timeline.
+        assert_eq!(a.rings.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Snapshot::parse("hello world").is_err());
+        assert!(Snapshot::parse("{\n  \"schema\": 99\n}\n").is_err());
+        let truncated = "{\n  \"schema\": 1,\n  \"rings\": [\n    {\"event\": \"x\", \"kind\": \"instant\", \"cycle\": 1, \"wall_ns\": 0, \"a\": 0, \"b\": 0}\n  ]\n}\n";
+        let err = Snapshot::parse(truncated).unwrap_err();
+        assert!(err.contains("ring header"), "{err}");
+    }
+
+    #[test]
+    fn sanitizer_keeps_line_discipline() {
+        let mut s = Snapshot::default();
+        s.meta.insert("note".into(), "a,b\"c{d}e\nf".into());
+        let text = s.to_json();
+        let back = Snapshot::parse(&text).unwrap();
+        assert_eq!(back.meta["note"], "a_b_c_d_e_f");
+    }
+}

@@ -1,0 +1,334 @@
+//! Lock-cheap metrics: sharded counters, gauges, and log2 histograms.
+//!
+//! Registration takes a short mutex on a `BTreeMap` keyed by `&'static
+//! str`; hot components register once and keep the returned handle, after
+//! which every update is a single relaxed atomic RMW. Counters are sharded
+//! across cache-line-padded slots so per-CPU writers (the interrupt
+//! handler runs on every simulated CPU) do not contend.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of counter shards. Writers pick `shard % SHARDS`, typically the
+/// simulated CPU index.
+pub const SHARDS: usize = 16;
+
+/// Number of log2 histogram buckets (bucket `i` holds values needing `i`
+/// bits, i.e. `2^(i-1) < v <= 2^i - …`; bucket 0 holds zero).
+pub const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64 {
+    v: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct ShardedInner {
+    shards: [PaddedU64; SHARDS],
+}
+
+/// A monotonically increasing counter, sharded to avoid write contention.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<ShardedInner>);
+
+impl Counter {
+    /// Add `n`, hinting which shard to use (e.g. the CPU index).
+    #[inline]
+    pub fn add(&self, shard: usize, n: u64) {
+        self.0.shards[shard % SHARDS]
+            .v
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self, shard: usize) {
+        self.add(shard, 1);
+    }
+
+    /// Sum across shards.
+    pub fn value(&self) -> u64 {
+        self.0
+            .shards
+            .iter()
+            .map(|s| s.v.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-value / high-water gauge.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if larger (high-water mark).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A log2-bucketed histogram (values spanning 18 decimal orders in 65
+/// buckets — plenty for cycle counts and nanosecond latencies).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Bucket index for a value: the number of bits needed to represent it.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let h = &*self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot (count, sum, non-empty buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = &*self.0;
+        let buckets = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((u32::try_from(i).unwrap_or(u32::MAX), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// `(bucket index, observations)` for non-empty buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut map: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(i, n) in &other.buckets {
+            *map.entry(i).or_insert(0) += n;
+        }
+        self.buckets = map.into_iter().collect();
+    }
+}
+
+/// The registry behind an `Obs` instance: three name-keyed maps guarded by
+/// short mutexes. Lookups happen at registration time only.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Registry {
+    /// Get or create the counter with this name.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge with this name.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauges.lock().unwrap().entry(name).or_default().clone()
+    }
+
+    /// Get or create the histogram with this name.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Deterministic (sorted-by-name) snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Deterministic point-in-time view of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merge another snapshot: counters and histograms sum, gauges take
+    /// the maximum (they are levels, not totals).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shards_sum() {
+        let r = Registry::default();
+        let c = r.counter("x");
+        for cpu in 0..32 {
+            c.add(cpu, 2);
+        }
+        assert_eq!(c.value(), 64);
+        // Same name returns the same underlying counter.
+        r.counter("x").inc(0);
+        assert_eq!(c.value(), 65);
+    }
+
+    #[test]
+    fn gauge_set_and_raise() {
+        let g = Gauge::default();
+        g.set(10);
+        g.raise(5);
+        assert_eq!(g.value(), 10);
+        g.raise(20);
+        assert_eq!(g.value(), 20);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 6);
+        assert_eq!(s.buckets, vec![(0, 1), (2, 2)]);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merge_semantics() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("c".into(), 3);
+        a.gauges.insert("g".into(), 7);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("c".into(), 4);
+        b.counters.insert("d".into(), 1);
+        b.gauges.insert("g".into(), 5);
+        b.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 1,
+                sum: 2,
+                buckets: vec![(2, 1)],
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.counters["c"], 7);
+        assert_eq!(a.counters["d"], 1);
+        assert_eq!(a.gauges["g"], 7);
+        assert_eq!(a.histograms["h"].count, 1);
+    }
+}

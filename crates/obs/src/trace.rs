@@ -1,0 +1,268 @@
+//! Fixed-size per-component trace rings with dual time stamps.
+//!
+//! Every event carries a simulated-cycle stamp and a monotonic wall-clock
+//! stamp. Rings never allocate after construction: once full, the oldest
+//! event is overwritten and the overwrite is accounted for (`recorded`
+//! keeps the all-time total). Cycle stamps within one ring are clamped to
+//! be non-decreasing — per-CPU quanta replay slightly out of order, but
+//! the ring presents one coherent timeline, which `dcpicheck obs`
+//! verifies.
+
+/// The instrumented components, one trace ring each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// Simulated machine: sample delivery, context switches.
+    Machine,
+    /// Kernel driver: interrupt entry/exit, hash-table insert vs. spill.
+    Driver,
+    /// User-space daemon: pump, flush, startup scan.
+    Daemon,
+    /// Collection session orchestration.
+    Session,
+    /// Fault-injector firings.
+    Faults,
+    /// Analysis phases: CFG build, equivalence classes, propagation,
+    /// culprit elimination.
+    Analyze,
+}
+
+impl Component {
+    /// Every component, in ring-index order.
+    pub const ALL: [Component; 6] = [
+        Component::Machine,
+        Component::Driver,
+        Component::Daemon,
+        Component::Session,
+        Component::Faults,
+        Component::Analyze,
+    ];
+
+    /// Stable name used in exports and tool filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Machine => "machine",
+            Component::Driver => "driver",
+            Component::Daemon => "daemon",
+            Component::Session => "session",
+            Component::Faults => "faults",
+            Component::Analyze => "analyze",
+        }
+    }
+
+    /// Ring index for this component.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Event flavour: a point event or one side of a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point-in-time occurrence.
+    Instant,
+    /// Span open.
+    Begin,
+    /// Span close (matches the nearest open `Begin` of the same name).
+    End,
+}
+
+impl EventKind {
+    /// Stable name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Instant => "instant",
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn parse(s: &str) -> Option<EventKind> {
+        match s {
+            "instant" => Some(EventKind::Instant),
+            "begin" => Some(EventKind::Begin),
+            "end" => Some(EventKind::End),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TraceEvent {
+    cycle: u64,
+    wall_ns: u64,
+    name: &'static str,
+    kind: EventKind,
+    a: u64,
+    b: u64,
+}
+
+/// A fixed-capacity ring of trace events.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// All-time number of events pushed (≥ `buf.len()`).
+    recorded: u64,
+    /// Monotonic clamp for cycle stamps.
+    last_cycle: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` events (0 = record nothing).
+    pub fn new(cap: usize) -> TraceRing {
+        TraceRing {
+            cap,
+            buf: Vec::with_capacity(cap),
+            head: 0,
+            recorded: 0,
+            last_cycle: 0,
+        }
+    }
+
+    /// Append an event; overwrites the oldest once full. The cycle stamp
+    /// is clamped so stamps in the ring never decrease.
+    pub fn push(
+        &mut self,
+        cycle: u64,
+        wall_ns: u64,
+        name: &'static str,
+        kind: EventKind,
+        a: u64,
+        b: u64,
+    ) {
+        if self.cap == 0 {
+            return;
+        }
+        let cycle = cycle.max(self.last_cycle);
+        self.last_cycle = cycle;
+        let ev = TraceEvent {
+            cycle,
+            wall_ns,
+            name,
+            kind,
+            a,
+            b,
+        };
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.recorded += 1;
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Snapshot the ring in oldest-first order.
+    pub fn snapshot(&self, component: &str) -> RingSnapshot {
+        let mut events = Vec::with_capacity(self.buf.len());
+        for i in 0..self.buf.len() {
+            let ev = &self.buf[(self.head + i) % self.buf.len().max(1)];
+            events.push(EventRecord {
+                cycle: ev.cycle,
+                wall_ns: ev.wall_ns,
+                name: ev.name.to_string(),
+                kind: ev.kind,
+                a: ev.a,
+                b: ev.b,
+            });
+        }
+        RingSnapshot {
+            component: component.to_string(),
+            capacity: self.cap as u64,
+            recorded: self.recorded,
+            overwritten: self.recorded - self.buf.len() as u64,
+            events,
+        }
+    }
+}
+
+/// One exported trace event (owned strings so it survives parsing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Simulated-cycle stamp (non-decreasing within a ring).
+    pub cycle: u64,
+    /// Monotonic wall-clock stamp, nanoseconds since the `Obs` epoch.
+    pub wall_ns: u64,
+    /// Probe name, e.g. `driver.irq`.
+    pub name: String,
+    /// Instant, begin, or end.
+    pub kind: EventKind,
+    /// Probe-specific payload (e.g. handler cycles).
+    pub a: u64,
+    /// Probe-specific payload (e.g. PC).
+    pub b: u64,
+}
+
+/// Exported view of one component's ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingSnapshot {
+    /// Component name (see [`Component::name`]).
+    pub component: String,
+    /// Ring capacity.
+    pub capacity: u64,
+    /// All-time events recorded.
+    pub recorded: u64,
+    /// Events lost to overwrite (`recorded - events.len()`).
+    pub overwritten: u64,
+    /// Surviving events, oldest first.
+    pub events: Vec<EventRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_accounts() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5u64 {
+            r.push(i * 10, i, "e", EventKind::Instant, i, 0);
+        }
+        let s = r.snapshot("driver");
+        assert_eq!(s.capacity, 3);
+        assert_eq!(s.recorded, 5);
+        assert_eq!(s.overwritten, 2);
+        let cycles: Vec<u64> = s.events.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn cycle_stamps_never_decrease() {
+        let mut r = TraceRing::new(8);
+        r.push(100, 0, "a", EventKind::Instant, 0, 0);
+        r.push(40, 1, "b", EventKind::Instant, 0, 0); // stale CPU quantum
+        r.push(120, 2, "c", EventKind::Instant, 0, 0);
+        let s = r.snapshot("machine");
+        let cycles: Vec<u64> = s.events.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![100, 100, 120]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut r = TraceRing::new(0);
+        r.push(1, 1, "e", EventKind::Instant, 0, 0);
+        assert!(r.is_empty());
+        assert_eq!(r.snapshot("x").recorded, 0);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in [EventKind::Instant, EventKind::Begin, EventKind::End] {
+            assert_eq!(EventKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+}

@@ -5,17 +5,27 @@
 //! file checksums, epoch directory structure, stale `.tmp` leftovers,
 //! quarantined files, and image-name records.
 //!
-//! Both forms exit nonzero when any error-severity diagnostic is found.
+//! `dcpicheck obs <obs.json>` — audit an exported observability
+//! snapshot: monotonic cycle stamps, ring overwrite accounting, span
+//! pairing, histogram totals, sample-ledger conservation, and the
+//! overhead fraction against the paper's band.
+//!
+//! All forms exit nonzero when any error-severity diagnostic is found.
 
-use dcpi_check::CheckConfig;
-use dcpi_tools::{dcpicheck_db, dcpicheck_report, load_db};
+use dcpi_check::{CheckConfig, ObsCheckConfig};
+use dcpi_tools::{dcpicheck_db, dcpicheck_obs, dcpicheck_report, load_db};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let report = match (args.get(1).map(String::as_str), args.get(2)) {
         (Some("db"), Some(dir)) => dcpicheck_db(std::path::Path::new(dir)),
-        (Some("db"), None) | (None, _) => {
-            eprintln!("usage: dcpicheck <db-dir> | dcpicheck db <db-dir>");
+        (Some("obs"), Some(path)) => {
+            dcpicheck_obs(std::path::Path::new(path), &ObsCheckConfig::default())
+        }
+        (Some("db" | "obs"), None) | (None, _) => {
+            eprintln!(
+                "usage: dcpicheck <db-dir> | dcpicheck db <db-dir> | dcpicheck obs <obs.json>"
+            );
             std::process::exit(2);
         }
         (Some(dir), _) => {

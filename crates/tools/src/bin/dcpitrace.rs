@@ -1,0 +1,50 @@
+//! `dcpitrace <obs.json> [--component C] [--json]` — dump the
+//! cycle-stamped trace rings of an exported observability snapshot as a
+//! compact timeline (or JSON), optionally restricted to one component
+//! (`machine`, `driver`, `daemon`, `session`, `faults`, `analyze`).
+
+use dcpi_obs::Snapshot;
+
+fn usage() -> ! {
+    eprintln!("usage: dcpitrace <obs.json> [--component C] [--json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else { usage() };
+    let mut component: Option<String> = None;
+    let mut json = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--component" => {
+                component = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 1;
+            }
+            "--json" => json = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dcpitrace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let snap = match Snapshot::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dcpitrace: {path} is not an observability export: {e}");
+            std::process::exit(1);
+        }
+    };
+    let out = if json {
+        dcpi_tools::dcpitrace_json(&snap, component.as_deref())
+    } else {
+        dcpi_tools::dcpitrace(&snap, component.as_deref())
+    };
+    print!("{out}");
+}

@@ -147,6 +147,31 @@ pub fn dcpicheck_db(root: &Path) -> Report {
     report
 }
 
+/// Audits an exported observability snapshot (`dcpicheck obs <path>`):
+/// the JSON must parse, cycle stamps within each ring must be monotonic,
+/// ring overwrite accounting must balance, begin/end spans must pair,
+/// histogram counts must match their buckets, the sample ledger must
+/// conserve, and the overhead fraction must sit within the configured
+/// band (see [`dcpi_check::ObsCheckConfig`]).
+#[must_use]
+pub fn dcpicheck_obs(path: &Path, config: &dcpi_check::ObsCheckConfig) -> Report {
+    match std::fs::read_to_string(path) {
+        Ok(text) => dcpi_check::check_obs_export(&text, config),
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(
+                Severity::Error,
+                Category::ObsExport,
+                path.display().to_string(),
+                None,
+                None,
+                format!("cannot read observability export: {e}"),
+            );
+            report
+        }
+    }
+}
+
 /// One epoch directory: decode every `.prof`, flag stale `.tmp` and
 /// quarantined files, and collect the image ids seen in filenames.
 fn audit_epoch_dir(dir: &Path, report: &mut Report, profiled_images: &mut BTreeSet<u32>) {

@@ -1,0 +1,142 @@
+//! dcpistat: one-shot profiler status from an exported observability
+//! snapshot — sample and drop rates, hash-table behavior, flush
+//! latencies, and both ledgers.
+
+use dcpi_obs::Snapshot;
+use std::fmt::Write as _;
+
+fn rate(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Renders the status report.
+#[must_use]
+pub fn dcpistat(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let c = |name: &str| snap.metrics.counters.get(name).copied().unwrap_or(0);
+    let g = |name: &str| snap.metrics.gauges.get(name).copied().unwrap_or(0);
+    let interrupts = c("driver.interrupts");
+    let drops = c("driver.dropped_samples");
+    let hits = c("driver.ht_hits");
+    let _ = writeln!(out, "-- driver --");
+    let _ = writeln!(
+        out,
+        "interrupts {interrupts}  ht-hits {hits} ({:.1}%)  misses {}  spilled {}  bypassed {}",
+        rate(hits, interrupts) * 100.0,
+        c("driver.ht_misses"),
+        c("driver.spilled_samples"),
+        c("driver.flush_bypass"),
+    );
+    let _ = writeln!(
+        out,
+        "dropped {drops} ({:.3}% of interrupts)",
+        rate(drops, interrupts) * 100.0
+    );
+    let _ = writeln!(out, "-- daemon --");
+    let _ = writeln!(
+        out,
+        "entries {}  samples {}  unknown {}  memory {} bytes (peak {})",
+        c("daemon.entries"),
+        c("daemon.samples"),
+        c("daemon.unknown_samples"),
+        g("daemon.memory_bytes"),
+        g("daemon.peak_memory_bytes"),
+    );
+    if let Some(h) = snap.metrics.histograms.get("daemon.flush_ns") {
+        let _ = writeln!(out, "flushes {}  mean latency {:.0} ns", h.count, h.mean());
+    }
+    let faults = [
+        ("faults.stalled_pumps", "stalled pumps"),
+        ("faults.crashes", "crashes"),
+        ("faults.torn_flushes", "torn flushes"),
+        ("faults.notif_drops", "dropped notifications"),
+    ];
+    if faults.iter().any(|(k, _)| c(k) > 0) {
+        let _ = writeln!(out, "-- faults --");
+        for (key, label) in faults {
+            if c(key) > 0 {
+                let _ = writeln!(out, "{label} {}", c(key));
+            }
+        }
+    }
+    let _ = writeln!(out, "-- ledgers --");
+    match &snap.overhead {
+        Some(oh) => {
+            let _ = writeln!(out, "{}", oh.render());
+        }
+        None => {
+            let _ = writeln!(out, "no overhead ledger in export");
+        }
+    }
+    match &snap.samples {
+        Some(l) => {
+            let _ = writeln!(out, "{}", l.render());
+        }
+        None => {
+            let _ = writeln!(out, "no sample ledger in export");
+        }
+    }
+    let _ = writeln!(out, "-- rings --");
+    for ring in &snap.rings {
+        let _ = writeln!(
+            out,
+            "{:<8} {} events kept, {} recorded, {} overwritten",
+            ring.component,
+            ring.events.len(),
+            ring.recorded,
+            ring.overwritten
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_obs::{Component, Obs, ObsConfig, OverheadLedger, SampleLedger};
+
+    #[test]
+    fn status_renders_rates_and_ledgers() {
+        let obs = Obs::new(&ObsConfig::on());
+        obs.counter("driver.interrupts").add(0, 1000);
+        obs.counter("driver.ht_hits").add(0, 900);
+        obs.counter("driver.dropped_samples").add(0, 10);
+        obs.counter("faults.crashes").inc(0);
+        obs.histogram("daemon.flush_ns").observe(2_000);
+        obs.event(Component::Driver, "driver.irq", 1, 2);
+        let mut snap = obs.snapshot();
+        snap.overhead = Some(OverheadLedger {
+            total_cycles: 100,
+            handler_cycles: 1,
+            daemon_cycles: 1,
+            samples: 1,
+        });
+        snap.samples = Some(SampleLedger {
+            generated: 1000,
+            attributed: 990,
+            unknown: 0,
+            driver_dropped: 10,
+            crash_lost: 0,
+            quarantined: 0,
+        });
+        let text = dcpistat(&snap);
+        assert!(text.contains("interrupts 1000"), "{text}");
+        assert!(text.contains("(90.0%)"), "{text}");
+        assert!(text.contains("dropped 10 (1.000% of interrupts)"), "{text}");
+        assert!(text.contains("crashes 1"), "{text}");
+        assert!(text.contains("overhead:"), "{text}");
+        assert!(text.contains("generated 1000"), "{text}");
+        assert!(text.contains("driver"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_does_not_divide_by_zero() {
+        let text = dcpistat(&Snapshot::default());
+        assert!(text.contains("interrupts 0"), "{text}");
+        assert!(text.contains("no overhead ledger"), "{text}");
+    }
+}

@@ -1,0 +1,152 @@
+//! dcpitrace: dump and filter the cycle-stamped trace rings of an
+//! exported observability snapshot, as a compact text timeline or JSON.
+
+use dcpi_obs::{EventRecord, Snapshot};
+use std::fmt::Write as _;
+
+/// One timeline entry: an event plus the component ring it came from.
+#[derive(Clone, Debug)]
+pub struct TraceLine<'a> {
+    /// The ring's component name (`machine`, `driver`, ...).
+    pub component: &'a str,
+    /// The event itself.
+    pub event: &'a EventRecord,
+}
+
+/// Collects events across rings (optionally restricted to `component`)
+/// into one timeline ordered by cycle stamp. The sort is stable, so
+/// events with equal stamps keep their ring order.
+#[must_use]
+pub fn timeline<'a>(snap: &'a Snapshot, component: Option<&str>) -> Vec<TraceLine<'a>> {
+    let mut lines: Vec<TraceLine<'a>> = snap
+        .rings
+        .iter()
+        .filter(|r| component.is_none_or(|c| r.component == c))
+        .flat_map(|r| {
+            r.events.iter().map(|event| TraceLine {
+                component: r.component.as_str(),
+                event,
+            })
+        })
+        .collect();
+    lines.sort_by_key(|l| l.event.cycle);
+    lines
+}
+
+/// The compact text timeline: one event per line, cycle-ordered.
+#[must_use]
+pub fn dcpitrace(snap: &Snapshot, component: Option<&str>) -> String {
+    let mut out = String::new();
+    for l in timeline(snap, component) {
+        let e = l.event;
+        let _ = writeln!(
+            out,
+            "{:>12}  {:<8} {:<6} {:<24} a={} b={}",
+            e.cycle,
+            l.component,
+            e.kind.name(),
+            e.name,
+            e.a,
+            e.b
+        );
+    }
+    let dropped: u64 = snap
+        .rings
+        .iter()
+        .filter(|r| component.is_none_or(|c| r.component == c))
+        .map(|r| r.overwritten)
+        .sum();
+    if dropped > 0 {
+        let _ = writeln!(out, "({dropped} earlier events overwritten in the rings)");
+    }
+    out
+}
+
+/// The timeline as line-disciplined JSON (one event object per line).
+#[must_use]
+pub fn dcpitrace_json(snap: &Snapshot, component: Option<&str>) -> String {
+    let mut out = String::new();
+    let lines = timeline(snap, component);
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "\"events\": [");
+    for (i, l) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        let e = l.event;
+        let _ = writeln!(
+            out,
+            "{{\"cycle\": {}, \"component\": \"{}\", \"kind\": \"{}\", \"event\": \"{}\", \
+             \"wall_ns\": {}, \"a\": {}, \"b\": {}}}{comma}",
+            e.cycle,
+            l.component,
+            e.kind.name(),
+            e.name,
+            e.wall_ns,
+            e.a,
+            e.b
+        );
+    }
+    let _ = writeln!(out, "]");
+    let _ = write!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_obs::{Component, Obs, ObsConfig};
+
+    fn snap() -> Snapshot {
+        let obs = Obs::new(&ObsConfig::on());
+        obs.event_at(Component::Driver, "driver.irq", 50, 1, 0);
+        obs.event_at(Component::Daemon, "daemon.flush", 100, 2, 0);
+        obs.event_at(Component::Driver, "driver.spill", 150, 3, 0);
+        obs.event_at(Component::Faults, "fault.crash", 120, 4, 5);
+        obs.snapshot()
+    }
+
+    #[test]
+    fn timeline_is_cycle_ordered_across_rings() {
+        let s = snap();
+        let names: Vec<&str> = timeline(&s, None)
+            .iter()
+            .map(|l| l.event.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["driver.irq", "daemon.flush", "fault.crash", "driver.spill"]
+        );
+    }
+
+    #[test]
+    fn component_filter_restricts() {
+        let s = snap();
+        let lines = timeline(&s, Some("driver"));
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.component == "driver"));
+        assert!(timeline(&s, Some("nosuch")).is_empty());
+    }
+
+    #[test]
+    fn text_and_json_render() {
+        let s = snap();
+        let text = dcpitrace(&s, None);
+        assert!(text.contains("fault.crash"), "{text}");
+        assert!(text.contains("a=4 b=5"), "{text}");
+        let json = dcpitrace_json(&s, Some("faults"));
+        assert!(json.contains("\"event\": \"fault.crash\""), "{json}");
+        assert!(!json.contains("driver.irq"), "{json}");
+    }
+
+    #[test]
+    fn overwritten_count_reported() {
+        let obs = Obs::new(&dcpi_obs::ObsConfig {
+            enabled: true,
+            ring_capacity: 2,
+        });
+        for i in 0..5 {
+            obs.event_at(Component::Machine, "machine.sample", i * 10, 0, 0);
+        }
+        let text = dcpitrace(&obs.snapshot(), None);
+        assert!(text.contains("3 earlier events overwritten"), "{text}");
+    }
+}

@@ -17,7 +17,11 @@
 //!   (Graphviz DOT; the paper emitted PostScript),
 //! * [`dcpicheck()`](dcpicheck::dcpicheck) — static analysis and
 //!   invariant verification of images, CFGs, and estimates (the
-//!   `dcpi-check` crate driven over a whole database).
+//!   `dcpi-check` crate driven over a whole database),
+//! * [`dcpistat()`](dcpistat::dcpistat) — one-shot profiler status from
+//!   an observability export (rates, drops, flush latencies, ledgers),
+//! * [`dcpitrace()`](dcpitrace::dcpitrace) — cycle-ordered dump of the
+//!   profiler's trace rings, filterable by component.
 //!
 //! Each also ships as a CLI binary of the same name operating on a
 //! database directory (see [`dbload`]).
@@ -31,16 +35,20 @@ pub mod dcpicfg;
 pub mod dcpicheck;
 pub mod dcpidiff;
 pub mod dcpiprof;
+pub mod dcpistat;
 pub mod dcpistats;
 pub mod dcpisumm;
+pub mod dcpitrace;
 pub mod registry;
 
 pub use dbload::{find_procedure, load_db, LoadedDb};
 pub use dcpicalc::dcpicalc;
 pub use dcpicfg::dcpicfg;
-pub use dcpicheck::{dcpicheck, dcpicheck_db, dcpicheck_report};
+pub use dcpicheck::{dcpicheck, dcpicheck_db, dcpicheck_obs, dcpicheck_report};
 pub use dcpidiff::dcpidiff;
 pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
+pub use dcpistat::dcpistat;
 pub use dcpistats::{dcpistats, StatsRow};
 pub use dcpisumm::dcpisumm;
+pub use dcpitrace::{dcpitrace, dcpitrace_json, timeline, TraceLine};
 pub use registry::{ImageRegistry, TOOL_NAMES};

@@ -17,6 +17,8 @@ pub const TOOL_NAMES: &[&str] = &[
     "dcpidiff",
     "dcpicfg",
     "dcpicheck",
+    "dcpistat",
+    "dcpitrace",
 ];
 
 /// Maps image ids to images for symbol and name lookup.

@@ -1,10 +1,12 @@
 //! Drives the installed CLI binaries against a freshly written profile
 //! database, end to end through real processes.
 
+use dcpi_collect::faults::{CrashFault, FaultPlan, StallWindow};
 use dcpi_collect::session::{ProfiledRun, SessionConfig};
 use dcpi_isa::asm::Asm;
 use dcpi_isa::reg::Reg;
 use dcpi_machine::counters::CounterConfig;
+use dcpi_obs::ObsConfig;
 use std::process::Command;
 
 fn write_db(dir: &std::path::Path, seed: u32) {
@@ -33,6 +35,50 @@ fn write_db(dir: &std::path::Path, seed: u32) {
     run.spawn(0, id, &[], |_| {});
     run.run_to_completion(4_000_000_000);
     assert!(run.machine.total_samples() > 100);
+}
+
+/// Profiles a short run with observability and fault injection on, and
+/// exports the snapshot as a sibling of the database directory (obs
+/// exports must not live inside the db root — `dcpicheck db` flags
+/// foreign files there).
+fn write_obs_export(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut cfg = SessionConfig::default();
+    // The paper-scale period keeps the audited overhead fraction small.
+    cfg.machine.counters = CounterConfig::cycles_only((60_000, 64_000));
+    cfg.daemon.db_path = Some(dir.to_path_buf());
+    cfg.poll_quantum = 50_000;
+    cfg.flush_interval = 500_000;
+    cfg.obs = ObsConfig::on();
+    cfg.faults = FaultPlan {
+        stalls: vec![StallWindow {
+            from: 2_000_000,
+            until: 3_000_000,
+        }],
+        crashes: vec![CrashFault {
+            at_cycle: 8_000_000,
+            corrupt: None,
+            victim_pick: 7,
+            stray_tmp: false,
+        }],
+        notif_drop_period: 0,
+        notif_delay: 0,
+        torn_flushes: vec![5_000_000],
+    };
+    let mut run = ProfiledRun::new(cfg).expect("session");
+    let mut a = Asm::new("/bin/obs_app");
+    a.proc("spin");
+    a.li(Reg::T0, 2_000_000);
+    let top = a.here();
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bne(Reg::T0, top);
+    a.halt();
+    let id = run.register_image(a.finish());
+    run.spawn(0, id, &[], |_| {});
+    run.run_for(20_000_000);
+    run.finish();
+    let path = dir.with_extension("obs.json");
+    std::fs::write(&path, run.obs_snapshot().to_json()).expect("write export");
+    path
 }
 
 fn bin(name: &str) -> Command {
@@ -166,4 +212,84 @@ fn cli_binaries_work_on_a_real_database() {
     for d in [&dir, &dir2] {
         let _ = std::fs::remove_dir_all(d);
     }
+}
+
+#[test]
+fn obs_cli_binaries_work_on_a_real_export() {
+    let dir = std::env::temp_dir().join(format!("dcpi-obs-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let obs = write_obs_export(&dir);
+    let obs_arg = obs.to_str().unwrap();
+
+    // dcpistat summarises the profiler's own health.
+    let out = bin("dcpistat").arg(obs_arg).output().expect("run dcpistat");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("-- driver --"), "{text}");
+    assert!(text.contains("-- faults --"), "{text}");
+    assert!(text.contains("overhead:"), "{text}");
+
+    // dcpitrace shows the fault injector firing (stall, torn flush,
+    // crash) in the cycle-ordered timeline.
+    let out = bin("dcpitrace")
+        .arg(obs_arg)
+        .output()
+        .expect("run dcpitrace");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("fault.stall"), "{text}");
+    assert!(text.contains("fault.crash"), "{text}");
+    assert!(text.contains("fault.torn_flush"), "{text}");
+    assert!(text.contains("session.pump"), "{text}");
+
+    // --component restricts the timeline to one ring.
+    let out = bin("dcpitrace")
+        .args([obs_arg, "--component", "faults"])
+        .output()
+        .expect("run dcpitrace --component");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("fault.crash"), "{text}");
+    assert!(!text.contains("session.pump"), "{text}");
+
+    // --json emits one event object per line.
+    let out = bin("dcpitrace")
+        .args([obs_arg, "--json"])
+        .output()
+        .expect("run dcpitrace --json");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("\"events\": ["), "{text}");
+    assert!(text.contains("\"event\": \"fault.crash\""), "{text}");
+
+    // dcpicheck obs audits the export clean.
+    let out = bin("dcpicheck")
+        .args(["obs", obs_arg])
+        .output()
+        .expect("run dcpicheck obs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+
+    // A tampered sample ledger no longer conserves and is flagged.
+    let original = std::fs::read_to_string(&obs).unwrap();
+    let tampered = original.replace("\"generated\": ", "\"generated\": 1");
+    assert_ne!(original, tampered);
+    std::fs::write(&obs, &tampered).unwrap();
+    let out = bin("dcpicheck")
+        .args(["obs", obs_arg])
+        .output()
+        .expect("run dcpicheck obs on tampered export");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "{text}");
+    assert!(text.contains("obs-ledger"), "{text}");
+
+    // A file that is not an export at all fails with an obs-export error.
+    std::fs::write(&obs, "not json\n").unwrap();
+    let out = bin("dcpicheck").args(["obs", obs_arg]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("obs-export"));
+
+    let _ = std::fs::remove_file(&obs);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,12 +1,19 @@
 //! `profile <workload> <db-dir> [--seed N] [--scale N] [--period LO HI]
-//! [--config base|cycles|default|mux]` — runs a named workload under
-//! continuous profiling and writes the profile database (with saved
-//! images) that the dcpi* tools consume.
+//! [--config base|cycles|default|mux] [--obs PATH] [--quiet] [--json]` —
+//! runs a named workload under continuous profiling and writes the
+//! profile database (with saved images) that the dcpi* tools consume.
+//! With `--obs PATH` the run's observability snapshot (metrics, trace
+//! rings, ledgers) is exported as JSON for `dcpistat`, `dcpitrace`, and
+//! `dcpicheck obs`.
 
+use dcpi_obs::Reporter;
 use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
 
 fn usage() -> ! {
-    eprintln!("usage: profile <workload> <db-dir> [--seed N] [--scale N] [--config CFG]");
+    eprintln!(
+        "usage: profile <workload> <db-dir> [--seed N] [--scale N] [--config CFG] \
+         [--obs PATH] [--quiet] [--json]"
+    );
     eprintln!("workloads:");
     for w in Workload::ALL {
         eprintln!("  {}", w.name());
@@ -31,6 +38,9 @@ fn main() {
     };
     opts.scale = workload.default_scale();
     let mut config = ProfConfig::Cycles;
+    let mut obs_path: Option<std::path::PathBuf> = None;
+    let mut quiet = false;
+    let mut json = false;
     let mut i = 3;
     while i < args.len() {
         match args[i].as_str() {
@@ -59,10 +69,18 @@ fn main() {
                 };
                 i += 1;
             }
+            "--obs" => {
+                obs_path = Some(args.get(i + 1).unwrap_or_else(|| usage()).into());
+                opts.obs = true;
+                i += 1;
+            }
+            "--quiet" => quiet = true,
+            "--json" => json = true,
             _ => usage(),
         }
         i += 1;
     }
+    let rep = Reporter::new(quiet, json);
     if std::path::Path::new(dir).exists() {
         eprintln!("profile: {dir} already exists; choose a fresh directory");
         std::process::exit(1);
@@ -70,22 +88,41 @@ fn main() {
     let r = run_workload(workload, config, &opts);
     if config == ProfConfig::Base {
         // Base disables monitoring entirely: no samples, no database.
-        println!(
-            "ran {} unprofiled (base): {} cycles; no database written",
-            workload.name(),
-            r.cycles
+        rep.record(
+            "profile.base",
+            &[
+                ("workload", workload.name()),
+                ("cycles", r.cycles.to_string()),
+            ],
         );
         return;
     }
-    println!(
-        "profiled {} ({}): {} cycles, {} samples, {} bytes of profiles in {dir}",
-        workload.name(),
-        config.name(),
-        r.cycles,
-        r.samples,
-        r.disk_bytes
+    rep.record(
+        "profile.run",
+        &[
+            ("workload", workload.name()),
+            ("config", config.name().to_string()),
+            ("cycles", r.cycles.to_string()),
+            ("samples", r.samples.to_string()),
+            ("db_bytes", r.disk_bytes.to_string()),
+            ("db", dir.clone()),
+        ],
     );
+    if let Some(l) = r.ledger {
+        rep.status(&l.render());
+    }
+    if let Some(oh) = r.overhead {
+        rep.status(&oh.render());
+    }
+    if let Some(path) = obs_path {
+        let snap = r.obs.expect("obs snapshot requested");
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("profile: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        rep.record("profile.obs", &[("path", path.display().to_string())]);
+    }
     if r.samples == 0 {
-        eprintln!("warning: no samples collected; increase --scale");
+        rep.warn("no samples collected; increase --scale");
     }
 }

@@ -9,12 +9,14 @@
 use crate::programs::{self, KernelAddrs, QueryKind, StreamKind};
 use dcpi_collect::daemon::DaemonStats;
 use dcpi_collect::driver::DriverStats;
+use dcpi_collect::faults::LossLedger;
 use dcpi_collect::session::{ProfiledRun, SessionConfig};
 use dcpi_core::{EdgeProfiles, ImageId, ProfileSet, Sample};
 use dcpi_isa::image::Image;
 use dcpi_machine::counters::CounterConfig;
 use dcpi_machine::machine::{Machine, NullSink, SampleSink};
 use dcpi_machine::{GroundTruth, MachineConfig};
+use dcpi_obs::{ObsConfig, OverheadLedger, Snapshot};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -165,6 +167,10 @@ pub struct RunOptions {
     /// randomizing over the range (for the period-randomization
     /// ablation).
     pub fixed_period: bool,
+    /// Enable self-observability: metrics, trace rings, and the
+    /// overhead/sample ledgers ([`RunResult::obs`]). No effect on
+    /// `base` runs (nothing to observe).
+    pub obs: bool,
 }
 
 impl Default for RunOptions {
@@ -179,6 +185,7 @@ impl Default for RunOptions {
             limit: 4_000_000_000,
             skid: None,
             fixed_period: false,
+            obs: false,
         }
     }
 }
@@ -216,6 +223,12 @@ pub struct RunResult {
     pub trace: Vec<Sample>,
     /// Database size on disk, bytes (0 without a database).
     pub disk_bytes: u64,
+    /// End-to-end sample ledger (absent for `base`).
+    pub ledger: Option<LossLedger>,
+    /// Collection-overhead ledger (absent for `base`).
+    pub overhead: Option<OverheadLedger>,
+    /// Full observability snapshot (present when `RunOptions::obs`).
+    pub obs: Option<Snapshot>,
 }
 
 fn kernel_addrs<S: SampleSink>(m: &Machine<S>) -> KernelAddrs {
@@ -336,6 +349,9 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
             gt: std::mem::take(&mut m.gt),
             trace: Vec::new(),
             disk_bytes: 0,
+            ledger: None,
+            overhead: None,
+            obs: None,
         }
     } else {
         let scfg = SessionConfig {
@@ -345,11 +361,19 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
                 db_path: opts.db_path.clone(),
                 ..dcpi_collect::daemon::DaemonConfig::default()
             },
+            obs: if opts.obs {
+                ObsConfig::on()
+            } else {
+                ObsConfig::default()
+            },
             ..SessionConfig::default()
         };
         let mut run = ProfiledRun::new(scfg).expect("session setup");
         spawn_into(w, &mut run.machine, opts);
         run.run_to_completion(opts.limit);
+        let ledger = run.ledger();
+        let overhead = run.overhead_ledger();
+        let obs = opts.obs.then(|| run.obs_snapshot());
         let disk_bytes = run
             .daemon
             .db()
@@ -392,6 +416,9 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
             gt: std::mem::take(&mut m.gt),
             trace: std::mem::take(&mut m.sink.trace),
             disk_bytes,
+            ledger: Some(ledger),
+            overhead: Some(overhead),
+            obs,
         }
     }
 }
@@ -521,6 +548,43 @@ mod tests {
             r.profiles.event_total(Event::IMiss) > 0,
             "gcc thrashes the I-cache; IMISS samples must appear"
         );
+    }
+
+    #[test]
+    fn obs_run_yields_conserving_ledgers() {
+        let opts = RunOptions {
+            obs: true,
+            limit: 400_000_000,
+            ..RunOptions::default()
+        };
+        let r = run_workload(
+            Workload::McCalpin(StreamKind::Copy),
+            ProfConfig::Cycles,
+            &opts,
+        );
+        let ledger = r.ledger.expect("ledger");
+        assert!(ledger.conserves(), "{}", ledger.render());
+        let oh = r.overhead.expect("overhead ledger");
+        assert!(oh.consistent());
+        assert!(oh.samples > 0);
+        // At the paper's default 60K–64K period the overhead sits in the
+        // low single digits (Table 3's 1–3% band, with slack for the
+        // shortened run).
+        assert!(
+            oh.in_band(0.003, 0.05),
+            "overhead fraction {:.4} out of range",
+            oh.fraction()
+        );
+        let snap = r.obs.expect("snapshot");
+        assert!(!snap.metrics.counters.is_empty());
+        assert_eq!(snap.samples.map(|s| s.generated), Some(ledger.generated));
+        // base runs carry no observability state at all.
+        let base = run_workload(
+            Workload::McCalpin(StreamKind::Copy),
+            ProfConfig::Base,
+            &opts,
+        );
+        assert!(base.ledger.is_none() && base.obs.is_none());
     }
 
     #[test]
