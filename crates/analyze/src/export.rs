@@ -1,0 +1,473 @@
+//! Deterministic serialized form of per-procedure analysis results — the
+//! input contract for external consumers, first among them `dcpi-pgo`.
+//!
+//! The estimate structs ([`ProcAnalysis`] and friends) are rich in-memory
+//! objects with no stable external shape; this module flattens the parts
+//! a transform needs — block/edge frequencies, per-instruction samples,
+//! CPI, and culprit letters — into the same hand-rolled, line-disciplined
+//! JSON the observability exports use (one object per line, every line
+//! independently scannable, no external dependencies), and parses it
+//! back. `export` → `parse` is a lossless round trip for everything in
+//! [`ExportedProc`].
+
+use crate::analysis::ProcAnalysis;
+use crate::cfg::EdgeKind;
+use crate::frequency::Confidence;
+use dcpi_core::types::ImageId;
+use std::fmt::Write as _;
+
+/// Schema version stamped into exports.
+pub const SCHEMA: u32 = 1;
+
+/// A basic block with its estimated execution frequency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExportedBlock {
+    /// Absolute word index (within the image) of the first instruction.
+    pub start_word: u32,
+    /// Number of instructions.
+    pub len: u32,
+    /// Estimated frequency in `S/M` units; negative when unknown.
+    pub freq: f64,
+}
+
+/// A CFG edge with its estimated traversal frequency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExportedEdge {
+    /// Source block index within the procedure.
+    pub from: usize,
+    /// Destination block index within the procedure.
+    pub to: usize,
+    /// How control flows.
+    pub kind: EdgeKind,
+    /// Estimated frequency in `S/M` units; negative when unknown.
+    pub freq: f64,
+}
+
+/// One instruction's estimates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExportedInsn {
+    /// Byte offset within the image.
+    pub offset: u64,
+    /// Raw CYCLES samples attributed to the instruction.
+    pub samples: u64,
+    /// Static minimum head-of-queue cycles `M_i`.
+    pub m: u64,
+    /// Estimated frequency in `S/M` units.
+    pub freq: f64,
+    /// Estimated cycles per execution.
+    pub cpi: f64,
+    /// Estimate confidence: `"low"`, `"medium"`, `"high"`, or `"none"`.
+    pub confidence: String,
+    /// Concatenated dynamic-culprit letters (e.g. `"iD"`), possibly empty.
+    pub culprits: String,
+}
+
+/// Everything a consumer needs to transform one procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExportedProc {
+    /// Image the procedure belongs to.
+    pub image: u32,
+    /// Image pathname.
+    pub image_name: String,
+    /// Procedure name.
+    pub name: String,
+    /// Absolute word index of the procedure's first instruction.
+    pub start_word: u32,
+    /// Procedure length in words.
+    pub len_words: u32,
+    /// True when the CFG has unresolved indirect flow, so frequency
+    /// estimates may not balance.
+    pub missing_edges: bool,
+    /// Total CYCLES samples over the procedure.
+    pub total_samples: u64,
+    /// Blocks, in `BlockId` order.
+    pub blocks: Vec<ExportedBlock>,
+    /// Edges, in CFG edge order.
+    pub edges: Vec<ExportedEdge>,
+    /// Instructions, in address order.
+    pub insns: Vec<ExportedInsn>,
+}
+
+impl ExportedProc {
+    /// The exported frequency of the block starting at absolute word
+    /// `start_word`, if any.
+    #[must_use]
+    pub fn block_freq_at(&self, start_word: u32) -> Option<f64> {
+        self.blocks
+            .iter()
+            .find(|b| b.start_word == start_word)
+            .map(|b| b.freq)
+    }
+}
+
+fn kind_name(kind: EdgeKind) -> &'static str {
+    match kind {
+        EdgeKind::FallThrough => "fall",
+        EdgeKind::Taken => "taken",
+        EdgeKind::Indirect => "indirect",
+    }
+}
+
+fn kind_parse(s: &str) -> Option<EdgeKind> {
+    match s {
+        "fall" => Some(EdgeKind::FallThrough),
+        "taken" => Some(EdgeKind::Taken),
+        "indirect" => Some(EdgeKind::Indirect),
+        _ => None,
+    }
+}
+
+fn confidence_name(c: Option<Confidence>) -> &'static str {
+    match c {
+        Some(Confidence::Low) => "low",
+        Some(Confidence::Medium) => "medium",
+        Some(Confidence::High) => "high",
+        None => "none",
+    }
+}
+
+/// Strips characters that would break the line-disciplined format.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if matches!(c, '"' | ',' | '{' | '}' | '\n' | '\r') {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Flattens analysis results into [`ExportedProc`]s.
+#[must_use]
+pub fn flatten(items: &[(ImageId, &str, &ProcAnalysis)]) -> Vec<ExportedProc> {
+    items
+        .iter()
+        .map(|(id, image_name, pa)| {
+            let freq_of = |est: &Option<crate::frequency::FrequencyEstimate>| {
+                est.as_ref().map_or(-1.0, |e| e.value)
+            };
+            let blocks = pa
+                .cfg
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| ExportedBlock {
+                    start_word: b.start_word,
+                    len: b.len,
+                    freq: freq_of(pa.frequencies.block_freq.get(i).unwrap_or(&None)),
+                })
+                .collect();
+            let edges = pa
+                .cfg
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, e)| ExportedEdge {
+                    from: e.from.0,
+                    to: e.to.0,
+                    kind: e.kind,
+                    freq: freq_of(pa.frequencies.edge_freq.get(i).unwrap_or(&None)),
+                })
+                .collect();
+            let insns = pa
+                .insns
+                .iter()
+                .map(|ia| ExportedInsn {
+                    offset: ia.offset,
+                    samples: ia.samples,
+                    m: ia.m,
+                    freq: ia.freq,
+                    cpi: ia.cpi,
+                    confidence: confidence_name(ia.confidence).to_string(),
+                    culprits: ia.culprits.iter().map(|c| c.cause.letter()).collect(),
+                })
+                .collect();
+            ExportedProc {
+                image: id.0,
+                image_name: sanitize(image_name),
+                name: sanitize(&pa.name),
+                start_word: pa.cfg.start_word,
+                len_words: pa.cfg.insns.len() as u32,
+                missing_edges: pa.cfg.missing_edges,
+                total_samples: pa.insns.iter().map(|i| i.samples).sum(),
+                blocks,
+                edges,
+                insns,
+            }
+        })
+        .collect()
+}
+
+/// Serializes flattened procedures as line-disciplined JSON.
+#[must_use]
+pub fn render(procs: &[ExportedProc]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {SCHEMA},");
+    let emit_rows = |out: &mut String, key: &str, rows: Vec<String>, last: bool| {
+        let _ = writeln!(out, "  \"{key}\": [");
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(if last { "  ]\n" } else { "  ],\n" });
+    };
+    let mut procs_rows = Vec::new();
+    let mut block_rows = Vec::new();
+    let mut edge_rows = Vec::new();
+    let mut insn_rows = Vec::new();
+    for (pi, p) in procs.iter().enumerate() {
+        procs_rows.push(format!(
+            "    {{\"proc\": {pi}, \"image\": {}, \"image_name\": \"{}\", \
+             \"name\": \"{}\", \"start_word\": {}, \"len_words\": {}, \
+             \"missing_edges\": {}, \"total_samples\": {}}}",
+            p.image,
+            sanitize(&p.image_name),
+            sanitize(&p.name),
+            p.start_word,
+            p.len_words,
+            u8::from(p.missing_edges),
+            p.total_samples,
+        ));
+        for b in &p.blocks {
+            block_rows.push(format!(
+                "    {{\"proc\": {pi}, \"start_word\": {}, \"len\": {}, \"freq\": {:.6}}}",
+                b.start_word, b.len, b.freq
+            ));
+        }
+        for e in &p.edges {
+            edge_rows.push(format!(
+                "    {{\"proc\": {pi}, \"from\": {}, \"to\": {}, \"kind\": \"{}\", \
+                 \"freq\": {:.6}}}",
+                e.from,
+                e.to,
+                kind_name(e.kind),
+                e.freq
+            ));
+        }
+        for i in &p.insns {
+            insn_rows.push(format!(
+                "    {{\"proc\": {pi}, \"offset\": {}, \"samples\": {}, \"m\": {}, \
+                 \"freq\": {:.6}, \"cpi\": {:.6}, \"confidence\": \"{}\", \
+                 \"culprits\": \"{}\"}}",
+                i.offset,
+                i.samples,
+                i.m,
+                i.freq,
+                i.cpi,
+                i.confidence,
+                sanitize(&i.culprits)
+            ));
+        }
+    }
+    emit_rows(&mut out, "procs", procs_rows, false);
+    emit_rows(&mut out, "blocks", block_rows, false);
+    emit_rows(&mut out, "edges", edge_rows, false);
+    emit_rows(&mut out, "insns", insn_rows, true);
+    out.push_str("}\n");
+    out
+}
+
+/// Flattens and serializes in one step.
+#[must_use]
+pub fn export(items: &[(ImageId, &str, &ProcAnalysis)]) -> String {
+    render(&flatten(items))
+}
+
+/// Parses a serialized export back into [`ExportedProc`]s.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse(json: &str) -> Result<Vec<ExportedProc>, String> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\":");
+        let rest = &line[line.find(&pat)? + pat.len()..];
+        let rest = rest.trim_start();
+        if let Some(stripped) = rest.strip_prefix('"') {
+            return Some(&stripped[..stripped.find('"')?]);
+        }
+        Some(rest[..rest.find([',', '}']).unwrap_or(rest.len())].trim())
+    }
+    fn num<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        field(line, key)
+            .ok_or_else(|| format!("missing {key}: {line}"))?
+            .parse()
+            .map_err(|e| format!("{key}: {e}"))
+    }
+    let mut procs: Vec<ExportedProc> = Vec::new();
+    let mut section = "";
+    for line in json.lines() {
+        let t = line.trim();
+        for s in ["procs", "blocks", "edges", "insns"] {
+            if t.starts_with(&format!("\"{s}\":")) {
+                section = s;
+            }
+        }
+        if !t.starts_with('{') || !t.contains("\"proc\":") {
+            continue;
+        }
+        let pi: usize = num(t, "proc")?;
+        match section {
+            "procs" => {
+                if pi != procs.len() {
+                    return Err(format!("out-of-order proc index {pi}"));
+                }
+                procs.push(ExportedProc {
+                    image: num(t, "image")?,
+                    image_name: field(t, "image_name").unwrap_or("").to_string(),
+                    name: field(t, "name").unwrap_or("").to_string(),
+                    start_word: num(t, "start_word")?,
+                    len_words: num(t, "len_words")?,
+                    missing_edges: num::<u8>(t, "missing_edges")? != 0,
+                    total_samples: num(t, "total_samples")?,
+                    blocks: Vec::new(),
+                    edges: Vec::new(),
+                    insns: Vec::new(),
+                });
+            }
+            "blocks" => {
+                let p = procs.get_mut(pi).ok_or("block before proc")?;
+                p.blocks.push(ExportedBlock {
+                    start_word: num(t, "start_word")?,
+                    len: num(t, "len")?,
+                    freq: num(t, "freq")?,
+                });
+            }
+            "edges" => {
+                let p = procs.get_mut(pi).ok_or("edge before proc")?;
+                let kind = field(t, "kind")
+                    .and_then(kind_parse)
+                    .ok_or_else(|| format!("bad edge kind: {t}"))?;
+                p.edges.push(ExportedEdge {
+                    from: num(t, "from")?,
+                    to: num(t, "to")?,
+                    kind,
+                    freq: num(t, "freq")?,
+                });
+            }
+            "insns" => {
+                let p = procs.get_mut(pi).ok_or("insn before proc")?;
+                p.insns.push(ExportedInsn {
+                    offset: num(t, "offset")?,
+                    samples: num(t, "samples")?,
+                    m: num(t, "m")?,
+                    freq: num(t, "freq")?,
+                    cpi: num(t, "cpi")?,
+                    confidence: field(t, "confidence").unwrap_or("none").to_string(),
+                    culprits: field(t, "culprits").unwrap_or("").to_string(),
+                });
+            }
+            _ => return Err(format!("row outside a known section: {t}")),
+        }
+    }
+    Ok(procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_procs() -> Vec<ExportedProc> {
+        vec![
+            ExportedProc {
+                image: 1,
+                image_name: "/bin/app".into(),
+                name: "main".into(),
+                start_word: 0,
+                len_words: 8,
+                missing_edges: false,
+                total_samples: 42,
+                blocks: vec![
+                    ExportedBlock {
+                        start_word: 0,
+                        len: 5,
+                        freq: 12.5,
+                    },
+                    ExportedBlock {
+                        start_word: 5,
+                        len: 3,
+                        freq: -1.0,
+                    },
+                ],
+                edges: vec![
+                    ExportedEdge {
+                        from: 0,
+                        to: 1,
+                        kind: EdgeKind::FallThrough,
+                        freq: 12.0,
+                    },
+                    ExportedEdge {
+                        from: 0,
+                        to: 0,
+                        kind: EdgeKind::Taken,
+                        freq: 0.5,
+                    },
+                ],
+                insns: vec![ExportedInsn {
+                    offset: 0,
+                    samples: 7,
+                    m: 2,
+                    freq: 3.5,
+                    cpi: 2.0,
+                    confidence: "high".into(),
+                    culprits: "iD".into(),
+                }],
+            },
+            ExportedProc {
+                image: 1,
+                image_name: "/bin/app".into(),
+                name: "helper".into(),
+                start_word: 8,
+                len_words: 1,
+                missing_edges: true,
+                total_samples: 0,
+                blocks: vec![ExportedBlock {
+                    start_word: 8,
+                    len: 1,
+                    freq: -1.0,
+                }],
+                edges: vec![],
+                insns: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn render_parse_roundtrips() {
+        let procs = sample_procs();
+        let json = render(&procs);
+        let back = parse(&json).unwrap();
+        assert_eq!(back, procs);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let procs = sample_procs();
+        assert_eq!(render(&procs), render(&procs));
+    }
+
+    #[test]
+    fn sanitize_defuses_separators() {
+        assert_eq!(sanitize("a\"b,c{d}e\nf"), "a_b_c_d_e_f");
+    }
+
+    #[test]
+    fn parse_rejects_orphan_rows() {
+        let json = "{\n  \"blocks\": [\n    {\"proc\": 0, \"start_word\": 0, \
+                    \"len\": 1, \"freq\": 1.0}\n  ]\n}\n";
+        assert!(parse(json).is_err());
+    }
+
+    #[test]
+    fn block_freq_lookup_by_start_word() {
+        let p = &sample_procs()[0];
+        assert_eq!(p.block_freq_at(5), Some(-1.0));
+        assert_eq!(p.block_freq_at(99), None);
+    }
+}

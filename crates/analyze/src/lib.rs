@@ -24,6 +24,7 @@ pub mod analysis;
 pub mod cfg;
 pub mod culprit;
 pub mod equiv;
+pub mod export;
 pub mod frequency;
 pub mod summary;
 
@@ -33,5 +34,6 @@ pub use analysis::{
 };
 pub use cfg::{BlockId, Cfg, EdgeKind};
 pub use culprit::{Culprit, DynamicCause};
+pub use export::{ExportedBlock, ExportedEdge, ExportedInsn, ExportedProc};
 pub use frequency::{Confidence, FrequencyEstimate};
 pub use summary::ProcSummary;

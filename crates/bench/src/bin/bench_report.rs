@@ -16,7 +16,7 @@
 
 use dcpi_bench::{parse_baseline, run_merged, ExpOptions, ACCURACY_PERIOD};
 use dcpi_workloads::programs::StreamKind;
-use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
+use dcpi_workloads::{pgo_workload, run_workload, ProfConfig, RunOptions, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -41,6 +41,14 @@ struct OverheadRow {
     name: &'static str,
     ledger: dcpi_obs::OverheadLedger,
     in_band: bool,
+}
+
+struct PgoRow {
+    name: &'static str,
+    base_cycles: u64,
+    opt_cycles: u64,
+    speedup_pct: f64,
+    equivalent: bool,
 }
 
 fn main() {
@@ -120,6 +128,49 @@ fn main() {
         });
     }
 
+    // The PGO loop (DESIGN.md §10): profile, rewrite the hottest image
+    // from the exported estimates, re-measure. Records the simulated
+    // cycle reduction and the architectural-equivalence verdict; the CI
+    // `pgo` job enforces a ≥3% floor on altavista and dss, this report
+    // just tracks the trajectory. Rows carry no `mcycles_per_s`, so the
+    // `--check` baseline scanner skips them.
+    let mut pgo_rows = Vec::new();
+    for (w, name) in [
+        (Workload::Gcc, "gcc"),
+        (Workload::AltaVista, "altavista"),
+        (Workload::Dss, "dss"),
+    ] {
+        let ro = RunOptions {
+            scale: opts.scale,
+            period: (2_000, 2_200),
+            seed: opts.seed,
+            ..RunOptions::default()
+        };
+        match pgo_workload(w, &ro, 25) {
+            Ok(out) => {
+                println!(
+                    "pgo {name:<14} {} -> {} cycles ({:+.2}%){}",
+                    out.base_cycles,
+                    out.opt_cycles,
+                    -out.speedup_pct(),
+                    if out.equivalent {
+                        ""
+                    } else {
+                        "  ** NOT EQUIVALENT **"
+                    }
+                );
+                pgo_rows.push(PgoRow {
+                    name,
+                    base_cycles: out.base_cycles,
+                    opt_cycles: out.opt_cycles,
+                    speedup_pct: out.speedup_pct(),
+                    equivalent: out.equivalent,
+                });
+            }
+            Err(e) => println!("pgo {name:<14} skipped: {e}"),
+        }
+    }
+
     // One representative multi-run experiment: the accuracy suite's
     // McCalpin copy cell, merged across `opts.runs` runs — the shape every
     // figure-8/9/10 binary fans out.
@@ -151,7 +202,7 @@ fn main() {
         wall_s,
     };
 
-    let json = render_json(&rows, &overhead_rows, &experiment, &opts);
+    let json = render_json(&rows, &overhead_rows, &pgo_rows, &experiment, &opts);
     if opts.json {
         println!("{json}");
     }
@@ -198,6 +249,7 @@ fn check_against_baseline(rows: &[WorkloadRow], baseline: Option<&str>) -> bool 
 fn render_json(
     rows: &[WorkloadRow],
     overhead: &[OverheadRow],
+    pgo: &[PgoRow],
     exp: &ExperimentRow,
     opts: &ExpOptions,
 ) -> String {
@@ -242,6 +294,19 @@ fn render_json(
             l.samples,
             l.fraction(),
             r.in_band
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    // Like overhead rows, pgo rows omit `mcycles_per_s` so the baseline
+    // scanner ignores them.
+    let _ = writeln!(s, "  \"pgo\": [");
+    for (i, r) in pgo.iter().enumerate() {
+        let comma = if i + 1 < pgo.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"pgo-{}\", \"base_cycles\": {}, \"opt_cycles\": {}, \
+             \"speedup_pct\": {:.4}, \"equivalent\": {}}}{comma}",
+            r.name, r.base_cycles, r.opt_cycles, r.speedup_pct, r.equivalent
         );
     }
     let _ = writeln!(s, "  ],");

@@ -35,6 +35,9 @@ pub enum Layer {
     Database,
     /// Observability-export audits: metrics, trace rings, ledgers.
     Obs,
+    /// PGO rewrite audits: address maps, branch retargeting, block-head
+    /// alignment of control flow in rewritten images.
+    Pgo,
 }
 
 impl fmt::Display for Layer {
@@ -45,6 +48,7 @@ impl fmt::Display for Layer {
             Layer::Estimate => write!(f, "estimate"),
             Layer::Database => write!(f, "db"),
             Layer::Obs => write!(f, "obs"),
+            Layer::Pgo => write!(f, "pgo"),
         }
     }
 }
@@ -103,6 +107,16 @@ pub enum Category {
     /// Ledger violations: sample conservation, overhead consistency,
     /// or an overhead fraction outside the configured band.
     ObsLedger,
+    /// Old→new address-map violations: not a bijection over live words,
+    /// schema/shape problems, or maps that escape either image.
+    PgoMap,
+    /// A rewritten branch whose target does not land where the map says
+    /// the old target moved, or lands off a block head.
+    PgoTarget,
+    /// Rewritten-image structure violations: undecodable words, mapped
+    /// words whose instruction changed beyond the allowed rewrites, or
+    /// unmapped words that are not inert padding/glue.
+    PgoRewrite,
 }
 
 impl Category {
@@ -134,6 +148,7 @@ impl Category {
             | Category::ObsRing
             | Category::ObsMetrics
             | Category::ObsLedger => Layer::Obs,
+            Category::PgoMap | Category::PgoTarget | Category::PgoRewrite => Layer::Pgo,
         }
     }
 
@@ -165,6 +180,9 @@ impl Category {
             Category::ObsRing => "obs-ring",
             Category::ObsMetrics => "obs-metrics",
             Category::ObsLedger => "obs-ledger",
+            Category::PgoMap => "pgo-map",
+            Category::PgoTarget => "pgo-target",
+            Category::PgoRewrite => "pgo-rewrite",
         }
     }
 }
@@ -370,6 +388,9 @@ mod tests {
             Category::ObsRing,
             Category::ObsMetrics,
             Category::ObsLedger,
+            Category::PgoMap,
+            Category::PgoTarget,
+            Category::PgoRewrite,
         ];
         for c in all {
             assert!(!c.name().is_empty());

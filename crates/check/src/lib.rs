@@ -24,6 +24,11 @@
 //!    metrics/trace exports: monotonic cycle stamps, ring overwrite
 //!    accounting, span pairing, histogram totals, sample-ledger
 //!    conservation, and the overhead fraction against the paper's band.
+//! 5. **PGO rewrite audits** ([`pgo_audit`]) — a rewritten image against
+//!    its original and address map: the map is a bijection over live
+//!    words, every mapped instruction is an allowed variant of its
+//!    original, branch targets follow the map and land on live
+//!    instructions, and unmapped words are inert padding or glue.
 //!
 //! Diagnostics are typed ([`Diagnostic`]) and carry a severity: errors
 //! are invariant violations, warnings are suspicious-but-possibly-benign
@@ -36,9 +41,11 @@ pub mod diag;
 pub mod estimate_audit;
 pub mod image_lints;
 pub mod obs_audit;
+pub mod pgo_audit;
 
 pub use diag::{Category, Diagnostic, Layer, Report, Severity};
 pub use obs_audit::{check_obs_export, check_snapshot, ObsCheckConfig};
+pub use pgo_audit::check_rewrite;
 
 use dcpi_analyze::analysis::ProcAnalysis;
 use dcpi_analyze::cfg::Cfg;

@@ -16,6 +16,7 @@ pub mod insn;
 pub mod meta;
 pub mod pipeline;
 pub mod reg;
+pub mod rewrite;
 
 pub use asm::Asm;
 pub use image::{Image, Symbol};
@@ -23,3 +24,4 @@ pub use insn::{BrCond, FpOp, Instruction, IntOp, PalFunc, RegOrLit};
 pub use meta::InsnMeta;
 pub use pipeline::{BlockSchedule, InsnClass, Pipe, PipelineModel, StaticCause};
 pub use reg::Reg;
+pub use rewrite::AddressMap;

@@ -86,6 +86,36 @@ impl GroundTruth {
         self.insns.values().flatten().sum()
     }
 
+    /// Architectural-equivalence check for rewritten images: every
+    /// instruction of `image` (whose text is `text_words` long) must
+    /// have retired exactly as often as the instruction `remap` sends
+    /// its byte offset to in `other`'s `other_image`. An offset `remap`
+    /// declines to map must have retired zero times on both sides.
+    /// Returns the first diverging byte offset.
+    ///
+    /// # Errors
+    ///
+    /// The byte offset (in `image`) of the first instruction whose
+    /// retirement counts differ.
+    pub fn counts_match_through(
+        &self,
+        image: ImageId,
+        text_words: usize,
+        other: &GroundTruth,
+        other_image: ImageId,
+        remap: impl Fn(u64) -> Option<u64>,
+    ) -> Result<(), u64> {
+        for w in 0..text_words as u64 {
+            let offset = w * 4;
+            let mine = self.insn_count(image, offset);
+            let theirs = remap(offset).map_or(0, |b| other.insn_count(other_image, b));
+            if mine != theirs {
+                return Err(offset);
+            }
+        }
+        Ok(())
+    }
+
     /// Merges another recorder's counts into this one (for aggregating
     /// ground truth across repeated runs, as profiles are merged).
     pub fn merge(&mut self, other: &GroundTruth) {
@@ -153,6 +183,34 @@ mod tests {
         assert_eq!(gt.edge_count(IMG, 0, 4), 0);
         let edges = gt.edges_of(IMG);
         assert_eq!(edges, vec![(12, 0, 2), (12, 16, 1)]);
+    }
+
+    #[test]
+    fn counts_match_through_a_permutation() {
+        let mut a = GroundTruth::new();
+        a.register_image(IMG, 3);
+        a.count_insn(IMG, 0);
+        a.count_insn(IMG, 1);
+        a.count_insn(IMG, 1);
+        let other = ImageId(2);
+        let mut b = GroundTruth::new();
+        b.register_image(other, 4);
+        b.count_insn(other, 2);
+        b.count_insn(other, 0);
+        b.count_insn(other, 0);
+        // Old word 0 moved to new word 2, old word 1 to 0; old word 2
+        // never ran and maps nowhere.
+        let remap = |off: u64| match off {
+            0 => Some(8),
+            4 => Some(0),
+            _ => None,
+        };
+        assert_eq!(a.counts_match_through(IMG, 3, &b, other, remap), Ok(()));
+        b.count_insn(other, 0);
+        assert_eq!(a.counts_match_through(IMG, 3, &b, other, remap), Err(4));
+        // An unmapped word that did run on the old side must diverge.
+        a.count_insn(IMG, 2);
+        assert_eq!(a.counts_match_through(IMG, 3, &b, other, |_| None), Err(0));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Hot/cold basic-block layout: Pettis–Hansen-style chain merging over
+//! profiled CFG edges.
+//!
+//! Blocks start as singleton chains; edges are visited hottest-first and
+//! an edge `a -> b` glues two chains together when `a` is a chain tail
+//! and `b` a chain head, so the hottest successor of every block becomes
+//! its fall-through. Chains are then emitted entry-first, remaining
+//! chains hottest-first — cold blocks naturally sink out of line to the
+//! end of the procedure.
+
+use dcpi_analyze::cfg::{Cfg, EdgeKind};
+
+fn kind_rank(kind: EdgeKind) -> u8 {
+    match kind {
+        // Prefer keeping existing fallthroughs when frequencies tie: they
+        // are free in the original encoding.
+        EdgeKind::FallThrough => 0,
+        EdgeKind::Taken => 1,
+        EdgeKind::Indirect => 2,
+    }
+}
+
+/// Orders the blocks of `cfg` for emission. `block_freq` and `edge_freq`
+/// are positional with `cfg.blocks` / `cfg.edges`; negative frequencies
+/// mean *unknown* and rank below zero. The entry block is always first.
+#[must_use]
+pub fn order_blocks(cfg: &Cfg, block_freq: &[f64], edge_freq: &[f64]) -> Vec<usize> {
+    let nb = cfg.blocks.len();
+    if nb <= 1 {
+        return (0..nb).collect();
+    }
+    let bf = |b: usize| block_freq.get(b).copied().unwrap_or(-1.0);
+    let ef = |e: usize| edge_freq.get(e).copied().unwrap_or(-1.0);
+
+    // Visit edges hottest-first; ties prefer fallthroughs, then program
+    // order, for determinism.
+    let mut by_heat: Vec<usize> = (0..cfg.edges.len()).collect();
+    by_heat.sort_by(|&a, &b| {
+        ef(b)
+            .total_cmp(&ef(a))
+            .then(kind_rank(cfg.edges[a].kind).cmp(&kind_rank(cfg.edges[b].kind)))
+            .then(a.cmp(&b))
+    });
+
+    let mut chain_of: Vec<usize> = (0..nb).collect();
+    let mut chains: Vec<Vec<usize>> = (0..nb).map(|b| vec![b]).collect();
+    for ei in by_heat {
+        let e = &cfg.edges[ei];
+        let (a, b) = (e.from.0, e.to.0);
+        // Self-loops cannot fall through into themselves, and the entry
+        // block must stay a chain head so the procedure entry address is
+        // its first instruction.
+        if a == b || b == cfg.entry.0 {
+            continue;
+        }
+        let (ca, cb) = (chain_of[a], chain_of[b]);
+        if ca == cb || chains[ca].last() != Some(&a) || chains[cb].first() != Some(&b) {
+            continue;
+        }
+        let tail = std::mem::take(&mut chains[cb]);
+        for &x in &tail {
+            chain_of[x] = ca;
+        }
+        chains[ca].extend(tail);
+    }
+
+    // Entry chain first; the rest hottest-first, program order on ties.
+    let entry_chain = chain_of[cfg.entry.0];
+    let heat = |c: &[usize]| c.iter().map(|&b| bf(b)).fold(f64::NEG_INFINITY, f64::max);
+    let first_word = |c: &[usize]| c.iter().map(|&b| cfg.blocks[b].start_word).min();
+    let mut rest: Vec<usize> = (0..chains.len())
+        .filter(|&c| c != entry_chain && !chains[c].is_empty())
+        .collect();
+    rest.sort_by(|&a, &b| {
+        heat(&chains[b])
+            .total_cmp(&heat(&chains[a]))
+            .then(first_word(&chains[a]).cmp(&first_word(&chains[b])))
+    });
+    let mut order = chains[entry_chain].clone();
+    for c in rest {
+        order.extend(&chains[c]);
+    }
+    debug_assert_eq!(order.len(), nb);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_isa::insn::BrCond;
+    use dcpi_isa::{Asm, Image, Reg, Symbol};
+
+    fn cfg_of(image: &Image) -> Cfg {
+        let sym = image.symbols()[0].clone();
+        Cfg::build(image, &sym).unwrap()
+    }
+
+    /// entry -> (hot | cold) -> join -> ret, with the *taken* side hot.
+    fn diamond() -> Image {
+        let mut a = Asm::new("/t/diamond");
+        a.proc("main");
+        let hot = a.label();
+        let join = a.label();
+        a.condbr(BrCond::Bne, Reg::T0, hot); // entry: branch taken = hot
+        a.addq(Reg::T1, Reg::T1, Reg::T1); // cold fallthrough
+        a.br(join);
+        a.bind(hot);
+        a.addq(Reg::T2, Reg::T2, Reg::T2);
+        a.bind(join);
+        a.ret(Reg::RA);
+        a.finish()
+    }
+
+    #[test]
+    fn hot_taken_successor_becomes_fallthrough() {
+        let img = diamond();
+        let cfg = cfg_of(&img);
+        // Find the taken edge out of the entry and heat it.
+        let mut ef = vec![0.0; cfg.edges.len()];
+        for (i, e) in cfg.edges.iter().enumerate() {
+            if e.from == cfg.entry && e.kind == EdgeKind::Taken {
+                ef[i] = 100.0;
+            }
+        }
+        let bf = vec![1.0; cfg.blocks.len()];
+        let order = order_blocks(&cfg, &bf, &ef);
+        assert_eq!(order[0], cfg.entry.0);
+        // The hot (taken) block directly follows the entry.
+        let taken_to = cfg
+            .edges
+            .iter()
+            .find(|e| e.from == cfg.entry && e.kind == EdgeKind::Taken)
+            .unwrap()
+            .to
+            .0;
+        assert_eq!(order[1], taken_to);
+    }
+
+    #[test]
+    fn no_estimates_keeps_program_order() {
+        let img = diamond();
+        let cfg = cfg_of(&img);
+        let bf = vec![-1.0; cfg.blocks.len()];
+        let ef = vec![-1.0; cfg.edges.len()];
+        let order = order_blocks(&cfg, &bf, &ef);
+        // With all frequencies unknown, fallthrough-first tie-breaking
+        // reconstructs the original order.
+        assert_eq!(order, (0..cfg.blocks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_block_is_trivial() {
+        let img = Image::new(
+            "/t/one".into(),
+            vec![dcpi_isa::encode::encode(dcpi_isa::Instruction::CallPal {
+                func: dcpi_isa::insn::PalFunc::Halt,
+            })],
+            vec![Symbol {
+                name: "main".into(),
+                offset: 0,
+                size: 4,
+            }],
+        );
+        let cfg = cfg_of(&img);
+        assert_eq!(order_blocks(&cfg, &[1.0], &[]), vec![0]);
+    }
+
+    #[test]
+    fn self_loop_block_keeps_entry_first() {
+        let mut a = Asm::new("/t/loop");
+        a.proc("main");
+        a.lda(Reg::T0, 4, Reg::ZERO);
+        let top = a.here();
+        a.subq_lit(Reg::T0, 1, Reg::T0);
+        a.condbr(BrCond::Bne, Reg::T0, top);
+        a.ret(Reg::RA);
+        let img = a.finish();
+        let cfg = cfg_of(&img);
+        let bf = vec![1.0; cfg.blocks.len()];
+        let ef = vec![50.0; cfg.edges.len()];
+        let order = order_blocks(&cfg, &bf, &ef);
+        assert_eq!(order[0], cfg.entry.0);
+        assert_eq!(order.len(), cfg.blocks.len());
+    }
+}

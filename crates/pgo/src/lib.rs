@@ -1,0 +1,33 @@
+//! Profile-guided optimization: the consumer that closes DCPI's loop.
+//!
+//! The paper is explicit that profiles are a means, not an end: "the
+//! ultimate goal is to use the profiles to improve performance". This
+//! crate reads the per-instruction frequency, CPI, and culprit estimates
+//! exported by `dcpi-analyze` and rewrites a `dcpi-isa` image so the
+//! simulated machine runs it faster:
+//!
+//! * [`layout`] — hot/cold basic-block layout (Pettis–Hansen chain
+//!   merging) so hot paths fall through and cold blocks move out of
+//!   line, plus hot-first procedure packing against I-cache conflicts;
+//! * [`sched`] — intra-block instruction rescheduling against the shared
+//!   static pipeline model, attacking operand-dependency and slotting
+//!   stalls;
+//! * [`rewrite`] — branch sense inversion, alignment padding for
+//!   I-cache-miss culprits, call-address re-pointing, and the final
+//!   encoding pass that emits a total old→new [`AddressMap`] so old
+//!   profiles remain attributable to the rewritten image.
+//!
+//! Because every transform is driven by the analyzer's estimates, a
+//! measured speedup on the rewritten image is end-to-end validation that
+//! the estimates describe reality; see `dcpi-workloads`' pgo harness for
+//! the profile → optimize → re-profile driver that also proves
+//! architectural equivalence.
+
+pub mod layout;
+pub mod report;
+pub mod rewrite;
+pub mod sched;
+
+pub use dcpi_isa::AddressMap;
+pub use report::PgoReport;
+pub use rewrite::{optimize, PgoOptions, Rewritten, Skip, PGO_SUFFIX};

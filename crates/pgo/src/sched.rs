@@ -1,0 +1,209 @@
+//! Intra-block instruction rescheduling for operand-dependency and
+//! issue-slotting stalls.
+//!
+//! The analysis attributes `d` (operand dependency) and slotting stalls
+//! to instructions whose inputs are produced too close upstream or that
+//! land in the wrong issue slot; within a basic block those stalls are
+//! often removable just by permuting independent instructions. The
+//! rescheduler list-schedules each run of movable instructions greedily
+//! against the shared [`PipelineModel`] — the same model the analyzer
+//! uses to compute `M_i` — and keeps a permutation only when it strictly
+//! lowers the block's static cycle count.
+
+use dcpi_isa::insn::Instruction;
+use dcpi_isa::pipeline::PipelineModel;
+
+/// True when `j` must stay after `i` (register or memory dependence).
+fn depends(i: &Instruction, j: &Instruction) -> bool {
+    let wi = i.writes();
+    let wj = j.writes();
+    // RAW: j reads what i writes.  WAR: j overwrites what i reads.
+    // WAW: both write the same register.
+    if let Some(w) = wi {
+        if j.reads().contains(&w) || wj == Some(w) {
+            return true;
+        }
+    }
+    if let Some(w) = wj {
+        if i.reads().contains(&w) {
+            return true;
+        }
+    }
+    // Memory order: keep everything except load/load pairs ordered (no
+    // alias analysis).
+    (i.is_store() && j.is_memory()) || (i.is_memory() && j.is_store())
+}
+
+fn cost(model: &PipelineModel, base_word: u64, insns: &[Instruction]) -> u64 {
+    model.schedule_block(base_word, insns).total_cycles
+}
+
+/// Reorders the block `insns` (which will be emitted starting at word
+/// index `base_word`) to minimize its static schedule. Only positions
+/// with `movable[i] == true` may move, and only within maximal movable
+/// runs, so control instructions and pinned words stay put. Returns the
+/// permutation (`perm[k]` = original index emitted at position `k`) when
+/// it is strictly cheaper than program order, else `None`.
+#[must_use]
+pub fn reschedule(
+    model: &PipelineModel,
+    base_word: u64,
+    insns: &[Instruction],
+    movable: &[bool],
+) -> Option<Vec<usize>> {
+    let n = insns.len();
+    assert_eq!(movable.len(), n);
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    let mut prefix: Vec<Instruction> = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        if !movable[i] {
+            perm.push(i);
+            prefix.push(insns[i]);
+            i += 1;
+            continue;
+        }
+        let mut seg = i;
+        while seg < n && movable[seg] {
+            seg += 1;
+        }
+        // Greedy list scheduling of [i, seg): at each slot take the
+        // ready instruction whose emission keeps the running schedule
+        // cheapest, ties to program order.
+        let idx: Vec<usize> = (i..seg).collect();
+        let k = idx.len();
+        let mut emitted = vec![false; k];
+        for _ in 0..k {
+            let mut best: Option<(u64, usize)> = None;
+            for (c, &orig) in idx.iter().enumerate() {
+                if emitted[c] {
+                    continue;
+                }
+                let ready = idx[..c]
+                    .iter()
+                    .enumerate()
+                    .all(|(p, &prev)| emitted[p] || !depends(&insns[prev], &insns[orig]));
+                if !ready {
+                    continue;
+                }
+                prefix.push(insns[orig]);
+                let cy = cost(model, base_word, &prefix);
+                prefix.pop();
+                if best.is_none_or(|(bc, _)| cy < bc) {
+                    best = Some((cy, c));
+                }
+            }
+            let (_, c) = best.expect("segment always has a ready instruction");
+            emitted[c] = true;
+            perm.push(idx[c]);
+            prefix.push(insns[idx[c]]);
+        }
+        i = seg;
+    }
+    debug_assert_eq!(perm.len(), n);
+    let new_cost = cost(model, base_word, &prefix);
+    let old_cost = cost(model, base_word, insns);
+    (new_cost < old_cost && perm.iter().enumerate().any(|(k, &o)| k != o)).then_some(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_isa::insn::{IntOp, RegOrLit};
+    use dcpi_isa::Reg;
+
+    fn add(a: Reg, b: Reg, c: Reg) -> Instruction {
+        Instruction::IntOp {
+            op: IntOp::Addq,
+            ra: a,
+            rb: RegOrLit::Reg(b),
+            rc: c,
+        }
+    }
+
+    fn load(ra: Reg, rb: Reg) -> Instruction {
+        Instruction::Ldq { ra, rb, disp: 0 }
+    }
+
+    fn store(ra: Reg, rb: Reg) -> Instruction {
+        Instruction::Stq { ra, rb, disp: 0 }
+    }
+
+    #[test]
+    fn dependence_edges() {
+        assert!(depends(
+            &add(Reg::T0, Reg::T0, Reg::T1),
+            &add(Reg::T1, Reg::T1, Reg::T2)
+        )); // RAW
+        assert!(depends(
+            &add(Reg::T0, Reg::T0, Reg::T1),
+            &add(Reg::T2, Reg::T2, Reg::T1)
+        )); // WAW
+        assert!(depends(
+            &add(Reg::T1, Reg::T1, Reg::T2),
+            &add(Reg::T3, Reg::T3, Reg::T1)
+        )); // WAR
+        assert!(depends(&store(Reg::T0, Reg::SP), &load(Reg::T1, Reg::SP)));
+        assert!(depends(&load(Reg::T1, Reg::SP), &store(Reg::T0, Reg::SP)));
+        assert!(!depends(&load(Reg::T1, Reg::SP), &load(Reg::T2, Reg::SP)));
+        assert!(!depends(
+            &add(Reg::T0, Reg::T0, Reg::T1),
+            &add(Reg::T2, Reg::T2, Reg::T3)
+        ));
+    }
+
+    #[test]
+    fn interleaves_two_serial_chains() {
+        // Two independent chains back to back: a list scheduler should
+        // interleave them to hide result latencies.
+        let m = PipelineModel::default();
+        let chain_a = [
+            add(Reg::T0, Reg::T0, Reg::T0),
+            add(Reg::T0, Reg::T0, Reg::T0),
+            add(Reg::T0, Reg::T0, Reg::T0),
+        ];
+        let chain_b = [
+            add(Reg::T1, Reg::T1, Reg::T1),
+            add(Reg::T1, Reg::T1, Reg::T1),
+            add(Reg::T1, Reg::T1, Reg::T1),
+        ];
+        let mut insns: Vec<Instruction> = chain_a.to_vec();
+        insns.extend_from_slice(&chain_b);
+        let movable = vec![true; insns.len()];
+        if let Some(perm) = reschedule(&m, 0, &insns, &movable) {
+            let permuted: Vec<Instruction> = perm.iter().map(|&o| insns[o]).collect();
+            assert!(
+                cost(&m, 0, &permuted) < cost(&m, 0, &insns),
+                "accepted permutation must be strictly cheaper"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_dependences_and_pins() {
+        let m = PipelineModel::default();
+        let insns = vec![
+            load(Reg::T0, Reg::SP),
+            add(Reg::T0, Reg::T0, Reg::T1),
+            store(Reg::T1, Reg::SP),
+            add(Reg::T2, Reg::T2, Reg::T3),
+        ];
+        let mut movable = vec![true; 4];
+        movable[2] = false; // pin the store
+        if let Some(perm) = reschedule(&m, 0, &insns, &movable) {
+            // The pinned store stays at position 2.
+            assert_eq!(perm[2], 2);
+            // RAW chain order preserved.
+            let p0 = perm.iter().position(|&o| o == 0).unwrap();
+            let p1 = perm.iter().position(|&o| o == 1).unwrap();
+            assert!(p0 < p1);
+        }
+    }
+
+    #[test]
+    fn already_optimal_returns_none() {
+        let m = PipelineModel::default();
+        let insns = vec![add(Reg::T0, Reg::T0, Reg::T1)];
+        assert!(reschedule(&m, 0, &insns, &[true]).is_none());
+    }
+}

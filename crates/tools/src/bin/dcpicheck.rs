@@ -10,10 +10,16 @@
 //! pairing, histogram totals, sample-ledger conservation, and the
 //! overhead fraction against the paper's band.
 //!
+//! `dcpicheck pgo <old.img> <new.img> <map.json>` — audit a PGO rewrite:
+//! the address map must be a bijection over live instructions, every
+//! rewritten instruction an allowed variant of its original, branch
+//! targets must follow the map onto live words, and unmapped words must
+//! be inert padding or glue.
+//!
 //! All forms exit nonzero when any error-severity diagnostic is found.
 
 use dcpi_check::{CheckConfig, ObsCheckConfig};
-use dcpi_tools::{dcpicheck_db, dcpicheck_obs, dcpicheck_report, load_db};
+use dcpi_tools::{dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report, load_db};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,9 +28,20 @@ fn main() {
         (Some("obs"), Some(path)) => {
             dcpicheck_obs(std::path::Path::new(path), &ObsCheckConfig::default())
         }
-        (Some("db" | "obs"), None) | (None, _) => {
+        (Some("pgo"), Some(old)) => {
+            let (Some(new), Some(map)) = (args.get(3), args.get(4)) else {
+                eprintln!("usage: dcpicheck pgo <old.img> <new.img> <map.json>");
+                std::process::exit(2);
+            };
+            dcpicheck_pgo(
+                std::path::Path::new(old),
+                std::path::Path::new(new),
+                std::path::Path::new(map),
+            )
+        }
+        (Some("db" | "obs" | "pgo"), None) | (None, _) => {
             eprintln!(
-                "usage: dcpicheck <db-dir> | dcpicheck db <db-dir> | dcpicheck obs <obs.json>"
+                "usage: dcpicheck <db-dir> | dcpicheck db <db-dir> | dcpicheck obs <obs.json> | dcpicheck pgo <old.img> <new.img> <map.json>"
             );
             std::process::exit(2);
         }

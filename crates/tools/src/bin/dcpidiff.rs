@@ -1,18 +1,32 @@
 //! `dcpidiff <db-before> <db-after>` — per-procedure share changes
 //! between two profiles of the same program (§3's comparison tool).
+//!
+//! `dcpidiff --pgo <db-before> <db-after>` — compare a pre-optimization
+//! profile with a profile of the PGO-rewritten program: per-procedure
+//! CPI and dominant stall culprits, paired by procedure name.
 
 use dcpi_core::Event;
-use dcpi_tools::{dcpidiff, load_db, ImageRegistry};
+use dcpi_tools::{dcpidiff, dcpidiff_pgo, load_db, ImageRegistry};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let pgo = args.iter().any(|a| a == "--pgo");
+    args.retain(|a| a != "--pgo");
     let (Some(before), Some(after)) = (args.get(1), args.get(2)) else {
-        eprintln!("usage: dcpidiff <db-before> <db-after>");
+        eprintln!("usage: dcpidiff [--pgo] <db-before> <db-after>");
         std::process::exit(2);
     };
     let run = || -> Result<String, Box<dyn std::error::Error>> {
         let b = load_db(before)?;
         let a = load_db(after)?;
+        if pgo {
+            return Ok(dcpidiff_pgo(
+                (&b.profiles, &b.registry),
+                (&a.profiles, &a.registry),
+                25,
+                30,
+            ));
+        }
         let mut registry = ImageRegistry::new();
         for (id, img) in b.registry.iter().chain(a.registry.iter()) {
             registry.insert(id, img.clone());

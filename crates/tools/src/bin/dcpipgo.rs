@@ -1,0 +1,101 @@
+//! `dcpipgo <workload> <workdir> [options]` — run the full PGO loop on a
+//! Table 2 workload: profile it, rewrite its hottest image from the
+//! exported estimates, re-measure, audit the rewrite, and write every
+//! artifact (`old.img`, `new.img`, `map.json`, `estimates.json`,
+//! `delta.json`) into the working directory.
+//!
+//! Options:
+//! * `--seed N` — master seed (default 1).
+//! * `--scale N` — work multiplier (default 1).
+//! * `--period N` — sampling period low bound; high bound is `N + N/10`
+//!   (default 2000 — dense, for estimate quality on short runs).
+//! * `--min-samples N` — per-procedure analysis gate (default 25).
+//! * `--min-speedup PCT` — exit nonzero below this speedup (default 0).
+//! * `--json` — print the delta JSON instead of the report.
+//!
+//! Exits nonzero when the rewrite is not architecturally equivalent,
+//! the audit finds errors, or the speedup misses the floor.
+
+use dcpi_tools::dcpipgo::{delta_json, parse_workload, render, write_artifacts};
+use dcpi_workloads::{pgo_workload, RunOptions};
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dcpipgo <workload> <workdir> [--seed N] [--scale N] [--period N] \
+         [--min-samples N] [--min-speedup PCT] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(wname), Some(workdir)) = (args.get(1), args.get(2)) else {
+        usage();
+    };
+    let Some(w) = parse_workload(wname) else {
+        eprintln!("dcpipgo: unknown workload `{wname}`");
+        std::process::exit(2);
+    };
+    let mut opts = RunOptions::default();
+    let mut period = 2_000u64;
+    let mut min_samples = 25u64;
+    let mut min_speedup = 0.0f64;
+    let mut json = false;
+    let mut i = 3;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut value = || -> String {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("dcpipgo: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => opts.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--period" => period = value().parse().unwrap_or_else(|_| usage()),
+            "--min-samples" => min_samples = value().parse().unwrap_or_else(|_| usage()),
+            "--min-speedup" => min_speedup = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => json = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts.period = (period, period + period / 10);
+
+    let out = match pgo_workload(w, &opts, min_samples) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("dcpipgo: {e}");
+            std::process::exit(1);
+        }
+    };
+    let audit = dcpi_check::check_rewrite(&out.old_image, &out.new_image, &out.map);
+    if let Err(e) = write_artifacts(Path::new(workdir), &out) {
+        eprintln!("dcpipgo: {e}");
+        std::process::exit(1);
+    }
+    if json {
+        print!("{}", delta_json(&out));
+    } else {
+        print!("{}", render(&out, &audit));
+    }
+    if !out.equivalent {
+        eprintln!("dcpipgo: rewritten image is NOT architecturally equivalent");
+        std::process::exit(1);
+    }
+    if !audit.is_clean() {
+        eprint!("{}", audit.render());
+        std::process::exit(1);
+    }
+    if out.speedup_pct() < min_speedup {
+        eprintln!(
+            "dcpipgo: speedup {:.2}% below the required {:.2}%",
+            out.speedup_pct(),
+            min_speedup
+        );
+        std::process::exit(1);
+    }
+}

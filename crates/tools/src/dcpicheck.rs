@@ -172,6 +172,60 @@ pub fn dcpicheck_obs(path: &Path, config: &dcpi_check::ObsCheckConfig) -> Report
     }
 }
 
+/// Audits a PGO rewrite from its on-disk artifacts (`dcpicheck pgo
+/// <old.img> <new.img> <map.json>`): both images must deserialize, the
+/// map must parse, and the rewrite must pass every `dcpi-check`
+/// [`pgo_audit`](dcpi_check::pgo_audit) invariant — the map is a
+/// bijection over live words, every rewritten instruction is an allowed
+/// variant of its original, branch targets follow the map onto live
+/// instructions, and unmapped words are inert padding or glue.
+#[must_use]
+pub fn dcpicheck_pgo(old_path: &Path, new_path: &Path, map_path: &Path) -> Report {
+    let mut report = Report::new();
+    let mut load_image = |path: &Path| -> Option<dcpi_isa::image::Image> {
+        let r = std::fs::read(path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| dcpi_isa::image::Image::from_bytes(&bytes));
+        match r {
+            Ok(img) => Some(img),
+            Err(e) => {
+                report.push(
+                    Severity::Error,
+                    Category::PgoRewrite,
+                    path.display().to_string(),
+                    None,
+                    None,
+                    format!("cannot load image: {e}"),
+                );
+                None
+            }
+        }
+    };
+    let old = load_image(old_path);
+    let new = load_image(new_path);
+    let map = match std::fs::read_to_string(map_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| dcpi_isa::AddressMap::parse(&text))
+    {
+        Ok(m) => Some(m),
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                Category::PgoMap,
+                map_path.display().to_string(),
+                None,
+                None,
+                format!("cannot load address map: {e}"),
+            );
+            None
+        }
+    };
+    if let (Some(old), Some(new), Some(map)) = (old, new, map) {
+        report.merge(dcpi_check::check_rewrite(&old, &new, &map));
+    }
+    report
+}
+
 /// One epoch directory: decode every `.prof`, flag stale `.tmp` and
 /// quarantined files, and collect the image ids seen in filenames.
 fn audit_epoch_dir(dir: &Path, report: &mut Report, profiled_images: &mut BTreeSet<u32>) {

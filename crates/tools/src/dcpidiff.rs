@@ -1,8 +1,12 @@
 //! dcpidiff: highlight the differences between two profiles of the same
-//! program (one of the auxiliary tools of §3).
+//! program (one of the auxiliary tools of §3), plus a `--pgo` mode that
+//! compares a pre- and post-optimization profile pair by per-procedure
+//! CPI and stall culprits.
 
 use crate::registry::ImageRegistry;
+use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
 use dcpi_core::{Event, ProfileSet};
+use dcpi_isa::pipeline::PipelineModel;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -112,6 +116,139 @@ pub fn dcpidiff(
     out
 }
 
+/// Per-procedure analysis results for one side of a PGO comparison.
+#[derive(Clone, Debug)]
+pub struct PgoSide {
+    /// Procedure name → (aggregate CPI, dominant culprit letters,
+    /// CYCLES samples). CPI is samples per estimated execution over the
+    /// instructions whose frequency could be estimated.
+    pub procs: HashMap<String, (f64, String, u64)>,
+}
+
+/// Analyzes every sufficiently-sampled procedure on one side. Image
+/// names ending in `.pgo` are treated the same as their originals, so
+/// the two sides pair up by procedure name.
+#[must_use]
+pub fn pgo_side(set: &ProfileSet, registry: &ImageRegistry, min_samples: u64) -> PgoSide {
+    let model = PipelineModel::default();
+    let aopts = AnalysisOptions::default();
+    let mut procs = HashMap::new();
+    for (id, image) in registry.iter() {
+        let Some(profile) = set.get(id, Event::Cycles) else {
+            continue;
+        };
+        for sym in image.symbols() {
+            let samples = profile.range_total(sym.offset, sym.offset + sym.size);
+            if samples < min_samples {
+                continue;
+            }
+            let Ok(pa) = analyze_procedure(image, sym, set, id, &model, &aopts) else {
+                continue;
+            };
+            let mut s_sum = 0.0;
+            let mut f_sum = 0.0;
+            let mut weights: HashMap<char, u64> = HashMap::new();
+            for ia in &pa.insns {
+                if ia.freq > 0.0 {
+                    s_sum += ia.samples as f64;
+                    f_sum += ia.freq;
+                }
+                for c in &ia.culprits {
+                    *weights.entry(c.cause.letter()).or_insert(0) += ia.samples;
+                }
+            }
+            if f_sum <= 0.0 {
+                continue;
+            }
+            let mut letters: Vec<(char, u64)> = weights.into_iter().collect();
+            letters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let culprits: String = letters.iter().take(3).map(|&(c, _)| c).collect();
+            procs.insert(sym.name.clone(), (s_sum / f_sum, culprits, samples));
+        }
+    }
+    PgoSide { procs }
+}
+
+/// Renders the `--pgo` comparison: per-procedure CPI and culprit deltas
+/// between a pre-optimization profile and a profile of the rewritten
+/// program, hottest movers first.
+#[must_use]
+pub fn dcpidiff_pgo(
+    before: (&ProfileSet, &ImageRegistry),
+    after: (&ProfileSet, &ImageRegistry),
+    min_samples: u64,
+    limit: usize,
+) -> String {
+    let b = pgo_side(before.0, before.1, min_samples);
+    let a = pgo_side(after.0, after.1, min_samples);
+    let mut names: Vec<&String> = b.procs.keys().chain(a.procs.keys()).collect();
+    names.sort_unstable();
+    names.dedup();
+    struct Row<'n> {
+        name: &'n str,
+        cb: Option<f64>,
+        ca: Option<f64>,
+        kb: String,
+        ka: String,
+    }
+    let mut rows: Vec<Row<'_>> = names
+        .into_iter()
+        .map(|name| {
+            let x = b.procs.get(name);
+            let y = a.procs.get(name);
+            Row {
+                name,
+                cb: x.map(|v| v.0),
+                ca: y.map(|v| v.0),
+                kb: x.map(|v| v.1.clone()).unwrap_or_default(),
+                ka: y.map(|v| v.1.clone()).unwrap_or_default(),
+            }
+        })
+        .collect();
+    let delta = |r: &Row<'_>| match (r.cb, r.ca) {
+        (Some(x), Some(y)) => (y - x).abs(),
+        _ => f64::INFINITY, // procedures that appear on one side lead
+    };
+    rows.sort_by(|p, q| {
+        delta(q)
+            .total_cmp(&delta(p))
+            .then_with(|| p.name.cmp(q.name))
+    });
+    let fmt_cpi = |c: Option<f64>| c.map_or_else(|| "      -".into(), |v| format!("{v:7.2}"));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "PGO comparison: per-procedure CPI and culprits (before -> after)"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>7} {:>7} {:>7}  {:<10} procedure",
+        "cpi", "cpi'", "Δcpi", "culprits"
+    );
+    for r in rows.iter().take(limit) {
+        let d = match (r.cb, r.ca) {
+            (Some(x), Some(y)) => format!("{:+7.2}", y - x),
+            _ => "      -".into(),
+        };
+        let k = format!(
+            "{}->{}",
+            if r.kb.is_empty() { "-" } else { &r.kb },
+            if r.ka.is_empty() { "-" } else { &r.ka }
+        );
+        let _ = writeln!(
+            out,
+            "{} {} {}  {:<10} {}",
+            fmt_cpi(r.cb),
+            fmt_cpi(r.ca),
+            d,
+            k,
+            r.name
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +297,40 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].after, 0);
         assert!((rows[0].delta_pp - -100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pgo_mode_pairs_procedures_by_name() {
+        let build = |name: &str| {
+            let mut a = Asm::new(name);
+            a.proc("loop");
+            a.li(Reg::T0, 8);
+            let top = a.here();
+            a.subq_lit(Reg::T0, 1, Reg::T0);
+            a.bne(Reg::T0, top);
+            a.ret(Reg::RA);
+            a.finish()
+        };
+        let mut reg_b = ImageRegistry::new();
+        reg_b.insert(ImageId(1), Arc::new(build("/bin/app")));
+        let mut reg_a = ImageRegistry::new();
+        reg_a.insert(ImageId(2), Arc::new(build("/bin/app.pgo")));
+        let mut before = ProfileSet::new();
+        let mut after = ProfileSet::new();
+        // Before: a heavy stall on the subq concentrates samples there
+        // (high CPI). After: the stall is gone and samples flatten to
+        // the issue rate, so the aggregate CPI drops.
+        before.add(ImageId(1), Event::Cycles, 4, 1800);
+        before.add(ImageId(1), Event::Cycles, 8, 200);
+        after.add(ImageId(2), Event::Cycles, 4, 600);
+        after.add(ImageId(2), Event::Cycles, 8, 600);
+        let b = pgo_side(&before, &reg_b, 10);
+        let a = pgo_side(&after, &reg_a, 10);
+        assert!(b.procs.contains_key("loop") && a.procs.contains_key("loop"));
+        assert!(b.procs["loop"].0 > a.procs["loop"].0, "CPI must drop");
+        let text = dcpidiff_pgo((&before, &reg_b), (&after, &reg_a), 10, 20);
+        assert!(text.contains("loop"), "{text}");
+        assert!(text.contains("Δcpi"), "{text}");
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! * [`dcpistat()`](dcpistat::dcpistat) — one-shot profiler status from
 //!   an observability export (rates, drops, flush latencies, ledgers),
 //! * [`dcpitrace()`](dcpitrace::dcpitrace) — cycle-ordered dump of the
-//!   profiler's trace rings, filterable by component.
+//!   profiler's trace rings, filterable by component,
+//! * [`dcpipgo`] — the profile → optimize → re-profile loop: rewrite a
+//!   workload's hottest image from exported estimates, re-measure, and
+//!   audit the rewrite (the paper's "ultimate goal" made executable).
 //!
 //! Each also ships as a CLI binary of the same name operating on a
 //! database directory (see [`dbload`]).
@@ -34,6 +37,7 @@ pub mod dcpicalc;
 pub mod dcpicfg;
 pub mod dcpicheck;
 pub mod dcpidiff;
+pub mod dcpipgo;
 pub mod dcpiprof;
 pub mod dcpistat;
 pub mod dcpistats;
@@ -44,8 +48,8 @@ pub mod registry;
 pub use dbload::{find_procedure, load_db, LoadedDb};
 pub use dcpicalc::dcpicalc;
 pub use dcpicfg::dcpicfg;
-pub use dcpicheck::{dcpicheck, dcpicheck_db, dcpicheck_obs, dcpicheck_report};
-pub use dcpidiff::dcpidiff;
+pub use dcpicheck::{dcpicheck, dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report};
+pub use dcpidiff::{dcpidiff, dcpidiff_pgo, pgo_side, PgoSide};
 pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
 pub use dcpistat::dcpistat;
 pub use dcpistats::{dcpistats, StatsRow};

@@ -19,6 +19,7 @@ pub const TOOL_NAMES: &[&str] = &[
     "dcpicheck",
     "dcpistat",
     "dcpitrace",
+    "dcpipgo",
 ];
 
 /// Maps image ids to images for symbol and name lookup.

@@ -241,30 +241,48 @@ fn kernel_addrs<S: SampleSink>(m: &Machine<S>) -> KernelAddrs {
 
 /// Spawns a workload's processes into a machine.
 pub fn spawn_into<S: SampleSink>(w: Workload, m: &mut Machine<S>, opts: &RunOptions) {
+    spawn_with(w, m, opts, None);
+}
+
+/// Spawns a workload's processes, optionally substituting the workload
+/// image (e.g. a PGO-rewritten copy) for the default one. The override
+/// replaces the single user image every workload registers; kernel code
+/// is untouched.
+pub fn spawn_with<S: SampleSink>(
+    w: Workload,
+    m: &mut Machine<S>,
+    opts: &RunOptions,
+    image_override: Option<&Image>,
+) {
     let scale = opts.scale.max(1);
+    let pick = |default: Image| -> Image { image_override.cloned().unwrap_or(default) };
     match w {
         Workload::McCalpin(kind) => {
-            let img = m.register_image(programs::mccalpin_image(kind, 256 * 1024, 2 * scale));
+            let img = m.register_image(pick(programs::mccalpin_image(kind, 256 * 1024, 2 * scale)));
             m.spawn(0, img, &[], |_| {});
         }
         Workload::X11Perf => {
             let k = kernel_addrs(m);
-            let img = m.register_image(programs::x11_image(&k, 40 * scale));
+            let img = m.register_image(pick(programs::x11_image(&k, 40 * scale)));
             m.spawn(0, img, &[], |_| {});
         }
         Workload::Gcc => {
-            let img = m.register_image(programs::compile_image(3 * scale));
+            let img = m.register_image(pick(programs::compile_image(3 * scale)));
             for _ in 0..14 {
                 m.spawn(0, img, &[], |_| {});
             }
         }
         Workload::Wave5 => {
-            let img = m.register_image(programs::wave5_image(scale));
+            let img = m.register_image(pick(programs::wave5_image(scale)));
             m.spawn(0, img, &[], |_| {});
         }
         Workload::AltaVista => {
             let k = kernel_addrs(m);
-            let img = m.register_image(programs::query_image(QueryKind::Search, &k, 30 * scale));
+            let img = m.register_image(pick(programs::query_image(
+                QueryKind::Search,
+                &k,
+                30 * scale,
+            )));
             let seed = opts.seed;
             for q in 0..8usize {
                 let s = u64::from(seed) * 31 + q as u64;
@@ -275,19 +293,19 @@ pub fn spawn_into<S: SampleSink>(w: Workload, m: &mut Machine<S>, opts: &RunOpti
         }
         Workload::Dss => {
             let k = kernel_addrs(m);
-            let img = m.register_image(programs::query_image(QueryKind::Dss, &k, 20 * scale));
+            let img = m.register_image(pick(programs::query_image(QueryKind::Dss, &k, 20 * scale)));
             for cpu in 0..8 {
                 m.spawn(cpu, img, &[], |_| {});
             }
         }
         Workload::ParallelFp => {
-            let img = m.register_image(programs::fp_kernel_image(4 * scale));
+            let img = m.register_image(pick(programs::fp_kernel_image(4 * scale)));
             for cpu in 0..4 {
                 m.spawn(cpu, img, &[], |_| {});
             }
         }
         Workload::Timesharing => {
-            let img = m.register_image(programs::shell_image());
+            let img = m.register_image(pick(programs::shell_image()));
             // Uneven load: CPU 0 gets the most jobs, CPU 3 the fewest, so
             // idle time appears on some processors.
             for cpu in 0..4usize {

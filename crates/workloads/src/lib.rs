@@ -24,8 +24,10 @@
 //! benchmark harness needs to regenerate the tables and figures.
 
 pub mod driver;
+pub mod pgo;
 pub mod pool;
 pub mod programs;
 
-pub use driver::{run_workload, ProfConfig, RunOptions, RunResult, Workload};
+pub use driver::{run_workload, spawn_with, ProfConfig, RunOptions, RunResult, Workload};
+pub use pgo::{pgo_workload, PgoError, PgoOutcome};
 pub use pool::{default_threads, run_indexed};

@@ -13,6 +13,8 @@
 //! * [`analyze`] — the analysis subsystem (frequency, CPI, culprits).
 //! * [`check`] — static analysis and invariant verification of images,
 //!   CFGs, and analysis outputs (`dcpicheck`).
+//! * [`pgo`] — profile-guided optimization: rewrite an image from the
+//!   analysis estimates and measure the speedup (`dcpipgo`).
 //! * [`tools`] — dcpiprof / dcpicalc / dcpistats / dcpidiff / dcpisumm.
 //! * [`workloads`] — synthetic workloads and the experiment driver.
 
@@ -22,5 +24,6 @@ pub use dcpi_collect as collect;
 pub use dcpi_core as core;
 pub use dcpi_isa as isa;
 pub use dcpi_machine as machine;
+pub use dcpi_pgo as pgo;
 pub use dcpi_tools as tools;
 pub use dcpi_workloads as workloads;
