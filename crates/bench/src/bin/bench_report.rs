@@ -51,6 +51,13 @@ struct PgoRow {
     equivalent: bool,
 }
 
+struct TvRow {
+    name: &'static str,
+    segments: usize,
+    proved: usize,
+    wall_s: f64,
+}
+
 fn main() {
     let opts = ExpOptions::from_args(4);
     // Read the committed baseline before we overwrite it below.
@@ -135,6 +142,7 @@ fn main() {
     // just tracks the trajectory. Rows carry no `mcycles_per_s`, so the
     // `--check` baseline scanner skips them.
     let mut pgo_rows = Vec::new();
+    let mut tv_rows = Vec::new();
     for (w, name) in [
         (Workload::Gcc, "gcc"),
         (Workload::AltaVista, "altavista"),
@@ -165,6 +173,36 @@ fn main() {
                     opt_cycles: out.opt_cycles,
                     speedup_pct: out.speedup_pct(),
                     equivalent: out.equivalent,
+                });
+                // Translation-validation wall time on the same rewrite:
+                // how much proving the rewrite costs, standalone (it ran
+                // once already inside the loop; this isolates the cost).
+                let t = Instant::now();
+                let tv = dcpi_check::tv::validate_with(
+                    &out.old_image,
+                    &out.new_image,
+                    &out.map,
+                    &dcpi_check::tv::TvOptions {
+                        code_base: dcpi_machine::os::MAIN_BASE.0,
+                    },
+                );
+                let wall_s = t.elapsed().as_secs_f64();
+                println!(
+                    "tv  {name:<14} proved {}/{} segments in {:.4}s{}",
+                    tv.proved,
+                    tv.segments,
+                    wall_s,
+                    if tv.report.is_clean() {
+                        ""
+                    } else {
+                        "  ** NOT PROVED **"
+                    }
+                );
+                tv_rows.push(TvRow {
+                    name,
+                    segments: tv.segments,
+                    proved: tv.proved,
+                    wall_s,
                 });
             }
             Err(e) => println!("pgo {name:<14} skipped: {e}"),
@@ -202,7 +240,14 @@ fn main() {
         wall_s,
     };
 
-    let json = render_json(&rows, &overhead_rows, &pgo_rows, &experiment, &opts);
+    let json = render_json(
+        &rows,
+        &overhead_rows,
+        &pgo_rows,
+        &tv_rows,
+        &experiment,
+        &opts,
+    );
     if opts.json {
         println!("{json}");
     }
@@ -250,6 +295,7 @@ fn render_json(
     rows: &[WorkloadRow],
     overhead: &[OverheadRow],
     pgo: &[PgoRow],
+    tv: &[TvRow],
     exp: &ExperimentRow,
     opts: &ExpOptions,
 ) -> String {
@@ -307,6 +353,18 @@ fn render_json(
             "    {{\"name\": \"pgo-{}\", \"base_cycles\": {}, \"opt_cycles\": {}, \
              \"speedup_pct\": {:.4}, \"equivalent\": {}}}{comma}",
             r.name, r.base_cycles, r.opt_cycles, r.speedup_pct, r.equivalent
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    // TV rows also carry no `mcycles_per_s`, so `--check` skips them.
+    let _ = writeln!(s, "  \"tv\": [");
+    for (i, r) in tv.iter().enumerate() {
+        let comma = if i + 1 < tv.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"tv-{}\", \"segments\": {}, \"proved\": {}, \
+             \"wall_s\": {:.4}}}{comma}",
+            r.name, r.segments, r.proved, r.wall_s
         );
     }
     let _ = writeln!(s, "  ],");

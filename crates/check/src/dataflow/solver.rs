@@ -1,0 +1,189 @@
+//! The generic worklist solver: a fixpoint over block-level facts.
+//!
+//! A [`Pass`] supplies the lattice — an initial (optimistic) fact, a
+//! boundary fact for the entry (forward) or the exits (backward), a
+//! join, and a per-block transfer function — and [`solve`] iterates to
+//! a fixpoint. Passes whose lattices have unbounded ascending chains
+//! (value ranges) additionally implement [`Pass::widen`], which the
+//! solver applies to any block input recomputed more than
+//! [`WIDEN_AFTER`] times.
+
+use dcpi_analyze::cfg::Cfg;
+use std::collections::VecDeque;
+
+/// Which way facts flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Entry → exits; a block's input is the join over predecessor
+    /// outputs.
+    Forward,
+    /// Exits → entry; a block's input is the join over successor
+    /// outputs, and the transfer walks instructions in reverse.
+    Backward,
+}
+
+/// One dataflow analysis: lattice plus transfer.
+pub trait Pass {
+    /// The per-program-point fact.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// The fact at the boundary: the procedure entry for forward
+    /// passes, every exit block for backward passes.
+    fn boundary(&self, cfg: &Cfg) -> Self::Fact;
+
+    /// The optimistic initial fact joined into non-boundary inputs.
+    fn init(&self, cfg: &Cfg) -> Self::Fact;
+
+    /// Merges `other` into `into`; must return true iff `into` changed.
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Applies block `b`'s instructions to `fact` (in reverse order for
+    /// backward passes).
+    fn transfer(&self, cfg: &Cfg, b: usize, fact: Self::Fact) -> Self::Fact;
+
+    /// Accelerates convergence once a block's input has been recomputed
+    /// [`WIDEN_AFTER`] times; the default keeps the new fact (correct
+    /// for finite lattices).
+    fn widen(&self, old: &Self::Fact, new: Self::Fact) -> Self::Fact {
+        let _ = old;
+        new
+    }
+}
+
+/// Recomputations of one block's input before [`Pass::widen`] kicks in.
+pub const WIDEN_AFTER: usize = 8;
+
+/// The fixpoint: one input and one output fact per block.
+pub struct Solution<F> {
+    /// Fact at each block's entry (forward) — for backward passes this
+    /// is the fact *after* the transfer, i.e. at the block's entry too.
+    pub entry: Vec<F>,
+    /// Fact at each block's exit.
+    pub exit: Vec<F>,
+    /// Transfer applications performed before convergence.
+    pub iterations: usize,
+}
+
+/// Runs `pass` over `cfg` to a fixpoint. For forward passes the input
+/// of block `b` is `entry[b]` and `exit[b] = transfer(entry[b])`; for
+/// backward passes the input is `exit[b]` and `entry[b] =
+/// transfer(exit[b])`.
+pub fn solve<P: Pass>(cfg: &Cfg, pass: &P) -> Solution<P::Fact> {
+    let nb = cfg.blocks.len();
+    let forward = pass.direction() == Direction::Forward;
+    // pred[b] for forward passes, succ[b] for backward: where a block's
+    // input comes from.
+    let mut sources: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    let mut sinks: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for e in &cfg.edges {
+        let (from, to) = if forward {
+            (e.from.0, e.to.0)
+        } else {
+            (e.to.0, e.from.0)
+        };
+        sources[to].push(from);
+        sinks[from].push(to);
+    }
+    let at_boundary = |b: usize| {
+        if forward {
+            b == cfg.entry.0
+        } else {
+            cfg.blocks[b].is_exit || sources[b].is_empty()
+        }
+    };
+    // Forward facts flow only along paths that start at the entry:
+    // without this gate, an entry-unreachable cycle feeds its
+    // (optimistically seeded) facts into reachable joins, and the
+    // fixpoint over-approximates the meet-over-paths solution. Backward
+    // passes are deliberately ungated — liveness counts read-before-
+    // write along every path prefix, including ones that never exit.
+    let live_source: Vec<bool> = if forward {
+        let mut seen = vec![false; nb];
+        let mut stack = vec![cfg.entry.0];
+        seen[cfg.entry.0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &sinks[b] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    } else {
+        vec![true; nb]
+    };
+
+    let mut input: Vec<P::Fact> = (0..nb).map(|_| pass.init(cfg)).collect();
+    let mut output: Vec<Option<P::Fact>> = vec![None; nb];
+    let mut updates = vec![0usize; nb];
+    let mut queued = vec![true; nb];
+    let mut work: VecDeque<usize> = if forward {
+        (0..nb).collect()
+    } else {
+        (0..nb).rev().collect()
+    };
+    let mut iterations = 0usize;
+    // Safety valve: every well-formed lattice converges long before
+    // this (widening bounds the chains), but a buggy pass must not hang.
+    let cap = nb.saturating_mul(1000).max(1000);
+
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        // Recompute this block's input from its sources.
+        let mut fact = pass.init(cfg);
+        if at_boundary(b) {
+            pass.join(&mut fact, &pass.boundary(cfg));
+        }
+        for &s in &sources[b] {
+            if !live_source[s] {
+                continue;
+            }
+            if let Some(out) = &output[s] {
+                pass.join(&mut fact, out);
+            }
+        }
+        updates[b] += 1;
+        if updates[b] > WIDEN_AFTER {
+            fact = pass.widen(&input[b], fact);
+        }
+        if output[b].is_some() && fact == input[b] {
+            continue; // no change, already transferred
+        }
+        input[b] = fact.clone();
+        let out = pass.transfer(cfg, b, fact);
+        iterations += 1;
+        let changed = output[b].as_ref() != Some(&out);
+        output[b] = Some(out);
+        if changed && iterations < cap {
+            for &s in &sinks[b] {
+                if !queued[s] {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    let output: Vec<P::Fact> = output
+        .into_iter()
+        .zip(0..nb)
+        .map(|(o, _)| o.expect("every block transferred at least once"))
+        .collect();
+    if forward {
+        Solution {
+            entry: input,
+            exit: output,
+            iterations,
+        }
+    } else {
+        Solution {
+            entry: output,
+            exit: input,
+            iterations,
+        }
+    }
+}

@@ -38,6 +38,8 @@ pub enum Layer {
     /// PGO rewrite audits: address maps, branch retargeting, block-head
     /// alignment of control flow in rewritten images.
     Pgo,
+    /// Translation validation: symbolic old-vs-new equivalence proofs.
+    Tv,
 }
 
 impl fmt::Display for Layer {
@@ -49,6 +51,7 @@ impl fmt::Display for Layer {
             Layer::Database => write!(f, "db"),
             Layer::Obs => write!(f, "obs"),
             Layer::Pgo => write!(f, "pgo"),
+            Layer::Tv => write!(f, "tv"),
         }
     }
 }
@@ -68,6 +71,15 @@ pub enum Category {
     UnreachableBlock,
     /// A register read before any definition on some path.
     UseBeforeDef,
+    /// A register write that no path reads before overwriting it.
+    DeadStore,
+    /// A register read that no definition can reach on any path.
+    UninitRead,
+    /// A conditional branch whose outcome value-range analysis decides.
+    ConstBranch,
+    /// Stack-frame discipline: unbalanced push/pop, unknown SP deltas at
+    /// returns, excessive frame depth, or clobbered callee-saves.
+    StackDiscipline,
     /// Block partition problems: gaps, overlaps, bad entry.
     BlockStructure,
     /// An edge that contradicts its source block's terminator.
@@ -117,6 +129,15 @@ pub enum Category {
     /// words whose instruction changed beyond the allowed rewrites, or
     /// unmapped words that are not inert padding/glue.
     PgoRewrite,
+    /// Translation-validation structure: old/new segments interleave,
+    /// glue does not resolve, or the map breaks segment contiguity.
+    TvStructure,
+    /// Translation-validation control flow: a branch, continuation, or
+    /// fallthrough does not reach the corresponding rewritten segment.
+    TvControl,
+    /// Translation-validation state: registers or the store sequence
+    /// diverge between the old and new segment.
+    TvState,
 }
 
 impl Category {
@@ -129,7 +150,11 @@ impl Category {
             | Category::SymbolTable
             | Category::EscapedBranch
             | Category::UnreachableBlock
-            | Category::UseBeforeDef => Layer::Image,
+            | Category::UseBeforeDef
+            | Category::DeadStore
+            | Category::UninitRead
+            | Category::ConstBranch
+            | Category::StackDiscipline => Layer::Image,
             Category::BlockStructure
             | Category::EdgeTarget
             | Category::FallThrough
@@ -149,6 +174,7 @@ impl Category {
             | Category::ObsMetrics
             | Category::ObsLedger => Layer::Obs,
             Category::PgoMap | Category::PgoTarget | Category::PgoRewrite => Layer::Pgo,
+            Category::TvStructure | Category::TvControl | Category::TvState => Layer::Tv,
         }
     }
 
@@ -162,6 +188,10 @@ impl Category {
             Category::EscapedBranch => "escaped-branch",
             Category::UnreachableBlock => "unreachable-block",
             Category::UseBeforeDef => "use-before-def",
+            Category::DeadStore => "dead-store",
+            Category::UninitRead => "uninit-read",
+            Category::ConstBranch => "const-branch",
+            Category::StackDiscipline => "stack-discipline",
             Category::BlockStructure => "block-structure",
             Category::EdgeTarget => "edge-target",
             Category::FallThrough => "fall-through",
@@ -183,6 +213,9 @@ impl Category {
             Category::PgoMap => "pgo-map",
             Category::PgoTarget => "pgo-target",
             Category::PgoRewrite => "pgo-rewrite",
+            Category::TvStructure => "tv-structure",
+            Category::TvControl => "tv-control",
+            Category::TvState => "tv-state",
         }
     }
 }
@@ -294,6 +327,44 @@ impl Report {
             .filter(move |d| d.category.layer() == layer)
     }
 
+    /// Line-disciplined JSON for machine consumers (`--json`): the
+    /// tallies plus one object per finding. Strings are sanitized the
+    /// same way the other hand-rolled emitters in this workspace do it.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use fmt::Write as _;
+        fn sanitize(s: &str) -> String {
+            s.replace(['"', '\\', '\r', '\n'], "_")
+        }
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "null".to_string(), |v| v.to_string())
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"errors\": {},", self.errors());
+        let _ = writeln!(s, "  \"warnings\": {},", self.warnings());
+        let _ = writeln!(s, "  \"diags\": [");
+        for (i, d) in self.diags.iter().enumerate() {
+            let comma = if i + 1 < self.diags.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"severity\": \"{}\", \"layer\": \"{}\", \"category\": \"{}\", \
+                 \"context\": \"{}\", \"pc\": {}, \"block\": {}, \"message\": \"{}\"}}{comma}",
+                d.severity,
+                d.category.layer(),
+                d.category.name(),
+                sanitize(&d.context),
+                opt(d.pc),
+                opt(d.block.map(|b| b as u64)),
+                sanitize(&d.message),
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push_str("}\n");
+        s
+    }
+
     /// Renders every finding, one per line, plus a closing tally.
     #[must_use]
     pub fn render(&self) -> String {
@@ -370,6 +441,10 @@ mod tests {
             Category::EscapedBranch,
             Category::UnreachableBlock,
             Category::UseBeforeDef,
+            Category::DeadStore,
+            Category::UninitRead,
+            Category::ConstBranch,
+            Category::StackDiscipline,
             Category::BlockStructure,
             Category::EdgeTarget,
             Category::FallThrough,
@@ -391,10 +466,34 @@ mod tests {
             Category::PgoMap,
             Category::PgoTarget,
             Category::PgoRewrite,
+            Category::TvStructure,
+            Category::TvControl,
+            Category::TvState,
         ];
         for c in all {
             assert!(!c.name().is_empty());
             let _ = c.layer();
         }
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_tallies() {
+        let mut r = Report::new();
+        r.push(
+            Severity::Error,
+            Category::TvState,
+            "seg \"weird\"",
+            Some(0x10),
+            Some(3),
+            "r4 diverges",
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"errors\": 1"), "{j}");
+        assert!(j.contains("\"category\": \"tv-state\""), "{j}");
+        assert!(j.contains("\"pc\": 16"), "{j}");
+        assert!(
+            !j.contains("seg \"weird\""),
+            "quotes must be sanitized: {j}"
+        );
     }
 }

@@ -21,7 +21,7 @@ use dcpi_isa::reg::Reg;
 /// Registers assumed live on procedure entry by the calling convention:
 /// argument registers (integer a0–a5, FP f16–f21), the callee-saved
 /// registers (whose *saves* legitimately read them), and sp/gp/ra/pv/at.
-fn abi_live_on_entry() -> u64 {
+pub(crate) fn abi_live_on_entry() -> u64 {
     let mut mask = 0u64;
     for r in 9..=21 {
         mask |= 1 << r; // s0-s6/fp (saved by callees) and a0-a5

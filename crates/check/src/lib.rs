@@ -29,6 +29,13 @@
 //!    words, every mapped instruction is an allowed variant of its
 //!    original, branch targets follow the map and land on live
 //!    instructions, and unmapped words are inert padding or glue.
+//! 6. **Dataflow analyses** ([`dataflow`]) — a generic worklist solver
+//!    over the CFG with liveness, reaching-definitions, value-range, and
+//!    stack-discipline passes, powering the `dead-store`, `uninit-read`,
+//!    `const-branch`, and `stack-discipline` lints.
+//! 7. **Translation validation** ([`tv`]) — a symbolic, per-segment
+//!    equivalence proof that a PGO rewrite preserves the old image's
+//!    observable behaviour, with no simulator in the loop.
 //!
 //! Diagnostics are typed ([`Diagnostic`]) and carry a severity: errors
 //! are invariant violations, warnings are suspicious-but-possibly-benign
@@ -37,15 +44,18 @@
 //! built-in workload; the `dcpicheck` CLI exits nonzero otherwise.
 
 pub mod cfg_audit;
+pub mod dataflow;
 pub mod diag;
 pub mod estimate_audit;
 pub mod image_lints;
 pub mod obs_audit;
 pub mod pgo_audit;
+pub mod tv;
 
 pub use diag::{Category, Diagnostic, Layer, Report, Severity};
 pub use obs_audit::{check_obs_export, check_snapshot, ObsCheckConfig};
 pub use pgo_audit::check_rewrite;
+pub use tv::{validate, validate_with, TvOptions, TvResult};
 
 use dcpi_analyze::analysis::ProcAnalysis;
 use dcpi_analyze::cfg::Cfg;
@@ -94,6 +104,7 @@ pub fn check_image(image: &Image, config: &CheckConfig) -> Report {
         match Cfg::build(image, sym) {
             Ok(cfg) => {
                 image_lints::check_procedure(image, sym, &cfg, &mut report);
+                dataflow::check_procedure_dataflow(sym, &cfg, &mut report);
                 cfg_audit::check_cfg(sym, &cfg, config, &mut report);
             }
             Err(e) => report.push(
@@ -115,6 +126,7 @@ pub fn check_image(image: &Image, config: &CheckConfig) -> Report {
 pub fn check_procedure(image: &Image, sym: &Symbol, cfg: &Cfg, config: &CheckConfig) -> Report {
     let mut report = Report::new();
     image_lints::check_procedure(image, sym, cfg, &mut report);
+    dataflow::check_procedure_dataflow(sym, cfg, &mut report);
     cfg_audit::check_cfg(sym, cfg, config, &mut report);
     report
 }

@@ -17,8 +17,10 @@
 //!   `ldah`/`lda` address slot preserving the destination register);
 //! * every branch target in the rewritten image lands on a live (mapped)
 //!   instruction — i.e. a block head that exists in the old program;
-//! * unmapped new words are inert glue: `nop` padding, inserted
-//!   unconditional branches, or the low half of an address pair.
+//! * unmapped new words are inert glue: `nop` padding that the
+//!   whole-image reachability closure proves no execution can reach,
+//!   inserted unconditional branches, or the low half of an address
+//!   pair sitting immediately after its mapped high half.
 
 use crate::diag::{Category, Report, Severity};
 use dcpi_isa::encode::decode;
@@ -265,6 +267,7 @@ pub fn check_rewrite(old: &Image, new: &Image, map: &AddressMap) -> Report {
     }
 
     // --- New-image control flow lands on live words ----------------
+    let reachable = crate::dataflow::word_reachable(new);
     for (p, &word) in new.words().iter().enumerate() {
         let Ok(insn) = decode(word) else {
             if live[p].is_none() {
@@ -298,22 +301,37 @@ pub fn check_rewrite(old: &Image, new: &Image, map: &AddressMap) -> Report {
                 );
             }
         }
-        // Unmapped words must be inert glue.
-        if live[p].is_none()
-            && !(is_nop(insn)
-                || matches!(
-                    insn,
-                    Instruction::Br { ra: Reg::ZERO, .. } | Instruction::Lda { .. }
-                ))
-        {
-            report.push(
-                Severity::Error,
-                Category::PgoRewrite,
-                &ctx,
-                Some(p as u64 * 4),
-                None,
-                format!("unmapped new word is not padding or glue: {insn:?}"),
-            );
+        // Unmapped words must be inert glue: padding that no execution
+        // can reach, a straightening branch, or the low half of a
+        // patched address pair right after its mapped high half.
+        if live[p].is_none() {
+            let ok = match insn {
+                _ if is_nop(insn) => !reachable[p],
+                Instruction::Br { ra: Reg::ZERO, .. } => true,
+                Instruction::Lda { ra, .. } => {
+                    p > 0
+                        && live[p - 1].is_some()
+                        && matches!(
+                            decode(new.words()[p - 1]),
+                            Ok(Instruction::Ldah { ra: ha, .. }) if ha == ra
+                        )
+                }
+                _ => false,
+            };
+            if !ok {
+                report.push(
+                    Severity::Error,
+                    Category::PgoRewrite,
+                    &ctx,
+                    Some(p as u64 * 4),
+                    None,
+                    if is_nop(insn) {
+                        format!("unmapped padding at new word {p} is reachable")
+                    } else {
+                        format!("unmapped new word is not padding or glue: {insn:?}")
+                    },
+                );
+            }
         }
     }
 
@@ -409,6 +427,113 @@ mod tests {
         let r = check_rewrite(&img, &bad, &map);
         assert!(!r.is_clean());
         assert!(r.render().contains("pgo-target"));
+    }
+
+    #[test]
+    fn reachable_unmapped_padding_is_flagged() {
+        // Insert a nop on the branch's fallthrough path: every word is
+        // legally mapped, but the pad can be executed.
+        let img = small_image();
+        let new_words = vec![
+            encode(Instruction::CondBr {
+                cond: BrCond::Bne,
+                ra: Reg::T0,
+                disp: 2, // -> new word 3 (the halt), following the map
+            }),
+            encode(Instruction::IntOp {
+                op: IntOp::Bis,
+                ra: Reg::ZERO,
+                rb: RegOrLit::Reg(Reg::ZERO),
+                rc: Reg::ZERO,
+            }),
+            img.words()[1], // add
+            img.words()[2], // halt
+        ];
+        let new = Image::new(
+            "/t/small.pgo".into(),
+            new_words,
+            vec![Symbol {
+                name: "main".into(),
+                offset: 0,
+                size: 16,
+            }],
+        );
+        let mut map = AddressMap::identity(img.name(), "/t/small.pgo", 3);
+        map.new_words = 4;
+        map.set(1, 2);
+        map.set(2, 3);
+        let r = check_rewrite(&img, &new, &map);
+        assert!(!r.is_clean(), "{}", r.render());
+        assert!(r.render().contains("padding"), "{}", r.render());
+    }
+
+    #[test]
+    fn unreachable_padding_and_stray_lda_rules() {
+        // br +1 skips dead code; the pad sits on the dead path.
+        let insns = vec![
+            Instruction::Br {
+                ra: Reg::ZERO,
+                disp: 1, // -> word 2
+            },
+            Instruction::IntOp {
+                op: IntOp::Addq,
+                ra: Reg::T1,
+                rb: RegOrLit::Reg(Reg::T1),
+                rc: Reg::T1,
+            },
+            Instruction::CallPal {
+                func: dcpi_isa::insn::PalFunc::Halt,
+            },
+        ];
+        let words: Vec<u32> = insns.into_iter().map(encode).collect();
+        let img = Image::new(
+            "/t/pad".into(),
+            words,
+            vec![Symbol {
+                name: "main".into(),
+                offset: 0,
+                size: 12,
+            }],
+        );
+        let new_words = vec![
+            encode(Instruction::Br {
+                ra: Reg::ZERO,
+                disp: 2, // -> new word 3 (the halt)
+            }),
+            img.words()[1], // add (unreachable in both images)
+            encode(Instruction::IntOp {
+                op: IntOp::Bis,
+                ra: Reg::ZERO,
+                rb: RegOrLit::Reg(Reg::ZERO),
+                rc: Reg::ZERO,
+            }),
+            img.words()[2], // halt
+        ];
+        let new = Image::new(
+            "/t/pad.pgo".into(),
+            new_words,
+            vec![Symbol {
+                name: "main".into(),
+                offset: 0,
+                size: 16,
+            }],
+        );
+        let mut map = AddressMap::identity(img.name(), "/t/pad.pgo", 3);
+        map.new_words = 4;
+        map.set(2, 3);
+        let r = check_rewrite(&img, &new, &map);
+        assert!(r.is_clean(), "{}", r.render());
+
+        // An unmapped lda with no mapped ldah before it is not glue.
+        let mut stray = new.words().to_vec();
+        stray[2] = encode(Instruction::Lda {
+            ra: Reg::T0,
+            rb: Reg::T0,
+            disp: 8,
+        });
+        let bad = Image::new("/t/pad.pgo".into(), stray, new.symbols().to_vec());
+        let r = check_rewrite(&img, &bad, &map);
+        assert!(!r.is_clean(), "{}", r.render());
     }
 
     #[test]

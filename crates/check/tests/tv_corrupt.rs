@@ -1,0 +1,257 @@
+//! The translation validator must *reject* rewrites that are almost
+//! right: real `dcpi-pgo` outputs, corrupted one instruction at a time.
+//!
+//! Three corruption families, each a bug an optimizer could plausibly
+//! introduce:
+//!
+//! * a conditional branch whose sense is flipped without retargeting —
+//!   the hot-path inversion transform applied halfway;
+//! * an effectful instruction replaced by a nop — an instruction
+//!   dropped during re-emission;
+//! * a branch displacement off by one word — a fixup miscalculation.
+//!
+//! Every corrupted image must produce at least one error-severity
+//! diagnostic; the uncorrupted rewrite must stay clean.
+
+use dcpi_core::prng::CartaRng;
+use dcpi_isa::encode::{decode, encode};
+use dcpi_isa::insn::{BrCond, Instruction, RegOrLit};
+use dcpi_isa::{AddressMap, Asm, Image, Reg};
+use dcpi_pgo::{optimize, PgoOptions};
+
+/// A compact cousin of the pgo property generator: a counted loop with
+/// diamonds and arithmetic, enough structure for the optimizer to move
+/// blocks and invert branches.
+fn random_program(seed: u32) -> Image {
+    let mut rng = CartaRng::new(seed);
+    let mut a = Asm::new(format!("/t/tvrand{seed}"));
+    a.proc("main");
+    let temps = [Reg::T0, Reg::T1, Reg::T2, Reg::T3];
+    a.lda(Reg::S0, rng.uniform(3, 8) as i16, Reg::ZERO);
+    let top = a.here();
+    for _ in 0..rng.uniform(2, 5) {
+        for _ in 0..rng.uniform(1, 5) {
+            let x = temps[rng.uniform(0, 3) as usize];
+            let y = temps[rng.uniform(0, 3) as usize];
+            let z = temps[rng.uniform(0, 3) as usize];
+            match rng.uniform(0, 4) {
+                0 => a.addq(x, y, z),
+                1 => a.subq(x, y, z),
+                2 => a.xor(x, y, z),
+                _ => a.stq(x, (rng.uniform(0, 4) * 8) as i16, Reg::SP),
+            }
+        }
+        if rng.uniform(0, 2) == 0 {
+            let skip = a.label();
+            let cond = if rng.uniform(0, 2) == 0 {
+                BrCond::Beq
+            } else {
+                BrCond::Bne
+            };
+            a.condbr(cond, temps[rng.uniform(0, 3) as usize], skip);
+            for _ in 0..rng.uniform(1, 3) {
+                let x = temps[rng.uniform(0, 3) as usize];
+                a.addq_lit(x, rng.uniform(1, 7) as u8, x);
+            }
+            a.bind(skip);
+        }
+    }
+    a.subq_lit(Reg::S0, 1, Reg::S0);
+    a.condbr(BrCond::Bne, Reg::S0, top);
+    for t in temps {
+        a.addq(Reg::V0, t, Reg::V0);
+    }
+    a.stq(Reg::V0, 0, Reg::SP);
+    a.halt();
+    a.finish()
+}
+
+/// Random block/edge frequencies so the optimizer actually rearranges.
+fn random_estimates(image: &Image, rng: &mut CartaRng) -> Vec<dcpi_analyze::export::ExportedProc> {
+    use dcpi_analyze::cfg::Cfg;
+    use dcpi_analyze::export::{ExportedBlock, ExportedEdge, ExportedProc};
+    image
+        .symbols()
+        .iter()
+        .filter_map(|sym| {
+            let cfg = Cfg::build(image, sym).ok()?;
+            Some(ExportedProc {
+                image: 1,
+                image_name: image.name().to_string(),
+                name: sym.name.clone(),
+                start_word: (sym.offset / 4) as u32,
+                len_words: (sym.size / 4) as u32,
+                missing_edges: cfg.missing_edges,
+                total_samples: rng.uniform(0, 1000),
+                blocks: cfg
+                    .blocks
+                    .iter()
+                    .map(|b| ExportedBlock {
+                        start_word: b.start_word,
+                        len: b.len,
+                        freq: rng.uniform(0, 500) as f64,
+                    })
+                    .collect(),
+                edges: cfg
+                    .edges
+                    .iter()
+                    .map(|e| ExportedEdge {
+                        from: e.from.0,
+                        to: e.to.0,
+                        kind: e.kind,
+                        freq: rng.uniform(0, 500) as f64,
+                    })
+                    .collect(),
+                insns: Vec::new(),
+            })
+        })
+        .collect()
+}
+
+/// An optimize-produced (old, new, map) triple that validates clean.
+fn clean_rewrite(seed: u32) -> (Image, Image, AddressMap) {
+    let image = random_program(seed);
+    let mut rng = CartaRng::new(seed.wrapping_mul(31337));
+    let est = random_estimates(&image, &mut rng);
+    let r = optimize(&image, &est, &PgoOptions::default())
+        .unwrap_or_else(|s| panic!("seed {seed}: unexpected skip: {s}"));
+    let tv = dcpi_check::tv::validate(&image, &r.image, &r.map);
+    assert!(
+        tv.is_clean(),
+        "seed {seed}: baseline not clean:\n{}",
+        tv.render()
+    );
+    (image, r.image, r.map)
+}
+
+/// Rebuilds `new` with word `w` replaced.
+fn patch(new: &Image, w: usize, word: u32) -> Image {
+    let mut words = new.words().to_vec();
+    words[w] = word;
+    Image::new(new.name().to_string(), words, new.symbols().to_vec())
+}
+
+fn flip(cond: BrCond) -> BrCond {
+    match cond {
+        BrCond::Beq => BrCond::Bne,
+        BrCond::Bne => BrCond::Beq,
+        BrCond::Blt => BrCond::Bge,
+        BrCond::Bge => BrCond::Blt,
+        BrCond::Ble => BrCond::Bgt,
+        BrCond::Bgt => BrCond::Ble,
+        BrCond::Blbc => BrCond::Blbs,
+        BrCond::Blbs => BrCond::Blbc,
+    }
+}
+
+#[test]
+fn flipped_branch_sense_without_retarget_is_rejected() {
+    let mut corrupted = 0;
+    for seed in 1..=8u32 {
+        let (old, new, map) = clean_rewrite(seed);
+        for (w, &word) in new.words().iter().enumerate() {
+            let Ok(Instruction::CondBr { cond, ra, disp }) = decode(word) else {
+                continue;
+            };
+            let bad = patch(
+                &new,
+                w,
+                encode(Instruction::CondBr {
+                    cond: flip(cond),
+                    ra,
+                    disp,
+                }),
+            );
+            let tv = dcpi_check::tv::validate(&old, &bad, &map);
+            assert!(
+                tv.errors() > 0,
+                "seed {seed}: flipped branch at new word {w} slipped through"
+            );
+            corrupted += 1;
+            break;
+        }
+    }
+    assert!(
+        corrupted >= 4,
+        "only {corrupted}/8 programs had a branch to flip"
+    );
+}
+
+#[test]
+fn dropped_instruction_is_rejected() {
+    let nop = encode(Instruction::IntOp {
+        op: dcpi_isa::insn::IntOp::Bis,
+        ra: Reg::ZERO,
+        rb: RegOrLit::Reg(Reg::ZERO),
+        rc: Reg::ZERO,
+    });
+    for seed in 1..=8u32 {
+        let (old, new, map) = clean_rewrite(seed);
+        // Dropping a store always shows: the old segment's store stream
+        // has an entry the new one lacks.
+        let mut dropped_store = false;
+        for (w, &word) in new.words().iter().enumerate() {
+            if matches!(decode(word), Ok(Instruction::Stq { .. })) {
+                let tv = dcpi_check::tv::validate(&old, &patch(&new, w, nop), &map);
+                assert!(
+                    tv.errors() > 0,
+                    "seed {seed}: dropped store at new word {w} slipped through"
+                );
+                dropped_store = true;
+                break;
+            }
+        }
+        assert!(dropped_store, "seed {seed}: every program stores");
+        // Dropping an ALU op is rejected whenever its write survives to
+        // the segment end (dropping an intra-segment dead write *is*
+        // equivalent, and the validator is right to accept it); each
+        // program must have at least one live one.
+        let mut rejected = 0;
+        for (w, &word) in new.words().iter().enumerate() {
+            let Ok(Instruction::IntOp { rc, .. }) = decode(word) else {
+                continue;
+            };
+            if rc == Reg::ZERO || word == nop {
+                continue;
+            }
+            let tv = dcpi_check::tv::validate(&old, &patch(&new, w, nop), &map);
+            if tv.errors() > 0 {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "seed {seed}: no dropped ALU op was rejected");
+    }
+}
+
+#[test]
+fn wrong_branch_displacement_is_rejected() {
+    let mut corrupted = 0;
+    for seed in 1..=8u32 {
+        let (old, new, map) = clean_rewrite(seed);
+        for (w, &word) in new.words().iter().enumerate() {
+            let bad_word = match decode(word) {
+                Ok(Instruction::CondBr { cond, ra, disp }) => encode(Instruction::CondBr {
+                    cond,
+                    ra,
+                    disp: disp + 1,
+                }),
+                Ok(Instruction::Br { ra, disp }) if ra == Reg::ZERO => {
+                    encode(Instruction::Br { ra, disp: disp + 1 })
+                }
+                _ => continue,
+            };
+            let bad = patch(&new, w, bad_word);
+            let tv = dcpi_check::tv::validate(&old, &bad, &map);
+            assert!(
+                tv.errors() > 0,
+                "seed {seed}: off-by-one displacement at new word {w} slipped through"
+            );
+            corrupted += 1;
+            break;
+        }
+    }
+    assert!(
+        corrupted >= 4,
+        "only {corrupted}/8 programs had a branch to skew"
+    );
+}

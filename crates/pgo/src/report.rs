@@ -31,6 +31,9 @@ pub struct PgoReport {
     pub old_words: usize,
     /// Rewritten text size in words.
     pub new_words: usize,
+    /// True when the translation validator proved the rewrite
+    /// equivalent (only set when validation was requested).
+    pub validated: bool,
 }
 
 impl PgoReport {
@@ -68,8 +71,16 @@ impl PgoReport {
         );
         let _ = writeln!(
             s,
-            "pgo: {} pad words, {} call patches, text {} -> {} words",
-            self.pad_words, self.call_patches, self.old_words, self.new_words,
+            "pgo: {} pad words, {} call patches, text {} -> {} words{}",
+            self.pad_words,
+            self.call_patches,
+            self.old_words,
+            self.new_words,
+            if self.validated {
+                ", statically validated"
+            } else {
+                ""
+            },
         );
         s
     }

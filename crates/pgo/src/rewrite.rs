@@ -55,6 +55,10 @@ pub struct PgoOptions {
     pub hot_freq: f64,
     /// The static pipeline model scheduling is optimized against.
     pub model: PipelineModel,
+    /// Statically prove the rewrite equivalent with `dcpi-check`'s
+    /// translation validator before returning it; a rewrite that cannot
+    /// be proved is refused ([`Skip::ValidationFailed`]).
+    pub validate: bool,
 }
 
 impl Default for PgoOptions {
@@ -69,6 +73,7 @@ impl Default for PgoOptions {
             icache_line_words: 8,
             hot_freq: 0.05,
             model: PipelineModel::default(),
+            validate: false,
         }
     }
 }
@@ -105,6 +110,12 @@ pub enum Skip {
         /// Name of the offending symbol.
         name: String,
     },
+    /// The translation validator could not prove the finished rewrite
+    /// equivalent to the original (only with [`PgoOptions::validate`]).
+    ValidationFailed {
+        /// Error-severity findings in the validator's report.
+        errors: usize,
+    },
 }
 
 impl std::fmt::Display for Skip {
@@ -123,6 +134,9 @@ impl std::fmt::Display for Skip {
                 write!(f, "bad call-address unit near word {word}")
             }
             Skip::BadSymbol { name } => write!(f, "bad symbol {name}"),
+            Skip::ValidationFailed { errors } => {
+                write!(f, "translation validation failed with {errors} error(s)")
+            }
         }
     }
 }
@@ -654,11 +668,17 @@ pub fn optimize(
                     .iter()
                     .map(|it| item_insn(it, &insns, &patches))
                     .collect();
+                // The block head stays pinned: incoming branches are
+                // retargeted at the *mapped* head word, so letting it
+                // drift would land them mid-block.
                 let movable: Vec<bool> = blk
                     .items
                     .iter()
                     .zip(&bi)
-                    .map(|(it, insn)| matches!(it, Item::Old(_)) && !insn.is_control())
+                    .enumerate()
+                    .map(|(k, (it, insn))| {
+                        k > 0 && matches!(it, Item::Old(_)) && !insn.is_control()
+                    })
                     .collect();
                 if let Some(perm) =
                     sched::reschedule(&opts.model, u64::from(blk.start_pos), &bi, &movable)
@@ -774,8 +794,24 @@ pub fn optimize(
     symbols.sort_by_key(|s| s.offset);
 
     report.new_words = total as usize;
+    let new_image = Image::new(new_name, words, symbols);
+    if opts.validate {
+        let tv = dcpi_check::tv::validate_with(
+            image,
+            &new_image,
+            &map,
+            &dcpi_check::tv::TvOptions {
+                code_base: opts.code_base,
+            },
+        );
+        let errors = tv.report.errors();
+        if errors > 0 {
+            return Err(Skip::ValidationFailed { errors });
+        }
+        report.validated = true;
+    }
     Ok(Rewritten {
-        image: Image::new(new_name, words, symbols),
+        image: new_image,
         map,
         report,
     })

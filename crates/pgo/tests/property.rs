@@ -158,8 +158,13 @@ fn random_cfgs_survive_rewrite_with_identical_results() {
         let image = random_program(seed);
         let mut rng = CartaRng::new(seed.wrapping_mul(7919));
         let est = random_estimates(&image, &mut rng);
-        let r = optimize(&image, &est, &PgoOptions::default())
+        let opts = PgoOptions {
+            validate: true,
+            ..PgoOptions::default()
+        };
+        let r = optimize(&image, &est, &opts)
             .unwrap_or_else(|s| panic!("seed {seed}: unexpected skip: {s}"));
+        assert!(r.report.validated, "seed {seed}");
         assert!(r.map.check_bijective().is_ok(), "seed {seed}");
         assert!(
             r.image.decode_all().is_ok(),
@@ -170,6 +175,12 @@ fn random_cfgs_survive_rewrite_with_identical_results() {
             audit.is_clean(),
             "seed {seed}: audit found problems:\n{}",
             audit.render()
+        );
+        let tv = dcpi_check::tv::validate(&image, &r.image, &r.map);
+        assert!(
+            tv.is_clean(),
+            "seed {seed}: translation validation failed:\n{}",
+            tv.render()
         );
         assert_equivalent(image, r.image, &r.map);
     }

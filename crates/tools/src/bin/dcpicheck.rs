@@ -16,33 +16,60 @@
 //! targets must follow the map onto live words, and unmapped words must
 //! be inert padding or glue.
 //!
-//! All forms exit nonzero when any error-severity diagnostic is found.
+//! `dcpicheck dataflow <image>` — run only the dataflow lint family over
+//! one serialized image: dead stores, uninitialized reads, constant
+//! branches, and stack-discipline violations.
+//!
+//! `dcpicheck tv <old.img> <new.img> <map.json>` — translation
+//! validation: symbolically prove the rewrite equivalent to the
+//! original, segment by segment, without executing either image.
+//!
+//! A trailing `--json` switches any form to machine-readable output.
+//! All forms exit 0 when clean, 1 when any error-severity diagnostic is
+//! found, and 2 on usage errors.
 
 use dcpi_check::{CheckConfig, ObsCheckConfig};
-use dcpi_tools::{dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report, load_db};
+use dcpi_tools::{
+    dcpicheck_dataflow, dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report, dcpicheck_tv,
+    load_db,
+};
+
+const USAGE: &str = "usage: dcpicheck <db-dir> | dcpicheck db <db-dir> | dcpicheck obs <obs.json> \
+     | dcpicheck pgo <old.img> <new.img> <map.json> | dcpicheck dataflow <image> \
+     | dcpicheck tv <old.img> <new.img> <map.json>  [--json]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    // `tv` carries per-segment tallies alongside the report.
+    let mut tv_tallies: Option<(usize, usize)> = None;
     let report = match (args.get(1).map(String::as_str), args.get(2)) {
         (Some("db"), Some(dir)) => dcpicheck_db(std::path::Path::new(dir)),
         (Some("obs"), Some(path)) => {
             dcpicheck_obs(std::path::Path::new(path), &ObsCheckConfig::default())
         }
-        (Some("pgo"), Some(old)) => {
+        (Some("dataflow"), Some(path)) => dcpicheck_dataflow(std::path::Path::new(path)),
+        (Some(cmd @ ("pgo" | "tv")), Some(old)) => {
             let (Some(new), Some(map)) = (args.get(3), args.get(4)) else {
-                eprintln!("usage: dcpicheck pgo <old.img> <new.img> <map.json>");
+                eprintln!("usage: dcpicheck {cmd} <old.img> <new.img> <map.json>");
                 std::process::exit(2);
             };
-            dcpicheck_pgo(
+            let (old, new, map) = (
                 std::path::Path::new(old),
                 std::path::Path::new(new),
                 std::path::Path::new(map),
-            )
-        }
-        (Some("db" | "obs" | "pgo"), None) | (None, _) => {
-            eprintln!(
-                "usage: dcpicheck <db-dir> | dcpicheck db <db-dir> | dcpicheck obs <obs.json> | dcpicheck pgo <old.img> <new.img> <map.json>"
             );
+            if cmd == "pgo" {
+                dcpicheck_pgo(old, new, map)
+            } else {
+                let res = dcpicheck_tv(old, new, map);
+                tv_tallies = Some((res.proved, res.segments));
+                res.report
+            }
+        }
+        (Some("db" | "obs" | "pgo" | "dataflow" | "tv"), None) | (None, _) => {
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
         (Some(dir), _) => {
@@ -63,7 +90,22 @@ fn main() {
             }
         }
     };
-    print!("{}", report.render());
+    if json {
+        let mut out = report.to_json();
+        if let Some((proved, segments)) = tv_tallies {
+            out = out.replacen(
+                "\"schema\": 1,",
+                &format!("\"schema\": 1,\n  \"segments\": {segments},\n  \"proved\": {proved},"),
+                1,
+            );
+        }
+        print!("{out}");
+    } else {
+        if let Some((proved, segments)) = tv_tallies {
+            println!("dcpicheck tv: proved {proved}/{segments} segment(s)");
+        }
+        print!("{}", report.render());
+    }
     if !report.is_clean() {
         std::process::exit(1);
     }

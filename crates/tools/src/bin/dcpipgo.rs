@@ -14,7 +14,8 @@
 //! * `--json` — print the delta JSON instead of the report.
 //!
 //! Exits nonzero when the rewrite is not architecturally equivalent,
-//! the audit finds errors, or the speedup misses the floor.
+//! translation validation did not prove it, the audit finds errors, or
+//! the speedup misses the floor.
 
 use dcpi_tools::dcpipgo::{delta_json, parse_workload, render, write_artifacts};
 use dcpi_workloads::{pgo_workload, RunOptions};
@@ -84,6 +85,10 @@ fn main() {
     }
     if !out.equivalent {
         eprintln!("dcpipgo: rewritten image is NOT architecturally equivalent");
+        std::process::exit(1);
+    }
+    if !out.statically_valid {
+        eprintln!("dcpipgo: translation validation did NOT prove the rewrite");
         std::process::exit(1);
     }
     if !audit.is_clean() {

@@ -226,6 +226,106 @@ pub fn dcpicheck_pgo(old_path: &Path, new_path: &Path, map_path: &Path) -> Repor
     report
 }
 
+/// Runs the dataflow lint family over a serialized image (`dcpicheck
+/// dataflow <image>`): liveness-based dead stores, reaching-definition
+/// uninitialized reads, value-range constant branches, and
+/// stack-discipline violations, per procedure.
+#[must_use]
+pub fn dcpicheck_dataflow(path: &Path) -> Report {
+    let mut report = Report::new();
+    let image = match std::fs::read(path)
+        .map_err(|e| e.to_string())
+        .and_then(|bytes| dcpi_isa::image::Image::from_bytes(&bytes))
+    {
+        Ok(img) => img,
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                Category::Undecodable,
+                path.display().to_string(),
+                None,
+                None,
+                format!("cannot load image: {e}"),
+            );
+            return report;
+        }
+    };
+    for sym in image.symbols() {
+        match dcpi_analyze::cfg::Cfg::build(&image, sym) {
+            Ok(cfg) => dcpi_check::dataflow::check_procedure_dataflow(sym, &cfg, &mut report),
+            Err(e) => report.push(
+                Severity::Error,
+                Category::BlockStructure,
+                &sym.name,
+                Some(sym.offset),
+                None,
+                format!("CFG construction failed: {e}"),
+            ),
+        }
+    }
+    report
+}
+
+/// Statically proves a PGO rewrite equivalent from its on-disk artifacts
+/// (`dcpicheck tv <old.img> <new.img> <map.json>`): the `dcpi-check`
+/// translation validator, with no simulator in the loop. Returns the
+/// per-segment tallies alongside the report.
+#[must_use]
+pub fn dcpicheck_tv(old_path: &Path, new_path: &Path, map_path: &Path) -> dcpi_check::TvResult {
+    let mut report = Report::new();
+    let mut load_image = |path: &Path| -> Option<dcpi_isa::image::Image> {
+        let r = std::fs::read(path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| dcpi_isa::image::Image::from_bytes(&bytes));
+        match r {
+            Ok(img) => Some(img),
+            Err(e) => {
+                report.push(
+                    Severity::Error,
+                    Category::TvStructure,
+                    path.display().to_string(),
+                    None,
+                    None,
+                    format!("cannot load image: {e}"),
+                );
+                None
+            }
+        }
+    };
+    let old = load_image(old_path);
+    let new = load_image(new_path);
+    let map = match std::fs::read_to_string(map_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| dcpi_isa::AddressMap::parse(&text))
+    {
+        Ok(m) => Some(m),
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                Category::TvStructure,
+                map_path.display().to_string(),
+                None,
+                None,
+                format!("cannot load address map: {e}"),
+            );
+            None
+        }
+    };
+    if let (Some(old), Some(new), Some(map)) = (old, new, map) {
+        let mut res =
+            dcpi_check::validate_with(&old, &new, &map, &dcpi_check::TvOptions::default());
+        report.merge(std::mem::replace(&mut res.report, Report::new()));
+        res.report = report;
+        res
+    } else {
+        dcpi_check::TvResult {
+            report,
+            segments: 0,
+            proved: 0,
+        }
+    }
+}
+
 /// One epoch directory: decode every `.prof`, flag stale `.tmp` and
 /// quarantined files, and collect the image ids seen in filenames.
 fn audit_epoch_dir(dir: &Path, report: &mut Report, profiled_images: &mut BTreeSet<u32>) {

@@ -38,6 +38,9 @@ pub fn delta_json(out: &PgoOutcome) -> String {
     let _ = writeln!(s, "  \"opt_cycles\": {},", out.opt_cycles);
     let _ = writeln!(s, "  \"speedup_pct\": {:.4},", out.speedup_pct());
     let _ = writeln!(s, "  \"equivalent\": {},", out.equivalent);
+    let _ = writeln!(s, "  \"statically_valid\": {},", out.statically_valid);
+    let _ = writeln!(s, "  \"tv_segments\": {},", out.tv_segments);
+    let _ = writeln!(s, "  \"tv_proved\": {},", out.tv_proved);
     let _ = writeln!(s, "  \"procs_laid_out\": {},", r.procs_laid_out);
     let _ = writeln!(s, "  \"packed\": {},", r.packed);
     let _ = writeln!(s, "  \"blocks_moved\": {},", r.blocks_moved);
@@ -94,8 +97,11 @@ pub fn render(out: &PgoOutcome, audit: &Report) -> String {
     );
     let _ = writeln!(
         s,
-        "equivalent: {}; audit: {} error(s), {} warning(s)",
+        "equivalent: {}; statically valid: {} ({}/{} segments); audit: {} error(s), {} warning(s)",
         out.equivalent,
+        out.statically_valid,
+        out.tv_proved,
+        out.tv_segments,
         audit.errors(),
         audit.warnings(),
     );
@@ -137,6 +143,9 @@ mod tests {
             base_cycles: 1000,
             opt_cycles: 950,
             equivalent: true,
+            statically_valid: true,
+            tv_segments: 4,
+            tv_proved: 4,
         }
     }
 
@@ -153,6 +162,8 @@ mod tests {
         let j = delta_json(&fake_outcome());
         assert!(j.contains("\"speedup_pct\": 5.0000"));
         assert!(j.contains("\"equivalent\": true"));
+        assert!(j.contains("\"statically_valid\": true"));
+        assert!(j.contains("\"tv_segments\": 4") && j.contains("\"tv_proved\": 4"));
         assert!(
             !j.contains("mcycles_per_s"),
             "delta rows must not look like throughput baselines"

@@ -48,7 +48,10 @@ pub mod registry;
 pub use dbload::{find_procedure, load_db, LoadedDb};
 pub use dcpicalc::dcpicalc;
 pub use dcpicfg::dcpicfg;
-pub use dcpicheck::{dcpicheck, dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report};
+pub use dcpicheck::{
+    dcpicheck, dcpicheck_dataflow, dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report,
+    dcpicheck_tv,
+};
 pub use dcpidiff::{dcpidiff, dcpidiff_pgo, pgo_side, PgoSide};
 pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
 pub use dcpistat::dcpistat;

@@ -214,6 +214,123 @@ fn cli_binaries_work_on_a_real_database() {
     }
 }
 
+/// Builds the cli_app text (optionally with one corrupted instruction)
+/// for the static-analysis CLI tests.
+fn static_app(corrupt: bool) -> dcpi_isa::image::Image {
+    let mut a = Asm::new("/bin/static_app");
+    a.proc("hot_loop");
+    a.mov(Reg::A1, Reg::T0);
+    let top = a.here();
+    a.ldq(Reg::T4, 0, Reg::T1);
+    if corrupt {
+        a.subq(Reg::T4, Reg::V0, Reg::V0);
+    } else {
+        a.addq(Reg::T4, Reg::V0, Reg::V0);
+    }
+    a.lda(Reg::T1, 64, Reg::T1);
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bne(Reg::T0, top);
+    a.ret(Reg::RA);
+    a.finish()
+}
+
+#[test]
+fn static_analysis_cli_works_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("dcpi-static-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let put = |name: &str, bytes: Vec<u8>| {
+        let p = dir.join(name);
+        std::fs::write(&p, bytes).unwrap();
+        p
+    };
+
+    let old = static_app(false);
+    let app = put("app.img", old.to_bytes());
+    let app_arg = app.to_str().unwrap();
+
+    // dcpicheck dataflow audits the image's procedures clean.
+    let out = bin("dcpicheck")
+        .args(["dataflow", app_arg])
+        .output()
+        .expect("run dcpicheck dataflow");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+
+    // ... and --json emits the machine-readable report.
+    let out = bin("dcpicheck")
+        .args(["dataflow", app_arg, "--json"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("\"schema\": 1"), "{text}");
+    assert!(text.contains("\"errors\": 0"), "{text}");
+
+    // A file that is not an image exits nonzero.
+    let bogus = put("bogus.img", b"not an image".to_vec());
+    let out = bin("dcpicheck")
+        .args(["dataflow", bogus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // dcpicheck tv proves an identity rewrite segment by segment.
+    let new = dcpi_isa::image::Image::new(
+        "/bin/static_app.pgo".into(),
+        old.words().to_vec(),
+        old.symbols().to_vec(),
+    );
+    let map = dcpi_isa::AddressMap::identity(old.name(), new.name(), old.words().len());
+    let new_path = put("new.img", new.to_bytes());
+    let map_path = put("map.json", map.to_json().into_bytes());
+    let (new_arg, map_arg) = (new_path.to_str().unwrap(), map_path.to_str().unwrap());
+    let out = bin("dcpicheck")
+        .args(["tv", app_arg, new_arg, map_arg])
+        .output()
+        .expect("run dcpicheck tv");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("proved"), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+
+    // --json carries the per-segment tallies.
+    let out = bin("dcpicheck")
+        .args(["tv", app_arg, new_arg, map_arg, "--json"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("\"segments\": "), "{text}");
+    assert!(text.contains("\"proved\": "), "{text}");
+
+    // A rewrite whose mapped instruction computes something else is
+    // rejected with a state divergence.
+    let corrupted = static_app(true);
+    let corrupted = dcpi_isa::image::Image::new(
+        "/bin/static_app.pgo".into(),
+        corrupted.words().to_vec(),
+        corrupted.symbols().to_vec(),
+    );
+    let corrupt_path = put("corrupt.img", corrupted.to_bytes());
+    let out = bin("dcpicheck")
+        .args(["tv", app_arg, corrupt_path.to_str().unwrap(), map_arg])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{text}");
+    assert!(text.contains("tv-"), "{text}");
+
+    // Usage errors exit 2.
+    let out = bin("dcpicheck").args(["tv", app_arg]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin("dcpicheck").arg("dataflow").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn obs_cli_binaries_work_on_a_real_export() {
     let dir = std::env::temp_dir().join(format!("dcpi-obs-cli-test-{}", std::process::id()));

@@ -15,6 +15,11 @@
 //! * **speedup** — the rewritten image completes in fewer simulated
 //!   cycles, which is end-to-end evidence that the analyzer's frequency
 //!   and culprit estimates describe the machine accurately.
+//!
+//! The rewrite is additionally *statically validated*: `dcpi-check`'s
+//! translation validator proves equivalence symbolically before the
+//! re-measurement runs, so the dynamic count comparison cross-checks a
+//! proof rather than standing alone.
 
 use crate::driver::{run_workload, spawn_with, ProfConfig, RunOptions, Workload};
 use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions, ProcAnalysis};
@@ -89,6 +94,13 @@ pub struct PgoOutcome {
     /// True when every old instruction's retirement count is preserved
     /// through the address map.
     pub equivalent: bool,
+    /// True when the translation validator proved the rewrite without
+    /// running it (it ran inside `optimize`; a failure is a skip).
+    pub statically_valid: bool,
+    /// Old-text segments the validator examined.
+    pub tv_segments: usize,
+    /// Segments whose equivalence proof went through.
+    pub tv_proved: usize,
 }
 
 impl PgoOutcome {
@@ -217,9 +229,22 @@ pub fn pgo_workload(
     let popts = PgoOptions {
         code_base: MAIN_BASE.0,
         external_floor: KERNEL_BASE.0,
+        validate: true,
         ..PgoOptions::default()
     };
     let rw = optimize(image, &parsed, &popts).map_err(PgoError::Skip)?;
+    // Re-run the validator standalone for the per-segment tallies the
+    // outcome reports (optimize only keeps the verdict).
+    let tv = dcpi_check::tv::validate_with(
+        image,
+        &rw.image,
+        &rw.map,
+        &dcpi_check::tv::TvOptions {
+            code_base: MAIN_BASE.0,
+        },
+    );
+
+    let statically_valid = rw.report.validated && tv.report.is_clean();
 
     let base = measure(w, opts, Some(image), image.name(), "base")?;
     let opt = measure(w, opts, Some(&rw.image), rw.image.name(), "optimized")?;
@@ -237,6 +262,9 @@ pub fn pgo_workload(
         base_cycles: base.cycles,
         opt_cycles: opt.cycles,
         equivalent,
+        statically_valid,
+        tv_segments: tv.segments,
+        tv_proved: tv.proved,
     })
 }
 
@@ -257,6 +285,9 @@ mod tests {
     fn gcc_pgo_is_equivalent_and_faster() {
         let out = pgo_workload(Workload::Gcc, &quick_opts(), 25).expect("pgo harness");
         assert!(out.equivalent, "rewrite must preserve architecture");
+        assert!(out.statically_valid, "validator must prove the rewrite");
+        assert_eq!(out.tv_proved, out.tv_segments);
+        assert!(out.tv_segments > 0);
         assert!(
             out.speedup_pct() > 0.0,
             "expected a speedup, got {:.2}% ({} -> {} cycles)\n{}",
