@@ -15,10 +15,20 @@
 //! nothing when no `FaultPlan` is armed.
 
 use dcpi_bench::{parse_baseline, run_merged, ExpOptions, ACCURACY_PERIOD};
+use dcpi_isa::meta::side_table;
+use dcpi_isa::pipeline::PipelineModel;
+use dcpi_isa::uop::{chain_length_histogram, compile_uops};
+use dcpi_machine::DispatchStats;
 use dcpi_workloads::programs::StreamKind;
 use dcpi_workloads::{pgo_workload, run_workload, ProfConfig, RunOptions, Workload};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Timed repetitions per workload row. Simulated output is deterministic,
+/// so repetitions differ only by wall-clock noise; the minimum is the
+/// best estimator of the true cost.
+const REPS: u32 = 3;
 
 struct WorkloadRow {
     name: &'static str,
@@ -27,6 +37,14 @@ struct WorkloadRow {
     samples: u64,
     retired: u64,
     wall_s: f64,
+}
+
+struct DispatchRow {
+    name: &'static str,
+    stats: DispatchStats,
+    /// Static superblock-length histogram over the workload's images:
+    /// `length -> number of chains`, from the compiled uop tables.
+    hist: BTreeMap<usize, u64>,
 }
 
 struct ExperimentRow {
@@ -75,6 +93,7 @@ fn main() {
         (Workload::Wave5, "wave5", 4),
     ];
     let mut rows = Vec::new();
+    let mut dispatch_rows = Vec::new();
     for (w, name, scale) in suite {
         let scale = (scale / div).max(1) * opts.scale;
         let ro = RunOptions {
@@ -83,14 +102,45 @@ fn main() {
             seed: opts.seed,
             ..RunOptions::default()
         };
-        let t = Instant::now();
-        let r = run_workload(w, ProfConfig::Cycles, &ro);
-        let wall_s = t.elapsed().as_secs_f64();
+        // Best of `REPS` timed repetitions; the outputs must agree, so a
+        // divergence here means the simulator lost determinism.
+        let mut wall_s = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let r = run_workload(w, ProfConfig::Cycles, &ro);
+            wall_s = wall_s.min(t.elapsed().as_secs_f64());
+            if let Some(prev) = &last {
+                let prev: &dcpi_workloads::RunResult = prev;
+                assert_eq!(
+                    (prev.cycles, prev.samples, prev.retired),
+                    (r.cycles, r.samples, r.retired),
+                    "{name}: repetitions diverged — simulator is nondeterministic"
+                );
+            }
+            last = Some(r);
+        }
+        let r = last.expect("at least one repetition");
         println!(
-            "{name:<18} scale {scale}: {} cycles in {wall_s:.2}s = {:.1}M cyc/s",
+            "{name:<18} scale {scale}: {} cycles in {wall_s:.2}s = {:.1}M cyc/s (best of {REPS})",
             r.cycles,
             r.cycles as f64 / wall_s / 1e6
         );
+        // Static superblock-length histogram over the workload's images,
+        // plus the run's dynamic dispatch-path accounting.
+        let mut hist = BTreeMap::new();
+        for (_, image) in &r.images {
+            let insns = image.decode_all().expect("image text must decode");
+            let meta = side_table(&insns, &PipelineModel::default());
+            for (len, n) in chain_length_histogram(&compile_uops(&insns, &meta)) {
+                *hist.entry(len).or_insert(0) += n;
+            }
+        }
+        dispatch_rows.push(DispatchRow {
+            name,
+            stats: r.dispatch,
+            hist,
+        });
         rows.push(WorkloadRow {
             name,
             scale,
@@ -100,6 +150,25 @@ fn main() {
             wall_s,
         });
     }
+    // Aggregate `speedtest` row: suite totals under one name, with
+    // `mcycles_per_s`, so `--check` guards whole-suite throughput even if
+    // individual rows drift in opposite directions.
+    let speedtest = WorkloadRow {
+        name: "speedtest",
+        scale: 0,
+        cycles: rows.iter().map(|r| r.cycles).sum(),
+        samples: rows.iter().map(|r| r.samples).sum(),
+        retired: rows.iter().map(|r| r.retired).sum(),
+        wall_s: rows.iter().map(|r| r.wall_s).sum(),
+    };
+    println!(
+        "{:<18} suite:   {} cycles in {:.2}s = {:.1}M cyc/s",
+        speedtest.name,
+        speedtest.cycles,
+        speedtest.wall_s,
+        speedtest.cycles as f64 / speedtest.wall_s / 1e6
+    );
+    rows.push(speedtest);
 
     // The §5.2 overhead ledger: the same workloads re-run at the paper's
     // default 60K-64K sampling period (the speed suite's dense 20K period
@@ -256,6 +325,23 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
+    // Per-workload dispatch accounting, uploaded by CI alongside the perf
+    // baseline: how long the precompiled chains are and how often the
+    // walker fell back to classic dispatch.
+    for d in &dispatch_rows {
+        println!(
+            "dispatch {:<18} {} chain groups, {} classic, fallback {:.4}",
+            d.name,
+            d.stats.chain_groups,
+            d.stats.classic_groups,
+            d.stats.fallback_rate()
+        );
+    }
+    let dpath = "BENCH_dispatch.json";
+    match std::fs::write(dpath, render_dispatch_json(&dispatch_rows)) {
+        Ok(()) => println!("wrote {dpath}"),
+        Err(e) => eprintln!("warning: could not write {dpath}: {e}"),
+    }
     if opts.check && !check_against_baseline(&rows, baseline.as_deref()) {
         std::process::exit(1);
     }
@@ -289,6 +375,38 @@ fn check_against_baseline(rows: &[WorkloadRow], baseline: Option<&str>) -> bool 
         }
     }
     ok
+}
+
+/// Renders `BENCH_dispatch.json`: per-workload dynamic dispatch-path
+/// accounting plus the static chain-length histogram of the workload's
+/// images (`"histogram"` maps chain length to number of chains).
+fn render_dispatch_json(rows: &[DispatchRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let hist = r
+            .hist
+            .iter()
+            .map(|(len, n)| format!("\"{len}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"chain_groups\": {}, \"classic_groups\": {}, \
+             \"chain_entries\": {}, \"fallback_rate\": {:.6}, \"histogram\": {{{hist}}}}}{comma}",
+            r.name,
+            r.stats.chain_groups,
+            r.stats.classic_groups,
+            r.stats.chain_entries,
+            r.stats.fallback_rate()
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = write!(s, "}}");
+    s
 }
 
 fn render_json(

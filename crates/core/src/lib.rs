@@ -21,10 +21,12 @@ pub mod codec;
 pub mod db;
 pub mod error;
 pub mod fsfault;
+pub mod hash;
 pub mod prng;
 pub mod profile;
 pub mod types;
 
 pub use error::{Error, Result};
+pub use hash::{FastMap, FastSet};
 pub use profile::{EdgeProfiles, PathProfiles, Profile, ProfileKey, ProfileSet};
 pub use types::{Addr, CpuId, Event, ImageId, Pid, Sample, SampleEntry, UNKNOWN_IMAGE};

@@ -17,6 +17,7 @@ pub mod meta;
 pub mod pipeline;
 pub mod reg;
 pub mod rewrite;
+pub mod uop;
 
 pub use asm::Asm;
 pub use image::{Image, Symbol};
@@ -25,3 +26,4 @@ pub use meta::InsnMeta;
 pub use pipeline::{BlockSchedule, InsnClass, Pipe, PipelineModel, StaticCause};
 pub use reg::Reg;
 pub use rewrite::AddressMap;
+pub use uop::{compile_uops, Uop, UopKind};

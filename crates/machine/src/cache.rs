@@ -94,6 +94,30 @@ impl Cache {
         Probe::Miss
     }
 
+    /// Records a hit for a line the caller has proven is at the MRU
+    /// position of its set (because the immediately preceding access to
+    /// this cache touched the same line). In that case `access` would
+    /// find the line at LRU position 0 and `rotate_right` over a
+    /// single-element prefix — a no-op — so bumping the hit counter is
+    /// the *entire* observable effect. The superblock dispatch loop uses
+    /// this to coalesce straight-line runs that stay within one line.
+    pub fn hit_mru(&mut self, paddr: u64) {
+        let _ = paddr;
+        #[cfg(debug_assertions)]
+        {
+            let line = paddr >> self.line_shift;
+            let set = (line as usize) & (self.sets - 1);
+            let base = set * self.ways;
+            let mru = self.lru[base] as usize;
+            debug_assert_eq!(
+                self.tags[base + mru],
+                Some(line),
+                "hit_mru caller invariant: line must be MRU in its set"
+            );
+        }
+        self.hits += 1;
+    }
+
     /// Probes without filling or updating statistics (used by analysis
     /// tooling and tests).
     #[must_use]
@@ -206,5 +230,26 @@ mod tests {
     #[should_panic(expected = "bad geometry")]
     fn bad_geometry_panics() {
         let _ = Cache::new(100, 64, 2);
+    }
+
+    #[test]
+    fn hit_mru_is_equivalent_to_access_for_mru_line() {
+        let mut a = Cache::new(8192, 64, 2);
+        let _ = a.access(0x1000);
+        let _ = a.access(0x2040);
+        let mut b = a.clone();
+        // 0x2040's line was the last one touched, so it is MRU in its set.
+        a.hit_mru(0x2044);
+        assert_eq!(b.access(0x2044), Probe::Hit);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "full state identical");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "hit_mru caller invariant")]
+    fn hit_mru_rejects_non_mru_line() {
+        let mut c = Cache::new(8192, 64, 2);
+        let _ = c.access(0x1000);
+        c.hit_mru(0x2040);
     }
 }

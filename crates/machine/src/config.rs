@@ -3,6 +3,22 @@
 use crate::counters::CounterConfig;
 use dcpi_isa::pipeline::PipelineModel;
 
+/// How the execution core dispatches instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// One issue group at a time through the generic `Instruction` match
+    /// (the reference path; every fast path is validated against it).
+    Classic,
+    /// Superblock threaded dispatch: precompiled per-image handler chains
+    /// walked in straight-line runs, with memoized cache/TLB fast paths.
+    /// Produces bit-identical outputs to `Classic` (the parity suite and
+    /// the golden-triple determinism tests are the oracle); falls back to
+    /// the classic path at `call_pal` boundaries and whenever the page
+    /// size is not a power of two.
+    #[default]
+    Superblock,
+}
+
 /// Geometry of one cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheGeom {
@@ -59,6 +75,10 @@ pub struct MachineConfig {
     /// the next PC executed, yielding `(pc1, pc2)` path samples. 0
     /// disables.
     pub double_sample_every: u32,
+    /// Instruction dispatch strategy. `Superblock` (the default) and
+    /// `Classic` produce bit-identical outputs at the same seed; the
+    /// toggle exists for the parity suite and for bisecting.
+    pub dispatch: DispatchMode,
 }
 
 impl Default for MachineConfig {
@@ -92,6 +112,7 @@ impl Default for MachineConfig {
             page_alloc_random: false,
             ground_truth: true,
             double_sample_every: 0,
+            dispatch: DispatchMode::default(),
         }
     }
 }
@@ -128,5 +149,10 @@ mod tests {
         let c = MachineConfig::with_counters(crate::counters::CounterConfig::off());
         assert!(!c.counters.enabled());
         assert_eq!(c.cpus, 1);
+    }
+
+    #[test]
+    fn superblock_dispatch_is_the_default() {
+        assert_eq!(MachineConfig::default().dispatch, DispatchMode::Superblock);
     }
 }

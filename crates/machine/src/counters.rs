@@ -175,6 +175,16 @@ impl CounterSet {
         self.group
     }
 
+    /// The earliest cycle at which [`CounterSet::advance_cycles`] has any
+    /// effect (the next CYCLES overflow or multiplex rotation);
+    /// `u64::MAX` when neither is armed. The dispatch loops use this to
+    /// skip the per-group drain entirely between overflows.
+    #[inline]
+    #[must_use]
+    pub fn next_event_cycle(&self) -> u64 {
+        self.cycles_next.min(self.next_rotate)
+    }
+
     /// Advances the cycle counter to `now`, collecting any CYCLES
     /// overflows that occurred in `(prev, now]` and applying multiplex
     /// rotations.

@@ -15,6 +15,7 @@ use crate::branch::BranchPredictor;
 use crate::cache::{Cache, Probe};
 use crate::config::MachineConfig;
 use crate::counters::{CounterSet, Overflow};
+use crate::dispatch::DispatchStats;
 use crate::os::Os;
 use crate::proc::Process;
 use crate::stats::GroundTruth;
@@ -24,12 +25,13 @@ use dcpi_isa::insn::{Instruction, PalFunc, RegOrLit};
 use dcpi_isa::meta::InsnMeta;
 use dcpi_isa::pipeline::{pipes_compatible, InsnClass};
 use dcpi_isa::reg::Reg;
+use dcpi_isa::uop::Uop;
 use dcpi_obs::{Component, Counter, Obs};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Cycles charged for the kernel side of a `call_pal syscall`.
-const SYSCALL_COST: u64 = 600;
+pub(crate) const SYSCALL_COST: u64 = 600;
 
 /// Receives performance-counter overflow samples (the role of the device
 /// driver's interrupt handler). Returns the handler's cost in cycles,
@@ -99,15 +101,22 @@ const NO_VPAGE: u64 = u64::MAX;
 pub struct RunningProc {
     /// The process being executed.
     pub proc: Process,
-    cur_base: u64,
-    cur_end: u64,
-    cur_image: ImageId,
-    cur_insns: Arc<Vec<Instruction>>,
-    cur_meta: Arc<Vec<InsnMeta>>,
-    fetch_vpage: u64,
-    fetch_pbase: u64,
-    data_vpage: u64,
-    data_pbase: u64,
+    pub(crate) cur_base: u64,
+    pub(crate) cur_end: u64,
+    pub(crate) cur_image: ImageId,
+    pub(crate) cur_insns: Arc<Vec<Instruction>>,
+    pub(crate) cur_meta: Arc<Vec<InsnMeta>>,
+    /// Precompiled handler chain of the current image (positional with
+    /// `cur_insns`), walked by superblock dispatch.
+    pub(crate) cur_uops: Arc<Vec<Uop>>,
+    /// OS image epoch the caches above were refreshed at; a mismatch
+    /// (image hot-swapped via `Os::replace_image`) forces a refresh so no
+    /// stale decoded metadata or handler chain ever executes.
+    pub(crate) seen_epoch: u64,
+    pub(crate) fetch_vpage: u64,
+    pub(crate) fetch_pbase: u64,
+    pub(crate) data_vpage: u64,
+    pub(crate) data_pbase: u64,
 }
 
 impl RunningProc {
@@ -119,6 +128,8 @@ impl RunningProc {
             cur_image: ImageId(u32::MAX),
             cur_insns: Arc::new(Vec::new()),
             cur_meta: Arc::new(Vec::new()),
+            cur_uops: Arc::new(Vec::new()),
+            seen_epoch: u64::MAX,
             fetch_vpage: NO_VPAGE,
             fetch_pbase: 0,
             data_vpage: NO_VPAGE,
@@ -128,8 +139,8 @@ impl RunningProc {
 
     /// Resolves `pc` to `(image, word index within image)`, refreshing the
     /// mapping cache from the OS if needed.
-    fn lookup(&mut self, os: &Os, pc: Addr) -> Option<(ImageId, u32)> {
-        if pc.0 < self.cur_base || pc.0 >= self.cur_end {
+    pub(crate) fn lookup(&mut self, os: &Os, pc: Addr) -> Option<(ImageId, u32)> {
+        if pc.0 < self.cur_base || pc.0 >= self.cur_end || self.seen_epoch != os.epoch() {
             let m = self.proc.mapping_at(pc)?;
             let li = os.image(m.image)?;
             self.cur_base = m.base.0;
@@ -137,6 +148,8 @@ impl RunningProc {
             self.cur_image = m.image;
             self.cur_insns = Arc::clone(&li.insns);
             self.cur_meta = Arc::clone(&li.meta);
+            self.cur_uops = Arc::clone(&li.uops);
+            self.seen_epoch = os.epoch();
         }
         Some((self.cur_image, ((pc.0 - self.cur_base) / 4) as u32))
     }
@@ -165,6 +178,44 @@ impl RunningProc {
         }
         self.data_pbase + off
     }
+
+    /// Power-of-two-page variant of [`RunningProc::translate_fetch`] for
+    /// the superblock dispatch loop (`page_bytes == 1 << shift`, `mask ==
+    /// page_bytes - 1`): value-identical, shift/mask instead of div/mod.
+    #[inline]
+    pub(crate) fn translate_fetch_p2(
+        &mut self,
+        os: &mut Os,
+        vaddr: u64,
+        shift: u32,
+        mask: u64,
+    ) -> u64 {
+        let vpage = vaddr >> shift;
+        let off = vaddr & mask;
+        if vpage != self.fetch_vpage {
+            self.fetch_pbase = os.translate(&mut self.proc, vaddr) - off;
+            self.fetch_vpage = vpage;
+        }
+        self.fetch_pbase + off
+    }
+
+    /// Power-of-two-page variant of [`RunningProc::translate_data`].
+    #[inline]
+    pub(crate) fn translate_data_p2(
+        &mut self,
+        os: &mut Os,
+        vaddr: u64,
+        shift: u32,
+        mask: u64,
+    ) -> u64 {
+        let vpage = vaddr >> shift;
+        let off = vaddr & mask;
+        if vpage != self.data_vpage {
+            self.data_pbase = os.translate(&mut self.proc, vaddr) - off;
+            self.data_vpage = vpage;
+        }
+        self.data_pbase + off
+    }
 }
 
 /// All architectural and micro-architectural state of one processor.
@@ -180,10 +231,10 @@ pub struct CpuState {
     /// Earliest cycle the next instruction can issue due to fetch
     /// redirects (branch mispredictions).
     pub fetch_ready: u64,
-    ready: [u64; Reg::COUNT],
-    imul_free: u64,
-    fdiv_free: u64,
-    wb: VecDeque<u64>,
+    pub(crate) ready: [u64; Reg::COUNT],
+    pub(crate) imul_free: u64,
+    pub(crate) fdiv_free: u64,
+    pub(crate) wb: VecDeque<u64>,
     /// L1 instruction cache.
     pub icache: Cache,
     /// L1 data cache.
@@ -198,11 +249,11 @@ pub struct CpuState {
     pub bp: BranchPredictor,
     /// Performance counters.
     pub counters: CounterSet,
-    pending: Vec<(u64, Event)>,
-    overflow_scratch: Vec<Overflow>,
+    pub(crate) pending: Vec<(u64, Event)>,
+    pub(crate) overflow_scratch: Vec<Overflow>,
     /// Armed second-sample state: `(pid, pc1)` captured at the last
     /// delivery, resolved against the next executed PC.
-    double_armed: Option<(Pid, Addr)>,
+    pub(crate) double_armed: Option<(Pid, Addr)>,
     double_countdown: u32,
     /// The installed process, if any.
     pub current: Option<RunningProc>,
@@ -217,6 +268,9 @@ pub struct CpuState {
     pub insns_retired: u64,
     /// Issue groups where two instructions dual-issued.
     pub dual_issues: u64,
+    /// Dispatch-path accounting (chain vs classic groups, chain entries).
+    /// Pure telemetry: never read by the simulation itself.
+    pub dstats: DispatchStats,
     /// Observability handle (disabled by default: every probe is a single
     /// `AtomicBool` load + branch, off the `step_inner` path entirely).
     pub obs: Obs,
@@ -261,6 +315,7 @@ impl CpuState {
             handler_cycles: 0,
             insns_retired: 0,
             dual_issues: 0,
+            dstats: DispatchStats::default(),
             obs: Obs::disabled(),
             obs_samples: Counter::default(),
             obs_handler: Counter::default(),
@@ -350,7 +405,7 @@ pub fn step<S: SampleSink>(
     outcome
 }
 
-fn step_inner<S: SampleSink>(
+pub(crate) fn step_inner<S: SampleSink>(
     cpu: &mut CpuState,
     run: &mut RunningProc,
     os: &mut Os,
@@ -486,13 +541,17 @@ fn step_inner<S: SampleSink>(
     };
 
     // --- counters and sampling ----------------------------------------------
-    let mut scratch = std::mem::take(&mut cpu.overflow_scratch);
-    cpu.counters.advance_cycles(issue, &mut scratch);
-    for o in scratch.drain(..) {
-        cpu.pending
-            .push((o.at_cycle + model.interrupt_skid, o.event));
+    // Before the next CYCLES overflow / mux rotation, and with no discrete
+    // overflows collected this group, the drain below is a provable no-op.
+    if issue >= cpu.counters.next_event_cycle() || !cpu.overflow_scratch.is_empty() {
+        let mut scratch = std::mem::take(&mut cpu.overflow_scratch);
+        cpu.counters.advance_cycles(issue, &mut scratch);
+        for o in scratch.drain(..) {
+            cpu.pending
+                .push((o.at_cycle + model.interrupt_skid, o.event));
+        }
+        cpu.overflow_scratch = scratch;
     }
-    cpu.overflow_scratch = scratch;
     if !cpu.pending.is_empty() {
         deliver_due(
             cpu,
@@ -506,6 +565,7 @@ fn step_inner<S: SampleSink>(
     }
 
     cpu.prev_issue = issue;
+    cpu.dstats.classic_groups += 1;
 
     match next {
         Next::Halt => Outcome::Halted,
@@ -521,7 +581,7 @@ fn step_inner<S: SampleSink>(
 /// Delivers pending interrupts due by `issue`, attributing the sample to
 /// the instruction currently at the head of the issue queue (`head_pc`).
 #[allow(clippy::too_many_arguments)]
-fn deliver_due<S: SampleSink>(
+pub(crate) fn deliver_due<S: SampleSink>(
     cpu: &mut CpuState,
     sink: &mut S,
     head_pc: Addr,
@@ -793,7 +853,13 @@ fn resolve_control(
 }
 
 /// Records a CFG edge if the target lies in the same image mapping.
-fn record_edge(run: &RunningProc, gt: &mut GroundTruth, image: ImageId, word: u32, target: Addr) {
+pub(crate) fn record_edge(
+    run: &RunningProc,
+    gt: &mut GroundTruth,
+    image: ImageId,
+    word: u32,
+    target: Addr,
+) {
     if target.0 >= run.cur_base && target.0 < run.cur_end {
         gt.count_edge(image, word, ((target.0 - run.cur_base) / 4) as u32);
     }

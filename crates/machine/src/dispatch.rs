@@ -1,0 +1,659 @@
+//! Superblock threaded dispatch: the fast execution path.
+//!
+//! [`chain_step`] walks the current image's precompiled handler chain
+//! ([`Uop`] array, built at `register_image`) for as long as execution
+//! stays straight-line inside one mapping, instead of re-entering the
+//! machine loop and re-matching `Instruction` variants per issue group.
+//! On top of the pre-decoded operands it layers *memoized* fast paths for
+//! the memory-system model:
+//!
+//! * **I-TLB / I-cache per block**: straight-line runs stay on one page
+//!   and usually one line; the walk memoizes the last page/line accessed
+//!   and proves the next access hits at MRU position, so the model's
+//!   `access` (a linear probe plus an LRU rotate that is a no-op at MRU)
+//!   collapses to a single counter bump ([`Tlb::hit_mru`],
+//!   [`Cache::hit_mru`]). The memo is *walk-local* — it starts cold at
+//!   every chain entry — so interleaved classic-path groups can never
+//!   leave it stale.
+//! * **D-TLB / D-cache coalescing**: the same memo trick through the
+//!   existing one-entry translation caches, with page math strength-
+//!   reduced to shift/mask (the walk only runs when the configured page
+//!   size is a power of two).
+//!
+//! **Exactness contract.** Every stateful model — cache LRU and counters,
+//! TLBs, branch predictor, write buffer, performance-counter countdowns
+//! and their seeded period draws, first-touch page allocation — observes
+//! the *identical operation sequence* as the classic path; the fast paths
+//! only make operations cheaper, never skip or reorder them. Counter
+//! overflows are collected and delivered once per issue group in the same
+//! order, so samples land on the same head PCs at the same skidded
+//! cycles. The walk exits exactly where the outer machine loop would have
+//! regained control: when `now()` reaches the run target or the timeslice
+//! end, when the PC leaves the current mapping, or when a double-sample
+//! arms — and it *delegates* to the classic `step_inner` any group it
+//! cannot prove equivalent (`call_pal`, text-boundary pairing, decoded
+//! text shorter than the mapping). Delegated groups are correct by
+//! definition: they run the reference code. Fixed-seed outputs are
+//! therefore bit-identical (the dispatch-parity suite and the golden
+//! triples enforce this).
+//!
+//! [`Uop`]: dcpi_isa::uop::Uop
+//! [`Tlb::hit_mru`]: crate::tlb::Tlb::hit_mru
+//! [`Cache::hit_mru`]: crate::cache::Cache::hit_mru
+
+use crate::cache::Probe;
+use crate::config::MachineConfig;
+use crate::cpu::{deliver_due, step_inner, CpuState, Outcome, RunningProc, SampleSink};
+use crate::os::Os;
+use crate::stats::{edge_key, GroundTruth};
+use dcpi_core::{Addr, Event, FastMap};
+use dcpi_isa::pipeline::{pipes_compatible, InsnClass};
+use dcpi_isa::uop::{Uop, UopKind, NO_WRITE};
+use std::sync::Arc;
+
+/// Dispatch-path accounting, exported with the perf baseline (fallback
+/// rate = `classic_groups / (classic_groups + chain_groups)`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DispatchStats {
+    /// Issue groups retired through the classic single-step path
+    /// (including groups the chain walker delegated).
+    pub classic_groups: u64,
+    /// Issue groups retired inside a superblock chain walk.
+    pub chain_groups: u64,
+    /// Chain walks that retired at least one group.
+    pub chain_entries: u64,
+}
+
+impl DispatchStats {
+    /// Fraction of issue groups that fell back to classic dispatch.
+    #[must_use]
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.classic_groups + self.chain_groups;
+        if total == 0 {
+            0.0
+        } else {
+            self.classic_groups as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another CPU's accounting.
+    pub fn merge(&mut self, other: &DispatchStats) {
+        self.classic_groups += other.classic_groups;
+        self.chain_groups += other.chain_groups;
+        self.chain_entries += other.chain_entries;
+    }
+}
+
+/// Derived shift/mask geometry, computed once per chain entry.
+#[derive(Clone, Copy)]
+struct Geom {
+    page_shift: u32,
+    page_mask: u64,
+    iline_shift: u32,
+    dline_shift: u32,
+}
+
+/// Walk-local memos: the last page/line accessed in each structure this
+/// walk. `u64::MAX` = cold (no physical line or vpage reaches it).
+struct Memo {
+    ivpage: u64,
+    iline: u64,
+    dvpage: u64,
+    dline: u64,
+}
+
+/// Executes issue groups on `cpu` along the precompiled handler chain
+/// until a boundary (see module docs). Drop-in replacement for
+/// [`crate::cpu::step`] when superblock dispatch is enabled: the outer
+/// machine loop observes the same `Outcome` sequence at the same clock
+/// readings as it would stepping classically.
+pub fn chain_step<S: SampleSink>(
+    cpu: &mut CpuState,
+    os: &mut Os,
+    gt: &mut GroundTruth,
+    sink: &mut S,
+    cfg: &MachineConfig,
+    target: u64,
+) -> Outcome {
+    let Some(mut run) = cpu.current.take() else {
+        return Outcome::NoProcess;
+    };
+    let outcome = chain_inner(cpu, &mut run, os, gt, sink, cfg, target);
+    cpu.current = Some(run);
+    outcome
+}
+
+#[allow(clippy::too_many_lines)]
+fn chain_inner<S: SampleSink>(
+    cpu: &mut CpuState,
+    run: &mut RunningProc,
+    os: &mut Os,
+    gt: &mut GroundTruth,
+    sink: &mut S,
+    cfg: &MachineConfig,
+    target: u64,
+) -> Outcome {
+    // An armed double sample must resolve against this PC through the
+    // reference path (it precedes even the fault check there).
+    if cpu.double_armed.is_some() {
+        return step_inner(cpu, run, os, gt, sink, cfg);
+    }
+    if run.lookup(os, run.proc.pc).is_none() {
+        return Outcome::Fault;
+    }
+    // The mapping cannot change mid-walk (the walk breaks when the PC
+    // leaves it), so these stay valid for the whole chain.
+    let ops = Arc::clone(&run.cur_uops);
+    let len = ops.len();
+    let cur_base = run.cur_base;
+    let cur_end = run.cur_end;
+    let image = run.cur_image;
+    debug_assert!(cfg.page_bytes.is_power_of_two());
+    let geom = Geom {
+        page_shift: cfg.page_bytes.trailing_zeros(),
+        page_mask: cfg.page_bytes - 1,
+        iline_shift: cfg.icache.line.trailing_zeros(),
+        dline_shift: cfg.dcache.line.trailing_zeros(),
+    };
+    let mut memo = Memo {
+        ivpage: u64::MAX,
+        iline: u64::MAX,
+        dvpage: u64::MAX,
+        dline: u64::MAX,
+    };
+    let model = &cfg.model;
+    // Detach the image's ground-truth counts and edges for direct
+    // updates; every exit path below reattaches them.
+    let mut counts = gt.take_counts(image);
+    let mut edges = gt.take_edges(image);
+    let mut executed = 0u64;
+    loop {
+        let pc = run.proc.pc;
+        let w = ((pc.0 - cur_base) >> 2) as usize;
+        // Groups the chain cannot prove equivalent go to the classic
+        // path: decoded text shorter than the mapping (classic faults),
+        // `call_pal` (OS entry / serialization), and an even-slot
+        // non-control senior at the end of text (classic would probe an
+        // adjacent mapping for the junior).
+        let delegate = match ops.get(w) {
+            None => true,
+            Some(op) => {
+                op.kind == UopKind::Fallback || (!op.is_control() && pc.0 & 4 == 0 && w + 1 >= len)
+            }
+        };
+        if delegate {
+            // Delegating with groups already retired just ends the walk;
+            // the machine loop re-enters and the fresh walk delegates
+            // with `executed == 0`, running the group classically.
+            if executed > 0 {
+                break;
+            }
+            gt.put_counts(image, counts);
+            gt.put_edges(image, edges);
+            return step_inner(cpu, run, os, gt, sink, cfg);
+        }
+        let op = &ops[w];
+        let head_base0 = (cpu.prev_issue + 1).max(cpu.resume_at).max(cpu.fetch_ready);
+
+        // --- instruction fetch: ITB and I-cache (memoized) ---------------
+        let mut fetch_pen = 0;
+        let ivpage = pc.0 >> geom.page_shift;
+        if ivpage == memo.ivpage {
+            cpu.itb.hit_mru(ivpage);
+        } else {
+            if !cpu.itb.access(ivpage) {
+                fetch_pen += model.itb_miss_penalty;
+                if let Some(o) = cpu.counters.count(Event::ItbMiss, head_base0) {
+                    cpu.overflow_scratch.push(o);
+                }
+            }
+            // Hit or fill, the page is now the MRU entry.
+            memo.ivpage = ivpage;
+        }
+        let ipaddr = run.translate_fetch_p2(os, pc.0, geom.page_shift, geom.page_mask);
+        let iline = ipaddr >> geom.iline_shift;
+        if iline == memo.iline {
+            cpu.icache.hit_mru(ipaddr);
+        } else {
+            if cpu.icache.access(ipaddr) == Probe::Miss {
+                if let Some(o) = cpu.counters.count(Event::IMiss, head_base0) {
+                    cpu.overflow_scratch.push(o);
+                }
+                fetch_pen += if cpu.bcache.access(ipaddr) == Probe::Hit {
+                    model.icache_miss_penalty
+                } else {
+                    model.icache_memory_penalty
+                };
+            }
+            memo.iline = iline;
+        }
+        let head_base = head_base0 + fetch_pen;
+
+        // --- senior issue time -------------------------------------------
+        let mut issue = head_base;
+        if op.nreads >= 1 {
+            issue = issue.max(cpu.ready[op.r0 as usize]);
+        }
+        if op.nreads >= 2 {
+            issue = issue.max(cpu.ready[op.r1 as usize]);
+        }
+        if op.w != NO_WRITE {
+            issue = issue.max(cpu.ready[op.w as usize]);
+        }
+        match op.class {
+            InsnClass::IntMul => issue = issue.max(cpu.imul_free),
+            InsnClass::FpDiv => issue = issue.max(cpu.fdiv_free),
+            _ => {}
+        }
+        if op.is_memory() {
+            issue = uop_mem_timing(cpu, os, run, op, issue, cfg, true, geom, &mut memo);
+        }
+
+        // --- senior semantics --------------------------------------------
+        let jump = exec_uop(&mut run.proc, op, pc);
+        if !op.is_load() && op.w != NO_WRITE {
+            cpu.ready[op.w as usize] = issue + op.result_latency;
+        }
+        match op.class {
+            InsnClass::IntMul => cpu.imul_free = issue + model.imul_busy,
+            InsnClass::FpDiv => cpu.fdiv_free = issue + model.fdiv_busy,
+            _ => {}
+        }
+        if cfg.ground_truth {
+            if let Some(c) = counts.get_mut(w) {
+                *c += 1;
+            }
+        }
+        cpu.insns_retired += 1;
+
+        let mut new_pc = jump.unwrap_or_else(|| pc.next());
+        resolve_control_uop(
+            cpu, run, op, pc, jump, new_pc, w as u32, issue, cfg, &mut edges,
+        );
+
+        // --- junior: aligned-pair dual issue -----------------------------
+        if !op.is_control() && pc.0 & 4 == 0 {
+            debug_assert_eq!(new_pc, pc.next(), "non-control seniors fall through");
+            // The delegate guard above proved `w + 1 < len`, so the
+            // junior comes from this chain.
+            let jop = &ops[w + 1];
+            if try_pair_uop(cpu, run, op, jop, pc, issue, cfg, geom, &memo) {
+                if jop.is_memory() {
+                    let _ = uop_mem_timing(cpu, os, run, jop, issue, cfg, false, geom, &mut memo);
+                }
+                let jpc = new_pc;
+                let jjump = exec_uop(&mut run.proc, jop, jpc);
+                if !jop.is_load() && jop.w != NO_WRITE {
+                    cpu.ready[jop.w as usize] = issue + jop.result_latency;
+                }
+                match jop.class {
+                    InsnClass::IntMul => cpu.imul_free = issue + model.imul_busy,
+                    InsnClass::FpDiv => cpu.fdiv_free = issue + model.fdiv_busy,
+                    _ => {}
+                }
+                if cfg.ground_truth {
+                    if let Some(c) = counts.get_mut(w + 1) {
+                        *c += 1;
+                    }
+                }
+                cpu.insns_retired += 1;
+                cpu.dual_issues += 1;
+                new_pc = jjump.unwrap_or_else(|| jpc.next());
+                resolve_control_uop(
+                    cpu,
+                    run,
+                    jop,
+                    jpc,
+                    jjump,
+                    new_pc,
+                    (w + 1) as u32,
+                    issue,
+                    cfg,
+                    &mut edges,
+                );
+            }
+        }
+
+        let pid = run.proc.pid;
+        run.proc.pc = new_pc;
+        let senior_taken = match op.kind {
+            UopKind::Cond(_) => Some(jump.is_some()),
+            _ => None,
+        };
+
+        // --- counters and sampling (same drain point as the classic path)
+        if issue >= cpu.counters.next_event_cycle() || !cpu.overflow_scratch.is_empty() {
+            let mut scratch = std::mem::take(&mut cpu.overflow_scratch);
+            cpu.counters.advance_cycles(issue, &mut scratch);
+            for o in scratch.drain(..) {
+                cpu.pending
+                    .push((o.at_cycle + model.interrupt_skid, o.event));
+            }
+            cpu.overflow_scratch = scratch;
+        }
+        if !cpu.pending.is_empty() {
+            deliver_due(
+                cpu,
+                sink,
+                pc,
+                pid,
+                issue,
+                senior_taken,
+                cfg.double_sample_every,
+            );
+        }
+        cpu.prev_issue = issue;
+        cpu.dstats.chain_groups += 1;
+        executed += 1;
+
+        // Boundaries where the outer machine loop must regain control —
+        // exactly the points at which it would have, stepping classically.
+        if cpu.double_armed.is_some()
+            || new_pc.0 < cur_base
+            || new_pc.0 >= cur_end
+            || cpu.now() >= target
+            || cpu.now() >= cpu.slice_end
+        {
+            break;
+        }
+    }
+    gt.put_counts(image, counts);
+    gt.put_edges(image, edges);
+    cpu.dstats.chain_entries += 1;
+    Outcome::Ran
+}
+
+/// Memory timing along the chain: transcription of the classic
+/// `mem_timing` with memoized D-TLB/D-cache fast paths and shift/mask
+/// page math. Counter-overflow order and every stall cycle are identical.
+#[allow(clippy::too_many_arguments)]
+fn uop_mem_timing(
+    cpu: &mut CpuState,
+    os: &mut Os,
+    run: &mut RunningProc,
+    op: &Uop,
+    mut issue: u64,
+    cfg: &MachineConfig,
+    is_senior: bool,
+    geom: Geom,
+    memo: &mut Memo,
+) -> u64 {
+    let model = &cfg.model;
+    let vaddr = run.proc.reg_i(op.b).wrapping_add(op.disp);
+    let vpage = vaddr >> geom.page_shift;
+    if vpage == memo.dvpage {
+        cpu.dtb.hit_mru(vpage);
+    } else {
+        if !cpu.dtb.access(vpage) {
+            // Counted at the pre-penalty issue cycle, as in the classic
+            // path.
+            if let Some(o) = cpu.counters.count(Event::DtbMiss, issue) {
+                cpu.overflow_scratch.push(o);
+            }
+            if is_senior {
+                issue += model.dtb_miss_penalty;
+            }
+        }
+        memo.dvpage = vpage;
+    }
+    let paddr = run.translate_data_p2(os, vaddr, geom.page_shift, geom.page_mask);
+    if op.is_load() {
+        let dline = paddr >> geom.dline_shift;
+        let extra = if dline == memo.dline {
+            cpu.dcache.hit_mru(paddr);
+            0
+        } else {
+            let e = if cpu.dcache.access(paddr) == Probe::Miss {
+                if let Some(o) = cpu.counters.count(Event::DMiss, issue) {
+                    cpu.overflow_scratch.push(o);
+                }
+                if cpu.bcache.access(paddr) == Probe::Hit {
+                    model.bcache_latency
+                } else {
+                    model.memory_latency
+                }
+            } else {
+                0
+            };
+            // Stores never touch the D-cache, so the last load's line
+            // stays MRU across them.
+            memo.dline = dline;
+            e
+        };
+        if op.w != NO_WRITE {
+            cpu.ready[op.w as usize] = issue + model.load_latency + extra;
+        }
+    } else {
+        while cpu.wb.front().is_some_and(|&t| t <= issue) {
+            cpu.wb.pop_front();
+        }
+        if cpu.wb.len() >= model.write_buffer_entries {
+            let head = cpu.wb.pop_front().expect("nonempty buffer");
+            if is_senior {
+                issue = issue.max(head);
+            }
+        }
+        let retire_base = cpu.wb.back().copied().unwrap_or(issue).max(issue);
+        cpu.wb.push_back(retire_base + model.write_retire_cycles);
+    }
+    issue
+}
+
+/// Dual-issue admission along the chain: transcription of the classic
+/// `try_pair`, with the pure peeks short-circuited by the walk memos
+/// (the memoized page/line is provably present, so the probe's answer is
+/// known without the scan).
+#[allow(clippy::too_many_arguments)]
+fn try_pair_uop(
+    cpu: &CpuState,
+    run: &RunningProc,
+    sop: &Uop,
+    jop: &Uop,
+    pc: Addr,
+    issue: u64,
+    cfg: &MachineConfig,
+    geom: Geom,
+    memo: &Memo,
+) -> bool {
+    if !pipes_compatible(sop.class, jop.class) {
+        return false;
+    }
+    // Same-cycle data conflicts with the senior.
+    if sop.w != NO_WRITE {
+        let w = sop.w;
+        if (jop.nreads >= 1 && jop.r0 == w) || (jop.nreads >= 2 && jop.r1 == w) || jop.w == w {
+            return false;
+        }
+    }
+    // Junior operands and destination must be ready.
+    if jop.nreads >= 1 && cpu.ready[jop.r0 as usize] > issue {
+        return false;
+    }
+    if jop.nreads >= 2 && cpu.ready[jop.r1 as usize] > issue {
+        return false;
+    }
+    if jop.w != NO_WRITE && cpu.ready[jop.w as usize] > issue {
+        return false;
+    }
+    match jop.class {
+        InsnClass::IntMul if cpu.imul_free > issue => return false,
+        InsnClass::FpDiv if cpu.fdiv_free > issue => return false,
+        _ => {}
+    }
+    // Junior must already be fetchable without a miss.
+    let jpc = pc.next();
+    let jvpage = jpc.0 >> geom.page_shift;
+    if jvpage != memo.ivpage && !cpu.itb.peek(jvpage) {
+        return false;
+    }
+    let jpaddr = if jvpage == run.fetch_vpage {
+        run.fetch_pbase + (jpc.0 & geom.page_mask)
+    } else if let Some(&ppage) = run.proc.page_table.get(&jvpage) {
+        (ppage << geom.page_shift) + (jpc.0 & geom.page_mask)
+    } else {
+        return false;
+    };
+    if (jpaddr >> geom.iline_shift) != memo.iline && !cpu.icache.peek(jpaddr) {
+        return false;
+    }
+    // Junior memory preconditions.
+    if jop.is_memory() {
+        let vaddr = run.proc.reg_i(jop.b).wrapping_add(jop.disp);
+        if (vaddr >> geom.page_shift) != memo.dvpage && !cpu.dtb.peek(vaddr >> geom.page_shift) {
+            return false;
+        }
+        if jop.is_store() {
+            let occupied = cpu.wb.iter().filter(|&&t| t > issue).count();
+            if occupied >= cfg.model.write_buffer_entries {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Records a CFG edge into the walk's detached edge map if the target
+/// lies in the current mapping — the fast-path twin of the classic
+/// `record_edge`.
+#[inline]
+fn record_edge_fast(run: &RunningProc, edges: &mut FastMap<u64, u64>, word: u32, target: Addr) {
+    if target.0 >= run.cur_base && target.0 < run.cur_end {
+        let to = ((target.0 - run.cur_base) / 4) as u32;
+        *edges.entry(edge_key(word, to)).or_insert(0) += 1;
+    }
+}
+
+/// Branch prediction effects and ground-truth edges, per micro-op kind.
+/// `new_pc` is the edge target in every case: the jump target when taken,
+/// the fall-through otherwise — matching the classic `resolve_control`.
+#[allow(clippy::too_many_arguments)]
+fn resolve_control_uop(
+    cpu: &mut CpuState,
+    run: &RunningProc,
+    op: &Uop,
+    pc: Addr,
+    jump: Option<Addr>,
+    new_pc: Addr,
+    word: u32,
+    issue: u64,
+    cfg: &MachineConfig,
+    edges: &mut FastMap<u64, u64>,
+) {
+    let model = &cfg.model;
+    match op.kind {
+        UopKind::Cond(_) => {
+            let taken = jump.is_some();
+            if cpu.bp.cond_branch(pc, taken) {
+                if let Some(o) = cpu.counters.count(Event::BranchMp, issue) {
+                    cpu.overflow_scratch.push(o);
+                }
+                cpu.fetch_ready = cpu.fetch_ready.max(issue + model.mispredict_penalty);
+            }
+            if cfg.ground_truth {
+                record_edge_fast(run, edges, word, new_pc);
+            }
+        }
+        UopKind::Br if cfg.ground_truth => {
+            record_edge_fast(run, edges, word, new_pc);
+        }
+        UopKind::Jmp => {
+            if cpu.bp.indirect(pc, new_pc) {
+                if let Some(o) = cpu.counters.count(Event::BranchMp, issue) {
+                    cpu.overflow_scratch.push(o);
+                }
+                cpu.fetch_ready = cpu.fetch_ready.max(issue + model.mispredict_penalty);
+            }
+            if cfg.ground_truth {
+                record_edge_fast(run, edges, word, new_pc);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Architectural semantics of one micro-op. Returns the jump target for
+/// taken control transfers, `None` for sequential flow. `call_pal`
+/// ([`UopKind::Fallback`]) never reaches here — the walk delegates it.
+fn exec_uop(proc: &mut crate::proc::Process, op: &Uop, pc: Addr) -> Option<Addr> {
+    match op.kind {
+        UopKind::Lda | UopKind::Ldah => {
+            if op.w != NO_WRITE {
+                let v = proc.reg_i(op.b).wrapping_add(op.disp);
+                proc.set_reg_i(op.w, v);
+            }
+            None
+        }
+        UopKind::Ldq | UopKind::Ldt => {
+            if op.w != NO_WRITE {
+                // Skipping the read for a zero destination is safe:
+                // reads are pure (absent pages read 0).
+                let addr = proc.reg_i(op.b).wrapping_add(op.disp) & !7;
+                let v = proc.read_u64_fast(addr);
+                proc.set_reg_i(op.w, v);
+            }
+            None
+        }
+        UopKind::Ldl => {
+            if op.w != NO_WRITE {
+                let addr = proc.reg_i(op.b).wrapping_add(op.disp) & !3;
+                let v = proc.read_u32_sext_fast(addr);
+                proc.set_reg_i(op.w, v);
+            }
+            None
+        }
+        UopKind::Stq | UopKind::Stt => {
+            let addr = proc.reg_i(op.b).wrapping_add(op.disp) & !7;
+            proc.write_u64(addr, proc.reg_i(op.a));
+            None
+        }
+        UopKind::Stl => {
+            let addr = proc.reg_i(op.b).wrapping_add(op.disp) & !3;
+            proc.write_u32(addr, proc.reg_i(op.a) as u32);
+            None
+        }
+        UopKind::Int(iop) => {
+            let b = if op.is_lit() {
+                u64::from(op.b)
+            } else {
+                proc.reg_i(op.b)
+            };
+            let v = iop.eval(proc.reg_i(op.a), b);
+            if op.w != NO_WRITE {
+                proc.set_reg_i(op.w, v);
+            }
+            None
+        }
+        UopKind::Fp(fop) => {
+            let v = fop.eval(proc.reg_i(op.a), proc.reg_i(op.b));
+            if op.w != NO_WRITE {
+                proc.set_reg_i(op.w, v);
+            }
+            None
+        }
+        UopKind::Cond(cond) => {
+            if cond.test(proc.reg_i(op.a)) {
+                // `disp` is the pre-multiplied byte delta; wrapping add in
+                // two's complement equals the classic `offset_insns`.
+                Some(Addr(pc.0.wrapping_add(op.disp)))
+            } else {
+                None
+            }
+        }
+        UopKind::Br => {
+            if op.w != NO_WRITE {
+                proc.set_reg_i(op.w, pc.next().0);
+            }
+            Some(Addr(pc.0.wrapping_add(op.disp)))
+        }
+        UopKind::Jmp => {
+            // Target reads `rb` *before* the return-address write, as in
+            // the canonical semantics (`jmp ra, (ra)` must work).
+            let target = proc.reg_i(op.b) & !3;
+            if op.w != NO_WRITE {
+                proc.set_reg_i(op.w, pc.next().0);
+            }
+            Some(Addr(target))
+        }
+        UopKind::Fallback => unreachable!("Fallback groups delegate to the classic path"),
+    }
+}

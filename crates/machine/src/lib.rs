@@ -32,13 +32,15 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod cpu;
+pub mod dispatch;
 pub mod machine;
 pub mod os;
 pub mod proc;
 pub mod stats;
 pub mod tlb;
 
-pub use config::MachineConfig;
+pub use config::{DispatchMode, MachineConfig};
+pub use dispatch::DispatchStats;
 pub use machine::{Machine, NullSink, SampleSink};
 pub use os::{Os, OsEvent};
 pub use proc::Process;

@@ -1,7 +1,8 @@
 //! The machine facade: CPUs + OS + ground truth + the sample sink.
 
-use crate::config::MachineConfig;
+use crate::config::{DispatchMode, MachineConfig};
 use crate::cpu::{step, CpuState, Outcome};
+use crate::dispatch::{chain_step, DispatchStats};
 use crate::os::{default_kernel, Os};
 use crate::stats::GroundTruth;
 use dcpi_core::{Addr, CpuId, ImageId, Pid};
@@ -89,6 +90,17 @@ impl<S: SampleSink> Machine<S> {
         id
     }
 
+    /// Hot-swaps a registered image's contents in place (the PGO loop:
+    /// same id, rewritten text). Decoded side tables and handler chains
+    /// are rebuilt immediately, and every CPU's cached chain pointers are
+    /// invalidated through the OS image epoch, so no stale metadata can
+    /// execute. See [`Os::replace_image`].
+    pub fn replace_image(&mut self, id: ImageId, image: Image) {
+        let words = image.words().len();
+        self.os.replace_image(id, image);
+        self.gt.resize_image(id, words);
+    }
+
     /// Spawns a process on `cpu` running `main`; see [`Os::spawn`].
     pub fn spawn(
         &mut self,
@@ -104,6 +116,9 @@ impl<S: SampleSink> Machine<S> {
     /// past: issue groups are atomic).
     pub fn run_cpu_until(&mut self, cpu: usize, target: u64) {
         let cfg = &self.cfg;
+        // Superblock chains strength-reduce page math to shift/mask, so
+        // they require power-of-two pages; otherwise run classically.
+        let chains = cfg.dispatch == DispatchMode::Superblock && cfg.page_bytes.is_power_of_two();
         let cpu_state = &mut self.cpus[cpu];
         while cpu_state.now() < target {
             if cpu_state.current.is_none() {
@@ -117,7 +132,19 @@ impl<S: SampleSink> Machine<S> {
                     }
                 }
             }
-            match step(cpu_state, &mut self.os, &mut self.gt, &mut self.sink, cfg) {
+            let outcome = if chains {
+                chain_step(
+                    cpu_state,
+                    &mut self.os,
+                    &mut self.gt,
+                    &mut self.sink,
+                    cfg,
+                    target,
+                )
+            } else {
+                step(cpu_state, &mut self.os, &mut self.gt, &mut self.sink, cfg)
+            };
+            match outcome {
                 Outcome::Ran => {
                     if cpu_state.slice_expired() {
                         if self.os.has_runnable(cpu) {
@@ -208,6 +235,16 @@ impl<S: SampleSink> Machine<S> {
     #[must_use]
     pub fn total_retired(&self) -> u64 {
         self.cpus.iter().map(|c| c.insns_retired).sum()
+    }
+
+    /// Aggregated dispatch-path accounting across CPUs.
+    #[must_use]
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        let mut total = DispatchStats::default();
+        for c in &self.cpus {
+            total.merge(&c.dstats);
+        }
+        total
     }
 }
 

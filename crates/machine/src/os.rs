@@ -17,6 +17,7 @@ use dcpi_isa::insn::Instruction;
 use dcpi_isa::meta::{side_table, InsnMeta};
 use dcpi_isa::pipeline::PipelineModel;
 use dcpi_isa::reg::Reg;
+use dcpi_isa::uop::{compile_uops, Uop};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -46,6 +47,9 @@ pub struct LoadedImage {
     /// `insns`), so the simulator's hot loop never re-derives classes,
     /// register sets, or latency hints.
     pub meta: Arc<Vec<InsnMeta>>,
+    /// Precompiled handler chain (positional with `insns`): the fully
+    /// pre-decoded micro-op form walked by superblock dispatch.
+    pub uops: Arc<Vec<Uop>>,
 }
 
 /// Notifications consumed by the profiling daemon (§4.3.2).
@@ -96,6 +100,11 @@ pub struct Os {
     kernel: ImageId,
     live_processes: usize,
     model: PipelineModel,
+    // Bumped whenever a registered image's contents change in place
+    // (`replace_image`): CPUs compare it to invalidate cached decoded
+    // text and handler chains, so a PGO hot-swap can never execute stale
+    // metadata.
+    epoch: u64,
 }
 
 impl Os {
@@ -126,6 +135,7 @@ impl Os {
             kernel: ImageId(0),
             live_processes: 0,
             model,
+            epoch: 0,
         };
         let kid = os.register_image(kernel);
         os.kernel = kid;
@@ -165,6 +175,7 @@ impl Os {
         self.next_image += 1;
         let insns = image.decode_all().expect("image text must decode");
         let meta = side_table(&insns, &self.model);
+        let uops = compile_uops(&insns, &meta);
         self.by_name.insert(image.name().to_string(), id);
         self.images.insert(
             id,
@@ -173,9 +184,48 @@ impl Os {
                 image: Arc::new(image),
                 insns: Arc::new(insns),
                 meta: Arc::new(meta),
+                uops: Arc::new(uops),
             },
         );
         id
+    }
+
+    /// Replaces the contents of an already-registered image in place (the
+    /// PGO hot-swap: same id, rewritten text), rebuilding the decoded
+    /// side tables and handler chains and bumping the invalidation
+    /// [`epoch`](Os::epoch) so every CPU's cached chain pointers refresh
+    /// before the next instruction executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not registered or the new text fails to decode.
+    pub fn replace_image(&mut self, id: ImageId, image: Image) {
+        let slot = self.images.get_mut(&id).expect("replace_image: unknown id");
+        let insns = image.decode_all().expect("image text must decode");
+        let meta = side_table(&insns, &self.model);
+        let uops = compile_uops(&insns, &meta);
+        let old_name = slot.image.name().to_string();
+        *slot = LoadedImage {
+            id,
+            image: Arc::new(image),
+            insns: Arc::new(insns),
+            meta: Arc::new(meta),
+            uops: Arc::new(uops),
+        };
+        let new_name = self.images[&id].image.name().to_string();
+        if old_name != new_name {
+            if self.by_name.get(&old_name) == Some(&id) {
+                self.by_name.remove(&old_name);
+            }
+            self.by_name.insert(new_name, id);
+        }
+        self.epoch += 1;
+    }
+
+    /// Image-content invalidation epoch (bumped by [`Os::replace_image`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Looks up a registered image.
@@ -520,6 +570,31 @@ mod tests {
         assert_eq!(pa1 % 8192, 0x1234);
         let pa3 = os.translate(&mut p, 0x1234 + 8192);
         assert_ne!(pa1 & !8191, pa3 & !8191);
+    }
+
+    #[test]
+    fn replace_image_rebuilds_tables_and_bumps_epoch() {
+        let mut os = os();
+        let mut a = Asm::new("/bin/x");
+        a.proc("main");
+        a.halt();
+        let id = os.register_image(a.finish());
+        assert_eq!(os.epoch(), 0);
+        let mut b = Asm::new("/bin/x");
+        b.proc("main");
+        b.addq_lit(Reg::T0, 1, Reg::T0);
+        b.halt();
+        os.replace_image(id, b.finish());
+        assert_eq!(os.epoch(), 1);
+        let li = os.image(id).unwrap();
+        assert_eq!(li.insns.len(), 2, "new text decoded");
+        assert_eq!(li.uops.len(), 2, "chains rebuilt");
+        assert_eq!(li.meta.len(), 2, "side table rebuilt");
+        // Name-keyed dedup still resolves to the same id.
+        let mut c = Asm::new("/bin/x");
+        c.proc("main");
+        c.halt();
+        assert_eq!(os.register_image(c.finish()), id);
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Process model: registers, virtual memory, page table, and load map.
 
-use dcpi_core::{Addr, ImageId, Pid};
+use dcpi_core::{Addr, FastMap, ImageId, Pid};
 use dcpi_isa::reg::Reg;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Words per page in the process memory store.
@@ -47,14 +46,21 @@ pub struct Process {
     /// Unified register file (integer + FP); the zero registers are
     /// enforced by the accessors.
     regs: [u64; Reg::COUNT],
-    /// Virtual memory: page number → page of 64-bit words.
-    pages: HashMap<u64, Arc<[u64]>>,
+    /// Virtual memory: page number → page of 64-bit words. Keyed with the
+    /// fast deterministic hasher: there is one lookup per simulated
+    /// memory access, making this the hottest map in the simulator.
+    pages: FastMap<u64, Arc<[u64]>>,
     /// Virtual page → physical page (for cache indexing).
-    pub page_table: HashMap<u64, u64>,
+    pub page_table: FastMap<u64, u64>,
     /// Images mapped into this address space, sorted by base.
     pub loadmap: Vec<Mapping>,
     /// Run state.
     pub state: ProcState,
+    /// One-entry page memo for [`Process::read_u64_fast`]: the last page
+    /// read through the fast path. Invalidated by any write to the same
+    /// page, which also keeps the copy-on-write refcount check in
+    /// `page_mut` from seeing the memo's clone.
+    read_memo: Option<(u64, Arc<[u64]>)>,
 }
 
 impl Process {
@@ -65,10 +71,11 @@ impl Process {
             pid,
             pc: Addr(0),
             regs: [0; Reg::COUNT],
-            pages: HashMap::new(),
-            page_table: HashMap::new(),
+            pages: FastMap::default(),
+            page_table: FastMap::default(),
             loadmap: Vec::new(),
             state: ProcState::Runnable,
+            read_memo: None,
         }
     }
 
@@ -89,6 +96,28 @@ impl Process {
         if !r.is_zero() {
             self.regs[r.index()] = v;
         }
+    }
+
+    /// Reads a register by raw unified index, without the zero-register
+    /// guard. Equivalent to [`Process::reg`] because the zero registers'
+    /// slots are never written (both write paths discard them), so they
+    /// always read 0. Used by the superblock dispatch loop, whose
+    /// micro-ops carry pre-decoded register indices.
+    #[inline]
+    pub(crate) fn reg_i(&self, i: u8) -> u64 {
+        self.regs[i as usize]
+    }
+
+    /// Writes a register by raw unified index. Callers must have already
+    /// filtered zero-register destinations (micro-ops compile those to
+    /// `NO_WRITE`), preserving the invariant `reg_i` relies on.
+    #[inline]
+    pub(crate) fn set_reg_i(&mut self, i: u8, v: u64) {
+        debug_assert!(
+            !Reg::from_index(i).is_zero(),
+            "zero-register writes must be compiled away"
+        );
+        self.regs[i as usize] = v;
     }
 
     /// Adds a mapping, keeping the load map sorted by base.
@@ -143,11 +172,56 @@ impl Process {
         self.pages.get(&vpage).map_or(0, |p| p[off])
     }
 
+    /// Reads the 64-bit word at `vaddr` through the one-entry page memo.
+    /// Returns exactly what [`Process::read_u64`] would: consecutive
+    /// reads from one page — the common case in straight-line code —
+    /// skip the page-map lookup. Absent pages are not memoized (they can
+    /// materialize later via a write).
+    #[inline]
+    pub(crate) fn read_u64_fast(&mut self, vaddr: u64) -> u64 {
+        let widx = vaddr >> 3;
+        let vpage = widx >> PAGE_WORDS_SHIFT;
+        let off = (widx & ((1 << PAGE_WORDS_SHIFT) - 1)) as usize;
+        if let Some((p, page)) = &self.read_memo {
+            if *p == vpage {
+                return page[off];
+            }
+        }
+        match self.pages.get(&vpage) {
+            Some(page) => {
+                let v = page[off];
+                self.read_memo = Some((vpage, Arc::clone(page)));
+                v
+            }
+            None => 0,
+        }
+    }
+
+    /// Reads the 32-bit longword at `vaddr` through the page memo,
+    /// sign-extended — the fast-path equivalent of
+    /// [`Process::read_u32_sext`].
+    #[inline]
+    pub(crate) fn read_u32_sext_fast(&mut self, vaddr: u64) -> u64 {
+        let q = self.read_u64_fast(vaddr & !7);
+        let half = if vaddr & 4 != 0 {
+            (q >> 32) as u32
+        } else {
+            q as u32
+        };
+        half as i32 as i64 as u64
+    }
+
     /// Writes the 64-bit word at `vaddr` (aligned down to 8 bytes).
     pub fn write_u64(&mut self, vaddr: u64, value: u64) {
         let widx = vaddr >> 3;
         let vpage = widx >> PAGE_WORDS_SHIFT;
         let off = (widx & ((1 << PAGE_WORDS_SHIFT) - 1)) as usize;
+        // Drop the read memo before the write: it must not serve stale
+        // data, and releasing its `Arc` clone keeps `page_mut`'s
+        // copy-on-write check seeing a unique page.
+        if self.read_memo.as_ref().is_some_and(|(p, _)| *p == vpage) {
+            self.read_memo = None;
+        }
         self.page_mut(vpage)[off] = value;
     }
 
@@ -256,6 +330,44 @@ mod tests {
         let mut proc = p();
         proc.map_image(Addr(0x10000), 0x1000, ImageId(1));
         proc.map_image(Addr(0x10800), 0x1000, ImageId(2));
+    }
+
+    #[test]
+    fn fast_read_memo_stays_coherent_with_writes() {
+        let mut proc = p();
+        proc.write_u64(0x100, 11);
+        assert_eq!(proc.read_u64_fast(0x100), 11, "first read populates memo");
+        assert_eq!(proc.read_u64_fast(0x108), 0, "memoized page, other word");
+        proc.write_u64(0x100, 22);
+        assert_eq!(proc.read_u64_fast(0x100), 22, "write invalidates the memo");
+        // A write to a *different* page leaves the memo valid.
+        proc.write_u64(0x10_0000, 33);
+        assert_eq!(proc.read_u64_fast(0x100), 22);
+        assert_eq!(proc.read_u64_fast(0x10_0000), 33);
+        assert_eq!(proc.read_u32_sext_fast(0x10_0000), 33);
+    }
+
+    #[test]
+    fn fast_read_of_absent_page_is_zero_and_unmemoized() {
+        let mut proc = p();
+        assert_eq!(proc.read_u64_fast(0x5_0000), 0);
+        proc.write_u64(0x5_0000, 9);
+        assert_eq!(proc.read_u64_fast(0x5_0000), 9, "page appeared after write");
+    }
+
+    #[test]
+    fn fast_read_memo_does_not_defeat_copy_on_write() {
+        let mut a = p();
+        a.write_u64(0, 7);
+        let _ = a.read_u64_fast(0); // memo now holds an Arc clone
+        let mut b = a.clone();
+        b.write_u64(0, 9);
+        assert_eq!(a.read_u64(0), 7);
+        assert_eq!(a.read_u64_fast(0), 7);
+        assert_eq!(b.read_u64(0), 9);
+        a.write_u64(0, 8); // write invalidates a's own memo first
+        assert_eq!(a.read_u64_fast(0), 8);
+        assert_eq!(b.read_u64(0), 9);
     }
 
     #[test]

@@ -6,14 +6,23 @@
 //! truth directly: per-instruction retirement counts and per-CFG-edge
 //! traversal counts, keyed by image and word index.
 
-use dcpi_core::ImageId;
-use std::collections::HashMap;
+use dcpi_core::{FastMap, ImageId};
 
-/// Exact per-instruction and per-edge execution counts.
+/// Exact per-instruction and per-edge execution counts. Both maps use the
+/// fast deterministic hasher — there is one `insns` lookup per retired
+/// instruction and one `edges` lookup per control transfer. Edges are
+/// stored per image under a packed `from_word << 32 | to_word` key so the
+/// inner lookup hashes a single word.
 #[derive(Clone, Debug, Default)]
 pub struct GroundTruth {
-    insns: HashMap<ImageId, Vec<u64>>,
-    edges: HashMap<(ImageId, u32, u32), u64>,
+    insns: FastMap<ImageId, Vec<u64>>,
+    edges: FastMap<ImageId, FastMap<u64, u64>>,
+}
+
+/// Packs a CFG edge into the per-image edge-map key.
+#[inline]
+pub(crate) fn edge_key(from_word: u32, to_word: u32) -> u64 {
+    (u64::from(from_word) << 32) | u64::from(to_word)
 }
 
 impl GroundTruth {
@@ -28,6 +37,36 @@ impl GroundTruth {
         self.insns
             .entry(image)
             .or_insert_with(|| vec![0; text_words]);
+    }
+
+    /// Accommodates an image whose contents were replaced in place (the
+    /// PGO hot-swap): grows the count vector if the new text is longer.
+    /// Existing counts are preserved — they belong to the same image id's
+    /// history, exactly as a re-`register_image` would have kept them.
+    pub fn resize_image(&mut self, image: ImageId, text_words: usize) {
+        let v = self.insns.entry(image).or_default();
+        if v.len() < text_words {
+            v.resize(text_words, 0);
+        }
+    }
+
+    /// Detaches an image's count vector so the superblock walk can index
+    /// it directly (one bounds-checked index per retired instruction
+    /// instead of a map lookup); restore it with
+    /// [`GroundTruth::put_counts`]. An unregistered image detaches an
+    /// empty vector, preserving `count_insn`'s ignore-missing semantics.
+    pub(crate) fn take_counts(&mut self, image: ImageId) -> Vec<u64> {
+        self.insns
+            .get_mut(&image)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Reattaches a count vector detached by [`GroundTruth::take_counts`].
+    pub(crate) fn put_counts(&mut self, image: ImageId, counts: Vec<u64>) {
+        if let Some(v) = self.insns.get_mut(&image) {
+            *v = counts;
+        }
     }
 
     /// Records the retirement of the instruction at `word` in `image`.
@@ -45,7 +84,29 @@ impl GroundTruth {
     /// through of conditional branches, and indirect jumps).
     #[inline]
     pub fn count_edge(&mut self, image: ImageId, from_word: u32, to_word: u32) {
-        *self.edges.entry((image, from_word, to_word)).or_insert(0) += 1;
+        *self
+            .edges
+            .entry(image)
+            .or_default()
+            .entry(edge_key(from_word, to_word))
+            .or_insert(0) += 1;
+    }
+
+    /// Detaches an image's edge map for direct updates in the superblock
+    /// walk; restore it with [`GroundTruth::put_edges`].
+    pub(crate) fn take_edges(&mut self, image: ImageId) -> FastMap<u64, u64> {
+        self.edges
+            .get_mut(&image)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Reattaches an edge map detached by [`GroundTruth::take_edges`]
+    /// (or populated from scratch during the walk).
+    pub(crate) fn put_edges(&mut self, image: ImageId, edges: FastMap<u64, u64>) {
+        if !edges.is_empty() {
+            self.edges.insert(image, edges);
+        }
     }
 
     /// Execution count of the instruction at byte `offset` in `image`.
@@ -62,7 +123,8 @@ impl GroundTruth {
     #[must_use]
     pub fn edge_count(&self, image: ImageId, from: u64, to: u64) -> u64 {
         self.edges
-            .get(&(image, (from / 4) as u32, (to / 4) as u32))
+            .get(&image)
+            .and_then(|m| m.get(&edge_key((from / 4) as u32, (to / 4) as u32)))
             .copied()
             .unwrap_or(0)
     }
@@ -72,9 +134,10 @@ impl GroundTruth {
     pub fn edges_of(&self, image: ImageId) -> Vec<(u64, u64, u64)> {
         let mut out: Vec<_> = self
             .edges
-            .iter()
-            .filter(|((img, _, _), _)| *img == image)
-            .map(|(&(_, f, t), &c)| (u64::from(f) * 4, u64::from(t) * 4, c))
+            .get(&image)
+            .into_iter()
+            .flatten()
+            .map(|(&k, &c)| ((k >> 32) * 4, (k & 0xffff_ffff) * 4, c))
             .collect();
         out.sort_unstable();
         out
@@ -131,8 +194,11 @@ impl GroundTruth {
                 *m += c;
             }
         }
-        for (&key, &c) in &other.edges {
-            *self.edges.entry(key).or_insert(0) += c;
+        for (&image, em) in &other.edges {
+            let mine = self.edges.entry(image).or_default();
+            for (&k, &c) in em {
+                *mine.entry(k).or_insert(0) += c;
+            }
         }
     }
 }

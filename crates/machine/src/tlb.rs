@@ -42,6 +42,21 @@ impl Tlb {
         false
     }
 
+    /// Records a hit for a page the caller has proven is the MRU entry
+    /// (because the immediately preceding access to this TLB touched the
+    /// same page). `access` would find it at position 0 and rotate a
+    /// one-element prefix — a no-op — so bumping the hit counter is the
+    /// entire observable effect. Lets the superblock dispatch loop skip
+    /// the linear probe for same-page runs.
+    pub fn hit_mru(&mut self, vpage: u64) {
+        debug_assert_eq!(
+            self.entries.first(),
+            Some(&vpage),
+            "hit_mru caller invariant: page must be the MRU entry"
+        );
+        self.hits += 1;
+    }
+
     /// Probes without filling or updating statistics or LRU order (used
     /// when testing whether an aligned-pair junior could issue without
     /// perturbing state).
@@ -116,5 +131,27 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         let _ = Tlb::new(0);
+    }
+
+    #[test]
+    fn hit_mru_is_equivalent_to_access_for_mru_page() {
+        let mut a = Tlb::new(4);
+        let _ = a.access(1);
+        let _ = a.access(2);
+        let mut b = a.clone();
+        // Page 2 was the last one touched, so it is the MRU entry.
+        a.hit_mru(2);
+        assert!(b.access(2));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "full state identical");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "hit_mru caller invariant")]
+    fn hit_mru_rejects_non_mru_page() {
+        let mut t = Tlb::new(4);
+        let _ = t.access(1);
+        let _ = t.access(2);
+        t.hit_mru(1);
     }
 }

@@ -1,0 +1,148 @@
+//! Regression test for handler-chain invalidation on image hot-swap.
+//!
+//! The PGO loop replaces a registered image's contents in place
+//! ([`Machine::replace_image`]): same image id, rewritten text. The
+//! superblock dispatcher caches per-image precompiled handler chains, so
+//! a swap must rebuild them — if a stale chain (old decoded operands,
+//! old branch displacements) kept executing, the machine would silently
+//! run the *old* program. The test hot-swaps mid-run, at a PC inside the
+//! rewritten region, and proves the new text takes effect identically
+//! under both dispatch modes.
+
+use dcpi_isa::asm::Asm;
+use dcpi_isa::image::Image;
+use dcpi_isa::reg::Reg;
+use dcpi_machine::counters::CounterConfig;
+use dcpi_machine::machine::{Machine, NullSink};
+use dcpi_machine::{DispatchMode, MachineConfig};
+
+/// Iteration count. Must stay below 32768 so `li` emits a single `lda`
+/// and the word layout below holds.
+const N: i64 = 30_000;
+
+/// v1: a countdown loop whose back edge targets the loop head (word 2).
+///
+/// ```text
+/// w0: lda  t0, n      w3: subq t0, 1, t0
+/// w1: lda  t1, 0      w4: bne  t0 -> w2
+/// w2: addq t1, 1, t1  w5: halt
+/// ```
+fn image_v1(n: i64) -> Image {
+    assert!(n < 32768);
+    let mut a = Asm::new("/bin/hotswap");
+    a.proc("main");
+    a.li(Reg::T0, n);
+    a.li(Reg::T1, 0);
+    let top = a.here(); // w2
+    a.addq_lit(Reg::T1, 1, Reg::T1);
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bne(Reg::T0, top);
+    a.halt();
+    a.finish()
+}
+
+/// v2: same text length, but word 2 becomes a nop and the back edge
+/// retargets to word 3 — the "optimized" loop skips the dead head. Only
+/// rebuilt decode tables can produce the new branch displacement; a
+/// stale chain would keep jumping to word 2.
+fn image_v2(n: i64) -> Image {
+    assert!(n < 32768);
+    let mut a = Asm::new("/bin/hotswap");
+    a.proc("main");
+    a.li(Reg::T0, n);
+    a.li(Reg::T1, 0);
+    a.nop(); // w2: the old loop head, now dead
+    let top = a.here(); // w3
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bne(Reg::T0, top);
+    a.halt();
+    a.finish()
+}
+
+/// Everything observable about a hot-swap run: final time, total
+/// retired, per-word counts, and the image's edge list.
+type Observed = (u64, u64, Vec<u64>, Vec<(u64, u64, u64)>);
+
+/// Runs the hot-swap scenario: v1 until `swap_at` cycles, then v2 to
+/// completion. Returns everything observable.
+fn run_scenario(dispatch: DispatchMode, swap_at: u64) -> Observed {
+    let mut cfg = MachineConfig::with_counters(CounterConfig::off());
+    cfg.dispatch = dispatch;
+    let mut m = Machine::new(cfg, NullSink);
+    let id = m.register_image(image_v1(N));
+    m.spawn(0, id, &[], |_| {});
+    m.run_cpu_until(0, swap_at);
+
+    // Mid-loop: v1's back edge (w4 -> w2) must be hot, v2's (w4 -> w3)
+    // nonexistent.
+    assert_eq!(m.os.live_processes(), 1, "swap point must be mid-run");
+    assert!(
+        m.gt.edge_count(id, 16, 8) > 0,
+        "v1 loop running before swap"
+    );
+    assert_eq!(m.gt.edge_count(id, 16, 12), 0);
+    let w2_before = m.gt.insn_count(id, 8);
+
+    m.replace_image(id, image_v2(N));
+    m.run_to_completion(100_000, 4_000_000_000);
+
+    // The swap took effect: the new back edge ran, the dead head did not
+    // (at most one straggler execution if the swap caught the PC there).
+    assert!(
+        m.gt.edge_count(id, 16, 12) > 0,
+        "rebuilt chain must follow v2's branch displacement"
+    );
+    assert!(
+        m.gt.insn_count(id, 8) <= w2_before + 1,
+        "v2 executes the old loop head at most once more"
+    );
+    assert_eq!(m.os.live_processes(), 0, "swapped program still halts");
+
+    let counts = (0..6).map(|w| m.gt.insn_count(id, w * 4)).collect();
+    (m.time(), m.total_retired(), counts, m.gt.edges_of(id))
+}
+
+#[test]
+fn hot_swap_rebuilds_chains_mid_run() {
+    let (time, retired, counts, edges) = run_scenario(DispatchMode::Superblock, 50_000);
+    assert!(time > 0 && retired > 0);
+    // Both loop versions retired work: w3 (subq in both) ran throughout,
+    // w2 stopped at the swap.
+    assert!(counts[3] > counts[2]);
+    assert!(!edges.is_empty());
+}
+
+#[test]
+fn hot_swap_is_bit_identical_across_dispatch_modes() {
+    for swap_at in [20_000, 35_000, 50_000] {
+        let classic = run_scenario(DispatchMode::Classic, swap_at);
+        let superblock = run_scenario(DispatchMode::Superblock, swap_at);
+        assert_eq!(classic, superblock, "swap_at = {swap_at}");
+    }
+}
+
+#[test]
+fn replace_image_bumps_epoch_and_survives_repeated_swaps() {
+    let mut cfg = MachineConfig::with_counters(CounterConfig::off());
+    cfg.dispatch = DispatchMode::Superblock;
+    let mut m = Machine::new(cfg, NullSink);
+    let id = m.register_image(image_v1(N));
+    m.spawn(0, id, &[], |_| {});
+    let epoch0 = m.os.epoch();
+    // Swap back and forth while running; every swap must land.
+    for (i, target) in [15_000u64, 30_000, 45_000].iter().enumerate() {
+        m.run_cpu_until(0, *target);
+        assert_eq!(m.os.live_processes(), 1, "swap {i} must be mid-run");
+        if i % 2 == 0 {
+            m.replace_image(id, image_v2(N));
+        } else {
+            m.replace_image(id, image_v1(N));
+        }
+        assert_eq!(m.os.epoch(), epoch0 + i as u64 + 1);
+    }
+    m.run_to_completion(100_000, 4_000_000_000);
+    assert_eq!(m.os.live_processes(), 0);
+    // Both versions' distinctive back edges were exercised.
+    assert!(m.gt.edge_count(id, 16, 8) > 0);
+    assert!(m.gt.edge_count(id, 16, 12) > 0);
+}

@@ -1,18 +1,21 @@
 //! `profile <workload> <db-dir> [--seed N] [--scale N] [--period LO HI]
-//! [--config base|cycles|default|mux] [--obs PATH] [--quiet] [--json]` —
-//! runs a named workload under continuous profiling and writes the
-//! profile database (with saved images) that the dcpi* tools consume.
-//! With `--obs PATH` the run's observability snapshot (metrics, trace
-//! rings, ledgers) is exported as JSON for `dcpistat`, `dcpitrace`, and
-//! `dcpicheck obs`.
+//! [--config base|cycles|default|mux] [--dispatch classic|superblock]
+//! [--obs PATH] [--quiet] [--json]` — runs a named workload under
+//! continuous profiling and writes the profile database (with saved
+//! images) that the dcpi* tools consume. With `--obs PATH` the run's
+//! observability snapshot (metrics, trace rings, ledgers) is exported as
+//! JSON for `dcpistat`, `dcpitrace`, and `dcpicheck obs`. `--dispatch`
+//! selects the execution core (CI diffs the two databases to prove the
+//! superblock path changes nothing observable).
 
+use dcpi_machine::DispatchMode;
 use dcpi_obs::Reporter;
 use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
 
 fn usage() -> ! {
     eprintln!(
         "usage: profile <workload> <db-dir> [--seed N] [--scale N] [--config CFG] \
-         [--obs PATH] [--quiet] [--json]"
+         [--dispatch classic|superblock] [--obs PATH] [--quiet] [--json]"
     );
     eprintln!("workloads:");
     for w in Workload::ALL {
@@ -65,6 +68,14 @@ fn main() {
                     Some("default") => ProfConfig::Default,
                     Some("mux") => ProfConfig::Mux,
                     Some("base") => ProfConfig::Base,
+                    _ => usage(),
+                };
+                i += 1;
+            }
+            "--dispatch" => {
+                opts.dispatch = match args.get(i + 1).map(String::as_str) {
+                    Some("classic") => DispatchMode::Classic,
+                    Some("superblock") => DispatchMode::Superblock,
                     _ => usage(),
                 };
                 i += 1;

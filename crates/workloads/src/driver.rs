@@ -15,7 +15,7 @@ use dcpi_core::{EdgeProfiles, ImageId, ProfileSet, Sample};
 use dcpi_isa::image::Image;
 use dcpi_machine::counters::CounterConfig;
 use dcpi_machine::machine::{Machine, NullSink, SampleSink};
-use dcpi_machine::{GroundTruth, MachineConfig};
+use dcpi_machine::{DispatchMode, DispatchStats, GroundTruth, MachineConfig};
 use dcpi_obs::{ObsConfig, OverheadLedger, Snapshot};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -171,6 +171,10 @@ pub struct RunOptions {
     /// overhead/sample ledgers ([`RunResult::obs`]). No effect on
     /// `base` runs (nothing to observe).
     pub obs: bool,
+    /// Execution-core dispatch mode. `Superblock` (the default) and
+    /// `Classic` produce bit-identical results; the parity suite runs
+    /// every workload under both.
+    pub dispatch: DispatchMode,
 }
 
 impl Default for RunOptions {
@@ -186,6 +190,7 @@ impl Default for RunOptions {
             skid: None,
             fixed_period: false,
             obs: false,
+            dispatch: DispatchMode::default(),
         }
     }
 }
@@ -229,6 +234,9 @@ pub struct RunResult {
     pub overhead: Option<OverheadLedger>,
     /// Full observability snapshot (present when `RunOptions::obs`).
     pub obs: Option<Snapshot>,
+    /// Dispatch-path accounting (chain vs. classic issue groups),
+    /// aggregated across CPUs.
+    pub dispatch: DispatchStats,
 }
 
 fn kernel_addrs<S: SampleSink>(m: &Machine<S>) -> KernelAddrs {
@@ -327,6 +335,7 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
         cpus: w.cpus(),
         seed: opts.seed,
         page_alloc_random: opts.page_alloc_random || w == Workload::Wave5,
+        dispatch: opts.dispatch,
         ..MachineConfig::default()
     };
     let period = if opts.fixed_period {
@@ -351,6 +360,7 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
         } else {
             m.time()
         };
+        let dispatch = m.dispatch_stats();
         RunResult {
             workload: w,
             config: prof,
@@ -370,6 +380,7 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
             ledger: None,
             overhead: None,
             obs: None,
+            dispatch,
         }
     } else {
         let scfg = SessionConfig {
@@ -412,6 +423,7 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
         } else {
             m.time()
         };
+        let dispatch = m.dispatch_stats();
         RunResult {
             workload: w,
             config: prof,
@@ -437,6 +449,7 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
             ledger: Some(ledger),
             overhead: Some(overhead),
             obs,
+            dispatch,
         }
     }
 }

@@ -1,0 +1,94 @@
+//! Dispatch parity: superblock threaded dispatch is a pure optimization.
+//!
+//! Every Table 2 workload, at several seeds, must produce **bit-identical**
+//! observable output under classic single-step dispatch and superblock
+//! chain dispatch: profiles, ground-truth counts and edges, driver
+//! statistics, the end-to-end loss ledger, and the overhead ledger. The
+//! two modes may differ only in wall-clock time and in the dispatch-path
+//! accounting itself.
+//!
+//! Set `DCPI_QUICK` to trim to one seed for CI wall-time budgets.
+
+use dcpi_machine::DispatchMode;
+use dcpi_workloads::{run_workload, ProfConfig, RunOptions, RunResult, Workload};
+
+fn seeds() -> &'static [u32] {
+    if std::env::var("DCPI_QUICK").is_ok() {
+        &[1]
+    } else {
+        &[1, 2, 3]
+    }
+}
+
+/// Flattens everything observable about a run — everything except the
+/// dispatch accounting itself — into a comparable form.
+fn fingerprint(r: &RunResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "cycles={} samples={} retired={}",
+        r.cycles, r.samples, r.retired
+    );
+    for key in r.profiles.sorted_keys() {
+        let p = r.profiles.get(key.image, key.event).expect("keyed profile");
+        let _ = writeln!(
+            s,
+            "profile {:?} {:?}: {:?}",
+            key.image,
+            key.event,
+            p.iter().collect::<Vec<_>>()
+        );
+    }
+    let mut edges: Vec<_> = r.edge_profiles.iter().map(|(k, v)| (*k, *v)).collect();
+    edges.sort_unstable();
+    let _ = writeln!(s, "edge profiles: {edges:?}");
+    for (id, image) in &r.images {
+        let counts: Vec<u64> = (0..image.words().len())
+            .map(|w| r.gt.insn_count(*id, w as u64 * 4))
+            .collect();
+        let _ = writeln!(s, "gt {id:?}: {counts:?} {:?}", r.gt.edges_of(*id));
+    }
+    let _ = writeln!(s, "driver: {:?}", r.driver);
+    let _ = writeln!(s, "ledger: {:?}", r.ledger);
+    let _ = writeln!(s, "overhead: {:?}", r.overhead);
+    s
+}
+
+fn run(w: Workload, seed: u32, dispatch: DispatchMode) -> RunResult {
+    let opts = RunOptions {
+        seed,
+        scale: 1,
+        period: (6_000, 6_400),
+        limit: 200_000_000,
+        obs: true,
+        dispatch,
+        ..RunOptions::default()
+    };
+    run_workload(w, ProfConfig::Cycles, &opts)
+}
+
+#[test]
+fn all_workloads_are_bit_identical_across_dispatch_modes() {
+    for &w in &Workload::ALL {
+        for &seed in seeds() {
+            let classic = run(w, seed, DispatchMode::Classic);
+            let superblock = run(w, seed, DispatchMode::Superblock);
+            assert!(classic.retired > 0, "{} seed {seed} ran nothing", w.name());
+            // The chain path actually engaged — parity against a walker
+            // that delegates everything would prove nothing.
+            assert!(
+                superblock.dispatch.chain_groups > superblock.dispatch.classic_groups,
+                "{} seed {seed}: superblock barely engaged ({:?})",
+                w.name(),
+                superblock.dispatch
+            );
+            assert_eq!(
+                fingerprint(&classic),
+                fingerprint(&superblock),
+                "{} seed {seed}: dispatch mode changed observable output",
+                w.name()
+            );
+        }
+    }
+}
