@@ -76,6 +76,15 @@ struct TvRow {
     wall_s: f64,
 }
 
+struct FleetRow {
+    name: String,
+    agents: u32,
+    epochs: u64,
+    samples: u64,
+    wall_s: f64,
+    conserves: bool,
+}
+
 fn main() {
     let opts = ExpOptions::from_args(4);
     // Read the committed baseline before we overwrite it below.
@@ -309,11 +318,51 @@ fn main() {
         wall_s,
     };
 
+    // Fleet ingest throughput (DESIGN.md §12): a full chaos run — agent
+    // and server crashes, every network fault class armed — timed end to
+    // end, reported as epochs/s and samples/s. The row must conserve;
+    // a non-conserving fleet fails `--check` outright.
+    // Not shrunk under `--quick`: the whole run takes well under a
+    // second, and a fixed agent count keeps the baseline row comparable.
+    let agents = 100;
+    let fleet_root = std::env::temp_dir().join(format!("dcpi-bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fleet_root);
+    let t = Instant::now();
+    let fleet = dcpi_server::run_fleet(
+        &dcpi_server::FleetConfig::new(&fleet_root, agents, opts.seed),
+        &dcpi_obs::Obs::default(),
+    )
+    .expect("fleet run");
+    let fleet_wall = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&fleet_root);
+    let fleet_row = FleetRow {
+        name: format!("fleet-{agents}"),
+        agents,
+        epochs: fleet.epochs_sealed,
+        samples: fleet.ledger.base.generated,
+        wall_s: fleet_wall,
+        conserves: fleet.conserves(),
+    };
+    println!(
+        "fleet {agents} agents: {} epochs, {} samples in {fleet_wall:.2}s = \
+         {:.0} epochs/s, {:.0} samples/s{}",
+        fleet_row.epochs,
+        fleet_row.samples,
+        fleet_row.epochs as f64 / fleet_wall,
+        fleet_row.samples as f64 / fleet_wall,
+        if fleet_row.conserves {
+            ""
+        } else {
+            "  ** NOT CONSERVED **"
+        }
+    );
+
     let json = render_json(
         &rows,
         &overhead_rows,
         &pgo_rows,
         &tv_rows,
+        &fleet_row,
         &experiment,
         &opts,
     );
@@ -342,7 +391,7 @@ fn main() {
         Ok(()) => println!("wrote {dpath}"),
         Err(e) => eprintln!("warning: could not write {dpath}: {e}"),
     }
-    if opts.check && !check_against_baseline(&rows, baseline.as_deref()) {
+    if opts.check && !check_against_baseline(&rows, &fleet_row, baseline.as_deref()) {
         std::process::exit(1);
     }
 }
@@ -352,13 +401,16 @@ fn main() {
 /// independent, so `--quick` runs compare against a full-scale baseline;
 /// the 2x slack absorbs both that and CI hardware variance. Returns
 /// false on a regression.
-fn check_against_baseline(rows: &[WorkloadRow], baseline: Option<&str>) -> bool {
+fn check_against_baseline(rows: &[WorkloadRow], fleet: &FleetRow, baseline: Option<&str>) -> bool {
+    let mut ok = fleet.conserves;
+    if !ok {
+        println!("check {:<18} fleet ledger ** NOT CONSERVED **", fleet.name);
+    }
     let Some(baseline) = baseline else {
         eprintln!("warning: --check but no committed BENCH_perf.json; nothing to compare");
-        return true;
+        return ok;
     };
     let base = parse_baseline(baseline);
-    let mut ok = true;
     for r in rows {
         let now = r.cycles as f64 / r.wall_s / 1e6;
         match base.iter().find(|(n, _)| n == r.name) {
@@ -374,7 +426,36 @@ fn check_against_baseline(rows: &[WorkloadRow], baseline: Option<&str>) -> bool 
             None => println!("check {:<18} has no baseline row; skipping", r.name),
         }
     }
+    // Fleet throughput is samples/s, not simulated cycles/s, so it gets
+    // its own baseline key with the same 2x slack.
+    match baseline_fleet_rate(baseline, &fleet.name) {
+        Some(was) => {
+            let now = fleet.samples as f64 / fleet.wall_s;
+            let pass = now >= was / 2.0;
+            println!(
+                "check {:<18} {now:9.0} samples/s vs baseline {was:9.0}  {}",
+                fleet.name,
+                if pass { "ok" } else { "** REGRESSED **" }
+            );
+            ok &= pass;
+        }
+        None => println!("check {:<18} has no baseline row; skipping", fleet.name),
+    }
     ok
+}
+
+/// Pulls `samples_per_s` for the named fleet row out of the committed
+/// baseline, line-oriented like [`parse_baseline`].
+fn baseline_fleet_rate(json: &str, name: &str) -> Option<f64> {
+    let line = json
+        .lines()
+        .find(|l| l.contains(&format!("\"name\": \"{name}\"")) && l.contains("samples_per_s"))?;
+    let rest = &line[line.find("\"samples_per_s\":")? + "\"samples_per_s\":".len()..];
+    let rest = rest.trim_start();
+    rest[..rest.find([',', '}']).unwrap_or(rest.len())]
+        .trim()
+        .parse()
+        .ok()
 }
 
 /// Renders `BENCH_dispatch.json`: per-workload dynamic dispatch-path
@@ -414,6 +495,7 @@ fn render_json(
     overhead: &[OverheadRow],
     pgo: &[PgoRow],
     tv: &[TvRow],
+    fleet: &FleetRow,
     exp: &ExperimentRow,
     opts: &ExpOptions,
 ) -> String {
@@ -485,6 +567,25 @@ fn render_json(
             r.name, r.segments, r.proved, r.wall_s
         );
     }
+    let _ = writeln!(s, "  ],");
+    // Fleet rows carry `samples_per_s` instead of `mcycles_per_s`:
+    // wall time here is ingest + WAL + merge work, not simulation, and
+    // the checker compares it under its own key.
+    let _ = writeln!(s, "  \"fleet\": [");
+    let _ = writeln!(
+        s,
+        "    {{\"name\": \"{}\", \"agents\": {}, \"epochs\": {}, \"samples\": {}, \
+         \"wall_s\": {:.4}, \"epochs_per_s\": {:.1}, \"samples_per_s\": {:.1}, \
+         \"conserves\": {}}}",
+        fleet.name,
+        fleet.agents,
+        fleet.epochs,
+        fleet.samples,
+        fleet.wall_s,
+        fleet.epochs as f64 / fleet.wall_s,
+        fleet.samples as f64 / fleet.wall_s,
+        fleet.conserves
+    );
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"experiments\": [");
     let _ = writeln!(

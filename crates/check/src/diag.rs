@@ -40,6 +40,10 @@ pub enum Layer {
     Pgo,
     /// Translation validation: symbolic old-vs-new equivalence proofs.
     Tv,
+    /// Fleet ingestion audits: server WAL structure, per-agent sequence
+    /// contiguity, merge-intent/database agreement, and the fleet-wide
+    /// sample-conservation ledger.
+    Fleet,
 }
 
 impl fmt::Display for Layer {
@@ -52,6 +56,7 @@ impl fmt::Display for Layer {
             Layer::Obs => write!(f, "obs"),
             Layer::Pgo => write!(f, "pgo"),
             Layer::Tv => write!(f, "tv"),
+            Layer::Fleet => write!(f, "fleet"),
         }
     }
 }
@@ -138,6 +143,23 @@ pub enum Category {
     /// Translation-validation state: registers or the store sequence
     /// diverge between the old and new segment.
     TvState,
+    /// Server WAL structure: torn tails, undecodable journaled frames,
+    /// non-upload frames in the journal.
+    WalStructure,
+    /// Per-agent upload sequence problems: gaps or a `(agent, seq)`
+    /// journaled more than once (dedup failed).
+    SeqGap,
+    /// Merge-intent problems: an intent references a batch the journal
+    /// does not hold, a batch appears in more than one intent, or
+    /// intent epochs are not `0, 1, 2, …` in order.
+    MergeIntent,
+    /// Fleet-database disagreement: an intent's epoch is missing, or
+    /// its sample totals differ from the journaled batches named by the
+    /// intent; image names missing for profiled images.
+    FleetDb,
+    /// Fleet ledger violations: summed journaled deltas break the
+    /// conservation identity, or `fleet.json` disagrees with the WAL.
+    FleetConservation,
 }
 
 impl Category {
@@ -175,6 +197,11 @@ impl Category {
             | Category::ObsLedger => Layer::Obs,
             Category::PgoMap | Category::PgoTarget | Category::PgoRewrite => Layer::Pgo,
             Category::TvStructure | Category::TvControl | Category::TvState => Layer::Tv,
+            Category::WalStructure
+            | Category::SeqGap
+            | Category::MergeIntent
+            | Category::FleetDb
+            | Category::FleetConservation => Layer::Fleet,
         }
     }
 
@@ -216,6 +243,11 @@ impl Category {
             Category::TvStructure => "tv-structure",
             Category::TvControl => "tv-control",
             Category::TvState => "tv-state",
+            Category::WalStructure => "wal-structure",
+            Category::SeqGap => "seq-gap",
+            Category::MergeIntent => "merge-intent",
+            Category::FleetDb => "fleet-db",
+            Category::FleetConservation => "fleet-conservation",
         }
     }
 }

@@ -105,13 +105,14 @@ impl DaemonStats {
     /// per `Machine` in the grid experiments), so the combined footprint
     /// is the total across instances.
     pub fn merge(&mut self, other: &DaemonStats) {
-        self.entries += other.entries;
-        self.samples += other.samples;
-        self.unknown_samples += other.unknown_samples;
-        self.cycles += other.cycles;
-        self.memory_bytes += other.memory_bytes;
-        self.peak_memory_bytes += other.peak_memory_bytes;
-        self.image_write_failures += other.image_write_failures;
+        use crate::faults::ledger_add;
+        ledger_add(&mut self.entries, other.entries);
+        ledger_add(&mut self.samples, other.samples);
+        ledger_add(&mut self.unknown_samples, other.unknown_samples);
+        ledger_add(&mut self.cycles, other.cycles);
+        ledger_add(&mut self.memory_bytes, other.memory_bytes);
+        ledger_add(&mut self.peak_memory_bytes, other.peak_memory_bytes);
+        ledger_add(&mut self.image_write_failures, other.image_write_failures);
     }
 }
 

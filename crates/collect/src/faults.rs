@@ -199,11 +199,42 @@ pub struct LossLedger {
     pub quarantined: u64,
 }
 
+/// Adds `add` into a ledger counter. Fleet-scale totals sum ledgers from
+/// hundreds of agents over long horizons, where a silent wrap would turn
+/// a conservation violation into a false pass (or vice versa); debug
+/// builds assert, release builds saturate so the mismatch stays visible.
+#[inline]
+pub fn ledger_add(slot: &mut u64, add: u64) {
+    debug_assert!(
+        slot.checked_add(add).is_some(),
+        "ledger counter overflow: {slot} + {add}"
+    );
+    *slot = slot.saturating_add(add);
+}
+
+/// Sums ledger buckets with the same overflow discipline as
+/// [`ledger_add`].
+#[inline]
+#[must_use]
+pub fn ledger_sum(parts: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for &p in parts {
+        ledger_add(&mut total, p);
+    }
+    total
+}
+
 impl LossLedger {
     /// Samples accounted for across all loss and retention buckets.
     #[must_use]
     pub fn accounted(&self) -> u64 {
-        self.attributed + self.unknown + self.driver_dropped + self.crash_lost + self.quarantined
+        ledger_sum(&[
+            self.attributed,
+            self.unknown,
+            self.driver_dropped,
+            self.crash_lost,
+            self.quarantined,
+        ])
     }
 
     /// The conservation law: nothing vanished without a line item.
@@ -232,12 +263,93 @@ impl LossLedger {
     /// This is the one correct way to combine ledgers from independent
     /// `Machine` runs in the grid experiments.
     pub fn merge(&mut self, other: &LossLedger) {
-        self.generated += other.generated;
-        self.attributed += other.attributed;
-        self.unknown += other.unknown;
-        self.driver_dropped += other.driver_dropped;
-        self.crash_lost += other.crash_lost;
-        self.quarantined += other.quarantined;
+        ledger_add(&mut self.generated, other.generated);
+        ledger_add(&mut self.attributed, other.attributed);
+        ledger_add(&mut self.unknown, other.unknown);
+        ledger_add(&mut self.driver_dropped, other.driver_dropped);
+        ledger_add(&mut self.crash_lost, other.crash_lost);
+        ledger_add(&mut self.quarantined, other.quarantined);
+    }
+}
+
+/// End-to-end fleet accounting: the [`LossLedger`] identity extended
+/// through upload, retry, server journal, and fleet merge. Every
+/// generated sample is, at any instant, in exactly one place:
+///
+/// ```text
+/// generated = merged (attributed + unknown)     -- in the fleet db
+///           + server_journal                    -- journaled, unmerged
+///           + in_flight                         -- sealed, unacked
+///           + driver_dropped + crash_lost + quarantined
+/// ```
+///
+/// At quiesce `in_flight == 0` and `server_journal == 0`, so the base
+/// conservation law holds exactly fleet-wide.
+/// `retrans_duplicates_discarded` counts samples in duplicate uploads
+/// the server discarded; duplicates are *copies*, so the count sits
+/// outside the identity (informational — proof the dedup path ran).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetLedger {
+    /// The per-sample buckets. `attributed`/`unknown` here mean *merged
+    /// into the fleet database* (split by unknown-image).
+    pub base: LossLedger,
+    /// Samples in epochs sealed by agents but not yet acked by the
+    /// server (spool, in transit, or awaiting retransmission).
+    pub in_flight: u64,
+    /// Samples journaled in the server WAL but not yet merged into the
+    /// fleet database.
+    pub server_journal: u64,
+    /// Samples merged into the fleet database
+    /// (`== base.attributed + base.unknown`; kept as a cross-check).
+    pub fleet_merged: u64,
+    /// Samples inside duplicate uploads the server discarded (retries
+    /// after a lost ack). Outside the identity by construction.
+    pub retrans_duplicates_discarded: u64,
+}
+
+impl FleetLedger {
+    /// Samples accounted for, including the two transit buckets.
+    #[must_use]
+    pub fn accounted(&self) -> u64 {
+        ledger_sum(&[self.base.accounted(), self.in_flight, self.server_journal])
+    }
+
+    /// The fleet-wide conservation law plus the merged cross-check.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.base.generated == self.accounted()
+            && self.fleet_merged == ledger_sum(&[self.base.attributed, self.base.unknown])
+    }
+
+    /// A two-line summary for fleet reports.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "fleet: generated {} = merged {} (attributed {} + unknown {}) + journal {} + in-flight {} + dropped {} + crash-lost {} + quarantined {}{}\nfleet: duplicate samples discarded {}",
+            self.base.generated,
+            self.fleet_merged,
+            self.base.attributed,
+            self.base.unknown,
+            self.server_journal,
+            self.in_flight,
+            self.base.driver_dropped,
+            self.base.crash_lost,
+            self.base.quarantined,
+            if self.conserves() { "" } else { "  ** NOT CONSERVED **" },
+            self.retrans_duplicates_discarded,
+        )
+    }
+
+    /// Merges another fleet's ledger (plain checked sums per bucket).
+    pub fn merge(&mut self, other: &FleetLedger) {
+        self.base.merge(&other.base);
+        ledger_add(&mut self.in_flight, other.in_flight);
+        ledger_add(&mut self.server_journal, other.server_journal);
+        ledger_add(&mut self.fleet_merged, other.fleet_merged);
+        ledger_add(
+            &mut self.retrans_duplicates_discarded,
+            other.retrans_duplicates_discarded,
+        );
     }
 }
 
@@ -472,6 +584,274 @@ fn profile_files(root: &Path) -> Vec<PathBuf> {
     out
 }
 
+/// A network partition: agents with `id % modulo == remainder` are cut
+/// off from the server during `[from, until)` ticks — frames in either
+/// direction are dropped on the floor (the sender times out and
+/// retries after the heal).
+#[derive(Clone, Copy, Debug)]
+pub struct Partition {
+    /// First partitioned tick.
+    pub from: u64,
+    /// First tick past the partition.
+    pub until: u64,
+    /// Subset selector modulus (≥ 1).
+    pub modulo: u32,
+    /// Subset selector remainder (`< modulo`).
+    pub remainder: u32,
+}
+
+impl Partition {
+    /// True if `agent` is cut off at `now`.
+    #[must_use]
+    pub fn cuts(&self, now: u64, agent: u32) -> bool {
+        (self.from..self.until).contains(&now) && agent % self.modulo.max(1) == self.remainder
+    }
+}
+
+/// A seeded, reproducible schedule of *network* faults for the fleet
+/// upload path, the transport-layer sibling of [`FaultPlan`]. Period
+/// fields count frames fleet-wide (0 = never); the transport applies
+/// them deterministically in send order, so the same plan over the
+/// same traffic yields bit-identical damage.
+#[derive(Clone, Debug)]
+pub struct NetFaultPlan {
+    /// Drop every Nth frame outright.
+    pub drop_period: u64,
+    /// Deliver every Nth frame twice (the copy lands `delay` later).
+    pub dup_period: u64,
+    /// Delay every Nth frame past its successor (reordering).
+    pub reorder_period: u64,
+    /// Truncate every Nth frame mid-record; the receiver's CRC check
+    /// rejects it, which behaves like a drop with extra decode work.
+    pub truncate_period: u64,
+    /// Base one-way latency in ticks.
+    pub delay: u64,
+    /// Seeded extra delay in `[0, jitter]` per frame.
+    pub jitter: u64,
+    /// Link-wide stall windows: nothing is delivered while one is open
+    /// (frames queue and arrive after the window closes).
+    pub stalls: Vec<StallWindow>,
+    /// Agent-subset partitions.
+    pub partitions: Vec<Partition>,
+    /// Tick after which no further faults fire (the heal point); frames
+    /// sent at or past it sail through. `u64::MAX` = never heal.
+    pub heal_at: u64,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> NetFaultPlan {
+        NetFaultPlan {
+            drop_period: 0,
+            dup_period: 0,
+            reorder_period: 0,
+            truncate_period: 0,
+            delay: 1,
+            jitter: 0,
+            stalls: Vec::new(),
+            partitions: Vec::new(),
+            heal_at: u64::MAX,
+        }
+    }
+}
+
+impl NetFaultPlan {
+    /// The clean network: fixed 1-tick latency, no faults.
+    #[must_use]
+    pub fn none() -> NetFaultPlan {
+        NetFaultPlan::default()
+    }
+
+    /// True if the plan schedules no faults (latency alone is not a
+    /// fault).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.drop_period == 0
+            && self.dup_period == 0
+            && self.reorder_period == 0
+            && self.truncate_period == 0
+            && self.jitter == 0
+            && self.stalls.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Draws a randomized plan over `[0, horizon)` ticks from `seed`.
+    /// Every fault class fires: drops, duplicates, reordering,
+    /// truncation, at least one stall, and at least one partition.
+    #[must_use]
+    pub fn random(seed: u32, horizon: u64) -> NetFaultPlan {
+        let mut rng = CartaRng::new(seed);
+        let h = horizon.max(64);
+        // Periods are drawn from disjoint prime pools so no class
+        // shadows another: earlier checks (drop, then truncate) win on
+        // a shared frame index, and a dup_period that divides into
+        // drop_period's multiples would never fire at all.
+        let pick =
+            |rng: &mut CartaRng, pool: &[u64]| pool[rng.uniform(0, pool.len() as u64 - 1) as usize];
+        let mut plan = NetFaultPlan {
+            drop_period: pick(&mut rng, &[7, 11, 13, 17, 19, 23]),
+            dup_period: pick(&mut rng, &[29, 31, 37]),
+            reorder_period: pick(&mut rng, &[41, 43, 47]),
+            truncate_period: pick(&mut rng, &[53, 59, 61]),
+            delay: rng.uniform(1, 4),
+            jitter: rng.uniform(0, 3),
+            heal_at: h,
+            ..NetFaultPlan::none()
+        };
+        for _ in 0..rng.uniform(1, 2) {
+            let from = rng.uniform(h / 8, h - h / 4);
+            let len = rng.uniform(h / 40, h / 12);
+            plan.stalls.push(StallWindow {
+                from,
+                until: from.saturating_add(len).min(h),
+            });
+        }
+        for _ in 0..rng.uniform(1, 2) {
+            let from = rng.uniform(h / 6, h - h / 4);
+            let len = rng.uniform(h / 30, h / 8);
+            let modulo = rng.uniform(3, 8) as u32;
+            plan.partitions.push(Partition {
+                from,
+                until: from.saturating_add(len).min(h),
+                modulo,
+                remainder: rng.uniform(0, u64::from(modulo) - 1) as u32,
+            });
+        }
+        plan
+    }
+}
+
+/// What the network decided to do with one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetVerdict {
+    /// The frame never arrives (drop, stall overflow, or partition).
+    Drop,
+    /// The frame arrives at `at`; `truncate_to` cuts it mid-record
+    /// first (CRC failure at the receiver); `duplicate_at` schedules a
+    /// second, intact copy.
+    Deliver {
+        /// Delivery tick.
+        at: u64,
+        /// Keep only this many bytes (mid-record truncation).
+        truncate_to: Option<usize>,
+        /// Delivery tick of the duplicate copy, if any.
+        duplicate_at: Option<u64>,
+    },
+}
+
+/// Per-class frame counters for one simulated link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames offered to the network.
+    pub sent: u64,
+    /// Frames dropped by the drop schedule.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames delayed past a successor.
+    pub reordered: u64,
+    /// Frames truncated mid-record.
+    pub truncated: u64,
+    /// Frames held by a stall window.
+    pub stalled: u64,
+    /// Frames dropped because an endpoint was partitioned.
+    pub partitioned: u64,
+}
+
+/// Runtime state of a [`NetFaultPlan`] applied to one simulated
+/// network. Decisions depend only on the plan, the seed, and the send
+/// order, so identical traffic takes identical damage.
+#[derive(Debug)]
+pub struct NetFaults {
+    plan: NetFaultPlan,
+    rng: CartaRng,
+    frames: u64,
+    /// Frame counters.
+    pub stats: NetStats,
+}
+
+impl NetFaults {
+    /// Builds the fault engine for one network.
+    #[must_use]
+    pub fn new(plan: NetFaultPlan, seed: u32) -> NetFaults {
+        NetFaults {
+            plan,
+            rng: CartaRng::new(seed.max(1)),
+            frames: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The plan being applied.
+    #[must_use]
+    pub fn plan(&self) -> &NetFaultPlan {
+        &self.plan
+    }
+
+    /// True if `agent` is currently cut off from the server.
+    #[must_use]
+    pub fn partitioned(&self, now: u64, agent: u32) -> bool {
+        now < self.plan.heal_at && self.plan.partitions.iter().any(|p| p.cuts(now, agent))
+    }
+
+    /// Decides the fate of a frame of `len` bytes sent at `now` on the
+    /// link between `agent` and the server (either direction).
+    pub fn on_frame(&mut self, now: u64, agent: u32, len: usize) -> NetVerdict {
+        ledger_add(&mut self.stats.sent, 1);
+        let mut at = now + self.plan.delay.max(1);
+        if now >= self.plan.heal_at {
+            return NetVerdict::Deliver {
+                at,
+                truncate_to: None,
+                duplicate_at: None,
+            };
+        }
+        if self.plan.partitions.iter().any(|p| p.cuts(now, agent)) {
+            ledger_add(&mut self.stats.partitioned, 1);
+            return NetVerdict::Drop;
+        }
+        self.frames += 1;
+        let due = |period: u64, frames: u64| period > 0 && frames.is_multiple_of(period);
+        if due(self.plan.drop_period, self.frames) {
+            ledger_add(&mut self.stats.dropped, 1);
+            return NetVerdict::Drop;
+        }
+        if self.plan.jitter > 0 {
+            at += self.rng.uniform(0, self.plan.jitter);
+        }
+        // A stalled link holds the frame until the window closes.
+        for w in &self.plan.stalls {
+            if w.contains(now) {
+                ledger_add(&mut self.stats.stalled, 1);
+                at = at.max(w.until);
+            }
+        }
+        if due(self.plan.reorder_period, self.frames) {
+            // Push past the next frame's worst-case arrival.
+            ledger_add(&mut self.stats.reordered, 1);
+            at += self.plan.delay.max(1) + self.plan.jitter + 2;
+        }
+        let truncate_to = if due(self.plan.truncate_period, self.frames) && len > 2 {
+            ledger_add(&mut self.stats.truncated, 1);
+            Some(self.rng.uniform(1, len as u64 - 1) as usize)
+        } else {
+            None
+        };
+        // Only intact frames are worth duplicating: the copy must tickle
+        // the receiver's dedup path, not its CRC check.
+        let duplicate_at = if truncate_to.is_none() && due(self.plan.dup_period, self.frames) {
+            ledger_add(&mut self.stats.duplicated, 1);
+            Some(at + self.plan.delay.max(1) + 1)
+        } else {
+            None
+        };
+        NetVerdict::Deliver {
+            at,
+            truncate_to,
+            duplicate_at,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +1014,138 @@ mod tests {
         );
         assert_eq!(inj.quarantined_samples, 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_add_saturates_and_asserts_in_debug() {
+        let mut x = 40u64;
+        ledger_add(&mut x, 2);
+        assert_eq!(x, 42);
+        assert_eq!(ledger_sum(&[1, 2, 3]), 6);
+        let saturating = std::panic::catch_unwind(|| {
+            let mut x = u64::MAX - 1;
+            ledger_add(&mut x, 5);
+            x
+        });
+        if cfg!(debug_assertions) {
+            assert!(saturating.is_err(), "debug builds assert on overflow");
+        } else {
+            assert_eq!(saturating.unwrap(), u64::MAX, "release builds saturate");
+        }
+    }
+
+    #[test]
+    fn fleet_ledger_conserves_through_transit_buckets() {
+        let mut f = FleetLedger {
+            base: LossLedger {
+                generated: 1000,
+                attributed: 700,
+                unknown: 100,
+                driver_dropped: 50,
+                crash_lost: 30,
+                quarantined: 20,
+            },
+            in_flight: 60,
+            server_journal: 40,
+            fleet_merged: 800,
+            retrans_duplicates_discarded: 999, // outside the identity
+        };
+        assert!(f.conserves(), "{}", f.render());
+        f.in_flight = 0;
+        assert!(!f.conserves(), "in-flight samples must be accounted");
+        f.in_flight = 60;
+        f.fleet_merged = 799;
+        assert!(!f.conserves(), "merged cross-check must hold");
+        f.fleet_merged = 800;
+        let mut sum = f;
+        sum.merge(&f);
+        assert!(sum.conserves());
+        assert_eq!(sum.base.generated, 2000);
+        assert_eq!(sum.retrans_duplicates_discarded, 1998);
+    }
+
+    #[test]
+    fn net_same_seed_same_plan_and_verdicts() {
+        let a = NetFaultPlan::random(5, 100_000);
+        let b = NetFaultPlan::random(5, 100_000);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{:?}", NetFaultPlan::random(6, 100_000))
+        );
+        let mut x = NetFaults::new(a.clone(), 11);
+        let mut y = NetFaults::new(b, 11);
+        for i in 0..500u64 {
+            let v1 = x.on_frame(i * 3, (i % 7) as u32, 64);
+            let v2 = y.on_frame(i * 3, (i % 7) as u32, 64);
+            assert_eq!(v1, v2);
+        }
+        assert_eq!(x.stats, y.stats);
+        assert!(x.stats.dropped > 0 && x.stats.duplicated > 0);
+        assert!(x.stats.reordered > 0 && x.stats.truncated > 0);
+    }
+
+    #[test]
+    fn net_partitions_cut_only_their_subset() {
+        let plan = NetFaultPlan {
+            partitions: vec![Partition {
+                from: 100,
+                until: 200,
+                modulo: 4,
+                remainder: 1,
+            }],
+            ..NetFaultPlan::none()
+        };
+        let mut net = NetFaults::new(plan, 1);
+        assert!(net.partitioned(150, 5));
+        assert!(!net.partitioned(150, 6));
+        assert!(!net.partitioned(250, 5), "partition healed");
+        assert_eq!(net.on_frame(150, 5, 32), NetVerdict::Drop);
+        assert!(matches!(
+            net.on_frame(150, 6, 32),
+            NetVerdict::Deliver { .. }
+        ));
+        assert_eq!(net.stats.partitioned, 1);
+    }
+
+    #[test]
+    fn net_heal_point_stops_all_faults() {
+        let plan = NetFaultPlan {
+            drop_period: 1, // would drop every frame
+            heal_at: 50,
+            ..NetFaultPlan::none()
+        };
+        let mut net = NetFaults::new(plan, 1);
+        assert_eq!(net.on_frame(10, 0, 32), NetVerdict::Drop);
+        assert!(matches!(
+            net.on_frame(50, 0, 32),
+            NetVerdict::Deliver {
+                truncate_to: None,
+                duplicate_at: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn net_stall_holds_frames_until_window_closes() {
+        let plan = NetFaultPlan {
+            stalls: vec![StallWindow {
+                from: 10,
+                until: 40,
+            }],
+            delay: 2,
+            ..NetFaultPlan::none()
+        };
+        let mut net = NetFaults::new(plan, 1);
+        match net.on_frame(20, 0, 32) {
+            NetVerdict::Deliver { at, .. } => assert!(at >= 40, "held to window close, got {at}"),
+            v => panic!("unexpected verdict {v:?}"),
+        }
+        match net.on_frame(50, 0, 32) {
+            NetVerdict::Deliver { at, .. } => assert_eq!(at, 52),
+            v => panic!("unexpected verdict {v:?}"),
+        }
     }
 
     #[test]

@@ -18,14 +18,26 @@
 //!   used to evaluate associativity, replacement policy, table size, and
 //!   hash function alternatives (§5.4).
 //! * [`session`] — glue: a profiled machine run combining all the pieces.
+//! * [`wire`] — the CRC-framed fleet upload protocol shared by the
+//!   agent-side uploader and `dcpi-server`.
+//! * [`uploader`] — the agent-side upload state machine: durable spool,
+//!   monotonic sequence numbers, capped seeded backoff, and
+//!   backpressure response.
 
 pub mod daemon;
 pub mod driver;
 pub mod faults;
 pub mod htsim;
 pub mod session;
+pub mod uploader;
+pub mod wire;
 
 pub use daemon::{Daemon, DaemonConfig, DaemonStats};
 pub use driver::{CostModel, Driver, DriverConfig, DriverStats, EvictPolicy, HashKind};
-pub use faults::{Backpressure, CrashRecord, FaultInjector, FaultPlan, LossLedger};
+pub use faults::{
+    Backpressure, CrashRecord, FaultInjector, FaultPlan, FleetLedger, LossLedger, NetFaultPlan,
+    NetFaults, NetVerdict,
+};
 pub use session::{ProfiledRun, SessionConfig};
+pub use uploader::{Uploader, UploaderConfig, UploaderStats};
+pub use wire::{EpochBatch, Msg};

@@ -24,17 +24,20 @@ pub enum Component {
     /// Analysis phases: CFG build, equivalence classes, propagation,
     /// culprit elimination.
     Analyze,
+    /// Fleet ingestion server: uploads, acks, journal replay, merges.
+    Server,
 }
 
 impl Component {
     /// Every component, in ring-index order.
-    pub const ALL: [Component; 6] = [
+    pub const ALL: [Component; 7] = [
         Component::Machine,
         Component::Driver,
         Component::Daemon,
         Component::Session,
         Component::Faults,
         Component::Analyze,
+        Component::Server,
     ];
 
     /// Stable name used in exports and tool filters.
@@ -46,6 +49,7 @@ impl Component {
             Component::Session => "session",
             Component::Faults => "faults",
             Component::Analyze => "analyze",
+            Component::Server => "server",
         }
     }
 

@@ -1,0 +1,575 @@
+//! The fleet chaos harness: many agents, one server, one seeded run.
+//!
+//! [`run_fleet`] drives a whole fleet deterministically: agent scripts
+//! are pre-generated in parallel (pure functions of the seed, so the
+//! thread count cannot change the fleet), then a single serial tick
+//! loop moves uploaders, the simulated network, and the server in
+//! lock-step. Fault schedules — network faults, agent crashes, server
+//! crash/restart windows, spool corruption — all come from the seeded
+//! [`FleetFaultPlan`], so one `(config, seed)` pair names one exact
+//! run, byte-for-byte, fleet database included.
+//!
+//! Accounting is the point. Every sample an agent script generates is
+//! tracked through seal → spool → wire → WAL → merge; losses (crashed
+//! epochs, quarantined spool entries, driver drops) ride inside epoch
+//! ledger deltas, and epochs lost to an agent crash are carried by the
+//! *next* sealed batch (or a final empty "tombstone" batch if the
+//! script is exhausted). At quiesce the [`FleetLedger`] identity
+//!
+//! ```text
+//! generated = merged(attributed + unknown)
+//!           + driver_dropped + crash_lost + quarantined
+//! ```
+//!
+//! must hold exactly, with `in_flight == server_journal == 0` — and
+//! `run_fleet` cross-checks `generated` against the script totals, so
+//! a sample lost *anywhere* in the pipeline fails the run.
+
+use crate::server::{IngestServer, ServerConfig, ServerStats};
+use crate::transport::{Endpoint, SimNet};
+use dcpi_collect::faults::{ledger_add, FleetLedger, LossLedger, NetFaultPlan, NetStats};
+use dcpi_collect::uploader::{Uploader, UploaderConfig, UploaderStats};
+use dcpi_collect::wire::{decode_msg, EpochBatch};
+use dcpi_core::codec::Format;
+use dcpi_core::prng::CartaRng;
+use dcpi_obs::Obs;
+use dcpi_workloads::fleet_feed::{fleet_scripts, AgentScript};
+use std::io;
+use std::path::PathBuf;
+
+/// Everything that can go wrong in one fleet run.
+#[derive(Clone, Debug, Default)]
+pub struct FleetFaultPlan {
+    /// Network faults (drop, duplicate, reorder, truncate, stall,
+    /// partition) applied by the simulated transport.
+    pub net: NetFaultPlan,
+    /// `(tick, agent)`: the agent crashes at `tick` — its open epoch is
+    /// lost (`crash_lost`), its spool and sequence counter survive on
+    /// disk, and it re-registers with a bumped incarnation.
+    pub agent_crashes: Vec<(u64, u32)>,
+    /// `(kill, restart)`: the server process dies at `kill` and is
+    /// reopened from its WAL at `restart`. Windows must be disjoint.
+    pub server_crashes: Vec<(u64, u64)>,
+    /// `(tick, agent, pick)`: spool entry `pick` on `agent` is found
+    /// corrupt and quarantined (samples move to the `quarantined`
+    /// bucket but the sequence number still uploads).
+    pub spool_corruptions: Vec<(u64, u32, u32)>,
+}
+
+impl FleetFaultPlan {
+    /// A fault-free plan (latency still applies).
+    #[must_use]
+    pub fn none() -> FleetFaultPlan {
+        FleetFaultPlan::default()
+    }
+
+    /// Draws a plan from `seed` covering every fault class: network
+    /// faults across `[0, horizon)` healing at `horizon`, a batch of
+    /// agent crashes, one or two server crash/restart windows, and a
+    /// few spool corruptions.
+    #[must_use]
+    pub fn random(seed: u32, horizon: u64, agents: u32) -> FleetFaultPlan {
+        let mut rng = CartaRng::new(seed.wrapping_mul(0x0100_0193).max(1));
+        let h = horizon.max(256);
+        let agents = agents.max(1);
+        let mut plan = FleetFaultPlan {
+            net: NetFaultPlan::random(seed, h),
+            ..FleetFaultPlan::none()
+        };
+        for _ in 0..(u64::from(agents) / 8).clamp(1, 32) {
+            plan.agent_crashes.push((
+                rng.uniform(h / 8, h - h / 8),
+                rng.uniform(0, u64::from(agents) - 1) as u32,
+            ));
+        }
+        plan.agent_crashes.sort_unstable();
+        // One or two disjoint server outages, both healed well before
+        // the horizon so the drain phase always has a live server.
+        let kill1 = rng.uniform(h / 4, h / 2);
+        let restart1 = kill1 + rng.uniform(8, h / 16);
+        plan.server_crashes.push((kill1, restart1));
+        if rng.uniform(0, 1) == 1 {
+            let kill2 = rng.uniform(restart1 + h / 16, h - h / 8);
+            let restart2 = kill2 + rng.uniform(8, h / 16);
+            if restart2 < h {
+                plan.server_crashes.push((kill2, restart2));
+            }
+        }
+        for _ in 0..rng.uniform(1, 3) {
+            plan.spool_corruptions.push((
+                rng.uniform(h / 8, h - h / 8),
+                rng.uniform(0, u64::from(agents) - 1) as u32,
+                rng.uniform(0, 3) as u32,
+            ));
+        }
+        plan.spool_corruptions.sort_unstable();
+        plan
+    }
+}
+
+/// One fleet run's shape.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Server root (WAL, fleet database, and `fleet.json` land here).
+    pub root: PathBuf,
+    /// Number of agents.
+    pub agents: u32,
+    /// Epochs each agent seals.
+    pub epochs_per_agent: u32,
+    /// Rough samples per epoch.
+    pub scale: u64,
+    /// Master seed: scripts, jitter, and fault draws all derive from it.
+    pub seed: u32,
+    /// Ticks between epoch seals on each agent (staggered by agent id).
+    pub seal_period: u64,
+    /// Fault horizon: all faults heal at this tick; the run then drains
+    /// to quiesce.
+    pub horizon: u64,
+    /// Threads for script pre-generation (cannot affect the result).
+    pub threads: usize,
+    /// The fault plan.
+    pub faults: FleetFaultPlan,
+    /// Agent uploader tuning.
+    pub uploader: UploaderConfig,
+    /// Server ingest queue bound.
+    pub queue_cap: usize,
+    /// Queue depth where acks start carrying backpressure.
+    pub backpressure_at: usize,
+    /// Server lease (crash detection) in ticks.
+    pub lease: u64,
+    /// Server merge cadence in ticks.
+    pub merge_every: u64,
+    /// Fleet database on-disk format.
+    pub format: Format,
+}
+
+impl FleetConfig {
+    /// Defaults for `agents` agents rooted at `root`: 4 epochs each,
+    /// faults drawn from the seed over a horizon sized to the fleet.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>, agents: u32, seed: u32) -> FleetConfig {
+        let agents = agents.max(1);
+        let epochs_per_agent = 4;
+        let seal_period = 64;
+        let horizon = u64::from(epochs_per_agent) * seal_period + 512;
+        FleetConfig {
+            root: root.into(),
+            agents,
+            epochs_per_agent,
+            scale: 256,
+            seed,
+            seal_period,
+            horizon,
+            threads: dcpi_workloads::default_threads(),
+            faults: FleetFaultPlan::random(seed, horizon, agents),
+            uploader: UploaderConfig::default(),
+            queue_cap: usize::try_from(u64::from(agents) * 2).unwrap_or(usize::MAX),
+            backpressure_at: usize::try_from(u64::from(agents) * 3 / 2).unwrap_or(usize::MAX),
+            lease: 256,
+            merge_every: 48,
+            format: Format::V2,
+        }
+    }
+
+    fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            root: self.root.clone(),
+            queue_cap: self.queue_cap,
+            backpressure_at: self.backpressure_at,
+            lease: self.lease,
+            merge_every: self.merge_every,
+            format: self.format,
+        }
+    }
+}
+
+/// What one fleet run did.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// The fleet ledger at quiesce (`in_flight == server_journal == 0`).
+    pub ledger: FleetLedger,
+    /// Samples the scripts generated — must equal `ledger.base.generated`.
+    pub expected_generated: u64,
+    /// Server counters summed across all server incarnations.
+    pub server_stats: ServerStats,
+    /// Network fault counters.
+    pub net_stats: NetStats,
+    /// Uploader counters summed across all agents.
+    pub uploader_stats: UploaderStats,
+    /// Agents simulated.
+    pub agents: u32,
+    /// Epochs sealed (including loss-carrying tombstones).
+    pub epochs_sealed: u64,
+    /// Empty tombstone batches sealed to carry residual losses.
+    pub tombstones: u64,
+    /// Agent crashes injected.
+    pub agent_crashes: u64,
+    /// Server crash/restart cycles injected.
+    pub server_crashes: u64,
+    /// Ticks until quiesce.
+    pub ticks: u64,
+    /// Where the run's WAL, database, and `fleet.json` live.
+    pub root: PathBuf,
+}
+
+impl FleetReport {
+    /// True if the fleet-wide conservation identity held exactly and
+    /// the database got every script-generated sample's accounting.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.ledger.conserves()
+            && self.ledger.in_flight == 0
+            && self.ledger.server_journal == 0
+            && self.ledger.base.generated == self.expected_generated
+    }
+
+    /// Renders the report as JSON (hand-rolled; numbers and booleans
+    /// only, so no escaping is needed).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let l = &self.ledger;
+        let s = &self.server_stats;
+        let n = &self.net_stats;
+        let u = &self.uploader_stats;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"agents\": {},\n",
+                "  \"ticks\": {},\n",
+                "  \"epochs_sealed\": {},\n",
+                "  \"tombstones\": {},\n",
+                "  \"agent_crashes\": {},\n",
+                "  \"server_crashes\": {},\n",
+                "  \"expected_generated\": {},\n",
+                "  \"conserves\": {},\n",
+                "  \"ledger\": {{\n",
+                "    \"generated\": {}, \"attributed\": {}, \"unknown\": {},\n",
+                "    \"driver_dropped\": {}, \"crash_lost\": {}, \"quarantined\": {},\n",
+                "    \"in_flight\": {}, \"server_journal\": {}, \"fleet_merged\": {},\n",
+                "    \"retrans_duplicates_discarded\": {}\n",
+                "  }},\n",
+                "  \"server\": {{ \"accepted\": {}, \"deduped\": {}, \"gap_nacks\": {}, ",
+                "\"queue_full_nacks\": {}, \"backpressure_acks\": {}, \"merges\": {}, ",
+                "\"replayed_batches\": {}, \"lease_expiries\": {}, \"corrupt_frames\": {} }},\n",
+                "  \"net\": {{ \"sent\": {}, \"dropped\": {}, \"duplicated\": {}, ",
+                "\"reordered\": {}, \"truncated\": {}, \"stalled\": {}, \"partitioned\": {} }},\n",
+                "  \"agents_io\": {{ \"uploads_sent\": {}, \"retransmits\": {}, \"acks\": {}, ",
+                "\"dup_acks\": {}, \"nacks\": {}, \"timeouts\": {}, \"heartbeats\": {} }}\n",
+                "}}\n",
+            ),
+            self.agents,
+            self.ticks,
+            self.epochs_sealed,
+            self.tombstones,
+            self.agent_crashes,
+            self.server_crashes,
+            self.expected_generated,
+            self.conserves(),
+            l.base.generated,
+            l.base.attributed,
+            l.base.unknown,
+            l.base.driver_dropped,
+            l.base.crash_lost,
+            l.base.quarantined,
+            l.in_flight,
+            l.server_journal,
+            l.fleet_merged,
+            l.retrans_duplicates_discarded,
+            s.accepted,
+            s.deduped,
+            s.gap_nacks,
+            s.queue_full_nacks,
+            s.backpressure_acks,
+            s.merges,
+            s.replayed_batches,
+            s.lease_expiries,
+            s.corrupt_frames,
+            n.sent,
+            n.dropped,
+            n.duplicated,
+            n.reordered,
+            n.truncated,
+            n.stalled,
+            n.partitioned,
+            u.uploads_sent,
+            u.retransmits,
+            u.acks,
+            u.dup_acks,
+            u.nacks,
+            u.timeouts,
+            u.heartbeats,
+        )
+    }
+}
+
+/// One agent in the simulation: its uploader plus the script cursor and
+/// the loss ledger delta waiting for a carrier batch.
+struct AgentSim {
+    uploader: Uploader,
+    script: AgentScript,
+    next_epoch: usize,
+    /// Losses accrued since the last seal (crashed epochs); carried by
+    /// the next sealed batch or a final tombstone.
+    pending: LossLedger,
+    seal_at: u64,
+    tombstoned: bool,
+}
+
+impl AgentSim {
+    /// Crash: the open (next unsealed) epoch's samples are lost from
+    /// daemon memory; its ledger delta moves to `pending` with the
+    /// sample buckets collapsed into `crash_lost`.
+    fn crash(&mut self) {
+        self.uploader.crash();
+        if self.next_epoch < self.script.epochs.len() {
+            let d = self.script.epochs[self.next_epoch].ledger;
+            ledger_add(&mut self.pending.generated, d.generated);
+            ledger_add(&mut self.pending.crash_lost, d.attributed);
+            ledger_add(&mut self.pending.crash_lost, d.unknown);
+            ledger_add(&mut self.pending.driver_dropped, d.driver_dropped);
+            self.next_epoch += 1;
+        }
+    }
+
+    fn script_done(&self) -> bool {
+        self.next_epoch >= self.script.epochs.len()
+    }
+}
+
+fn add_server_stats(into: &mut ServerStats, s: &ServerStats) {
+    into.corrupt_frames += s.corrupt_frames;
+    into.registrations += s.registrations;
+    into.accepted += s.accepted;
+    into.deduped += s.deduped;
+    into.gap_nacks += s.gap_nacks;
+    into.queue_full_nacks += s.queue_full_nacks;
+    into.backpressure_acks += s.backpressure_acks;
+    into.merges += s.merges;
+    into.replayed_batches += s.replayed_batches;
+    into.lease_expiries += s.lease_expiries;
+    into.stale_incarnation += s.stale_incarnation;
+}
+
+/// Runs one fleet to quiesce. Deterministic in `cfg` (including the
+/// seed): two runs with equal configs produce byte-identical WALs,
+/// fleet databases, and reports. Writes `fleet.json` under `cfg.root`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the server root cannot be written, or if the
+/// fleet fails to quiesce within the simulation's tick bound (a fault
+/// plan that never heals, or a protocol bug).
+pub fn run_fleet(cfg: &FleetConfig, obs: &Obs) -> io::Result<FleetReport> {
+    let scripts = fleet_scripts(
+        cfg.agents,
+        cfg.seed,
+        cfg.epochs_per_agent,
+        cfg.scale,
+        cfg.threads,
+    );
+    let expected_generated: u64 = scripts.iter().map(AgentScript::total_generated).sum();
+
+    let mut agents: Vec<AgentSim> = scripts
+        .into_iter()
+        .map(|script| {
+            let id = script.agent;
+            let mut uploader = Uploader::new(
+                id,
+                cfg.seed.wrapping_add(id.wrapping_mul(0x9e37_79b9)),
+                cfg.uploader,
+            );
+            uploader.attach_obs(obs);
+            AgentSim {
+                uploader,
+                script,
+                next_epoch: 0,
+                // Stagger seals so the fleet does not thundering-herd.
+                seal_at: 1 + u64::from(id) % cfg.seal_period.max(1),
+                pending: LossLedger::default(),
+                tombstoned: false,
+            }
+        })
+        .collect();
+
+    let mut server = Some({
+        let mut s = IngestServer::create(cfg.server_config())?;
+        s.attach_obs(obs);
+        s
+    });
+    let mut net = SimNet::new(cfg.faults.net.clone(), cfg.seed.wrapping_mul(31).max(1));
+
+    // Fault schedules as cursors over the (sorted) plan vectors.
+    let mut agent_crashes = cfg.faults.agent_crashes.clone();
+    agent_crashes.sort_unstable();
+    let mut spool_corruptions = cfg.faults.spool_corruptions.clone();
+    spool_corruptions.sort_unstable();
+    let mut server_windows = cfg.faults.server_crashes.clone();
+    server_windows.sort_unstable();
+    let (mut next_crash, mut next_corrupt, mut next_window) = (0usize, 0usize, 0usize);
+    let mut in_window = false;
+
+    // Stats harvested from server incarnations that were killed.
+    let mut harvested_stats = ServerStats::default();
+    let mut harvested_dups = 0u64;
+    let mut epochs_sealed = 0u64;
+    let mut tombstones = 0u64;
+    let mut agent_crash_count = 0u64;
+    let mut server_crash_count = 0u64;
+
+    let max_ticks = cfg
+        .horizon
+        .saturating_add(u64::from(cfg.agents).saturating_mul(64))
+        .saturating_add(200_000);
+    let mut quiesced_at = None;
+    for t in 0..max_ticks {
+        // Server outage schedule.
+        if !in_window && next_window < server_windows.len() && t == server_windows[next_window].0 {
+            if let Some(s) = server.take() {
+                harvested_dups += s.ledger().retrans_duplicates_discarded;
+                add_server_stats(&mut harvested_stats, &s.stats);
+                server_crash_count += 1;
+                in_window = true;
+                // Dropping the server mid-everything IS the crash: no
+                // flush, no goodbye. The WAL is all that survives.
+                drop(s);
+            }
+        }
+        if in_window && t == server_windows[next_window].1 {
+            let mut s = IngestServer::reopen(cfg.server_config(), t)?;
+            s.attach_obs(obs);
+            server = Some(s);
+            in_window = false;
+            next_window += 1;
+        }
+
+        // Agent crash / spool corruption schedules.
+        while next_crash < agent_crashes.len() && agent_crashes[next_crash].0 == t {
+            let a = agent_crashes[next_crash].1 as usize;
+            if let Some(sim) = agents.get_mut(a) {
+                sim.crash();
+                agent_crash_count += 1;
+            }
+            next_crash += 1;
+        }
+        while next_corrupt < spool_corruptions.len() && spool_corruptions[next_corrupt].0 == t {
+            let (_, a, pick) = spool_corruptions[next_corrupt];
+            if let Some(sim) = agents.get_mut(a as usize) {
+                sim.uploader.quarantine_spooled(pick);
+            }
+            next_corrupt += 1;
+        }
+
+        // Quiesce check: past the horizon, scripts exhausted, residual
+        // losses tombstoned, every uploader idle with an empty spool.
+        // (An idle uploader has no unacked upload, so anything still on
+        // the wire is heartbeat chatter or a stray duplicate the server
+        // would discard — neither touches the WAL or the database.)
+        if t >= cfg.horizon && server.is_some() {
+            let done = agents.iter().all(|sim| {
+                sim.script_done() && sim.pending == LossLedger::default() && sim.uploader.idle()
+            });
+            if done {
+                quiesced_at = Some(t);
+                break;
+            }
+        }
+
+        // Agents: seal due epochs (carrying pending losses), tombstone
+        // residuals once the script is done, emit frames.
+        for sim in &mut agents {
+            if !sim.script_done() && t >= sim.seal_at {
+                let mut batch = sim.script.epochs[sim.next_epoch].clone();
+                batch.ledger.merge(&std::mem::take(&mut sim.pending));
+                sim.next_epoch += 1;
+                sim.seal_at = t + cfg.seal_period.max(1);
+                sim.uploader.push_epoch(batch);
+                epochs_sealed += 1;
+            } else if sim.script_done() && !sim.tombstoned && sim.pending != LossLedger::default() {
+                // The script ran out but losses are still unreported
+                // (a crash took the final epoch): seal an empty batch
+                // whose only payload is the ledger delta.
+                let batch = EpochBatch {
+                    epoch: sim.script.epochs.len() as u32,
+                    ledger: std::mem::take(&mut sim.pending),
+                    ..EpochBatch::default()
+                };
+                sim.uploader.push_epoch(batch);
+                sim.tombstoned = true;
+                epochs_sealed += 1;
+                tombstones += 1;
+            }
+            for frame in sim.uploader.tick(t) {
+                net.send(
+                    t,
+                    Endpoint::Agent(sim.uploader.agent()),
+                    Endpoint::Server,
+                    frame,
+                );
+            }
+        }
+
+        // Network delivery.
+        for (to, frame) in net.deliver_due(t) {
+            match to {
+                Endpoint::Server => {
+                    // Frames reaching a dead server die with it; the
+                    // senders' timeouts will retry.
+                    if let Some(srv) = server.as_mut() {
+                        for reply in srv.on_frame(t, &frame) {
+                            if let Ok(msg) = decode_msg(&reply) {
+                                net.send(t, Endpoint::Server, Endpoint::Agent(msg.agent()), reply);
+                            }
+                        }
+                    }
+                }
+                Endpoint::Agent(a) => {
+                    if let Some(sim) = agents.get_mut(a as usize) {
+                        sim.uploader.on_frame(t, &frame);
+                    }
+                }
+            }
+        }
+
+        if let Some(srv) = server.as_mut() {
+            srv.tick(t)?;
+        }
+    }
+
+    let Some(ticks) = quiesced_at else {
+        return Err(io::Error::other(format!(
+            "fleet failed to quiesce within {max_ticks} ticks \
+             (in_flight {}, live server: {})",
+            net.in_flight(),
+            server.is_some(),
+        )));
+    };
+    let mut srv = server.expect("quiesce requires a live server");
+    srv.finish(ticks)?;
+
+    let mut ledger = srv.ledger();
+    ledger_add(&mut ledger.retrans_duplicates_discarded, harvested_dups);
+    let mut server_stats = harvested_stats;
+    add_server_stats(&mut server_stats, &srv.stats);
+    let mut uploader_stats = UploaderStats::default();
+    for sim in &agents {
+        ledger_add(&mut ledger.in_flight, sim.uploader.in_flight_samples());
+        uploader_stats.merge(&sim.uploader.stats);
+    }
+
+    let report = FleetReport {
+        ledger,
+        expected_generated,
+        server_stats,
+        net_stats: net.stats(),
+        uploader_stats,
+        agents: cfg.agents,
+        epochs_sealed,
+        tombstones,
+        agent_crashes: agent_crash_count,
+        server_crashes: server_crash_count,
+        ticks,
+        root: cfg.root.clone(),
+    };
+    std::fs::write(cfg.root.join("fleet.json"), report.to_json())?;
+    Ok(report)
+}

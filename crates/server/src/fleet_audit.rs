@@ -1,0 +1,436 @@
+//! Offline audit of a fleet server root — the `dcpicheck fleet` layer.
+//!
+//! Everything the server promises is re-derivable from its root
+//! directory: the WAL names every accepted batch and every merge, the
+//! database holds the merges' results, and `fleet.json` (when present)
+//! records the harness's own accounting. [`check_fleet`] re-derives all
+//! of it independently and reports disagreements:
+//!
+//! * **WAL structure** — records parse, journaled frames decode as
+//!   `Upload` messages, the tail is clean (a torn tail is a warning:
+//!   it is exactly what a crash mid-append leaves, and reopening
+//!   repairs it).
+//! * **Sequence discipline** — per agent, journaled sequence numbers
+//!   are exactly `1..=max` with no duplicates: a gap means an acked
+//!   epoch vanished; a duplicate means dedup failed and a batch could
+//!   double-count.
+//! * **Merge intents** — epochs numbered `0, 1, 2, …` in order, every
+//!   entry backed by a journaled batch, no batch claimed twice.
+//! * **Database agreement** — each completed intent's epoch exists and
+//!   its sample total matches the journaled batches named by the
+//!   intent (the last intent is warning-only: a crash between intent
+//!   and merge is recoverable by replay).
+//! * **Conservation** — the summed per-epoch ledger deltas obey
+//!   `generated = attributed + unknown + driver_dropped + crash_lost +
+//!   quarantined`, and `fleet.json`'s totals match the WAL's.
+
+use crate::journal::{self, WalRecord, WAL_FILE};
+use dcpi_check::{Category, Report, Severity};
+use dcpi_collect::faults::LossLedger;
+use dcpi_collect::wire::{decode_msg, EpochBatch, Msg};
+use dcpi_core::codec::Format;
+use dcpi_core::db::{EpochId, ProfileDb};
+use dcpi_core::UNKNOWN_IMAGE;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Audits a fleet server root (the directory holding `wal.log`, `db/`,
+/// and optionally `fleet.json`). I/O problems (an unreadable WAL) are
+/// reported as diagnostics, not errors — the audit always returns.
+#[must_use]
+pub fn check_fleet(root: &Path) -> Report {
+    let mut report = Report::new();
+    let wal_path = root.join(WAL_FILE);
+    let scan = match journal::scan(&wal_path) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                Category::WalStructure,
+                wal_path.display().to_string(),
+                None,
+                None,
+                format!("WAL unreadable: {e}"),
+            );
+            return report;
+        }
+    };
+    let ctx = root.display().to_string();
+    if !scan.is_clean_tail() {
+        report.push(
+            Severity::Warning,
+            Category::WalStructure,
+            &ctx,
+            Some(scan.clean_bytes),
+            None,
+            format!(
+                "torn WAL tail: {} trailing byte(s) unparseable (crash mid-append; \
+                 reopening the server repairs this)",
+                scan.torn_bytes
+            ),
+        );
+    }
+
+    // Decode journaled frames; collect intents.
+    let mut batches: BTreeMap<(u32, u64), EpochBatch> = BTreeMap::new();
+    let mut intents: Vec<(u32, Vec<(u32, u64)>)> = Vec::new();
+    for (i, rec) in scan.records.iter().enumerate() {
+        match rec {
+            WalRecord::Frame(bytes) => match decode_msg(bytes) {
+                Ok(Msg::Upload {
+                    agent, seq, batch, ..
+                }) => {
+                    if batches.insert((agent, seq), batch).is_some() {
+                        report.push(
+                            Severity::Error,
+                            Category::SeqGap,
+                            &ctx,
+                            None,
+                            Some(i),
+                            format!(
+                                "agent {agent} seq {seq} journaled more than once \
+                                 (dedup failed; samples would double-count)"
+                            ),
+                        );
+                    }
+                }
+                Ok(other) => report.push(
+                    Severity::Error,
+                    Category::WalStructure,
+                    &ctx,
+                    None,
+                    Some(i),
+                    format!(
+                        "journaled frame is not an Upload (type {})",
+                        other.type_code()
+                    ),
+                ),
+                Err(e) => report.push(
+                    Severity::Error,
+                    Category::WalStructure,
+                    &ctx,
+                    None,
+                    Some(i),
+                    format!("journaled frame fails to decode: {e}"),
+                ),
+            },
+            WalRecord::MergeIntent { epoch, entries } => {
+                intents.push((*epoch, entries.clone()));
+            }
+        }
+    }
+
+    // Per-agent sequence contiguity: exactly 1..=max, no gaps.
+    let mut per_agent: BTreeMap<u32, BTreeSet<u64>> = BTreeMap::new();
+    for (agent, seq) in batches.keys() {
+        per_agent.entry(*agent).or_default().insert(*seq);
+    }
+    for (agent, seqs) in &per_agent {
+        let max = seqs.iter().next_back().copied().unwrap_or(0);
+        for want in 1..=max {
+            if !seqs.contains(&want) {
+                report.push(
+                    Severity::Error,
+                    Category::SeqGap,
+                    &ctx,
+                    None,
+                    None,
+                    format!(
+                        "agent {agent}: seq {want} missing from the journal \
+                         (acked epochs must be contiguous 1..={max})"
+                    ),
+                );
+            }
+        }
+    }
+
+    // Merge intents: epoch numbering, backing batches, no double claims.
+    let mut claimed: BTreeMap<(u32, u64), u32> = BTreeMap::new();
+    for (i, (epoch, entries)) in intents.iter().enumerate() {
+        if *epoch != i as u32 {
+            report.push(
+                Severity::Error,
+                Category::MergeIntent,
+                &ctx,
+                None,
+                Some(i),
+                format!("merge intent {i} targets epoch {epoch} (want {i})"),
+            );
+        }
+        for key @ (agent, seq) in entries {
+            if !batches.contains_key(key) {
+                report.push(
+                    Severity::Error,
+                    Category::MergeIntent,
+                    &ctx,
+                    None,
+                    Some(i),
+                    format!(
+                        "intent for epoch {epoch} names agent {agent} seq {seq}, \
+                         which the journal does not hold"
+                    ),
+                );
+            }
+            if let Some(prev) = claimed.insert(*key, *epoch) {
+                report.push(
+                    Severity::Error,
+                    Category::MergeIntent,
+                    &ctx,
+                    None,
+                    Some(i),
+                    format!(
+                        "agent {agent} seq {seq} claimed by epoch {prev} and \
+                         epoch {epoch} (a batch must merge exactly once)"
+                    ),
+                );
+            }
+        }
+    }
+
+    // Database agreement, per intent and in total.
+    check_db(&mut report, root, &ctx, &batches, &intents);
+
+    // Conservation over the summed journaled deltas.
+    let mut fleet = LossLedger::default();
+    for batch in batches.values() {
+        fleet.merge(&batch.ledger);
+    }
+    if !fleet.conserves() {
+        report.push(
+            Severity::Error,
+            Category::FleetConservation,
+            &ctx,
+            None,
+            None,
+            format!(
+                "journaled ledger deltas do not conserve: {}",
+                fleet.render()
+            ),
+        );
+    }
+    check_fleet_json(&mut report, root, &ctx, &fleet);
+    report
+}
+
+fn check_db(
+    report: &mut Report,
+    root: &Path,
+    ctx: &str,
+    batches: &BTreeMap<(u32, u64), EpochBatch>,
+    intents: &[(u32, Vec<(u32, u64)>)],
+) {
+    let db_path = root.join("db");
+    if intents.is_empty() {
+        return; // Nothing merged yet; an absent or empty db is fine.
+    }
+    let db = match ProfileDb::open(&db_path, Format::V2) {
+        Ok(db) => db,
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                Category::FleetDb,
+                ctx,
+                None,
+                None,
+                format!(
+                    "{} merge intent(s) journaled but the fleet database \
+                     does not open: {e}",
+                    intents.len()
+                ),
+            );
+            return;
+        }
+    };
+    let last = intents.len() - 1;
+    let mut named_images: BTreeSet<u32> = BTreeSet::new();
+    for (i, (epoch, entries)) in intents.iter().enumerate() {
+        // A crash between the last intent and its merge completing is
+        // recoverable by replay, so the last intent only warns.
+        let severity = if i == last {
+            Severity::Warning
+        } else {
+            Severity::Error
+        };
+        let expected: u64 = entries
+            .iter()
+            .filter_map(|key| batches.get(key))
+            .map(EpochBatch::sample_total)
+            .sum();
+        for key in entries {
+            if let Some(batch) = batches.get(key) {
+                named_images.extend(batch.image_names.iter().map(|(img, _)| img.0));
+            }
+        }
+        match db.read_epoch(EpochId(*epoch)) {
+            Ok(set) => {
+                let got = set.total_samples();
+                if got != expected {
+                    report.push(
+                        severity,
+                        Category::FleetDb,
+                        ctx,
+                        None,
+                        Some(i),
+                        format!(
+                            "epoch {epoch}: database holds {got} sample(s), the \
+                             journaled batches named by its intent hold {expected}"
+                        ),
+                    );
+                }
+            }
+            Err(e) => report.push(
+                severity,
+                Category::FleetDb,
+                ctx,
+                None,
+                Some(i),
+                format!("epoch {epoch} named by a merge intent is unreadable: {e}"),
+            ),
+        }
+    }
+    // Every profiled image should be nameable (warning: names travel in
+    // epoch-0 batches and can be legitimately lost to an agent crash).
+    if let Ok(all) = db.read_all() {
+        for key in all.sorted_keys() {
+            if key.image != UNKNOWN_IMAGE
+                && db.image_name(key.image).is_none()
+                && named_images.contains(&key.image.0)
+            {
+                report.push(
+                    Severity::Warning,
+                    Category::FleetDb,
+                    ctx,
+                    None,
+                    None,
+                    format!(
+                        "image {} was profiled and a journaled batch names it, \
+                         but the database has no name record",
+                        key.image.0
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Pulls `"field": N` out of the hand-rolled `fleet.json`.
+fn json_u64(text: &str, field: &str) -> Option<u64> {
+    let pat = format!("\"{field}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check_fleet_json(report: &mut Report, root: &Path, ctx: &str, wal_total: &LossLedger) {
+    let path = root.join("fleet.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return; // No report file: the run never quiesced here. Fine.
+    };
+    if text.contains("\"conserves\": false") {
+        report.push(
+            Severity::Error,
+            Category::FleetConservation,
+            ctx,
+            None,
+            None,
+            "fleet.json records a failed conservation check".to_owned(),
+        );
+    }
+    for (field, want) in [
+        ("generated", wal_total.generated),
+        ("attributed", wal_total.attributed),
+        ("unknown", wal_total.unknown),
+        ("driver_dropped", wal_total.driver_dropped),
+        ("crash_lost", wal_total.crash_lost),
+        ("quarantined", wal_total.quarantined),
+    ] {
+        match json_u64(&text, field) {
+            Some(got) if got == want => {}
+            Some(got) => report.push(
+                Severity::Error,
+                Category::FleetConservation,
+                ctx,
+                None,
+                None,
+                format!(
+                    "fleet.json says {field} = {got}, summing the journaled \
+                     deltas gives {want}"
+                ),
+            ),
+            None => report.push(
+                Severity::Error,
+                Category::FleetConservation,
+                ctx,
+                None,
+                None,
+                format!("fleet.json is missing the \"{field}\" field"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{run_fleet, FleetConfig};
+    use dcpi_obs::Obs;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcpi-fla-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let root = temp_root("clean");
+        let cfg = FleetConfig::new(&root, 8, 11);
+        let report = run_fleet(&cfg, &Obs::default()).unwrap();
+        assert!(report.conserves(), "{}", report.ledger.render());
+        let audit = check_fleet(&root);
+        assert!(audit.is_clean(), "{}", audit.render());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn tampered_wal_and_json_are_caught() {
+        let root = temp_root("tamper");
+        let cfg = FleetConfig::new(&root, 6, 13);
+        run_fleet(&cfg, &Obs::default()).unwrap();
+        // Rewrite fleet.json's generated count: conservation mismatch.
+        let json_path = root.join("fleet.json");
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let g = json_u64(&text, "generated").unwrap();
+        std::fs::write(
+            &json_path,
+            text.replace(
+                &format!("\"generated\": {g}"),
+                &format!("\"generated\": {}", g + 1),
+            ),
+        )
+        .unwrap();
+        let audit = check_fleet(&root);
+        assert!(!audit.is_clean());
+        assert!(audit
+            .diags
+            .iter()
+            .any(|d| d.category == Category::FleetConservation));
+        // Chop the WAL mid-record: torn-tail warning.
+        let wal = root.join(WAL_FILE);
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(len - 2).unwrap();
+        drop(f);
+        let audit2 = check_fleet(&root);
+        assert!(audit2
+            .diags
+            .iter()
+            .any(|d| d.category == Category::WalStructure));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

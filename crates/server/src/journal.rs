@@ -1,0 +1,307 @@
+//! The server's append-only write-ahead log.
+//!
+//! Every accepted upload is journaled *before* it is acknowledged, so
+//! an ack is a durability promise: a server crash between ack and
+//! fleet-database merge loses nothing — replay re-queues the batch.
+//! The log holds two record kinds:
+//!
+//! * **Frame** — one verbatim wire frame (an `Upload` message exactly
+//!   as it arrived, CRC and all). Journaling the received bytes keeps
+//!   the log self-verifying: replay re-runs the same decode path the
+//!   live server used.
+//! * **MergeIntent** — appended immediately *before* a batch group is
+//!   merged into the fleet database, naming the target epoch and the
+//!   `(agent, seq)` set being merged. On replay the last intent's
+//!   epoch is unconditionally rebuilt from the journaled frames
+//!   (deleting whatever partial epoch a crash left), which makes the
+//!   merge idempotent: a crash at any point between intent and merge
+//!   completion converges to the same database.
+//!
+//! Each record is `type(1) | varint len | crc32(4, LE) | payload` with
+//! the CRC over `[type] ++ payload`. A torn tail — a crash mid-append —
+//! parses as "log ends here" and is truncated away by the next append;
+//! corruption anywhere else is a structural error `dcpicheck fleet`
+//! reports.
+
+use dcpi_core::codec;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the WAL inside a server root.
+pub const WAL_FILE: &str = "wal.log";
+
+/// One parsed WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A verbatim wire frame (an accepted `Upload`).
+    Frame(Vec<u8>),
+    /// A merge about to happen: target epoch and the batches going in.
+    MergeIntent {
+        /// Fleet-database epoch the group merges into.
+        epoch: u32,
+        /// `(agent, seq)` of every batch in the group, sorted.
+        entries: Vec<(u32, u64)>,
+    },
+}
+
+const REC_FRAME: u8 = 1;
+const REC_INTENT: u8 = 2;
+
+/// Result of scanning a WAL file.
+#[derive(Clone, Debug, Default)]
+pub struct WalScan {
+    /// Records parsed, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of well-formed log consumed.
+    pub clean_bytes: u64,
+    /// Bytes abandoned at the tail (a crash mid-append). Zero for a
+    /// clean log.
+    pub torn_bytes: u64,
+}
+
+impl WalScan {
+    /// True if the log ended cleanly.
+    #[must_use]
+    pub fn is_clean_tail(&self) -> bool {
+        self.torn_bytes == 0
+    }
+}
+
+/// Append handle for one WAL file.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+fn record_bytes(ty: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.push(ty);
+    codec::put_varint(&mut out, payload.len() as u64);
+    let crc = !codec::crc32_update(codec::crc32_update(!0, &[ty]), payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+impl Journal {
+    /// Opens (or creates) the WAL under `root` for appending. A torn
+    /// tail from a previous crash is truncated away first so new
+    /// records land on a clean boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be opened or repaired.
+    pub fn open(root: &Path) -> io::Result<Journal> {
+        let path = root.join(WAL_FILE);
+        if path.exists() {
+            let scan = scan(&path)?;
+            if scan.torn_bytes > 0 {
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(scan.clean_bytes)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file })
+    }
+
+    /// The WAL file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one verbatim wire frame and flushes it to the OS — the
+    /// durability point the subsequent ack promises.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the append fails.
+    pub fn append_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.file.write_all(&record_bytes(REC_FRAME, frame))?;
+        self.file.flush()
+    }
+
+    /// Appends a merge intent for `entries` going into `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the append fails.
+    pub fn append_intent(&mut self, epoch: u32, entries: &[(u32, u64)]) -> io::Result<()> {
+        let mut payload = Vec::new();
+        codec::put_varint(&mut payload, u64::from(epoch));
+        codec::put_varint(&mut payload, entries.len() as u64);
+        for &(agent, seq) in entries {
+            codec::put_varint(&mut payload, u64::from(agent));
+            codec::put_varint(&mut payload, seq);
+        }
+        self.file.write_all(&record_bytes(REC_INTENT, &payload))?;
+        self.file.flush()
+    }
+}
+
+fn parse_record(buf: &mut &[u8]) -> Option<WalRecord> {
+    let mut cur: &[u8] = buf;
+    let (&ty, rest) = cur.split_first()?;
+    cur = rest;
+    let len = codec::get_varint(&mut cur).ok()? as usize;
+    if cur.len() < 4 + len {
+        return None;
+    }
+    let (crc_bytes, rest) = cur.split_at(4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+    let (payload, remaining) = rest.split_at(len);
+    let computed = !codec::crc32_update(codec::crc32_update(!0, &[ty]), payload);
+    if computed != stored {
+        return None;
+    }
+    let record = match ty {
+        REC_FRAME => WalRecord::Frame(payload.to_vec()),
+        REC_INTENT => {
+            let mut p = payload;
+            let epoch = u32::try_from(codec::get_varint(&mut p).ok()?).ok()?;
+            let n = codec::get_varint(&mut p).ok()? as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let agent = u32::try_from(codec::get_varint(&mut p).ok()?).ok()?;
+                let seq = codec::get_varint(&mut p).ok()?;
+                entries.push((agent, seq));
+            }
+            if !p.is_empty() {
+                return None;
+            }
+            WalRecord::MergeIntent { epoch, entries }
+        }
+        _ => return None,
+    };
+    *buf = remaining;
+    Some(record)
+}
+
+/// Scans a WAL file, stopping at the first malformed record (a torn
+/// tail). Everything before the stop point is returned; the torn byte
+/// count lets callers distinguish "clean end" from "crash mid-append".
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read. A missing file
+/// scans as empty.
+pub fn scan(path: &Path) -> io::Result<WalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalScan::default()),
+        Err(e) => return Err(e),
+    };
+    let mut buf = bytes.as_slice();
+    let mut out = WalScan::default();
+    loop {
+        if buf.is_empty() {
+            break;
+        }
+        let before = buf.len();
+        match parse_record(&mut buf) {
+            Some(rec) => {
+                out.records.push(rec);
+                out.clean_bytes += (before - buf.len()) as u64;
+            }
+            None => {
+                out.torn_bytes = buf.len() as u64;
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcpi-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let root = temp_root("roundtrip");
+        let mut j = Journal::open(&root).unwrap();
+        j.append_frame(b"frame-one").unwrap();
+        j.append_intent(0, &[(1, 1), (2, 1)]).unwrap();
+        j.append_frame(b"frame-two").unwrap();
+        drop(j);
+        let scan = scan(&root.join(WAL_FILE)).unwrap();
+        assert!(scan.is_clean_tail());
+        assert_eq!(
+            scan.records,
+            vec![
+                WalRecord::Frame(b"frame-one".to_vec()),
+                WalRecord::MergeIntent {
+                    epoch: 0,
+                    entries: vec![(1, 1), (2, 1)],
+                },
+                WalRecord::Frame(b"frame-two".to_vec()),
+            ]
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_repaired_on_open() {
+        let root = temp_root("torn");
+        let mut j = Journal::open(&root).unwrap();
+        j.append_frame(b"good").unwrap();
+        j.append_frame(b"will-be-torn").unwrap();
+        drop(j);
+        let path = root.join(WAL_FILE);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let scan1 = scan(&path).unwrap();
+        assert!(!scan1.is_clean_tail());
+        assert_eq!(scan1.records.len(), 1, "only the intact record");
+        // Re-open truncates the torn tail; new appends land cleanly.
+        let mut j = Journal::open(&root).unwrap();
+        j.append_frame(b"after-repair").unwrap();
+        drop(j);
+        let scan2 = scan(&path).unwrap();
+        assert!(scan2.is_clean_tail());
+        assert_eq!(
+            scan2.records,
+            vec![
+                WalRecord::Frame(b"good".to_vec()),
+                WalRecord::Frame(b"after-repair".to_vec()),
+            ]
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn mid_log_bitflip_stops_the_scan() {
+        let root = temp_root("flip");
+        let mut j = Journal::open(&root).unwrap();
+        j.append_frame(b"aaaa").unwrap();
+        j.append_frame(b"bbbb").unwrap();
+        drop(j);
+        let path = root.join(WAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[7] ^= 0x40; // inside the first record's payload
+        std::fs::write(&path, &bytes).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 0);
+        assert!(s.torn_bytes > 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let root = temp_root("missing");
+        let s = scan(&root.join(WAL_FILE)).unwrap();
+        assert!(s.records.is_empty() && s.is_clean_tail());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,681 @@
+//! The fleet ingestion server.
+//!
+//! One [`IngestServer`] accepts epoch uploads from many agents,
+//! journals each accepted batch to the WAL *before* acknowledging it,
+//! queues journaled batches in a bounded ingest queue (signaling
+//! backpressure when it fills), and periodically merges queued batches
+//! into the fleet-wide [`ProfileDb`] under `root/db`.
+//!
+//! Dedup protocol: each agent session records the highest journaled
+//! sequence number. An upload is accepted only at `last_seq + 1`;
+//! anything at or below `last_seq` is a retransmission (re-acked with
+//! the duplicate bit, samples counted in
+//! `retrans_duplicates_discarded`), and anything above is a gap nack.
+//! Combined with the uploader's strict in-order sending, every sealed
+//! epoch is merged exactly once, no matter how the network duplicates,
+//! reorders, or how often either side crashes.
+//!
+//! Crash recovery ([`IngestServer::reopen`]) replays the WAL: sessions
+//! are rebuilt from journaled frames, the last merge intent's epoch is
+//! rebuilt unconditionally (see [`crate::journal`]), and journaled but
+//! unmerged batches re-enter the ingest queue. Acked data therefore
+//! survives any crash point — the chaos suite's zero-acked-loss
+//! criterion.
+
+use crate::journal::{self, Journal, WalRecord};
+use dcpi_collect::faults::{ledger_add, FleetLedger};
+use dcpi_collect::wire::{decode_msg, encode_msg, EpochBatch, Msg};
+use dcpi_core::codec::Format;
+use dcpi_core::db::ProfileDb;
+use dcpi_core::profile::ProfileSet;
+use dcpi_core::{Event, ImageId, UNKNOWN_IMAGE};
+use dcpi_obs::{Component, Obs};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+
+/// Server tuning.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Directory holding `wal.log` and `db/`.
+    pub root: PathBuf,
+    /// Bounded ingest queue: uploads beyond this are nacked with the
+    /// backpressure bit until a merge drains the queue.
+    pub queue_cap: usize,
+    /// Queue depth at which acks start carrying the backpressure bit.
+    pub backpressure_at: usize,
+    /// Ticks without hearing from an agent before its lease expires
+    /// (crash detection; the session state is kept for dedup).
+    pub lease: u64,
+    /// Merge the queue into the fleet database every this many ticks.
+    pub merge_every: u64,
+    /// On-disk profile format for the fleet database.
+    pub format: Format,
+}
+
+impl ServerConfig {
+    /// Defaults rooted at `root`.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            root: root.into(),
+            queue_cap: 64,
+            backpressure_at: 48,
+            lease: 256,
+            merge_every: 64,
+            format: Format::V2,
+        }
+    }
+
+    /// The fleet database directory under the root.
+    #[must_use]
+    pub fn db_path(&self) -> PathBuf {
+        self.root.join("db")
+    }
+}
+
+/// Per-agent session state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AgentSession {
+    /// Latest incarnation seen.
+    pub incarnation: u32,
+    /// Highest journaled sequence number.
+    pub last_seq: u64,
+    /// Last tick the agent was heard from.
+    pub last_heard: u64,
+    /// Uploads journaled.
+    pub uploads: u64,
+    /// Duplicate uploads discarded.
+    pub duplicates: u64,
+    /// Samples journaled from this agent.
+    pub samples: u64,
+    /// Times the agent re-registered with a new incarnation (crash
+    /// recoveries observed).
+    pub reincarnations: u64,
+    /// False once the lease has expired without a heartbeat.
+    pub live: bool,
+}
+
+/// Server-side counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Frames that failed to decode (network corruption).
+    pub corrupt_frames: u64,
+    /// Registrations processed.
+    pub registrations: u64,
+    /// Uploads journaled and acked.
+    pub accepted: u64,
+    /// Duplicate uploads discarded.
+    pub deduped: u64,
+    /// Uploads nacked for a sequence gap.
+    pub gap_nacks: u64,
+    /// Uploads nacked because the ingest queue was full.
+    pub queue_full_nacks: u64,
+    /// Acks carrying the backpressure bit.
+    pub backpressure_acks: u64,
+    /// Merges performed.
+    pub merges: u64,
+    /// Batches re-queued from the WAL at reopen.
+    pub replayed_batches: u64,
+    /// Agent leases that expired.
+    pub lease_expiries: u64,
+    /// Uploads ignored for a stale incarnation.
+    pub stale_incarnation: u64,
+}
+
+/// The fleet ingestion server.
+#[derive(Debug)]
+pub struct IngestServer {
+    cfg: ServerConfig,
+    wal: Journal,
+    db: ProfileDb,
+    sessions: BTreeMap<u32, AgentSession>,
+    /// Journaled, unmerged batches in arrival order.
+    queue: VecDeque<(u32, u64, EpochBatch)>,
+    /// Fleet ledger as the server knows it: `base` covers merged
+    /// batches, `server_journal` the queue. `in_flight` is agent-side
+    /// and stays zero here — the fleet harness fills it in.
+    ledger: FleetLedger,
+    merges_done: u32,
+    next_merge: u64,
+    /// Counters.
+    pub stats: ServerStats,
+    obs: Obs,
+    /// Deferred `server.replay` event `(at, replayed_batches)` from a
+    /// reopen that ran before any obs handle existed.
+    replay_note: Option<(u64, u64)>,
+}
+
+impl IngestServer {
+    /// Creates a fresh server rooted at `cfg.root` (a new WAL and an
+    /// empty fleet database).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the root cannot be created.
+    pub fn create(cfg: ServerConfig) -> io::Result<IngestServer> {
+        std::fs::create_dir_all(&cfg.root)?;
+        let wal = Journal::open(&cfg.root)?;
+        let db = ProfileDb::create(cfg.db_path(), cfg.format).map_err(db_err)?;
+        let next_merge = cfg.merge_every;
+        Ok(IngestServer {
+            cfg,
+            wal,
+            db,
+            sessions: BTreeMap::new(),
+            queue: VecDeque::new(),
+            ledger: FleetLedger::default(),
+            merges_done: 0,
+            next_merge,
+            stats: ServerStats::default(),
+            obs: Obs::default(),
+            replay_note: None,
+        })
+    }
+
+    /// Reopens a server after a crash: truncates any torn WAL tail,
+    /// rebuilds the last merge intent's epoch from journaled frames
+    /// (idempotent — see [`crate::journal`]), reconstructs per-agent
+    /// sessions and the ledger, and re-queues journaled-but-unmerged
+    /// batches. Nothing that was acked is lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the WAL or database cannot be read.
+    pub fn reopen(cfg: ServerConfig, now: u64) -> io::Result<IngestServer> {
+        let scan = journal::scan(&cfg.root.join(journal::WAL_FILE))?;
+        // Decode journaled frames and collect merge intents.
+        let mut batches: BTreeMap<(u32, u64), EpochBatch> = BTreeMap::new();
+        let mut order: Vec<(u32, u64)> = Vec::new();
+        let mut intents: Vec<(u32, Vec<(u32, u64)>)> = Vec::new();
+        for rec in &scan.records {
+            match rec {
+                WalRecord::Frame(bytes) => {
+                    if let Ok(Msg::Upload {
+                        agent, seq, batch, ..
+                    }) = decode_msg(bytes)
+                    {
+                        if let Entry::Vacant(v) = batches.entry((agent, seq)) {
+                            v.insert(batch);
+                            order.push((agent, seq));
+                        }
+                    }
+                }
+                WalRecord::MergeIntent { epoch, entries } => {
+                    intents.push((*epoch, entries.clone()));
+                }
+            }
+        }
+        // Rebuild the last intent's epoch unconditionally: a crash
+        // anywhere between intent append and merge completion leaves
+        // at most that one epoch partial.
+        let db = if let Some((epoch, entries)) = intents.last() {
+            rebuild_epoch(&cfg, *epoch, entries, &batches)?
+        } else {
+            // No merge ever happened; start a fresh database (sweeping
+            // any partial epoch 0 from a crash before the first merge).
+            ProfileDb::create(cfg.db_path(), cfg.format).map_err(db_err)?
+        };
+        let merged: std::collections::BTreeSet<(u32, u64)> = intents
+            .iter()
+            .flat_map(|(_, entries)| entries.iter().copied())
+            .collect();
+        let mut server = IngestServer {
+            wal: Journal::open(&cfg.root)?,
+            db,
+            sessions: BTreeMap::new(),
+            queue: VecDeque::new(),
+            ledger: FleetLedger::default(),
+            merges_done: intents.len() as u32,
+            next_merge: now + cfg.merge_every,
+            stats: ServerStats::default(),
+            obs: Obs::default(),
+            replay_note: None,
+            cfg,
+        };
+        for key @ (agent, seq) in &order {
+            let batch = &batches[key];
+            let s = server.sessions.entry(*agent).or_default();
+            s.last_seq = s.last_seq.max(*seq);
+            s.uploads += 1;
+            ledger_add(&mut s.samples, batch.sample_total());
+            s.live = false; // everyone must re-register or heartbeat
+            if merged.contains(key) {
+                server.account_merged(batch);
+            } else {
+                ledger_add(&mut server.ledger.server_journal, batch.sample_total());
+                server.queue.push_back((*agent, *seq, batch.clone()));
+                server.stats.replayed_batches += 1;
+            }
+        }
+        server.replay_note = Some((now, server.stats.replayed_batches));
+        Ok(server)
+    }
+
+    /// Attaches an observability handle. If this server was reopened
+    /// from a WAL, the replay event is emitted here — the handle does
+    /// not exist yet while [`IngestServer::reopen`] runs.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        if let Some((at, replayed)) = self.replay_note.take() {
+            if self.obs.is_enabled() {
+                self.obs.event_at(
+                    Component::Server,
+                    "server.replay",
+                    at,
+                    replayed,
+                    self.merges_done.into(),
+                );
+            }
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The fleet database.
+    #[must_use]
+    pub fn db(&self) -> &ProfileDb {
+        &self.db
+    }
+
+    /// Per-agent sessions (keyed by agent id).
+    #[must_use]
+    pub fn sessions(&self) -> &BTreeMap<u32, AgentSession> {
+        &self.sessions
+    }
+
+    /// Journaled-but-unmerged batches currently queued.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The server's view of the fleet ledger (`in_flight` is always
+    /// zero here; the harness adds agent-side spool totals).
+    #[must_use]
+    pub fn ledger(&self) -> FleetLedger {
+        self.ledger
+    }
+
+    /// Largest per-agent backlog of unmerged journaled batches — the
+    /// per-agent lag gauge.
+    #[must_use]
+    pub fn max_agent_lag(&self) -> u64 {
+        let mut lag: BTreeMap<u32, u64> = BTreeMap::new();
+        for (agent, _, _) in &self.queue {
+            *lag.entry(*agent).or_default() += 1;
+        }
+        lag.values().copied().max().unwrap_or(0)
+    }
+
+    fn account_merged(&mut self, batch: &EpochBatch) {
+        self.ledger.base.merge(&batch.ledger);
+        ledger_add(&mut self.ledger.fleet_merged, batch.sample_total());
+    }
+
+    fn backpressure(&self) -> bool {
+        self.queue.len() >= self.cfg.backpressure_at
+    }
+
+    /// Handles one frame as delivered by the network, returning reply
+    /// frames to send back. Corrupt frames are dropped (the sender's
+    /// timeout handles it).
+    pub fn on_frame(&mut self, now: u64, frame: &[u8]) -> Vec<Vec<u8>> {
+        let Ok(msg) = decode_msg(frame) else {
+            self.stats.corrupt_frames += 1;
+            return Vec::new();
+        };
+        match msg {
+            Msg::Register { agent, incarnation } => {
+                self.stats.registrations += 1;
+                let s = self.sessions.entry(agent).or_default();
+                if incarnation > s.incarnation && s.incarnation > 0 {
+                    s.reincarnations += 1;
+                }
+                s.incarnation = s.incarnation.max(incarnation);
+                s.last_heard = now;
+                s.live = true;
+                let last_seq = s.last_seq;
+                if self.obs.is_enabled() {
+                    self.obs.counter("server.registrations").inc(0);
+                    self.obs.event_at(
+                        Component::Server,
+                        "server.register",
+                        now,
+                        agent.into(),
+                        incarnation.into(),
+                    );
+                    self.obs
+                        .gauge("server.agents")
+                        .set(self.sessions.values().filter(|s| s.live).count() as u64);
+                }
+                vec![encode_msg(&Msg::RegisterAck { agent, last_seq })]
+            }
+            Msg::Heartbeat { agent, incarnation } => {
+                let s = self.sessions.entry(agent).or_default();
+                s.incarnation = s.incarnation.max(incarnation);
+                s.last_heard = now;
+                s.live = true;
+                let backpressure = self.backpressure();
+                vec![encode_msg(&Msg::HeartbeatAck {
+                    agent,
+                    backpressure,
+                })]
+            }
+            Msg::Upload {
+                agent,
+                incarnation,
+                seq,
+                batch,
+            } => self.on_upload(now, frame, agent, incarnation, seq, &batch),
+            // Server-to-agent messages arriving here are misrouted.
+            Msg::RegisterAck { .. }
+            | Msg::Ack { .. }
+            | Msg::Nack { .. }
+            | Msg::HeartbeatAck { .. } => {
+                self.stats.corrupt_frames += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_upload(
+        &mut self,
+        now: u64,
+        frame: &[u8],
+        agent: u32,
+        incarnation: u32,
+        seq: u64,
+        batch: &EpochBatch,
+    ) -> Vec<Vec<u8>> {
+        let s = self.sessions.entry(agent).or_default();
+        if incarnation < s.incarnation {
+            // A frame from a dead incarnation still rattling around the
+            // network. Its content is dedup-safe, but answering it
+            // could confuse the live incarnation — drop it.
+            self.stats.stale_incarnation += 1;
+            return Vec::new();
+        }
+        s.incarnation = incarnation;
+        s.last_heard = now;
+        s.live = true;
+        if seq <= s.last_seq {
+            // Retransmission of something already journaled: the ack
+            // was lost. Re-ack; never re-journal.
+            s.duplicates += 1;
+            self.stats.deduped += 1;
+            ledger_add(
+                &mut self.ledger.retrans_duplicates_discarded,
+                batch.sample_total(),
+            );
+            let backpressure = self.backpressure();
+            if backpressure {
+                self.stats.backpressure_acks += 1;
+            }
+            if self.obs.is_enabled() {
+                self.obs.counter("server.deduped").inc(0);
+            }
+            return vec![encode_msg(&Msg::Ack {
+                agent,
+                seq,
+                duplicate: true,
+                backpressure,
+            })];
+        }
+        if seq > s.last_seq + 1 {
+            // A gap: an earlier epoch is missing (lost upload still
+            // retrying, or reordering got ahead). Refuse so the agent
+            // resends in order.
+            let expected = s.last_seq + 1;
+            self.stats.gap_nacks += 1;
+            return vec![encode_msg(&Msg::Nack {
+                agent,
+                seq,
+                expected,
+                backpressure: false,
+            })];
+        }
+        if self.queue.len() >= self.cfg.queue_cap {
+            // Bounded ingest queue is full: shed load, tell the agent
+            // to widen its interval and retry this same seq later.
+            self.stats.queue_full_nacks += 1;
+            if self.obs.is_enabled() {
+                self.obs.counter("server.backpressure").inc(0);
+            }
+            return vec![encode_msg(&Msg::Nack {
+                agent,
+                seq,
+                expected: seq,
+                backpressure: true,
+            })];
+        }
+        // Journal first — the ack below is a durability promise.
+        if let Err(e) = self.wal.append_frame(frame) {
+            // Treat an unjournalable upload as if it never arrived; the
+            // agent's timeout will retry.
+            self.stats.corrupt_frames += 1;
+            debug_assert!(false, "WAL append failed: {e}");
+            return Vec::new();
+        }
+        s.last_seq = seq;
+        s.uploads += 1;
+        ledger_add(&mut s.samples, batch.sample_total());
+        ledger_add(&mut self.ledger.server_journal, batch.sample_total());
+        self.queue.push_back((agent, seq, batch.clone()));
+        self.stats.accepted += 1;
+        let backpressure = self.backpressure();
+        if backpressure {
+            self.stats.backpressure_acks += 1;
+        }
+        if self.obs.is_enabled() {
+            self.obs.counter("server.accepted").inc(0);
+            self.obs
+                .counter("server.journaled_samples")
+                .add(0, batch.sample_total());
+            self.obs
+                .gauge("server.queue_depth")
+                .set(self.queue.len() as u64);
+            self.obs
+                .gauge("server.agent_lag_max")
+                .set(self.max_agent_lag());
+            self.obs
+                .event_at(Component::Server, "server.ack", now, agent.into(), seq);
+        }
+        vec![encode_msg(&Msg::Ack {
+            agent,
+            seq,
+            duplicate: false,
+            backpressure,
+        })]
+    }
+
+    /// Periodic work: lease expiry detection and the scheduled merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if a merge fails.
+    pub fn tick(&mut self, now: u64) -> io::Result<()> {
+        for (agent, s) in &mut self.sessions {
+            if s.live && now.saturating_sub(s.last_heard) > self.cfg.lease {
+                s.live = false;
+                self.stats.lease_expiries += 1;
+                if self.obs.is_enabled() {
+                    self.obs.counter("server.lease_expiries").inc(0);
+                    self.obs.event_at(
+                        Component::Server,
+                        "server.lease_expired",
+                        now,
+                        (*agent).into(),
+                        0,
+                    );
+                }
+            }
+        }
+        if now >= self.next_merge {
+            self.next_merge = now + self.cfg.merge_every.max(1);
+            if !self.queue.is_empty() {
+                self.merge_queue(now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges everything queued into the fleet database, journaling the
+    /// merge intent first. Called by [`IngestServer::tick`] on schedule
+    /// and by [`IngestServer::finish`] at quiesce.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the WAL or database write fails.
+    pub fn merge_queue(&mut self, now: u64) -> io::Result<()> {
+        if self.queue.is_empty() {
+            return Ok(());
+        }
+        if self.obs.is_enabled() {
+            self.obs.begin(Component::Server, "server.merge");
+        }
+        let group: Vec<(u32, u64, EpochBatch)> = self.queue.drain(..).collect();
+        let mut entries: Vec<(u32, u64)> = group.iter().map(|(a, s, _)| (*a, *s)).collect();
+        entries.sort_unstable();
+        let epoch = self.merges_done;
+        self.wal.append_intent(epoch, &entries)?;
+        if epoch > 0 {
+            // Epoch 0 exists from create; later merges open a new one.
+            while self.db.current_epoch().0 < epoch {
+                self.db.new_epoch().map_err(db_err)?;
+            }
+        }
+        let set = build_profile_set(group.iter().map(|(_, _, b)| b));
+        self.db.merge(&set).map_err(db_err)?;
+        for (_, _, batch) in &group {
+            for (image, name) in &batch.image_names {
+                self.db.record_image_name(*image, name).map_err(db_err)?;
+            }
+            let total = batch.sample_total();
+            let j = &mut self.ledger.server_journal;
+            debug_assert!(*j >= total, "journal bucket underflow");
+            *j = j.saturating_sub(total);
+            self.account_merged(batch);
+        }
+        self.merges_done += 1;
+        self.stats.merges += 1;
+        if self.obs.is_enabled() {
+            self.obs.counter("server.merges").inc(0);
+            self.obs
+                .counter("server.merged_batches")
+                .add(0, group.len() as u64);
+            self.obs.gauge("server.queue_depth").set(0);
+            self.obs
+                .end(Component::Server, "server.merge", now, group.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Quiesce: merges anything still queued. After this, `ledger()`
+    /// has `server_journal == 0` and the database holds every acked
+    /// sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the final merge fails.
+    pub fn finish(&mut self, now: u64) -> io::Result<()> {
+        self.merge_queue(now)
+    }
+}
+
+/// Groups batch profiles into one [`ProfileSet`] for a database merge.
+fn build_profile_set<'a>(batches: impl Iterator<Item = &'a EpochBatch>) -> ProfileSet {
+    let mut set = ProfileSet::new();
+    for batch in batches {
+        for (image, event, profile) in &batch.profiles {
+            for (offset, count) in profile.iter() {
+                set.add(*image, *event, offset, count);
+            }
+        }
+    }
+    set
+}
+
+/// Rebuilds fleet-database epoch `epoch` from the journaled batches
+/// listed in the last merge intent, deleting whatever partial state a
+/// crash left there. Deterministic: the same WAL always produces the
+/// same bytes.
+fn rebuild_epoch(
+    cfg: &ServerConfig,
+    epoch: u32,
+    entries: &[(u32, u64)],
+    batches: &BTreeMap<(u32, u64), EpochBatch>,
+) -> io::Result<ProfileDb> {
+    let db_path = cfg.db_path();
+    let epoch_dir = db_path.join(format!("epoch_{epoch:04}"));
+    if epoch_dir.exists() {
+        std::fs::remove_dir_all(&epoch_dir)?;
+    }
+    // Sweep any epochs past the intent (cannot exist in a correct log,
+    // but a half-written directory from foul play should not survive).
+    let mut db = if epoch == 0 {
+        ProfileDb::create(&db_path, cfg.format).map_err(db_err)?
+    } else {
+        let mut db = ProfileDb::open(&db_path, cfg.format).map_err(db_err)?;
+        while db.current_epoch().0 < epoch {
+            db.new_epoch().map_err(db_err)?;
+        }
+        db
+    };
+    let group: Vec<&EpochBatch> = entries.iter().filter_map(|key| batches.get(key)).collect();
+    let set = build_profile_set(group.iter().copied());
+    db.merge(&set).map_err(db_err)?;
+    for batch in &group {
+        for (image, name) in &batch.image_names {
+            db.record_image_name(*image, name).map_err(db_err)?;
+        }
+    }
+    Ok(db)
+}
+
+fn db_err(e: dcpi_core::Error) -> io::Error {
+    io::Error::other(format!("fleet db: {e}"))
+}
+
+/// Totals per image in an open fleet database: `(image, samples)`
+/// sorted by image id, plus the grand total split by unknown. Shared by
+/// the query tool and the audits.
+#[must_use]
+pub fn image_totals(db: &ProfileDb) -> (Vec<(ImageId, u64)>, u64, u64) {
+    let mut by_image: BTreeMap<ImageId, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    let mut unknown = 0u64;
+    if let Ok(set) = db.read_all() {
+        for key in set.sorted_keys() {
+            let t = set.get(key.image, key.event).map_or(0, |p| p.total());
+            *by_image.entry(key.image).or_default() += t;
+            total += t;
+            if key.image == UNKNOWN_IMAGE {
+                unknown += t;
+            }
+        }
+    }
+    (by_image.into_iter().collect(), total, unknown)
+}
+
+/// Per-event totals for one image across the whole fleet database.
+#[must_use]
+pub fn image_event_totals(db: &ProfileDb, image: ImageId) -> Vec<(Event, u64)> {
+    let mut out: BTreeMap<u8, u64> = BTreeMap::new();
+    if let Ok(set) = db.read_all() {
+        for key in set.sorted_keys() {
+            if key.image == image {
+                let t = set.get(key.image, key.event).map_or(0, |p| p.total());
+                *out.entry(key.event.code()).or_default() += t;
+            }
+        }
+    }
+    out.into_iter()
+        .filter_map(|(code, t)| Event::from_code(code).map(|e| (e, t)))
+        .collect()
+}

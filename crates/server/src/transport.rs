@@ -1,0 +1,167 @@
+//! The deterministic simulated transport between agents and the
+//! server.
+//!
+//! [`SimNet`] is a priority queue of frames keyed by delivery tick,
+//! with a [`NetFaults`] engine (from `dcpi-collect`) deciding each
+//! frame's fate at send time: drop, delay (latency + seeded jitter,
+//! stall windows), duplicate, reorder, mid-record truncation, or
+//! partition. Ties on the delivery tick break by send order, so two
+//! runs over the same traffic deliver in exactly the same order —
+//! which is what makes the fleet database bit-identical across runs.
+
+use dcpi_collect::faults::{NetFaultPlan, NetFaults, NetStats, NetVerdict};
+use std::collections::BTreeMap;
+
+/// One end of the simulated network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// Agent `id`.
+    Agent(u32),
+    /// The ingestion server.
+    Server,
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct SimNet {
+    faults: NetFaults,
+    /// Frames in flight, keyed by `(delivery tick, send order)`.
+    queue: BTreeMap<(u64, u64), (Endpoint, Vec<u8>)>,
+    sends: u64,
+}
+
+impl SimNet {
+    /// Builds the network with a fault plan and jitter seed.
+    #[must_use]
+    pub fn new(plan: NetFaultPlan, seed: u32) -> SimNet {
+        SimNet {
+            faults: NetFaults::new(plan, seed),
+            queue: BTreeMap::new(),
+            sends: 0,
+        }
+    }
+
+    /// Frame counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.faults.stats
+    }
+
+    /// True if `agent` is currently partitioned from the server.
+    #[must_use]
+    pub fn partitioned(&self, now: u64, agent: u32) -> bool {
+        self.faults.partitioned(now, agent)
+    }
+
+    /// Frames still in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sends `frame` from `from` toward `to` at tick `now`. The agent
+    /// on the link (whichever endpoint is not the server) selects
+    /// partition membership.
+    pub fn send(&mut self, now: u64, from: Endpoint, to: Endpoint, frame: Vec<u8>) {
+        let agent = match (from, to) {
+            (Endpoint::Agent(a), _) | (Endpoint::Server, Endpoint::Agent(a)) => a,
+            (Endpoint::Server, Endpoint::Server) => {
+                debug_assert!(false, "server-to-server frame");
+                0
+            }
+        };
+        match self.faults.on_frame(now, agent, frame.len()) {
+            NetVerdict::Drop => {}
+            NetVerdict::Deliver {
+                at,
+                truncate_to,
+                duplicate_at,
+            } => {
+                let delivered = match truncate_to {
+                    Some(keep) if keep < frame.len() => frame[..keep].to_vec(),
+                    _ => frame.clone(),
+                };
+                self.sends += 1;
+                self.queue
+                    .insert((at.max(now + 1), self.sends), (to, delivered));
+                if let Some(dup_at) = duplicate_at {
+                    self.sends += 1;
+                    self.queue
+                        .insert((dup_at.max(now + 1), self.sends), (to, frame));
+                }
+            }
+        }
+    }
+
+    /// Removes and returns every frame due at or before `now`, in
+    /// delivery order.
+    pub fn deliver_due(&mut self, now: u64) -> Vec<(Endpoint, Vec<u8>)> {
+        let mut out = Vec::new();
+        while let Some((&key, _)) = self.queue.first_key_value() {
+            if key.0 > now {
+                break;
+            }
+            let (_, v) = self.queue.pop_first().expect("peeked");
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_order_is_deterministic() {
+        let run = || {
+            let mut net = SimNet::new(NetFaultPlan::random(9, 1000), 3);
+            for i in 0..200u64 {
+                net.send(
+                    i,
+                    Endpoint::Agent((i % 5) as u32),
+                    Endpoint::Server,
+                    vec![i as u8; 16],
+                );
+            }
+            let mut got = Vec::new();
+            for t in 0..2000u64 {
+                for (to, frame) in net.deliver_due(t) {
+                    got.push((t, to, frame));
+                }
+            }
+            got
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clean_net_delivers_everything_in_order() {
+        let mut net = SimNet::new(NetFaultPlan::none(), 1);
+        for i in 0..10u64 {
+            net.send(i, Endpoint::Server, Endpoint::Agent(0), vec![i as u8]);
+        }
+        let mut seen = Vec::new();
+        for t in 0..64u64 {
+            for (_, f) in net.deliver_due(t) {
+                seen.push(f[0]);
+            }
+        }
+        assert_eq!(seen, (0..10u8).collect::<Vec<_>>());
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn truncated_frames_arrive_short() {
+        let plan = NetFaultPlan {
+            truncate_period: 1,
+            ..NetFaultPlan::none()
+        };
+        let mut net = SimNet::new(plan, 7);
+        net.send(0, Endpoint::Agent(1), Endpoint::Server, vec![9u8; 64]);
+        let frames = net.deliver_due(100);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].1.len() < 64, "frame was cut mid-record");
+        assert_eq!(net.stats().truncated, 1);
+    }
+}

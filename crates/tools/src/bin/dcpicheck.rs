@@ -24,6 +24,11 @@
 //! validation: symbolically prove the rewrite equivalent to the
 //! original, segment by segment, without executing either image.
 //!
+//! `dcpicheck fleet <server-root>` — audit a fleet server root: WAL
+//! record structure, per-agent upload-sequence contiguity, merge-intent
+//! vs database agreement, and fleet-wide sample-conservation over the
+//! journaled ledger deltas (cross-checked against `fleet.json`).
+//!
 //! A trailing `--json` switches any form to machine-readable output.
 //! All forms exit 0 when clean, 1 when any error-severity diagnostic is
 //! found, and 2 on usage errors.
@@ -36,7 +41,7 @@ use dcpi_tools::{
 
 const USAGE: &str = "usage: dcpicheck <db-dir> | dcpicheck db <db-dir> | dcpicheck obs <obs.json> \
      | dcpicheck pgo <old.img> <new.img> <map.json> | dcpicheck dataflow <image> \
-     | dcpicheck tv <old.img> <new.img> <map.json>  [--json]";
+     | dcpicheck tv <old.img> <new.img> <map.json> | dcpicheck fleet <server-root>  [--json]";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
@@ -46,6 +51,7 @@ fn main() {
     let mut tv_tallies: Option<(usize, usize)> = None;
     let report = match (args.get(1).map(String::as_str), args.get(2)) {
         (Some("db"), Some(dir)) => dcpicheck_db(std::path::Path::new(dir)),
+        (Some("fleet"), Some(dir)) => dcpi_server::check_fleet(std::path::Path::new(dir)),
         (Some("obs"), Some(path)) => {
             dcpicheck_obs(std::path::Path::new(path), &ObsCheckConfig::default())
         }
@@ -68,7 +74,7 @@ fn main() {
                 res.report
             }
         }
-        (Some("db" | "obs" | "pgo" | "dataflow" | "tv"), None) | (None, _) => {
+        (Some("db" | "obs" | "pgo" | "dataflow" | "tv" | "fleet"), None) | (None, _) => {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }

@@ -1,0 +1,126 @@
+//! `dcpifleet run <root> [--agents N] [--seed S] [--obs <out.json>]` —
+//! drive a simulated fleet (agents, faulty network, ingestion server)
+//! to quiesce, leaving `wal.log`, `db/`, and `fleet.json` under the
+//! root. Prints the conservation report; exits 1 if the fleet-wide
+//! sample-conservation identity failed, 2 on usage errors.
+//!
+//! `dcpifleet top <root> [n]` — fleet-wide top-N images by samples.
+//!
+//! `dcpifleet agents <root>` — per-agent upload accounting, re-derived
+//! from the server WAL.
+//!
+//! `dcpifleet image <root> <image-id>` — one image's per-event totals
+//! across the fleet.
+//!
+//! `--obs <out.json>` on `run` exports the observability snapshot
+//! (server counters, upload/ack/merge/replay trace spans) for
+//! `dcpistat` / `dcpitrace`.
+
+use dcpi_obs::{Obs, ObsConfig};
+use dcpi_server::fleet::{run_fleet, FleetConfig};
+use dcpi_tools::{dcpifleet_agents, dcpifleet_image, dcpifleet_top};
+use std::path::Path;
+
+const USAGE: &str = "usage: dcpifleet run <root> [--agents N] [--seed S] [--obs <out.json>] \
+     | dcpifleet top <root> [n] | dcpifleet agents <root> | dcpifleet image <root> <image-id>";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dcpifleet: {msg}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    if at + 1 >= args.len() {
+        usage();
+    }
+    let v = args.remove(at + 1);
+    args.remove(at);
+    Some(v)
+}
+
+fn run(mut args: Vec<String>) -> ! {
+    let agents =
+        flag_value(&mut args, "--agents").map_or(100, |v| v.parse().unwrap_or_else(|_| usage()));
+    let seed = flag_value(&mut args, "--seed").map_or(1, |v| v.parse().unwrap_or_else(|_| usage()));
+    let obs_out = flag_value(&mut args, "--obs");
+    let Some(root) = args.get(2) else { usage() };
+    let cfg = FleetConfig::new(root, agents, seed);
+    let obs = if obs_out.is_some() {
+        Obs::new(&ObsConfig::on())
+    } else {
+        Obs::default()
+    };
+    match run_fleet(&cfg, &obs) {
+        Ok(report) => {
+            if let Some(path) = obs_out {
+                let mut snap = obs.snapshot();
+                snap.meta.insert("tool".to_owned(), "dcpifleet".to_owned());
+                snap.meta.insert("seed".to_owned(), seed.to_string());
+                snap.meta.insert("agents".to_owned(), agents.to_string());
+                if let Err(e) = std::fs::write(&path, snap.to_json()) {
+                    fail(&format!("writing {path}: {e}"));
+                }
+            }
+            println!(
+                "fleet: {} agent(s), {} epoch(s) sealed ({} tombstones), \
+                 {} tick(s) to quiesce",
+                report.agents, report.epochs_sealed, report.tombstones, report.ticks
+            );
+            println!(
+                "chaos: {} agent crash(es), {} server crash(es), net \
+                 drop/dup/reorder/trunc/stall/part = {}/{}/{}/{}/{}/{}",
+                report.agent_crashes,
+                report.server_crashes,
+                report.net_stats.dropped,
+                report.net_stats.duplicated,
+                report.net_stats.reordered,
+                report.net_stats.truncated,
+                report.net_stats.stalled,
+                report.net_stats.partitioned,
+            );
+            println!("{}", report.ledger.render());
+            println!("report: {}", Path::new(root).join("fleet.json").display());
+            if report.conserves() {
+                std::process::exit(0);
+            }
+            fail("fleet-wide sample conservation FAILED");
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match (args.get(1).map(String::as_str), args.get(2)) {
+        (Some("run"), Some(_)) => run(args),
+        (Some("top"), Some(root)) => {
+            let n = args
+                .get(3)
+                .map_or(10, |v| v.parse().unwrap_or_else(|_| usage()));
+            match dcpifleet_top(Path::new(root), n) {
+                Ok(out) => print!("{out}"),
+                Err(e) => fail(&e),
+            }
+        }
+        (Some("agents"), Some(root)) => match dcpifleet_agents(Path::new(root)) {
+            Ok(out) => print!("{out}"),
+            Err(e) => fail(&e),
+        },
+        (Some("image"), Some(root)) => {
+            let Some(id) = args.get(3).and_then(|v| v.parse().ok()) else {
+                usage()
+            };
+            match dcpifleet_image(Path::new(root), id) {
+                Ok(out) => print!("{out}"),
+                Err(e) => fail(&e),
+            }
+        }
+        _ => usage(),
+    }
+}

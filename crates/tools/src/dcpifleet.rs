@@ -1,0 +1,186 @@
+//! dcpifleet: run and query the fleet-wide profile repository.
+//!
+//! `run` drives a whole simulated fleet ([`dcpi_server::fleet`]) to
+//! quiesce under a seeded fault plan and prints the conservation
+//! report. The query forms answer the paper's "where have all the
+//! cycles gone, building-wide?" directly from a server root:
+//!
+//! * `top` — fleet-wide top-N images by samples (the Table 4 view, but
+//!   aggregated over every machine).
+//! * `agents` — per-agent upload accounting, re-derived from the WAL
+//!   alone (uploads, samples, duplicates are *journal* facts, not
+//!   in-memory state).
+//! * `image` — one image's per-event totals across the fleet.
+
+use dcpi_collect::wire::Msg;
+use dcpi_core::codec::Format;
+use dcpi_core::db::ProfileDb;
+use dcpi_core::{ImageId, UNKNOWN_IMAGE};
+use dcpi_server::journal::{self, WalRecord, WAL_FILE};
+use dcpi_server::{image_event_totals, image_totals};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn open_db(root: &Path) -> Result<ProfileDb, String> {
+    ProfileDb::open(root.join("db"), Format::V2)
+        .map_err(|e| format!("no fleet database under {}: {e}", root.display()))
+}
+
+fn image_label(db: &ProfileDb, image: ImageId) -> String {
+    if image == UNKNOWN_IMAGE {
+        "<unknown>".to_owned()
+    } else {
+        db.image_name(image)
+            .map_or_else(|| format!("image#{}", image.0), ToOwned::to_owned)
+    }
+}
+
+/// `dcpifleet top <root> [n]`: fleet-wide top-N images by samples.
+///
+/// # Errors
+///
+/// Returns a message if the root holds no readable fleet database.
+pub fn dcpifleet_top(root: &Path, n: usize) -> Result<String, String> {
+    let db = open_db(root)?;
+    let (mut rows, total, unknown) = image_totals(&db);
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet database: {} epoch(s), {} sample(s) ({} unknown)",
+        db.epochs().map_or(0, |e| e.len()),
+        total,
+        unknown
+    );
+    let _ = writeln!(out, "{:>12}  {:>6}  image", "samples", "%");
+    for (image, samples) in rows.iter().take(n) {
+        let pct = if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                *samples as f64 * 100.0 / total as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{samples:>12}  {pct:>5.1}%  {}",
+            image_label(&db, *image)
+        );
+    }
+    Ok(out)
+}
+
+/// `dcpifleet image <root> <id>`: one image's per-event fleet totals.
+///
+/// # Errors
+///
+/// Returns a message if the root holds no readable fleet database.
+pub fn dcpifleet_image(root: &Path, image: u32) -> Result<String, String> {
+    let db = open_db(root)?;
+    let image = ImageId(image);
+    let rows = image_event_totals(&db, image);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} across the fleet:", image_label(&db, image));
+    if rows.is_empty() {
+        let _ = writeln!(out, "  no samples");
+    }
+    for (event, samples) in rows {
+        let _ = writeln!(out, "{samples:>12}  {event:?}");
+    }
+    Ok(out)
+}
+
+/// Per-agent accounting rebuilt from the WAL.
+#[derive(Clone, Copy, Debug, Default)]
+struct AgentRow {
+    uploads: u64,
+    samples: u64,
+    last_seq: u64,
+    generated: u64,
+    losses: u64,
+}
+
+/// `dcpifleet agents <root>`: per-agent upload accounting from the WAL.
+///
+/// # Errors
+///
+/// Returns a message if the WAL cannot be read.
+pub fn dcpifleet_agents(root: &Path) -> Result<String, String> {
+    let scan = journal::scan(&root.join(WAL_FILE))
+        .map_err(|e| format!("no WAL under {}: {e}", root.display()))?;
+    let mut rows: BTreeMap<u32, AgentRow> = BTreeMap::new();
+    for rec in &scan.records {
+        let WalRecord::Frame(bytes) = rec else {
+            continue;
+        };
+        let Ok(Msg::Upload {
+            agent, seq, batch, ..
+        }) = dcpi_collect::wire::decode_msg(bytes)
+        else {
+            continue;
+        };
+        let row = rows.entry(agent).or_default();
+        row.uploads += 1;
+        row.samples += batch.sample_total();
+        row.last_seq = row.last_seq.max(seq);
+        row.generated += batch.ledger.generated;
+        row.losses +=
+            batch.ledger.driver_dropped + batch.ledger.crash_lost + batch.ledger.quarantined;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>8}  {:>8}  {:>12}  {:>12}  {:>12}",
+        "agent", "uploads", "last-seq", "samples", "generated", "losses"
+    );
+    for (agent, r) in &rows {
+        let _ = writeln!(
+            out,
+            "{agent:>6}  {:>8}  {:>8}  {:>12}  {:>12}  {:>12}",
+            r.uploads, r.last_seq, r.samples, r.generated, r.losses
+        );
+    }
+    let _ = writeln!(out, "{} agent(s) journaled", rows.len());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_obs::Obs;
+    use dcpi_server::fleet::{run_fleet, FleetConfig};
+    use std::path::PathBuf;
+
+    fn fleet_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcpi-flt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = FleetConfig::new(&dir, 6, 21);
+        let report = run_fleet(&cfg, &Obs::default()).unwrap();
+        assert!(report.conserves());
+        dir
+    }
+
+    #[test]
+    fn queries_render_the_fleet() {
+        let root = fleet_root("queries");
+        let top = dcpifleet_top(&root, 5).unwrap();
+        assert!(top.contains("fleet database"), "{top}");
+        assert!(top.contains("/usr/bin/mccalpin"), "{top}");
+        let agents = dcpifleet_agents(&root).unwrap();
+        assert!(agents.contains("6 agent(s) journaled"), "{agents}");
+        let image = dcpifleet_image(&root, 1).unwrap();
+        assert!(image.contains("Cycles"), "{image}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_root_is_an_error_not_a_panic() {
+        let gone = std::env::temp_dir().join("dcpi-flt-nope");
+        assert!(dcpifleet_top(&gone, 3).is_err());
+        assert!(dcpifleet_image(&gone, 1).is_err());
+        assert!(dcpifleet_agents(&gone).is_ok(), "missing WAL scans empty");
+    }
+}

@@ -63,6 +63,33 @@ pub fn dcpistat(snap: &Snapshot) -> String {
             }
         }
     }
+    // Fleet ingestion counters appear only in server-side exports.
+    if c("server.registrations") > 0 || c("server.accepted") > 0 {
+        let _ = writeln!(out, "-- server --");
+        let _ = writeln!(
+            out,
+            "accepted {}  deduped {}  merges {}  journaled samples {}",
+            c("server.accepted"),
+            c("server.deduped"),
+            c("server.merges"),
+            c("server.journaled_samples"),
+        );
+        let _ = writeln!(
+            out,
+            "registrations {}  live agents {}  lease expiries {}  backpressure {}",
+            c("server.registrations"),
+            g("server.agents"),
+            c("server.lease_expiries"),
+            c("server.backpressure"),
+        );
+        let _ = writeln!(
+            out,
+            "queue depth {}  max agent lag {}  uploader frames sent {}",
+            g("server.queue_depth"),
+            g("server.agent_lag_max"),
+            c("uploader.sent"),
+        );
+    }
     let _ = writeln!(out, "-- ledgers --");
     match &snap.overhead {
         Some(oh) => {

@@ -37,6 +37,7 @@ pub mod dcpicalc;
 pub mod dcpicfg;
 pub mod dcpicheck;
 pub mod dcpidiff;
+pub mod dcpifleet;
 pub mod dcpipgo;
 pub mod dcpiprof;
 pub mod dcpistat;
@@ -53,6 +54,7 @@ pub use dcpicheck::{
     dcpicheck_tv,
 };
 pub use dcpidiff::{dcpidiff, dcpidiff_pgo, pgo_side, PgoSide};
+pub use dcpifleet::{dcpifleet_agents, dcpifleet_image, dcpifleet_top};
 pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
 pub use dcpistat::dcpistat;
 pub use dcpistats::{dcpistats, StatsRow};

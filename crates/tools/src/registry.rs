@@ -20,6 +20,7 @@ pub const TOOL_NAMES: &[&str] = &[
     "dcpistat",
     "dcpitrace",
     "dcpipgo",
+    "dcpifleet",
 ];
 
 /// Maps image ids to images for symbol and name lookup.

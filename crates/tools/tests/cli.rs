@@ -410,3 +410,101 @@ fn obs_cli_binaries_work_on_a_real_export() {
     let _ = std::fs::remove_file(&obs);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn fleet_cli_binaries_work_end_to_end() {
+    let root = std::env::temp_dir().join(format!("dcpi-fleet-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let root_arg = root.to_str().unwrap().to_owned();
+    let obs_path = root.with_extension("obs.json");
+    let obs_arg = obs_path.to_str().unwrap().to_owned();
+
+    // dcpifleet run: a 12-agent chaos run to quiesce, with obs export.
+    let out = bin("dcpifleet")
+        .args([
+            "run", &root_arg, "--agents", "12", "--seed", "33", "--obs", &obs_arg,
+        ])
+        .output()
+        .expect("run dcpifleet");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("fleet: 12 agent(s)"), "{text}");
+    assert!(text.contains("server crash(es)"), "{text}");
+    assert!(!text.contains("NOT CONSERVED"), "{text}");
+
+    // Queries over the produced root.
+    let out = bin("dcpifleet")
+        .args(["top", &root_arg, "3"])
+        .output()
+        .expect("run dcpifleet top");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("fleet database"), "{text}");
+    let out = bin("dcpifleet")
+        .args(["agents", &root_arg])
+        .output()
+        .expect("run dcpifleet agents");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("12 agent(s) journaled"), "{text}");
+    let out = bin("dcpifleet")
+        .args(["image", &root_arg, "1"])
+        .output()
+        .expect("run dcpifleet image");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Cycles"));
+
+    // dcpicheck fleet audits the root clean.
+    let out = bin("dcpicheck")
+        .args(["fleet", &root_arg])
+        .output()
+        .expect("run dcpicheck fleet");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+
+    // The server's trace spans are visible to dcpistat / dcpitrace.
+    let out = bin("dcpistat")
+        .arg(&obs_arg)
+        .output()
+        .expect("run dcpistat");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("-- server --"), "{text}");
+    let out = bin("dcpitrace")
+        .args([&obs_arg, "--component", "server"])
+        .output()
+        .expect("run dcpitrace");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("server.ack"), "{text}");
+    assert!(text.contains("server.merge"), "{text}");
+    assert!(text.contains("server.replay"), "{text}");
+
+    // Tampering with fleet.json breaks the conservation cross-check.
+    let json = root.join("fleet.json");
+    let original = std::fs::read_to_string(&json).unwrap();
+    let tampered = original.replace("\"generated\": ", "\"generated\": 9");
+    assert_ne!(original, tampered);
+    std::fs::write(&json, &tampered).unwrap();
+    let out = bin("dcpicheck")
+        .args(["fleet", &root_arg])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fleet-conservation"));
+
+    // Usage errors exit 2.
+    let out = bin("dcpifleet").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin("dcpicheck").args(["fleet"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(&obs_path);
+    let _ = std::fs::remove_dir_all(&root);
+}

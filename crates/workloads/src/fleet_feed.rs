@@ -1,0 +1,184 @@
+//! Synthetic fleet agent workloads.
+//!
+//! A fleet run needs hundreds of agents' worth of epoch uploads; a
+//! full cycle-level simulation per agent would dwarf the ingestion
+//! path under test. An [`AgentScript`] is the daemon-output shape of a
+//! Table 2-style machine — per-epoch `(image, event)` profiles over a
+//! fleet-shared image universe with a hot-image skew, an unknown-image
+//! residue, and a driver-drop trickle — generated as a pure function
+//! of `(agent, seed)`, so any thread count produces the same fleet
+//! ([`fleet_scripts`] fans generation out over the scoped-thread
+//! pool). Each epoch carries its own conserving
+//! [`LossLedger`](dcpi_collect::faults::LossLedger) delta, which is
+//! what lets the fleet harness prove end-to-end conservation from the
+//! server's journal alone.
+
+use crate::pool;
+use dcpi_collect::faults::LossLedger;
+use dcpi_collect::wire::EpochBatch;
+use dcpi_core::prng::CartaRng;
+use dcpi_core::profile::Profile;
+use dcpi_core::{Event, ImageId, UNKNOWN_IMAGE};
+
+/// The fleet-shared image universe: ids and pathnames every agent
+/// samples from (the "whole building" runs the same binaries).
+pub const FLEET_IMAGES: [(u32, &str); 6] = [
+    (1, "/usr/bin/mccalpin"),
+    (2, "/usr/bin/gcc"),
+    (3, "/usr/bin/x11server"),
+    (4, "/usr/bin/altavista"),
+    (5, "/usr/bin/dss"),
+    (6, "/vmunix"),
+];
+
+/// One agent's scripted collection output: the epochs its daemon would
+/// seal, in order.
+#[derive(Clone, Debug)]
+pub struct AgentScript {
+    /// Agent id.
+    pub agent: u32,
+    /// Sealed epochs in upload order, ledger deltas included.
+    pub epochs: Vec<EpochBatch>,
+}
+
+impl AgentScript {
+    /// Generates the script for `agent`: `epochs` epochs of roughly
+    /// `scale` samples each. Pure in `(agent, seed, epochs, scale)`.
+    #[must_use]
+    pub fn generate(agent: u32, seed: u32, epochs: u32, scale: u64) -> AgentScript {
+        let mut rng = CartaRng::new(
+            seed.wrapping_mul(0x9e37_79b9)
+                .wrapping_add(agent.wrapping_mul(0x85eb_ca6b))
+                .max(1),
+        );
+        let scale = scale.max(8);
+        let mut out = Vec::with_capacity(epochs as usize);
+        for epoch in 0..epochs {
+            let mut batch = EpochBatch {
+                epoch,
+                ..EpochBatch::default()
+            };
+            let mut attributed = 0u64;
+            // 2–4 images per epoch; image 1 is fleet-hot (every agent,
+            // every epoch), the rest drawn from the shared universe.
+            let extra = rng.uniform(1, 3) as usize;
+            let mut picks = vec![0usize];
+            for _ in 0..extra {
+                let p = rng.uniform(1, FLEET_IMAGES.len() as u64 - 1) as usize;
+                if !picks.contains(&p) {
+                    picks.push(p);
+                }
+            }
+            picks.sort_unstable();
+            for p in picks {
+                let (id, _) = FLEET_IMAGES[p];
+                let mut profile = Profile::new();
+                for _ in 0..rng.uniform(3, 8) {
+                    let pc = rng.uniform(0, 512) * 4;
+                    let count = rng.uniform(1, scale / 4);
+                    profile.add(pc, count);
+                }
+                attributed += profile.total();
+                batch.profiles.push((ImageId(id), Event::Cycles, profile));
+                if epoch == 0 {
+                    batch
+                        .image_names
+                        .push((ImageId(id), FLEET_IMAGES[p].1.to_owned()));
+                }
+            }
+            // An unknown-image residue (missed loader notifications).
+            let unknown = if rng.uniform(0, 3) == 0 {
+                let mut profile = Profile::new();
+                profile.add(rng.uniform(0, 64) * 4, rng.uniform(1, scale / 16));
+                let u = profile.total();
+                batch.profiles.push((UNKNOWN_IMAGE, Event::Cycles, profile));
+                u
+            } else {
+                0
+            };
+            // A driver-drop trickle (overflow buffers full).
+            let driver_dropped = if rng.uniform(0, 2) == 0 {
+                rng.uniform(0, scale / 32)
+            } else {
+                0
+            };
+            batch.ledger = LossLedger {
+                generated: attributed + unknown + driver_dropped,
+                attributed,
+                unknown,
+                driver_dropped,
+                crash_lost: 0,
+                quarantined: 0,
+            };
+            debug_assert!(batch.ledger.conserves());
+            out.push(batch);
+        }
+        AgentScript { agent, epochs: out }
+    }
+
+    /// Samples this script generates across all epochs (the agent's
+    /// contribution to fleet `generated`).
+    #[must_use]
+    pub fn total_generated(&self) -> u64 {
+        self.epochs.iter().map(|b| b.ledger.generated).sum()
+    }
+}
+
+/// Generates the whole fleet's scripts, fanning out over the scoped
+/// thread pool. Output is identical for any `threads` value.
+#[must_use]
+pub fn fleet_scripts(
+    agents: u32,
+    seed: u32,
+    epochs: u32,
+    scale: u64,
+    threads: usize,
+) -> Vec<AgentScript> {
+    pool::run_indexed(agents as usize, threads, |i| {
+        AgentScript::generate(i as u32, seed, epochs, scale)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_and_thread_invariant() {
+        let serial = fleet_scripts(12, 7, 4, 100, 1);
+        let parallel = fleet_scripts(12, 7, 4, 100, 4);
+        assert_eq!(serial.len(), 12);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.agent, b.agent);
+            assert_eq!(a.epochs, b.epochs);
+        }
+        let other = fleet_scripts(12, 8, 4, 100, 1);
+        assert_ne!(
+            serial[0].epochs, other[0].epochs,
+            "different seed, different fleet"
+        );
+    }
+
+    #[test]
+    fn every_epoch_delta_conserves() {
+        for script in fleet_scripts(20, 3, 5, 200, 2) {
+            assert!(script.total_generated() > 0);
+            for b in &script.epochs {
+                assert!(
+                    b.ledger.conserves(),
+                    "agent {} epoch {}",
+                    script.agent,
+                    b.epoch
+                );
+                assert_eq!(b.ledger.attributed + b.ledger.unknown, b.sample_total());
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_zero_names_the_universe() {
+        let s = AgentScript::generate(0, 1, 3, 64);
+        assert!(!s.epochs[0].image_names.is_empty());
+        assert!(s.epochs[1].image_names.is_empty());
+    }
+}
