@@ -83,6 +83,10 @@ struct FleetRow {
     samples: u64,
     wall_s: f64,
     conserves: bool,
+    /// 95th-percentile seal-to-database-visible ingest lag, in
+    /// simulation ticks — deterministic in (config, seed), so the
+    /// checker can hold it to a hard ceiling rather than a rate slack.
+    lag_p95_cycles: u64,
 }
 
 fn main() {
@@ -342,6 +346,7 @@ fn main() {
         samples: fleet.ledger.base.generated,
         wall_s: fleet_wall,
         conserves: fleet.conserves(),
+        lag_p95_cycles: fleet.lag.p95,
     };
     println!(
         "fleet {agents} agents: {} epochs, {} samples in {fleet_wall:.2}s = \
@@ -355,6 +360,10 @@ fn main() {
         } else {
             "  ** NOT CONSERVED **"
         }
+    );
+    println!(
+        "fleet ingest lag p95 {} tick(s) (p50 {}, p99 {}, max {})",
+        fleet.lag.p95, fleet.lag.p50, fleet.lag.p99, fleet.lag.max
     );
 
     let json = render_json(
@@ -441,7 +450,42 @@ fn check_against_baseline(rows: &[WorkloadRow], fleet: &FleetRow, baseline: Opti
         }
         None => println!("check {:<18} has no baseline row; skipping", fleet.name),
     }
+    // Ingest lag is deterministic in (config, seed), so the guard is a
+    // hard 2x ceiling against the committed p95 — a regression here
+    // means the pipeline itself got slower (more retries, later merges),
+    // not that CI hardware jittered. Baselines from before the lag
+    // metric existed simply skip.
+    match baseline_fleet_lag(baseline, &fleet.name) {
+        Some(was) => {
+            let now = fleet.lag_p95_cycles;
+            let pass = was == 0 || now <= was * 2;
+            println!(
+                "check {:<18} lag p95 {now} tick(s) vs baseline {was}  {}",
+                fleet.name,
+                if pass { "ok" } else { "** REGRESSED **" }
+            );
+            ok &= pass;
+        }
+        None => println!(
+            "check {:<18} has no baseline lag_p95_cycles; skipping",
+            fleet.name
+        ),
+    }
     ok
+}
+
+/// Pulls `lag_p95_cycles` for the named fleet row out of the committed
+/// baseline, line-oriented like [`baseline_fleet_rate`].
+fn baseline_fleet_lag(json: &str, name: &str) -> Option<u64> {
+    let line = json
+        .lines()
+        .find(|l| l.contains(&format!("\"name\": \"{name}\"")) && l.contains("lag_p95_cycles"))?;
+    let rest = &line[line.find("\"lag_p95_cycles\":")? + "\"lag_p95_cycles\":".len()..];
+    let rest = rest.trim_start();
+    rest[..rest.find([',', '}']).unwrap_or(rest.len())]
+        .trim()
+        .parse()
+        .ok()
 }
 
 /// Pulls `samples_per_s` for the named fleet row out of the committed
@@ -576,7 +620,7 @@ fn render_json(
         s,
         "    {{\"name\": \"{}\", \"agents\": {}, \"epochs\": {}, \"samples\": {}, \
          \"wall_s\": {:.4}, \"epochs_per_s\": {:.1}, \"samples_per_s\": {:.1}, \
-         \"conserves\": {}}}",
+         \"lag_p95_cycles\": {}, \"conserves\": {}}}",
         fleet.name,
         fleet.agents,
         fleet.epochs,
@@ -584,6 +628,7 @@ fn render_json(
         fleet.wall_s,
         fleet.epochs as f64 / fleet.wall_s,
         fleet.samples as f64 / fleet.wall_s,
+        fleet.lag_p95_cycles,
         fleet.conserves
     );
     let _ = writeln!(s, "  ],");

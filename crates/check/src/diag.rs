@@ -124,6 +124,13 @@ pub enum Category {
     /// Ledger violations: sample conservation, overhead consistency,
     /// or an overhead fraction outside the configured band.
     ObsLedger,
+    /// Pipeline-trace violations: a sealed epoch's span chain is out of
+    /// order, skips a stage, carries a lag payload that disagrees with
+    /// the trace, or (at quiesce) never reaches database visibility.
+    ObsTrace,
+    /// Time-series violations: point ticks run backwards or the point
+    /// count disagrees with the ring's overwrite accounting.
+    ObsSeries,
     /// Old→new address-map violations: not a bijection over live words,
     /// schema/shape problems, or maps that escape either image.
     PgoMap,
@@ -194,7 +201,9 @@ impl Category {
             Category::ObsExport
             | Category::ObsRing
             | Category::ObsMetrics
-            | Category::ObsLedger => Layer::Obs,
+            | Category::ObsLedger
+            | Category::ObsTrace
+            | Category::ObsSeries => Layer::Obs,
             Category::PgoMap | Category::PgoTarget | Category::PgoRewrite => Layer::Pgo,
             Category::TvStructure | Category::TvControl | Category::TvState => Layer::Tv,
             Category::WalStructure
@@ -237,6 +246,8 @@ impl Category {
             Category::ObsRing => "obs-ring",
             Category::ObsMetrics => "obs-metrics",
             Category::ObsLedger => "obs-ledger",
+            Category::ObsTrace => "obs-trace",
+            Category::ObsSeries => "obs-series",
             Category::PgoMap => "pgo-map",
             Category::PgoTarget => "pgo-target",
             Category::PgoRewrite => "pgo-rewrite",
@@ -495,6 +506,8 @@ mod tests {
             Category::ObsRing,
             Category::ObsMetrics,
             Category::ObsLedger,
+            Category::ObsTrace,
+            Category::ObsSeries,
             Category::PgoMap,
             Category::PgoTarget,
             Category::PgoRewrite,

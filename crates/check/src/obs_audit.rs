@@ -10,7 +10,7 @@
 //! paper's 1–3% of total cycles at the default sampling period).
 
 use crate::diag::{Category, Report, Severity};
-use dcpi_obs::{EventKind, RingSnapshot, Snapshot};
+use dcpi_obs::{span_agent, span_seq, EventKind, RingSnapshot, Snapshot};
 use std::collections::BTreeMap;
 
 /// Tuning for the observability audits.
@@ -64,7 +64,249 @@ pub fn check_snapshot(snap: &Snapshot, config: &ObsCheckConfig) -> Report {
     }
     check_metrics(snap, &mut report);
     check_ledgers(snap, config, &mut report);
+    check_trace_chains(snap, &mut report);
+    check_timeseries(snap, &mut report);
     report
+}
+
+/// The pipeline stages a sealed epoch's span passes through, keyed by
+/// the packed `span_id(agent, seq)` every stage event carries in `a`.
+#[derive(Default)]
+struct SpanChain {
+    /// `epoch.seal` cycles (at most one per span).
+    seals: Vec<u64>,
+    /// `upload.send` cycles — re-sends after a nack or an agent crash
+    /// legitimately repeat this stage.
+    sends: Vec<u64>,
+    /// `upload.retry` cycles (timeout retransmits).
+    retries: Vec<u64>,
+    /// `server.ack` `(cycle, lag)` — WAL append + ack (at most one: the
+    /// server never re-journals a duplicate).
+    acks: Vec<(u64, u64)>,
+    /// `server.visible` `(cycle, lag)` — database merge (at most one).
+    visibles: Vec<(u64, u64)>,
+}
+
+/// Audits the end-to-end pipeline trace: every sealed epoch's span
+/// chain must walk the stages in order (seal → send/retry → journal+ack
+/// → database-visible), the server-computed lag payloads must agree
+/// with the lag recomputed from the trace (which proves the seal tick
+/// survived wire → WAL → merge intact), and — when the export is marked
+/// `fleet_quiesced` — every sealed epoch must have reached visibility.
+/// Snapshots with no pipeline events are skipped entirely.
+///
+/// Rings that wrapped lose oldest events first, so spans sealed at or
+/// before the overwrite window `W` (the latest first-surviving cycle of
+/// any wrapped pipeline ring) are excused from structural checks; the
+/// lag cross-checks still run on whatever stages survive.
+fn check_trace_chains(snap: &Snapshot, report: &mut Report) {
+    const STAGES: [&str; 6] = [
+        "epoch.seal",
+        "upload.send",
+        "upload.retry",
+        "upload.ack",
+        "server.ack",
+        "server.visible",
+    ];
+    let mut chains: BTreeMap<u64, SpanChain> = BTreeMap::new();
+    let mut wrapped = false;
+    let mut window = 0u64;
+    for ring in &snap.rings {
+        if ring.component != "session" && ring.component != "server" {
+            continue;
+        }
+        if ring.overwritten > 0 {
+            wrapped = true;
+            if let Some(first) = ring.events.first() {
+                window = window.max(first.cycle);
+            }
+        }
+        for ev in &ring.events {
+            if !STAGES.contains(&ev.name.as_str()) {
+                continue;
+            }
+            let chain = chains.entry(ev.a).or_default();
+            match ev.name.as_str() {
+                "epoch.seal" => chain.seals.push(ev.cycle),
+                "upload.send" => chain.sends.push(ev.cycle),
+                "upload.retry" => chain.retries.push(ev.cycle),
+                "server.ack" => chain.acks.push((ev.cycle, ev.b)),
+                "server.visible" => chain.visibles.push((ev.cycle, ev.b)),
+                // Agent-side ack receipt closes the retransmit loop but
+                // adds no pipeline stage; duplicates are expected.
+                _ => {}
+            }
+        }
+    }
+    if chains.is_empty() {
+        return;
+    }
+    let quiesced = snap.meta.get("fleet_quiesced").map(String::as_str) == Some("true");
+    for (id, chain) in &chains {
+        let ctx = format!("trace/{}:{}", span_agent(*id), span_seq(*id));
+        let err = |report: &mut Report, msg: String| {
+            report.push(Severity::Error, Category::ObsTrace, &ctx, None, None, msg);
+        };
+        // Once-only stages can never be duplicated by ring overwrite, so
+        // multiplicity is checked unconditionally.
+        for (stage, n) in [
+            ("epoch.seal", chain.seals.len()),
+            ("server.ack", chain.acks.len()),
+            ("server.visible", chain.visibles.len()),
+        ] {
+            if n > 1 {
+                err(report, format!("stage `{stage}` recorded {n} times"));
+            }
+        }
+        let seal = chain.seals.first().copied();
+        let first_send = chain.sends.iter().min().copied();
+        let ack = chain.acks.first().copied();
+        let visible = chain.visibles.first().copied();
+        // Lag payloads are carried data, not ring order, so they are
+        // checked whenever both ends survive: the server computed them
+        // from the wire-carried seal tick, and they must match the lag
+        // recomputed from the agent-side seal event.
+        if let Some(s) = seal {
+            for (stage, pair) in [("server.ack", ack), ("server.visible", visible)] {
+                if let Some((cycle, lag)) = pair {
+                    if lag != cycle.saturating_sub(s) {
+                        err(
+                            report,
+                            format!(
+                                "`{stage}` lag payload {lag} != {} recomputed \
+                                 from the seal tick (span context corrupted in transit)",
+                                cycle.saturating_sub(s)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // A span sealed inside the overwrite window (or whose seal was
+        // itself overwritten) may be missing arbitrary stages.
+        let excused = wrapped && seal.is_none_or(|s| s <= window);
+        if excused {
+            continue;
+        }
+        // Stage-prefix contiguity: a chain may *end* early (a fault
+        // stopped the epoch there) but can never skip a stage.
+        if !chain.sends.is_empty() && seal.is_none() {
+            err(report, "sent without a surviving seal".into());
+        }
+        if ack.is_some() && first_send.is_none() {
+            err(report, "journaled+acked without a surviving send".into());
+        }
+        if visible.is_some() && ack.is_none() {
+            err(
+                report,
+                "database-visible without a surviving journal/ack".into(),
+            );
+        }
+        // Stage ordering, and the ingest-lag conservation identity:
+        // spool-wait + transit + merge-wait must telescope to the total
+        // seal→visible lag the server reported.
+        if let Some(s) = seal {
+            if let Some(f) = first_send {
+                if f < s {
+                    err(report, format!("first send at {f} precedes seal at {s}"));
+                }
+            }
+            for &r in &chain.retries {
+                if r < s {
+                    err(report, format!("retry at {r} precedes seal at {s}"));
+                }
+            }
+            if let (Some(f), Some((a, _))) = (first_send, ack) {
+                if a < f {
+                    err(
+                        report,
+                        format!("journal/ack at {a} precedes first send at {f}"),
+                    );
+                }
+                if let Some((v, lag)) = visible {
+                    if v < a {
+                        err(
+                            report,
+                            format!("visible at {v} precedes journal/ack at {a}"),
+                        );
+                    }
+                    let spool_wait = f.saturating_sub(s);
+                    let transit = a.saturating_sub(f);
+                    let merge_wait = v.saturating_sub(a);
+                    if spool_wait + transit + merge_wait != lag {
+                        err(
+                            report,
+                            format!(
+                                "stage durations {spool_wait}+{transit}+{merge_wait} \
+                                 do not sum to the reported ingest lag {lag}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if quiesced && visible.is_none() {
+            let last = if ack.is_some() {
+                "journal/ack"
+            } else if !chain.retries.is_empty() {
+                "retry"
+            } else if first_send.is_some() {
+                "send"
+            } else {
+                "seal"
+            };
+            err(
+                report,
+                format!("sealed epoch never became database-visible (chain ends at {last})"),
+            );
+        }
+    }
+}
+
+/// Audits the time-series section: overwrite accounting must balance
+/// (mirroring the trace-ring rule) and point ticks never run backwards.
+fn check_timeseries(snap: &Snapshot, report: &mut Report) {
+    let ts = &snap.timeseries;
+    let len = ts.points.len() as u64;
+    let ctx = "timeseries";
+    if len > ts.capacity {
+        report.push(
+            Severity::Error,
+            Category::ObsSeries,
+            ctx,
+            None,
+            None,
+            format!("{len} points exceed capacity {}", ts.capacity),
+        );
+    }
+    if ts.recorded < len || ts.overwritten != ts.recorded - len {
+        report.push(
+            Severity::Error,
+            Category::ObsSeries,
+            ctx,
+            None,
+            None,
+            format!(
+                "overwrite accounting broken: recorded {} - kept {len} != overwritten {}",
+                ts.recorded, ts.overwritten
+            ),
+        );
+    }
+    let mut last = 0u64;
+    for (i, p) in ts.points.iter().enumerate() {
+        if p.tick < last {
+            report.push(
+                Severity::Error,
+                Category::ObsSeries,
+                ctx,
+                None,
+                None,
+                format!("ticks run backwards at point {i}: {} < {last}", p.tick),
+            );
+            break;
+        }
+        last = p.tick;
+    }
 }
 
 fn check_ring(ring: &RingSnapshot, report: &mut Report) {
@@ -348,6 +590,153 @@ mod tests {
             .diags
             .iter()
             .any(|d| d.category == Category::ObsMetrics));
+    }
+
+    fn fleet_snapshot(quiesced: bool) -> Snapshot {
+        let obs = Obs::new(&ObsConfig::on());
+        let id = dcpi_obs::span_id(3, 1);
+        obs.event_at(Component::Session, "epoch.seal", 10, id, 100);
+        obs.event_at(Component::Session, "upload.send", 12, id, 0);
+        obs.event_at(Component::Session, "upload.retry", 20, id, 1);
+        obs.event_at(Component::Server, "server.ack", 25, id, 15);
+        obs.event_at(Component::Session, "upload.ack", 27, id, 0);
+        obs.event_at(Component::Server, "server.visible", 40, id, 30);
+        let mut snap = obs.snapshot();
+        if quiesced {
+            snap.meta.insert("fleet_quiesced".into(), "true".into());
+        }
+        snap
+    }
+
+    #[test]
+    fn complete_span_chain_passes() {
+        for quiesced in [false, true] {
+            let report = check_snapshot(&fleet_snapshot(quiesced), &ObsCheckConfig::default());
+            assert!(report.is_clean(), "{}", report.render());
+            assert_eq!(report.warnings(), 0, "{}", report.render());
+        }
+    }
+
+    #[test]
+    fn corrupted_lag_payload_flagged() {
+        let mut snap = fleet_snapshot(true);
+        let ring = snap
+            .rings
+            .iter_mut()
+            .find(|r| r.component == "server")
+            .unwrap();
+        ring.events
+            .iter_mut()
+            .find(|e| e.name == "server.visible")
+            .unwrap()
+            .b = 29;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.category == Category::ObsTrace && d.message.contains("lag payload")));
+    }
+
+    #[test]
+    fn skipped_stage_flagged() {
+        let mut snap = fleet_snapshot(false);
+        let ring = snap
+            .rings
+            .iter_mut()
+            .find(|r| r.component == "server")
+            .unwrap();
+        let i = ring
+            .events
+            .iter()
+            .position(|e| e.name == "server.ack")
+            .unwrap();
+        ring.events.remove(i);
+        ring.recorded -= 1;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(
+            report.diags.iter().any(|d| d.category == Category::ObsTrace
+                && d.message.contains("without a surviving journal/ack")),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn quiesced_chain_must_reach_visibility() {
+        let mut snap = fleet_snapshot(true);
+        let ring = snap
+            .rings
+            .iter_mut()
+            .find(|r| r.component == "server")
+            .unwrap();
+        ring.events.clear();
+        ring.recorded = 0;
+        // Mid-run (not quiesced) an incomplete chain is a fault ending
+        // at its last stage, which is legitimate…
+        snap.meta.remove("fleet_quiesced");
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report.is_clean(), "{}", report.render());
+        // …but a quiesced fleet must have landed every sealed epoch.
+        snap.meta.insert("fleet_quiesced".into(), "true".into());
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(
+            report
+                .diags
+                .iter()
+                .any(|d| d.category == Category::ObsTrace
+                    && d.message.contains("chain ends at retry")),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn overwritten_window_excuses_missing_stages() {
+        let mut snap = fleet_snapshot(true);
+        let ring = snap
+            .rings
+            .iter_mut()
+            .find(|r| r.component == "session")
+            .unwrap();
+        // The session ring wrapped past the seal: every session-side
+        // stage of the span is gone, the server-side tail survives.
+        ring.events.clear();
+        ring.overwritten = ring.recorded;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn timeseries_violations_flagged() {
+        use dcpi_obs::TimePoint;
+        let mut snap = sample_snapshot();
+        snap.timeseries.capacity = 4;
+        snap.timeseries.recorded = 2;
+        snap.timeseries.points = vec![
+            TimePoint {
+                tick: 5,
+                ..TimePoint::default()
+            },
+            TimePoint {
+                tick: 3,
+                ..TimePoint::default()
+            },
+        ];
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(
+            report
+                .diags
+                .iter()
+                .any(|d| d.category == Category::ObsSeries && d.message.contains("backwards")),
+            "{}",
+            report.render()
+        );
+        snap.timeseries.recorded = 1;
+        let report = check_snapshot(&snap, &ObsCheckConfig::default());
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.category == Category::ObsSeries && d.message.contains("accounting")));
     }
 
     #[test]

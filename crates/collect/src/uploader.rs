@@ -28,7 +28,7 @@
 use crate::faults::ledger_add;
 use crate::wire::{decode_msg, encode_msg, EpochBatch, Msg};
 use dcpi_core::prng::CartaRng;
-use dcpi_obs::{Component, Obs};
+use dcpi_obs::{span_id, Component, Obs};
 use std::collections::VecDeque;
 
 /// Tuning for one uploader.
@@ -231,6 +231,19 @@ impl Uploader {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.sealed += 1;
+        if self.obs.is_enabled() {
+            // Span origin: the epoch enters the pipeline here. Every
+            // later stage stamps the same packed span id in `a`, so the
+            // chain (seal → send → retry* → ack, journal → visible on
+            // the server side) is recoverable from the rings alone.
+            self.obs.event_at(
+                Component::Session,
+                "epoch.seal",
+                batch.seal_cycle,
+                span_id(self.agent, seq),
+                batch.sample_total(),
+            );
+        }
         self.spool.push_back((seq, batch));
         seq
     }
@@ -350,8 +363,13 @@ impl Uploader {
                     self.last_send = now;
                     if self.obs.is_enabled() {
                         self.obs.counter("uploader.sent").inc(0);
-                        self.obs
-                            .event_at(Component::Session, "upload.send", now, seq, 0);
+                        self.obs.event_at(
+                            Component::Session,
+                            "upload.send",
+                            now,
+                            span_id(self.agent, seq),
+                            0,
+                        );
                     }
                     vec![encode_msg(&Msg::Upload {
                         agent: self.agent,
@@ -390,6 +408,13 @@ impl Uploader {
                     let (_, batch) = self.spool.front().cloned().expect("awaiting spool head");
                     if self.obs.is_enabled() {
                         self.obs.counter("uploader.retransmits").inc(0);
+                        self.obs.event_at(
+                            Component::Session,
+                            "upload.retry",
+                            now,
+                            span_id(self.agent, seq),
+                            u64::from(attempt),
+                        );
                     }
                     vec![encode_msg(&Msg::Upload {
                         agent: self.agent,
@@ -453,8 +478,13 @@ impl Uploader {
                 }
                 if self.obs.is_enabled() {
                     self.obs.counter("uploader.acked").inc(0);
-                    self.obs
-                        .event_at(Component::Session, "upload.ack", now, seq, 0);
+                    self.obs.event_at(
+                        Component::Session,
+                        "upload.ack",
+                        now,
+                        span_id(self.agent, seq),
+                        u64::from(duplicate),
+                    );
                 }
                 self.state = State::Idle;
             }
@@ -506,6 +536,7 @@ mod tests {
         }
         EpochBatch {
             epoch: 0,
+            seal_cycle: 0,
             profiles: if samples > 0 {
                 vec![(ImageId(1), Event::Cycles, p)]
             } else {
@@ -801,6 +832,61 @@ mod tests {
         );
         assert_eq!(up.stats.ignored_frames, 2);
         assert!(up.idle());
+    }
+
+    #[test]
+    fn span_chain_lands_in_the_session_ring() {
+        use dcpi_obs::{Obs, ObsConfig};
+        let cfg = UploaderConfig {
+            ack_timeout: 8,
+            jitter: 0,
+            upload_gap: 0,
+            ..UploaderConfig::default()
+        };
+        let mut up = Uploader::new(11, 1, cfg);
+        let obs = Obs::new(&ObsConfig::on());
+        up.attach_obs(&obs);
+        up.tick(0);
+        up.on_frame(
+            1,
+            &encode_msg(&Msg::RegisterAck {
+                agent: 11,
+                last_seq: 0,
+            }),
+        );
+        let mut b = batch(9);
+        b.seal_cycle = 2;
+        let seq = up.push_epoch(b);
+        let (_, _send) = next_frame(&mut up, 2, 4);
+        let (_, _retry) = next_frame(&mut up, 3, 100);
+        up.on_frame(
+            40,
+            &encode_msg(&Msg::Ack {
+                agent: 11,
+                seq,
+                duplicate: false,
+                backpressure: false,
+            }),
+        );
+        let snap = obs.snapshot();
+        let session = snap
+            .rings
+            .iter()
+            .find(|r| r.component == "session")
+            .unwrap();
+        let id = span_id(11, seq);
+        let chain: Vec<&str> = session
+            .events
+            .iter()
+            .filter(|e| e.a == id)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(
+            chain,
+            ["epoch.seal", "upload.send", "upload.retry", "upload.ack"]
+        );
+        assert_eq!(session.events[0].cycle, 2, "seal stamped at seal_cycle");
+        assert_eq!(session.events[0].b, 9, "seal carries the sample total");
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub const WIRE_VERSION: u8 = 1;
 pub struct EpochBatch {
     /// Agent-local epoch number (informational; ordering is by seq).
     pub epoch: u32,
+    /// Simulated tick at which the agent sealed the epoch. This is the
+    /// span context's time origin: it rides the frame through the WAL to
+    /// the merge, so every stage — and the server itself — can compute
+    /// the epoch's ingest lag from its own clock without a side channel.
+    pub seal_cycle: u64,
     /// Per-`(image, event)` profiles, sorted by `(image, event code)`.
     pub profiles: Vec<(ImageId, Event, Profile)>,
     /// Image names first recorded in this epoch.
@@ -198,6 +203,7 @@ fn get_ledger(buf: &mut &[u8]) -> Result<LossLedger> {
 
 fn put_batch(buf: &mut Vec<u8>, b: &EpochBatch) {
     codec::put_varint(buf, u64::from(b.epoch));
+    codec::put_varint(buf, b.seal_cycle);
     put_ledger(buf, &b.ledger);
     codec::put_varint(buf, b.profiles.len() as u64);
     for (image, event, profile) in &b.profiles {
@@ -225,6 +231,7 @@ fn take_bytes<'a>(buf: &mut &'a [u8], len: usize) -> Result<&'a [u8]> {
 
 fn get_batch(buf: &mut &[u8]) -> Result<EpochBatch> {
     let epoch = codec::get_varint(buf)?;
+    let seal_cycle = codec::get_varint(buf)?;
     let ledger = get_ledger(buf)?;
     let n_profiles = codec::get_varint(buf)?;
     let mut profiles = Vec::new();
@@ -253,6 +260,7 @@ fn get_batch(buf: &mut &[u8]) -> Result<EpochBatch> {
     }
     Ok(EpochBatch {
         epoch: u32::try_from(epoch).map_err(|_| Error::Corrupt("epoch overflows u32".into()))?,
+        seal_cycle,
         profiles,
         image_names,
         ledger,
@@ -435,6 +443,7 @@ mod tests {
         q.add(0x2000, 3);
         EpochBatch {
             epoch: 4,
+            seal_cycle: 12_345,
             profiles: vec![
                 (ImageId(1), Event::Cycles, p),
                 (dcpi_core::UNKNOWN_IMAGE, Event::Cycles, q),

@@ -9,6 +9,7 @@
 
 use crate::ledger::{OverheadLedger, SampleLedger};
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::timeseries::{SeriesSnapshot, TimePoint};
 use crate::trace::{EventKind, EventRecord, RingSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -26,6 +27,8 @@ pub struct Snapshot {
     pub metrics: MetricsSnapshot,
     /// One entry per component ring.
     pub rings: Vec<RingSnapshot>,
+    /// Periodic metric samples (counter deltas, gauge levels).
+    pub timeseries: SeriesSnapshot,
     /// Cycles charged to collection vs. total simulated cycles.
     pub overhead: Option<OverheadLedger>,
     /// End-to-end sample conservation.
@@ -174,6 +177,33 @@ impl Snapshot {
         }
         out.push_str("  ],\n");
 
+        // Time series: one header row (ring accounting) then one row per
+        // surviving point. Maps are packed `name:value` pairs inside one
+        // quoted string to keep the one-object-per-line discipline.
+        out.push_str("  \"timeseries\": [\n");
+        let ts = &self.timeseries;
+        let mut rows: Vec<String> = vec![format!(
+            "    {{\"capacity\": {}, \"recorded\": {}, \"overwritten\": {}}}",
+            ts.capacity, ts.recorded, ts.overwritten,
+        )];
+        for p in &ts.points {
+            let pack = |m: &BTreeMap<String, u64>| {
+                m.iter()
+                    .map(|(k, v)| format!("{}:{v}", sanitize(k)))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            rows.push(format!(
+                "    {{\"tick\": {}, \"counters\": \"{}\", \"gauges\": \"{}\"}}",
+                p.tick,
+                pack(&p.counters),
+                pack(&p.gauges),
+            ));
+        }
+        out.push_str(&rows.join(",\n"));
+        out.push('\n');
+        out.push_str("  ],\n");
+
         match &self.overhead {
             Some(o) => {
                 let _ = writeln!(
@@ -312,6 +342,32 @@ impl Snapshot {
                         return Err(format!("line {}: unrecognised ring row", lineno + 1));
                     }
                 }
+                "timeseries" => {
+                    if let Some(cap) = field(line, "capacity") {
+                        snap.timeseries.capacity =
+                            cap.parse().map_err(|_| bad(lineno, "capacity"))?;
+                        snap.timeseries.recorded = num(line, "recorded", lineno)?;
+                        snap.timeseries.overwritten = num(line, "overwritten", lineno)?;
+                    } else if field(line, "tick").is_some() {
+                        let unpack = |key: &str| -> Result<BTreeMap<String, u64>, String> {
+                            let spec = field(line, key).ok_or_else(|| bad(lineno, key))?;
+                            let mut map = BTreeMap::new();
+                            for part in spec.split_whitespace() {
+                                let (k, v) =
+                                    part.rsplit_once(':').ok_or_else(|| bad(lineno, key))?;
+                                map.insert(k.to_string(), v.parse().map_err(|_| bad(lineno, key))?);
+                            }
+                            Ok(map)
+                        };
+                        snap.timeseries.points.push(TimePoint {
+                            tick: num(line, "tick", lineno)?,
+                            counters: unpack("counters")?,
+                            gauges: unpack("gauges")?,
+                        });
+                    } else {
+                        return Err(format!("line {}: unrecognised series row", lineno + 1));
+                    }
+                }
                 _ => return Err(format!("line {}: row outside any section", lineno + 1)),
             }
         }
@@ -344,7 +400,14 @@ fn bad(lineno: usize, key: &str) -> String {
 }
 
 fn section_header(line: &str) -> Option<&'static str> {
-    for sec in ["meta", "counters", "gauges", "histograms", "rings"] {
+    for sec in [
+        "meta",
+        "counters",
+        "gauges",
+        "histograms",
+        "rings",
+        "timeseries",
+    ] {
         if line.starts_with(&format!("\"{sec}\": [")) {
             return Some(sec);
         }
@@ -395,6 +458,27 @@ mod tests {
                 },
             ],
         });
+        s.timeseries = SeriesSnapshot {
+            capacity: 4,
+            recorded: 6,
+            overwritten: 4,
+            points: vec![
+                TimePoint {
+                    tick: 100,
+                    counters: [("server.accepted".to_string(), 3)].into_iter().collect(),
+                    gauges: [("server.queue_depth".to_string(), 2)]
+                        .into_iter()
+                        .collect(),
+                },
+                TimePoint {
+                    tick: 200,
+                    counters: BTreeMap::new(),
+                    gauges: [("server.queue_depth".to_string(), 0)]
+                        .into_iter()
+                        .collect(),
+                },
+            ],
+        };
         s.overhead = Some(OverheadLedger {
             total_cycles: 1_000_000,
             handler_cycles: 11_000,

@@ -28,12 +28,15 @@ pub mod export;
 pub mod ledger;
 pub mod metrics;
 pub mod report;
+pub mod timeseries;
 pub mod trace;
 
 pub use export::Snapshot;
 pub use ledger::{OverheadLedger, SampleLedger};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use report::Reporter;
+pub use timeseries::{SeriesRing, SeriesSnapshot, TimePoint};
+pub use trace::{span_agent, span_id, span_seq};
 pub use trace::{Component, EventKind, EventRecord, RingSnapshot, TraceRing};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +51,9 @@ pub struct ObsConfig {
     /// Capacity of each per-component trace ring (events). Older events
     /// are overwritten once a ring is full; the overwrite count is kept.
     pub ring_capacity: usize,
+    /// Capacity of the time-series ring (points sampled by
+    /// [`Obs::record_point`]). Older points are overwritten once full.
+    pub series_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -55,6 +61,7 @@ impl Default for ObsConfig {
         ObsConfig {
             enabled: false,
             ring_capacity: 1024,
+            series_capacity: 256,
         }
     }
 }
@@ -80,6 +87,8 @@ struct ObsCore {
     registry: Registry,
     /// One ring per [`Component`], indexed by `Component::index()`.
     rings: Vec<Mutex<TraceRing>>,
+    /// Periodic metric samples (see [`Obs::record_point`]).
+    series: Mutex<SeriesRing>,
 }
 
 /// Shared observability handle. Cloning is one `Arc` bump; all clones see
@@ -99,6 +108,7 @@ impl Obs {
     /// Build an instance from a configuration.
     pub fn new(cfg: &ObsConfig) -> Obs {
         let cap = if cfg.enabled { cfg.ring_capacity } else { 0 };
+        let series_cap = if cfg.enabled { cfg.series_capacity } else { 0 };
         let rings = Component::ALL
             .iter()
             .map(|_| Mutex::new(TraceRing::new(cap)))
@@ -110,6 +120,7 @@ impl Obs {
                 epoch: Instant::now(),
                 registry: Registry::default(),
                 rings,
+                series: Mutex::new(SeriesRing::new(series_cap)),
             }),
         }
     }
@@ -209,6 +220,18 @@ impl Obs {
         self.push(comp, name, EventKind::End, self.cycle(), a, b);
     }
 
+    /// Sample one time-series point at the given tick: counter deltas
+    /// since the previous point plus current gauge levels go into the
+    /// segmented series ring. Callers pick the cadence (the fleet
+    /// harness samples every merge interval).
+    pub fn record_point(&self, tick: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let metrics = self.core.registry.snapshot();
+        self.core.series.lock().unwrap().record(tick, &metrics);
+    }
+
     /// Snapshot metrics and rings. Ledgers are attached by the layer that
     /// owns them (e.g. the collection session).
     pub fn snapshot(&self) -> Snapshot {
@@ -225,6 +248,7 @@ impl Obs {
             meta: std::collections::BTreeMap::new(),
             metrics: self.core.registry.snapshot(),
             rings,
+            timeseries: self.core.series.lock().unwrap().snapshot(),
             overhead: None,
             samples: None,
         }
@@ -243,9 +267,26 @@ mod tests {
         obs.begin(Component::Daemon, "daemon.flush");
         obs.end(Component::Daemon, "daemon.flush", 0, 0);
         obs.advance_cycle(500);
+        obs.record_point(500);
         let snap = obs.snapshot();
         assert_eq!(snap.rings.iter().map(|r| r.events.len()).sum::<usize>(), 0);
+        assert_eq!(snap.timeseries.recorded, 0);
         assert_eq!(obs.cycle(), 0);
+    }
+
+    #[test]
+    fn record_point_samples_counter_deltas() {
+        let obs = Obs::new(&ObsConfig::on());
+        obs.counter("server.accepted").add(0, 3);
+        obs.record_point(100);
+        obs.counter("server.accepted").add(0, 4);
+        obs.gauge("server.queue_depth").set(9);
+        obs.record_point(200);
+        let s = obs.snapshot().timeseries;
+        assert_eq!(s.recorded, 2);
+        assert_eq!(s.points[0].counters["server.accepted"], 3);
+        assert_eq!(s.points[1].counters["server.accepted"], 4);
+        assert_eq!(s.points[1].gauges["server.queue_depth"], 9);
     }
 
     #[test]

@@ -160,6 +160,40 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the log2
+    /// bucket containing it: walk the cumulative bucket counts until at
+    /// least `ceil(q * count)` observations are covered and return that
+    /// bucket's largest representable value (`2^i - 1`; bucket 0 holds
+    /// only zero). Returns 0 when the histogram is empty. The answer is
+    /// an upper bound, never an underestimate — the right direction for
+    /// SLO guards.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            clippy::cast_precision_loss
+        )]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let bound = |i: u32| match i {
+            0 => 0,
+            i if i >= 64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        };
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound(i);
+            }
+        }
+        // Unreachable when buckets sum to count; fall back to the last
+        // bucket's bound so a malformed snapshot still answers.
+        self.buckets.last().map_or(0, |&(i, _)| bound(i))
+    }
+
     /// Merge another snapshot into this one (bucket-wise sum).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         self.count += other.count;
@@ -306,6 +340,26 @@ mod tests {
         assert_eq!(s.sum, 6);
         assert_eq!(s.buckets, vec![(0, 1), (2, 2)]);
         assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.95), 0, "empty histogram");
+        for v in [0, 1, 3, 3, 7, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // 7 observations: rank(0.5)=4 -> 4th smallest (3) lives in
+        // bucket 2, bound 3; rank(0.99)=7 -> bucket 10, bound 1023.
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.5), 3);
+        assert_eq!(s.quantile(0.99), 1023);
+        assert_eq!(s.quantile(1.0), 1023);
+        // The top bucket saturates at u64::MAX instead of overflowing.
+        let big = Histogram::default();
+        big.observe(u64::MAX);
+        assert_eq!(big.snapshot().quantile(0.5), u64::MAX);
     }
 
     #[test]

@@ -91,6 +91,32 @@ impl EventKind {
     }
 }
 
+/// Pack an epoch span context — agent id and upload sequence — into one
+/// `u64` payload word. Fleet pipeline stages (seal, send, retry, ack,
+/// journal, visible) all stamp their events with this id in `a`, so a
+/// single epoch's chain can be picked out of merged agent + server
+/// timelines. Sequence numbers are per-agent and bounded by the epoch
+/// script, so 32 bits each way is generous.
+#[inline]
+pub fn span_id(agent: u32, seq: u64) -> u64 {
+    (u64::from(agent) << 32) | (seq & 0xFFFF_FFFF)
+}
+
+/// Agent half of a packed [`span_id`].
+#[inline]
+pub fn span_agent(id: u64) -> u32 {
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        (id >> 32) as u32
+    }
+}
+
+/// Sequence half of a packed [`span_id`].
+#[inline]
+pub fn span_seq(id: u64) -> u64 {
+    id & 0xFFFF_FFFF
+}
+
 #[derive(Clone, Copy, Debug)]
 struct TraceEvent {
     cycle: u64,
@@ -260,6 +286,19 @@ mod tests {
         r.push(1, 1, "e", EventKind::Instant, 0, 0);
         assert!(r.is_empty());
         assert_eq!(r.snapshot("x").recorded, 0);
+    }
+
+    #[test]
+    fn span_ids_pack_and_unpack() {
+        let id = span_id(7, 42);
+        assert_eq!(span_agent(id), 7);
+        assert_eq!(span_seq(id), 42);
+        let top = span_id(u32::MAX, 0xFFFF_FFFF);
+        assert_eq!(span_agent(top), u32::MAX);
+        assert_eq!(span_seq(top), 0xFFFF_FFFF);
+        // Sequence overflow wraps into the low word without corrupting
+        // the agent half.
+        assert_eq!(span_agent(span_id(3, u64::MAX)), 3);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use dcpi_core::codec::Format;
 use dcpi_core::prng::CartaRng;
 use dcpi_obs::Obs;
 use dcpi_workloads::fleet_feed::{fleet_scripts, AgentScript};
+use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
 
@@ -183,6 +184,41 @@ impl FleetConfig {
     }
 }
 
+/// Seal→database-visible ingest-lag distribution for one run, in
+/// ticks, plus per-agent freshness at quiesce. Lags are harvested from
+/// every server incarnation (a batch merged before a server crash keeps
+/// its measurement), and because the seal tick rides the wire frame
+/// into the WAL, batches replayed after an outage report their *true*
+/// lag — outage included.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetLag {
+    /// Merged epochs measured (sealed batches and tombstones).
+    pub samples: u64,
+    /// Median seal→visible lag (nearest-rank).
+    pub p50: u64,
+    /// 95th-percentile lag.
+    pub p95: u64,
+    /// 99th-percentile lag.
+    pub p99: u64,
+    /// Worst single epoch.
+    pub max: u64,
+    /// Agent whose newest database-visible batch is oldest at quiesce.
+    pub stalest_agent: u32,
+    /// Quiesce tick minus that agent's last visible tick.
+    pub stalest_staleness: u64,
+}
+
+/// Nearest-rank percentile of a sorted slice: the smallest element with
+/// at least `pct`% of the samples at or below it.
+fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * pct).div_ceil(100).clamp(1, n);
+    sorted[usize::try_from(rank - 1).unwrap_or(0)]
+}
+
 /// What one fleet run did.
 #[derive(Clone, Debug)]
 pub struct FleetReport {
@@ -208,6 +244,8 @@ pub struct FleetReport {
     pub server_crashes: u64,
     /// Ticks until quiesce.
     pub ticks: u64,
+    /// Ingest-lag distribution and per-agent freshness.
+    pub lag: FleetLag,
     /// Where the run's WAL, database, and `fleet.json` live.
     pub root: PathBuf,
 }
@@ -254,7 +292,9 @@ impl FleetReport {
                 "  \"net\": {{ \"sent\": {}, \"dropped\": {}, \"duplicated\": {}, ",
                 "\"reordered\": {}, \"truncated\": {}, \"stalled\": {}, \"partitioned\": {} }},\n",
                 "  \"agents_io\": {{ \"uploads_sent\": {}, \"retransmits\": {}, \"acks\": {}, ",
-                "\"dup_acks\": {}, \"nacks\": {}, \"timeouts\": {}, \"heartbeats\": {} }}\n",
+                "\"dup_acks\": {}, \"nacks\": {}, \"timeouts\": {}, \"heartbeats\": {} }},\n",
+                "  \"lag\": {{ \"samples\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, ",
+                "\"max\": {}, \"stalest_agent\": {}, \"stalest_staleness\": {} }}\n",
                 "}}\n",
             ),
             self.agents,
@@ -298,6 +338,13 @@ impl FleetReport {
             u.nacks,
             u.timeouts,
             u.heartbeats,
+            self.lag.samples,
+            self.lag.p50,
+            self.lag.p95,
+            self.lag.p99,
+            self.lag.max,
+            self.lag.stalest_agent,
+            self.lag.stalest_staleness,
         )
     }
 }
@@ -411,6 +458,8 @@ pub fn run_fleet(cfg: &FleetConfig, obs: &Obs) -> io::Result<FleetReport> {
     // Stats harvested from server incarnations that were killed.
     let mut harvested_stats = ServerStats::default();
     let mut harvested_dups = 0u64;
+    let mut harvested_lags: Vec<u64> = Vec::new();
+    let mut agent_visible: BTreeMap<u32, u64> = BTreeMap::new();
     let mut epochs_sealed = 0u64;
     let mut tombstones = 0u64;
     let mut agent_crash_count = 0u64;
@@ -426,6 +475,13 @@ pub fn run_fleet(cfg: &FleetConfig, obs: &Obs) -> io::Result<FleetReport> {
         if !in_window && next_window < server_windows.len() && t == server_windows[next_window].0 {
             if let Some(s) = server.take() {
                 harvested_dups += s.ledger().retrans_duplicates_discarded;
+                // Lags of batches that reached the database before the
+                // crash survive the incarnation; visibility ticks only
+                // move forward, so a plain overwrite merge is correct.
+                harvested_lags.extend_from_slice(s.ingest_lags());
+                for (&a, &v) in s.agent_visibility() {
+                    agent_visible.insert(a, v);
+                }
                 add_server_stats(&mut harvested_stats, &s.stats);
                 server_crash_count += 1;
                 in_window = true;
@@ -480,6 +536,10 @@ pub fn run_fleet(cfg: &FleetConfig, obs: &Obs) -> io::Result<FleetReport> {
             if !sim.script_done() && t >= sim.seal_at {
                 let mut batch = sim.script.epochs[sim.next_epoch].clone();
                 batch.ledger.merge(&std::mem::take(&mut sim.pending));
+                // Span context: the seal tick rides the batch through
+                // wire → WAL → merge, so every downstream stage (and a
+                // post-outage replay) can compute true seal→now lag.
+                batch.seal_cycle = t;
                 sim.next_epoch += 1;
                 sim.seal_at = t + cfg.seal_period.max(1);
                 sim.uploader.push_epoch(batch);
@@ -491,6 +551,7 @@ pub fn run_fleet(cfg: &FleetConfig, obs: &Obs) -> io::Result<FleetReport> {
                 let batch = EpochBatch {
                     epoch: sim.script.epochs.len() as u32,
                     ledger: std::mem::take(&mut sim.pending),
+                    seal_cycle: t,
                     ..EpochBatch::default()
                 };
                 sim.uploader.push_epoch(batch);
@@ -533,6 +594,12 @@ pub fn run_fleet(cfg: &FleetConfig, obs: &Obs) -> io::Result<FleetReport> {
         if let Some(srv) = server.as_mut() {
             srv.tick(t)?;
         }
+
+        // One time-series point per merge cadence; a no-op (single
+        // relaxed load) when obs is disabled.
+        if t % cfg.merge_every.max(1) == 0 {
+            obs.record_point(t);
+        }
     }
 
     let Some(ticks) = quiesced_at else {
@@ -545,6 +612,28 @@ pub fn run_fleet(cfg: &FleetConfig, obs: &Obs) -> io::Result<FleetReport> {
     };
     let mut srv = server.expect("quiesce requires a live server");
     srv.finish(ticks)?;
+    obs.record_point(ticks);
+
+    harvested_lags.extend_from_slice(srv.ingest_lags());
+    for (&a, &v) in srv.agent_visibility() {
+        agent_visible.insert(a, v);
+    }
+    harvested_lags.sort_unstable();
+    let mut lag = FleetLag {
+        samples: harvested_lags.len() as u64,
+        p50: nearest_rank(&harvested_lags, 50),
+        p95: nearest_rank(&harvested_lags, 95),
+        p99: nearest_rank(&harvested_lags, 99),
+        max: harvested_lags.last().copied().unwrap_or(0),
+        ..FleetLag::default()
+    };
+    for (&a, &v) in &agent_visible {
+        let stale = ticks.saturating_sub(v);
+        if stale > lag.stalest_staleness {
+            lag.stalest_staleness = stale;
+            lag.stalest_agent = a;
+        }
+    }
 
     let mut ledger = srv.ledger();
     ledger_add(&mut ledger.retrans_duplicates_discarded, harvested_dups);
@@ -568,6 +657,7 @@ pub fn run_fleet(cfg: &FleetConfig, obs: &Obs) -> io::Result<FleetReport> {
         agent_crashes: agent_crash_count,
         server_crashes: server_crash_count,
         ticks,
+        lag,
         root: cfg.root.clone(),
     };
     std::fs::write(cfg.root.join("fleet.json"), report.to_json())?;

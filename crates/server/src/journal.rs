@@ -73,6 +73,10 @@ impl WalScan {
 pub struct Journal {
     path: PathBuf,
     file: File,
+    /// Bytes of well-formed log on disk (after torn-tail repair), kept
+    /// current across appends so the server can export a WAL-size gauge
+    /// without stat-ing the file on every upload.
+    bytes: u64,
 }
 
 fn record_bytes(ty: u8, payload: &[u8]) -> Vec<u8> {
@@ -95,21 +99,30 @@ impl Journal {
     /// Returns an I/O error if the file cannot be opened or repaired.
     pub fn open(root: &Path) -> io::Result<Journal> {
         let path = root.join(WAL_FILE);
+        let mut bytes = 0;
         if path.exists() {
             let scan = scan(&path)?;
             if scan.torn_bytes > 0 {
                 let f = OpenOptions::new().write(true).open(&path)?;
                 f.set_len(scan.clean_bytes)?;
             }
+            bytes = scan.clean_bytes;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Journal { path, file })
+        Ok(Journal { path, file, bytes })
     }
 
     /// The WAL file path.
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Bytes of log on disk (tracked across appends and open-time
+    /// repair; does not re-stat the file).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Appends one verbatim wire frame and flushes it to the OS — the
@@ -119,7 +132,9 @@ impl Journal {
     ///
     /// Returns an I/O error if the append fails.
     pub fn append_frame(&mut self, frame: &[u8]) -> io::Result<()> {
-        self.file.write_all(&record_bytes(REC_FRAME, frame))?;
+        let rec = record_bytes(REC_FRAME, frame);
+        self.file.write_all(&rec)?;
+        self.bytes += rec.len() as u64;
         self.file.flush()
     }
 
@@ -136,7 +151,9 @@ impl Journal {
             codec::put_varint(&mut payload, u64::from(agent));
             codec::put_varint(&mut payload, seq);
         }
-        self.file.write_all(&record_bytes(REC_INTENT, &payload))?;
+        let rec = record_bytes(REC_INTENT, &payload);
+        self.file.write_all(&rec)?;
+        self.bytes += rec.len() as u64;
         self.file.flush()
     }
 }
@@ -229,9 +246,20 @@ mod tests {
     fn append_scan_roundtrip() {
         let root = temp_root("roundtrip");
         let mut j = Journal::open(&root).unwrap();
+        assert_eq!(j.bytes(), 0);
         j.append_frame(b"frame-one").unwrap();
         j.append_intent(0, &[(1, 1), (2, 1)]).unwrap();
         j.append_frame(b"frame-two").unwrap();
+        let tracked = j.bytes();
+        drop(j);
+        assert_eq!(
+            tracked,
+            std::fs::metadata(root.join(WAL_FILE)).unwrap().len(),
+            "byte counter tracks the file"
+        );
+        // Re-opening a clean log restores the counter from the scan.
+        let j = Journal::open(&root).unwrap();
+        assert_eq!(j.bytes(), tracked);
         drop(j);
         let scan = scan(&root.join(WAL_FILE)).unwrap();
         assert!(scan.is_clean_tail());

@@ -32,7 +32,7 @@ pub mod journal;
 pub mod server;
 pub mod transport;
 
-pub use fleet::{run_fleet, FleetConfig, FleetFaultPlan, FleetReport};
+pub use fleet::{run_fleet, FleetConfig, FleetFaultPlan, FleetLag, FleetReport};
 pub use fleet_audit::check_fleet;
 pub use journal::{scan, Journal, WalRecord, WalScan, WAL_FILE};
 pub use server::{

@@ -29,7 +29,7 @@ use dcpi_core::codec::Format;
 use dcpi_core::db::ProfileDb;
 use dcpi_core::profile::ProfileSet;
 use dcpi_core::{Event, ImageId, UNKNOWN_IMAGE};
-use dcpi_obs::{Component, Obs};
+use dcpi_obs::{span_id, Component, Obs};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
@@ -139,6 +139,15 @@ pub struct IngestServer {
     ledger: FleetLedger,
     merges_done: u32,
     next_merge: u64,
+    /// Ingest lag (seal tick → fleet-db visibility tick) of every batch
+    /// merged by this server incarnation, in merge order. The seal tick
+    /// rides the wire frame ([`EpochBatch::seal_cycle`]) through the
+    /// WAL, so replayed batches report their true lag including the
+    /// outage. Deterministic — the SLO percentiles in `fleet.json` and
+    /// `BENCH_perf.json` come from here, not from the obs histograms.
+    lags: Vec<u64>,
+    /// Last tick each agent had a batch become visible (freshness SLO).
+    agent_visible: BTreeMap<u32, u64>,
     /// Counters.
     pub stats: ServerStats,
     obs: Obs,
@@ -168,6 +177,8 @@ impl IngestServer {
             ledger: FleetLedger::default(),
             merges_done: 0,
             next_merge,
+            lags: Vec::new(),
+            agent_visible: BTreeMap::new(),
             stats: ServerStats::default(),
             obs: Obs::default(),
             replay_note: None,
@@ -229,6 +240,8 @@ impl IngestServer {
             ledger: FleetLedger::default(),
             merges_done: intents.len() as u32,
             next_merge: now + cfg.merge_every,
+            lags: Vec::new(),
+            agent_visible: BTreeMap::new(),
             stats: ServerStats::default(),
             obs: Obs::default(),
             replay_note: None,
@@ -311,6 +324,26 @@ impl IngestServer {
             *lag.entry(*agent).or_default() += 1;
         }
         lag.values().copied().max().unwrap_or(0)
+    }
+
+    /// Ingest lags (seal tick → visibility tick) of every batch merged
+    /// by this server incarnation, in merge order.
+    #[must_use]
+    pub fn ingest_lags(&self) -> &[u64] {
+        &self.lags
+    }
+
+    /// Last tick each agent had a batch become visible in the fleet
+    /// database (the freshness side of the SLO).
+    #[must_use]
+    pub fn agent_visibility(&self) -> &BTreeMap<u32, u64> {
+        &self.agent_visible
+    }
+
+    /// WAL bytes on disk (tracked by the journal handle).
+    #[must_use]
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
     }
 
     fn account_merged(&mut self, batch: &EpochBatch) {
@@ -483,8 +516,18 @@ impl IngestServer {
             self.obs
                 .gauge("server.agent_lag_max")
                 .set(self.max_agent_lag());
-            self.obs
-                .event_at(Component::Server, "server.ack", now, agent.into(), seq);
+            self.obs.gauge("server.wal_bytes").set(self.wal.bytes());
+            // Journal + ack happen in the same tick, so one event marks
+            // both stages of the epoch's span chain. `b` is the lag so
+            // far, computed from the wire-carried seal tick — the trace
+            // audit cross-checks it against the agent-side seal event.
+            self.obs.event_at(
+                Component::Server,
+                "server.ack",
+                now,
+                span_id(agent, seq),
+                now.saturating_sub(batch.seal_cycle),
+            );
         }
         vec![encode_msg(&Msg::Ack {
             agent,
@@ -552,7 +595,7 @@ impl IngestServer {
         }
         let set = build_profile_set(group.iter().map(|(_, _, b)| b));
         self.db.merge(&set).map_err(db_err)?;
-        for (_, _, batch) in &group {
+        for (agent, seq, batch) in &group {
             for (image, name) in &batch.image_names {
                 self.db.record_image_name(*image, name).map_err(db_err)?;
             }
@@ -561,6 +604,21 @@ impl IngestServer {
             debug_assert!(*j >= total, "journal bucket underflow");
             *j = j.saturating_sub(total);
             self.account_merged(batch);
+            // The batch is now visible in the fleet database: close its
+            // span and record seal→visible as this epoch's ingest lag.
+            let lag = now.saturating_sub(batch.seal_cycle);
+            self.lags.push(lag);
+            self.agent_visible.insert(*agent, now);
+            if self.obs.is_enabled() {
+                self.obs.histogram("server.ingest_lag_cycles").observe(lag);
+                self.obs.event_at(
+                    Component::Server,
+                    "server.visible",
+                    now,
+                    span_id(*agent, *seq),
+                    lag,
+                );
+            }
         }
         self.merges_done += 1;
         self.stats.merges += 1;
@@ -570,6 +628,7 @@ impl IngestServer {
                 .counter("server.merged_batches")
                 .add(0, group.len() as u64);
             self.obs.gauge("server.queue_depth").set(0);
+            self.obs.gauge("server.wal_bytes").set(self.wal.bytes());
             self.obs
                 .end(Component::Server, "server.merge", now, group.len() as u64);
         }

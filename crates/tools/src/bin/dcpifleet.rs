@@ -52,7 +52,14 @@ fn run(mut args: Vec<String>) -> ! {
     let Some(root) = args.get(2) else { usage() };
     let cfg = FleetConfig::new(root, agents, seed);
     let obs = if obs_out.is_some() {
-        Obs::new(&ObsConfig::on())
+        // Big rings: a 100-agent chaos run seals hundreds of epochs and
+        // every epoch's span is several events, so the default ring
+        // capacity would overwrite most of the pipeline trace that
+        // `dcpicheck obs` and `dcpitrace --merge` want to see.
+        Obs::new(&ObsConfig {
+            ring_capacity: 1 << 16,
+            ..ObsConfig::on()
+        })
     } else {
         Obs::default()
     };
@@ -63,6 +70,10 @@ fn run(mut args: Vec<String>) -> ! {
                 snap.meta.insert("tool".to_owned(), "dcpifleet".to_owned());
                 snap.meta.insert("seed".to_owned(), seed.to_string());
                 snap.meta.insert("agents".to_owned(), agents.to_string());
+                // The run drained to quiesce, so the trace audit may
+                // demand every sealed epoch reached database visibility.
+                snap.meta
+                    .insert("fleet_quiesced".to_owned(), "true".to_owned());
                 if let Err(e) = std::fs::write(&path, snap.to_json()) {
                     fail(&format!("writing {path}: {e}"));
                 }
@@ -83,6 +94,17 @@ fn run(mut args: Vec<String>) -> ! {
                 report.net_stats.truncated,
                 report.net_stats.stalled,
                 report.net_stats.partitioned,
+            );
+            println!(
+                "lag: p50/p95/p99/max = {}/{}/{}/{} tick(s) over {} epoch(s); \
+                 stalest agent {} ({} tick(s) behind)",
+                report.lag.p50,
+                report.lag.p95,
+                report.lag.p99,
+                report.lag.max,
+                report.lag.samples,
+                report.lag.stalest_agent,
+                report.lag.stalest_staleness,
             );
             println!("{}", report.ledger.render());
             println!("report: {}", Path::new(root).join("fleet.json").display());

@@ -1,0 +1,58 @@
+//! `dcpitop <obs.json> [--watch [seconds]]` — fleet-at-a-glance
+//! dashboard from a server-side observability export. One-shot by
+//! default; `--watch` clears the screen and repaints from a fresh read
+//! of the export every interval (default 2s) until interrupted.
+
+use dcpi_obs::Snapshot;
+
+fn usage() -> ! {
+    eprintln!("usage: dcpitop <obs.json> [--watch [seconds]]");
+    std::process::exit(2);
+}
+
+fn frame(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snap = Snapshot::parse(&text)
+        .map_err(|e| format!("{path} is not an observability export: {e}"))?;
+    Ok(dcpi_tools::dcpitop(&snap))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else { usage() };
+    let mut watch: Option<u64> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--watch" => {
+                // Optional numeric interval right after the flag.
+                watch = Some(2);
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+                    watch = Some(v.max(1));
+                    i += 1;
+                }
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match watch {
+        None => match frame(path) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("dcpitop: {e}");
+                std::process::exit(1);
+            }
+        },
+        Some(secs) => loop {
+            // Clear screen + home, then repaint; a vanished or
+            // half-written export renders as a note, not an exit, so
+            // the watch survives the producer rewriting the file.
+            match frame(path) {
+                Ok(out) => print!("\x1b[2J\x1b[H{out}"),
+                Err(e) => println!("\x1b[2J\x1b[Hdcpitop: {e}"),
+            }
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        },
+    }
+}

@@ -1,19 +1,48 @@
-//! `dcpitrace <obs.json> [--component C] [--json]` — dump the
-//! cycle-stamped trace rings of an exported observability snapshot as a
-//! compact timeline (or JSON), optionally restricted to one component
-//! (`machine`, `driver`, `daemon`, `session`, `faults`, `analyze`).
+//! `dcpitrace <obs.json> [--merge <other.json>] [--epoch A:S]
+//! [--component C] [--json]` — dump the cycle-stamped trace rings of an
+//! exported observability snapshot as a compact timeline (or JSON),
+//! optionally restricted to one component (`machine`, `driver`,
+//! `daemon`, `session`, `faults`, `analyze`, `server`).
+//!
+//! `--merge` interleaves a second export (e.g. the server side of the
+//! same fleet run) into one cycle-ordered timeline, labeling each line
+//! with its source. `--epoch agent:seq` filters the timeline down to
+//! one sealed epoch's span — its seal → send → journal/ack → visible
+//! journey through the pipeline.
 
 use dcpi_obs::Snapshot;
 
 fn usage() -> ! {
-    eprintln!("usage: dcpitrace <obs.json> [--component C] [--json]");
+    eprintln!(
+        "usage: dcpitrace <obs.json> [--merge <other.json>] [--epoch A:S] \
+         [--component C] [--json]"
+    );
     std::process::exit(2);
+}
+
+fn load(path: &str) -> Snapshot {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dcpitrace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match Snapshot::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dcpitrace: {path} is not an observability export: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1) else { usage() };
     let mut component: Option<String> = None;
+    let mut merge: Option<String> = None;
+    let mut epoch: Option<(u32, u64)> = None;
     let mut json = false;
     let mut i = 2;
     while i < args.len() {
@@ -22,26 +51,39 @@ fn main() {
                 component = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 1;
             }
+            "--merge" => {
+                merge = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 1;
+            }
+            "--epoch" => {
+                let spec = args.get(i + 1).unwrap_or_else(|| usage());
+                let Some((a, s)) = spec.split_once(':') else {
+                    usage()
+                };
+                let (Ok(a), Ok(s)) = (a.parse::<u32>(), s.parse::<u64>()) else {
+                    usage()
+                };
+                epoch = Some((a, s));
+                i += 1;
+            }
             "--json" => json = true,
             _ => usage(),
         }
         i += 1;
     }
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("dcpitrace: cannot read {path}: {e}");
-            std::process::exit(1);
+    let snap = load(path);
+    let out = if merge.is_some() || epoch.is_some() {
+        let other = merge.as_deref().map(load);
+        let snaps: Vec<(&str, &Snapshot)> = match &other {
+            Some(o) => vec![("a", &snap), ("b", o)],
+            None => vec![("", &snap)],
+        };
+        if json {
+            dcpi_tools::dcpitrace_merged_json(&snaps, epoch)
+        } else {
+            dcpi_tools::dcpitrace_merged(&snaps, epoch)
         }
-    };
-    let snap = match Snapshot::parse(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("dcpitrace: {path} is not an observability export: {e}");
-            std::process::exit(1);
-        }
-    };
-    let out = if json {
+    } else if json {
         dcpi_tools::dcpitrace_json(&snap, component.as_deref())
     } else {
         dcpi_tools::dcpitrace(&snap, component.as_deref())

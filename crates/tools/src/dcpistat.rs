@@ -19,6 +19,20 @@ pub fn dcpistat(snap: &Snapshot) -> String {
     let mut out = String::new();
     let c = |name: &str| snap.metrics.counters.get(name).copied().unwrap_or(0);
     let g = |name: &str| snap.metrics.gauges.get(name).copied().unwrap_or(0);
+    // A run with probes disabled exports empty metric maps and
+    // zero-capacity rings; say so up front instead of rendering a wall
+    // of zeros that reads like a dead profiler.
+    if snap.metrics.counters.is_empty()
+        && snap.metrics.gauges.is_empty()
+        && snap.metrics.histograms.is_empty()
+        && snap.rings.iter().all(|r| r.capacity == 0)
+    {
+        let _ = writeln!(
+            out,
+            "note: observability was disabled for this run (no metrics, \
+             zero-capacity rings) — re-run with probes enabled for live data"
+        );
+    }
     let interrupts = c("driver.interrupts");
     let drops = c("driver.dropped_samples");
     let hits = c("driver.ht_hits");
@@ -89,6 +103,43 @@ pub fn dcpistat(snap: &Snapshot) -> String {
             g("server.agent_lag_max"),
             c("uploader.sent"),
         );
+        let _ = writeln!(out, "wal {} bytes", g("server.wal_bytes"));
+        if let Some(h) = snap.metrics.histograms.get("server.ingest_lag_cycles") {
+            if h.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "ingest lag p50 {}  p95 {}  p99 {} cycles over {} epoch(s)",
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.count,
+                );
+            }
+        }
+        // Per-agent freshness: each agent's latest database-visible
+        // epoch, from the server ring's merge-visibility events.
+        let mut visible: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        let mut newest = 0u64;
+        for ring in snap.rings.iter().filter(|r| r.component == "server") {
+            for ev in ring.events.iter().filter(|e| e.name == "server.visible") {
+                visible.insert(dcpi_obs::span_agent(ev.a), ev.cycle);
+                newest = newest.max(ev.cycle);
+            }
+        }
+        if !visible.is_empty() {
+            let stale = visible
+                .iter()
+                .map(|(&a, &v)| (newest - v, a))
+                .max()
+                .unwrap_or((0, 0));
+            let _ = writeln!(
+                out,
+                "freshness {} agent(s) visible; stalest agent {} ({} cycles behind)",
+                visible.len(),
+                stale.1,
+                stale.0,
+            );
+        }
     }
     let _ = writeln!(out, "-- ledgers --");
     match &snap.overhead {
@@ -163,7 +214,48 @@ mod tests {
     #[test]
     fn empty_snapshot_does_not_divide_by_zero() {
         let text = dcpistat(&Snapshot::default());
+        assert!(text.contains("observability was disabled"), "{text}");
         assert!(text.contains("interrupts 0"), "{text}");
         assert!(text.contains("no overhead ledger"), "{text}");
+    }
+
+    #[test]
+    fn enabled_snapshot_has_no_disabled_notice() {
+        let obs = Obs::new(&ObsConfig::on());
+        obs.counter("driver.interrupts").inc(0);
+        let text = dcpistat(&obs.snapshot());
+        assert!(!text.contains("observability was disabled"), "{text}");
+    }
+
+    #[test]
+    fn server_section_reports_lag_and_freshness() {
+        let obs = Obs::new(&ObsConfig::on());
+        obs.counter("server.accepted").add(0, 3);
+        obs.gauge("server.wal_bytes").set(512);
+        for lag in [8, 16, 64] {
+            obs.histogram("server.ingest_lag_cycles").observe(lag);
+        }
+        obs.event_at(
+            Component::Server,
+            "server.visible",
+            100,
+            dcpi_obs::span_id(1, 1),
+            8,
+        );
+        obs.event_at(
+            Component::Server,
+            "server.visible",
+            140,
+            dcpi_obs::span_id(2, 1),
+            16,
+        );
+        let text = dcpistat(&obs.snapshot());
+        assert!(text.contains("wal 512 bytes"), "{text}");
+        assert!(text.contains("ingest lag p50 31"), "{text}");
+        assert!(text.contains("p99 127"), "{text}");
+        assert!(
+            text.contains("stalest agent 1 (40 cycles behind)"),
+            "{text}"
+        );
     }
 }

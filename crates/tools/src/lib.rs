@@ -21,7 +21,12 @@
 //! * [`dcpistat()`](dcpistat::dcpistat) — one-shot profiler status from
 //!   an observability export (rates, drops, flush latencies, ledgers),
 //! * [`dcpitrace()`](dcpitrace::dcpitrace) — cycle-ordered dump of the
-//!   profiler's trace rings, filterable by component,
+//!   profiler's trace rings, filterable by component, with
+//!   [`dcpitrace_merged()`](dcpitrace::dcpitrace_merged) interleaving
+//!   agent- and server-side exports into one pipeline timeline,
+//! * [`dcpitop()`](dcpitop::dcpitop) — fleet-at-a-glance ingestion
+//!   dashboard (agents up, backlog, ingest-lag percentiles, rates)
+//!   from a server-side observability export,
 //! * [`dcpipgo`] — the profile → optimize → re-profile loop: rewrite a
 //!   workload's hottest image from exported estimates, re-measure, and
 //!   audit the rewrite (the paper's "ultimate goal" made executable).
@@ -43,6 +48,7 @@ pub mod dcpiprof;
 pub mod dcpistat;
 pub mod dcpistats;
 pub mod dcpisumm;
+pub mod dcpitop;
 pub mod dcpitrace;
 pub mod registry;
 
@@ -59,5 +65,9 @@ pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
 pub use dcpistat::dcpistat;
 pub use dcpistats::{dcpistats, StatsRow};
 pub use dcpisumm::dcpisumm;
-pub use dcpitrace::{dcpitrace, dcpitrace_json, timeline, TraceLine};
+pub use dcpitop::dcpitop;
+pub use dcpitrace::{
+    dcpitrace, dcpitrace_json, dcpitrace_merged, dcpitrace_merged_json, merged_timeline, timeline,
+    TraceLine,
+};
 pub use registry::{ImageRegistry, TOOL_NAMES};

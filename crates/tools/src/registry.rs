@@ -18,6 +18,7 @@ pub const TOOL_NAMES: &[&str] = &[
     "dcpicfg",
     "dcpicheck",
     "dcpistat",
+    "dcpitop",
     "dcpitrace",
     "dcpipgo",
     "dcpifleet",
