@@ -50,5 +50,8 @@ fn description(w: Workload) -> &'static str {
         Workload::Dss => "decision-support query on 8 CPUs",
         Workload::ParallelFp => "parallelized FP kernels on 4 CPUs",
         Workload::Timesharing => "uneven multi-user mix with idle tails",
+        Workload::DeepRecursion => "depth-48 recursion (stack-walk stress)",
+        Workload::MutualRecursion => "mutual even/odd recursion",
+        Workload::DispatchServer => "indirect-dispatch server on 2 CPUs",
     }
 }

@@ -364,6 +364,7 @@ pub fn run_merged(
     for r in it {
         acc.profiles.merge(&r.profiles);
         acc.edge_profiles.merge(&r.edge_profiles);
+        acc.stacks.merge(&r.stacks);
         acc.gt.merge(&r.gt);
         acc.samples += r.samples;
         acc.cycles += r.cycles;
@@ -514,6 +515,25 @@ mod tests {
         let snap = merged.obs.unwrap();
         let ledger = snap.samples.unwrap();
         assert_eq!(ledger.generated, lm.generated, "snapshot ledger merged");
+    }
+
+    #[test]
+    fn merged_stacks_identical_across_thread_counts() {
+        use dcpi_workloads::{ProfConfig, RunOptions, Workload};
+        let base = RunOptions {
+            stack_walk: true,
+            period: (5_000, 5_400),
+            limit: 200_000_000,
+            ..RunOptions::default()
+        };
+        let w = Workload::MutualRecursion;
+        let serial = run_merged(w, ProfConfig::Cycles, &base, 4, 1);
+        let threaded = run_merged(w, ProfConfig::Cycles, &base, 4, 4);
+        assert!(!serial.stacks.is_empty());
+        assert_eq!(serial.stacks.total(), serial.samples);
+        // Per-machine stack tables merge in index order, so the combined
+        // profile is byte-identical no matter how runs were scheduled.
+        assert_eq!(serial.stacks.to_bytes(), threaded.stacks.to_bytes());
     }
 
     fn argv(args: &[&str]) -> Vec<String> {

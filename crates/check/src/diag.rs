@@ -44,6 +44,9 @@ pub enum Layer {
     /// contiguity, merge-intent/database agreement, and the fleet-wide
     /// sample-conservation ledger.
     Fleet,
+    /// Calling-context audits: stack-sidecar structure, call-tree
+    /// inclusive/exclusive conservation, and flamegraph exports.
+    Stacks,
 }
 
 impl fmt::Display for Layer {
@@ -57,6 +60,7 @@ impl fmt::Display for Layer {
             Layer::Pgo => write!(f, "pgo"),
             Layer::Tv => write!(f, "tv"),
             Layer::Fleet => write!(f, "fleet"),
+            Layer::Stacks => write!(f, "stacks"),
         }
     }
 }
@@ -167,6 +171,16 @@ pub enum Category {
     /// Fleet ledger violations: summed journaled deltas break the
     /// conservation identity, or `fleet.json` disagrees with the WAL.
     FleetConservation,
+    /// Calling-context sidecar structure: a `stacks.dcst` that fails to
+    /// decode, a stack table that is not a bijective parent-pointer
+    /// tree, or counts referencing unknown stack IDs.
+    StackStructure,
+    /// Call-tree conservation violations: `inclusive != exclusive +
+    /// Σ inclusive(children)` at some node, or the root's inclusive
+    /// total disagreeing with the profile's per-event sample total.
+    StackConservation,
+    /// A flamegraph (speedscope) export that fails its schema audit.
+    StackExport,
 }
 
 impl Category {
@@ -211,6 +225,9 @@ impl Category {
             | Category::MergeIntent
             | Category::FleetDb
             | Category::FleetConservation => Layer::Fleet,
+            Category::StackStructure | Category::StackConservation | Category::StackExport => {
+                Layer::Stacks
+            }
         }
     }
 
@@ -259,6 +276,9 @@ impl Category {
             Category::MergeIntent => "merge-intent",
             Category::FleetDb => "fleet-db",
             Category::FleetConservation => "fleet-conservation",
+            Category::StackStructure => "stack-structure",
+            Category::StackConservation => "stack-conservation",
+            Category::StackExport => "stack-export",
         }
     }
 }

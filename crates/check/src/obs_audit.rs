@@ -500,6 +500,7 @@ mod tests {
             total_cycles: 1_000_000,
             handler_cycles: 9_000,
             daemon_cycles: 3_000,
+            walk_cycles: 0,
             samples: 20,
         });
         snap.samples = Some(SampleLedger {

@@ -13,7 +13,7 @@
 //! harnesses can charge them to the simulated machine (the daemon's
 //! per-sample cost column of Table 4).
 
-use dcpi_core::db::ProfileDb;
+use dcpi_core::db::{EpochId, ProfileDb};
 use dcpi_core::{
     codec, Addr, EdgeProfiles, Error, ImageId, PathProfiles, Pid, ProfileSet, Result, SampleEntry,
     UNKNOWN_IMAGE,
@@ -22,8 +22,15 @@ use dcpi_machine::os::OsEvent;
 use dcpi_machine::proc::Mapping;
 use dcpi_machine::Os;
 use dcpi_obs::{Component, Counter, Obs};
+use dcpi_stacks::{Frame, RawStackSample, StackProfile};
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::PathBuf;
+
+/// File name of the per-epoch calling-context sidecar (the `DCST`
+/// serialization of a [`StackProfile`]); lives in the epoch directory
+/// next to the `.prof` files, which ignore non-`.prof` names.
+pub const STACKS_FILE: &str = "stacks.dcst";
 
 /// Daemon tuning parameters.
 #[derive(Clone, Debug)]
@@ -38,6 +45,9 @@ pub struct DaemonConfig {
     pub cycles_per_entry: u64,
     /// Modeled extra cycles per aggregated sample within an entry.
     pub cycles_per_sample: u64,
+    /// Modeled cycles to canonicalize one stack frame (loadmap lookup +
+    /// intern step) when processing calling-context samples.
+    pub cycles_per_frame: u64,
     /// PIDs for which separate per-process profiles are kept (§4.3).
     pub per_process: Vec<Pid>,
 }
@@ -49,6 +59,7 @@ impl Default for DaemonConfig {
             format: codec::Format::V2,
             cycles_per_entry: 800,
             cycles_per_sample: 10,
+            cycles_per_frame: 40,
             per_process: Vec::new(),
         }
     }
@@ -76,6 +87,15 @@ pub struct DaemonStats {
     /// 3 was is damaged, so the failures are counted and surfaced in
     /// session summaries.
     pub image_write_failures: u64,
+    /// Calling-context samples processed (sum of raw stack-sample
+    /// counts). In fault-free runs this equals the machine's delivered
+    /// sample count when stack walking is on — the `dcpicheck stacks`
+    /// conservation cross-check.
+    pub stack_samples: u64,
+    /// Stack frames that could not be attributed to an image (folded
+    /// into the unknown pseudo-image frame instead of dropped, so the
+    /// sample count above is conserved).
+    pub unknown_stack_frames: u64,
 }
 
 impl DaemonStats {
@@ -113,6 +133,8 @@ impl DaemonStats {
         ledger_add(&mut self.memory_bytes, other.memory_bytes);
         ledger_add(&mut self.peak_memory_bytes, other.peak_memory_bytes);
         ledger_add(&mut self.image_write_failures, other.image_write_failures);
+        ledger_add(&mut self.stack_samples, other.stack_samples);
+        ledger_add(&mut self.unknown_stack_frames, other.unknown_stack_frames);
     }
 }
 
@@ -125,6 +147,8 @@ pub struct Daemon {
     profiles: ProfileSet,
     edge_profiles: EdgeProfiles,
     path_profiles: PathProfiles,
+    stacks: StackProfile,
+    frame_scratch: Vec<Frame>,
     per_process: HashMap<Pid, ProfileSet>,
     db: Option<ProfileDb>,
     /// Statistics.
@@ -184,6 +208,8 @@ impl Daemon {
             profiles: ProfileSet::new(),
             edge_profiles: EdgeProfiles::new(),
             path_profiles: PathProfiles::new(),
+            stacks: StackProfile::new(),
+            frame_scratch: Vec::new(),
             per_process: HashMap::new(),
             db,
             stats: DaemonStats::default(),
@@ -397,6 +423,45 @@ impl Daemon {
         &self.path_profiles
     }
 
+    /// Processes drained calling-context samples: resolves each raw
+    /// frame PC to an `(image, offset)` frame through the loadmaps and
+    /// interns the canonical stack into the daemon's [`StackProfile`].
+    /// Frames that cannot be attributed become `(UNKNOWN_IMAGE, pc)`
+    /// frames — the stack keeps its shape and its count, so the
+    /// stack-total == sample-total conservation identity survives
+    /// loadmap gaps.
+    pub fn process_stack_samples(&mut self, batch: &[RawStackSample]) {
+        for raw in batch {
+            self.frame_scratch.clear();
+            for &pc in &raw.frames {
+                let frame = match resolve(&self.loadmaps, raw.pid, Addr(pc)) {
+                    Some((image, offset)) => Frame { image, offset },
+                    None => {
+                        self.stats.unknown_stack_frames += 1;
+                        Frame {
+                            image: UNKNOWN_IMAGE,
+                            offset: pc,
+                        }
+                    }
+                };
+                self.frame_scratch.push(frame);
+            }
+            self.stacks
+                .record(raw.event, raw.pid, &self.frame_scratch, raw.count);
+            self.stats.stack_samples += raw.count;
+            let cost = self.cfg.cycles_per_frame * raw.frames.len() as u64;
+            self.accrued_cycles += cost;
+            self.stats.cycles += cost;
+        }
+    }
+
+    /// The accumulated calling-context profile (since the last flush;
+    /// the intern table persists across flushes).
+    #[must_use]
+    pub fn stack_profile(&self) -> &StackProfile {
+        &self.stacks
+    }
+
     /// Per-process profiles, if requested for `pid`.
     #[must_use]
     pub fn per_process_profiles(&self, pid: Pid) -> Option<&ProfileSet> {
@@ -416,6 +481,12 @@ impl Daemon {
             let flushed = self.profiles.iter().count() as u64;
             db.merge(&self.profiles)?;
             self.profiles.clear();
+            if !self.stacks.is_empty() {
+                write_epoch_stacks(db, db.current_epoch(), &self.stacks)?;
+                // Counts flushed; the intern table stays warm so stack
+                // IDs remain stable across epochs within this daemon.
+                self.stacks.clear_counts();
+            }
             if let Some(t) = start {
                 let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 self.obs.histogram("daemon.flush_ns").observe(ns);
@@ -462,6 +533,68 @@ impl Daemon {
             self.stats.unknown_samples as f64 / self.stats.samples as f64
         }
     }
+}
+
+/// Read-modify-writes the calling-context sidecar of `epoch`, merging
+/// `stacks` into whatever is already there, with the same
+/// tmp+sync+rename discipline as the profile files. A corrupt existing
+/// sidecar is replaced rather than poisoning the write. Shared by the
+/// daemon's flush and the fleet server's merge.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_epoch_stacks(db: &ProfileDb, epoch: EpochId, stacks: &StackProfile) -> Result<()> {
+    let path = db.epoch_path(epoch).join(STACKS_FILE);
+    let mut merged = if path.exists() {
+        StackProfile::from_bytes(&std::fs::read(&path)?).unwrap_or_default()
+    } else {
+        StackProfile::new()
+    };
+    merged.merge(stacks);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&merged.to_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Reads one epoch's calling-context sidecar from the database, if the
+/// epoch recorded one. Corrupt sidecars are reported as errors — the
+/// audit tool wants to see them, unlike the lenient flush path.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] if the sidecar exists but cannot be
+/// decoded, or the underlying I/O error.
+pub fn read_epoch_stacks(db: &ProfileDb, epoch: EpochId) -> Result<Option<StackProfile>> {
+    let path = db.epoch_path(epoch).join(STACKS_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let data = std::fs::read(&path)?;
+    StackProfile::from_bytes(&data)
+        .map(Some)
+        .map_err(Error::Corrupt)
+}
+
+/// Reads and merges the calling-context sidecars of every epoch, in
+/// epoch order (so the merged table's ID assignment is deterministic).
+///
+/// # Errors
+///
+/// Propagates sidecar corruption and I/O errors.
+pub fn read_all_stacks(db: &ProfileDb) -> Result<StackProfile> {
+    let mut merged = StackProfile::new();
+    for epoch in db.epochs()? {
+        if let Some(p) = read_epoch_stacks(db, epoch)? {
+            merged.merge(&p);
+        }
+    }
+    Ok(merged)
 }
 
 /// Resolves one image id for a `(pid, pc)` against a loadmap table — a
@@ -730,6 +863,115 @@ mod tests {
         d.update_memory(&os);
         assert!(d.stats.memory_bytes > first);
         assert_eq!(d.stats.peak_memory_bytes, d.stats.memory_bytes);
+    }
+
+    fn raw(pid: u32, frames: &[u64], count: u64) -> RawStackSample {
+        RawStackSample {
+            pid: Pid(pid),
+            event: 0,
+            frames: frames.to_vec(),
+            count,
+        }
+    }
+
+    #[test]
+    fn stack_samples_canonicalize_through_loadmaps() {
+        let mut d = daemon_with_map();
+        // Outermost-first raw frames: main in image 3, callee in image 9.
+        d.process_stack_samples(&[raw(7, &[0x10010, 0x50004], 4)]);
+        assert_eq!(d.stats.stack_samples, 4);
+        assert_eq!(d.stats.unknown_stack_frames, 0);
+        let p = d.stack_profile();
+        assert_eq!(p.total(), 4);
+        let (&(_, pid, id), &count) = p.counts.iter().next().unwrap();
+        assert_eq!((pid, count), (7, 4));
+        assert_eq!(
+            p.table.frames(id),
+            vec![
+                Frame {
+                    image: ImageId(3),
+                    offset: 0x10
+                },
+                Frame {
+                    image: ImageId(9),
+                    offset: 4
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn unresolvable_frames_fold_into_unknown_but_conserve_counts() {
+        let mut d = daemon_with_map();
+        d.process_stack_samples(&[raw(7, &[0x10010, 0xdead_0000], 3)]);
+        assert_eq!(d.stats.stack_samples, 3);
+        assert_eq!(d.stats.unknown_stack_frames, 1);
+        assert_eq!(d.stack_profile().total(), 3, "count survives bad frames");
+        let (&(_, _, id), _) = d.stack_profile().counts.iter().next().unwrap();
+        let frames = d.stack_profile().table.frames(id);
+        assert_eq!(frames[1].image, UNKNOWN_IMAGE);
+        assert_eq!(frames[1].offset, 0xdead_0000, "raw pc kept for forensics");
+    }
+
+    #[test]
+    fn stack_processing_accrues_cycles() {
+        let mut d = daemon_with_map();
+        d.process_stack_samples(&[raw(7, &[0x10010, 0x50004], 1)]);
+        assert_eq!(d.take_accrued_cycles(), 2 * 40);
+    }
+
+    #[test]
+    fn stacks_flush_to_epoch_sidecar_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("dcpi-daemon-stacks-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DaemonConfig {
+            db_path: Some(dir.clone()),
+            ..DaemonConfig::default()
+        };
+        let mut d = Daemon::new(cfg).unwrap();
+        d.handle_events(vec![OsEvent::ImageLoaded {
+            pid: Pid(7),
+            image: ImageId(3),
+            base: Addr(0x10000),
+            size: 0x1000,
+            path: "/bin/app".into(),
+        }]);
+        d.process_stack_samples(&[raw(7, &[0x10010], 5)]);
+        d.flush_to_disk().unwrap();
+        assert!(d.stack_profile().is_empty(), "counts cleared after flush");
+        // Second flush into the same epoch merges on disk.
+        d.process_stack_samples(&[raw(7, &[0x10010], 2)]);
+        d.flush_to_disk().unwrap();
+        let db = d.db().unwrap();
+        let epoch0 = read_epoch_stacks(db, EpochId(0)).unwrap().unwrap();
+        assert_eq!(epoch0.total(), 7, "both flushes merged");
+        epoch0.table.check_bijective().unwrap();
+        // New epoch: the sidecar is per-epoch.
+        d.new_epoch().unwrap();
+        d.process_stack_samples(&[raw(7, &[0x10020], 1)]);
+        d.flush_to_disk().unwrap();
+        let all = read_all_stacks(d.db().unwrap()).unwrap();
+        assert_eq!(all.total(), 8);
+        assert!(read_epoch_stacks(d.db().unwrap(), EpochId(1))
+            .unwrap()
+            .is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_stack_sidecar_reads_as_none() {
+        let dir = std::env::temp_dir().join(format!("dcpi-daemon-nostacks-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DaemonConfig {
+            db_path: Some(dir.clone()),
+            ..DaemonConfig::default()
+        };
+        let d = Daemon::new(cfg).unwrap();
+        assert!(read_epoch_stacks(d.db().unwrap(), EpochId(0))
+            .unwrap()
+            .is_none());
+        assert!(read_all_stacks(d.db().unwrap()).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

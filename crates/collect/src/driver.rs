@@ -12,9 +12,10 @@
 //! interrupt handler bypasses the hash table and appends samples directly
 //! to the overflow buffer, so no memory barriers are needed in the handler.
 
-use dcpi_core::{Addr, CpuId, Pid, Sample, SampleEntry};
+use dcpi_core::{Addr, CpuId, Event, Pid, Sample, SampleEntry};
 use dcpi_machine::machine::SampleSink;
 use dcpi_obs::{Component, Counter, Obs};
+use dcpi_stacks::{RawStackSample, StackTable};
 use std::collections::HashMap;
 
 /// Eviction/placement policy for the driver hash table (§5.4).
@@ -168,6 +169,15 @@ pub struct CpuDriver {
     /// Aggregated path samples from double sampling (§7): `(pid, pc1,
     /// pc2)` → count.
     pub path_samples: HashMap<(Pid, Addr, Addr), u64>,
+    /// Per-CPU intern table over raw frame PCs (the calling-context
+    /// extension). Walked stacks are canonicalized to a small stack ID
+    /// in the interrupt path — O(depth) hash lookups, allocation-free
+    /// once warm — and expanded back to frame lists only at drain time.
+    pub stack_table: StackTable<u64>,
+    /// Aggregated stack samples: `(pid, event code, stack id)` → count.
+    pub stack_counts: HashMap<(Pid, u8, u32), u64>,
+    /// Reusable frame-conversion buffer for the interrupt path.
+    stack_scratch: Vec<u64>,
     /// Set when the active overflow buffer fills (the daemon's wakeup
     /// signal).
     pub buffer_full: bool,
@@ -203,6 +213,9 @@ impl CpuDriver {
             flushing: false,
             edge_samples: HashMap::new(),
             path_samples: HashMap::new(),
+            stack_table: StackTable::default(),
+            stack_counts: HashMap::new(),
+            stack_scratch: Vec::new(),
             buffer_full: false,
             stats: DriverStats::default(),
             obs: Obs::disabled(),
@@ -250,6 +263,39 @@ impl CpuDriver {
     /// Drains the aggregated path samples.
     pub fn drain_paths(&mut self) -> Vec<((Pid, Addr, Addr), u64)> {
         self.path_samples.drain().collect()
+    }
+
+    /// Records a walked call stack (leaf-first, as handed over by the
+    /// machine's sample-time walker): interns it into the per-CPU stack
+    /// table and bumps the `(pid, event, stack)` count.
+    pub fn record_stack(&mut self, pid: Pid, event: Event, frames: &[Addr]) {
+        self.stack_scratch.clear();
+        self.stack_scratch.extend(frames.iter().map(|a| a.0));
+        let id = self.stack_table.intern_leaf_first(&self.stack_scratch);
+        *self
+            .stack_counts
+            .entry((pid, event.code(), id))
+            .or_insert(0) += 1;
+    }
+
+    /// Drains the aggregated stack samples, expanding stack IDs back to
+    /// outermost-first raw frame lists. The result is sorted — the
+    /// per-CPU counts live in a `HashMap`, whose drain order would
+    /// otherwise leak nondeterminism into downstream interning orders.
+    /// The intern table is retained so later samples re-use warm IDs.
+    pub fn drain_stacks(&mut self) -> Vec<RawStackSample> {
+        let drained: Vec<((Pid, u8, u32), u64)> = self.stack_counts.drain().collect();
+        let mut out: Vec<RawStackSample> = drained
+            .into_iter()
+            .map(|((pid, event, id), count)| RawStackSample {
+                pid,
+                event,
+                frames: self.stack_table.frames(id),
+                count,
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     fn bucket_of(&self, s: &Sample) -> usize {
@@ -553,6 +599,12 @@ impl SampleSink for Driver {
             self.per_cpu[cpu.0 as usize].record_path(pid, pc1, pc2);
         }
     }
+
+    fn stack_sample(&mut self, cpu: CpuId, pid: Pid, event: Event, frames: &[Addr]) {
+        if self.enabled {
+            self.per_cpu[cpu.0 as usize].record_stack(pid, event, frames);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -780,6 +832,47 @@ mod tests {
         assert_eq!(drv.per_cpu[0].stats.interrupts, 0);
         drv.enabled = false;
         assert_eq!(drv.counter_overflow(CpuId(0), sample(5, 0x100), 43), 0);
+    }
+
+    #[test]
+    fn stack_recording_aggregates_and_drains_sorted() {
+        let mut d = tiny(EvictPolicy::ModCounter);
+        // Frames arrive leaf-first from the walker.
+        let deep = [Addr(0x100), Addr(0x204), Addr(0x304)];
+        let shallow = [Addr(0x100), Addr(0x304)];
+        for _ in 0..3 {
+            d.record_stack(Pid(1), Event::Cycles, &deep);
+        }
+        d.record_stack(Pid(1), Event::Cycles, &shallow);
+        d.record_stack(Pid(2), Event::Cycles, &shallow);
+        let out = d.drain_stacks();
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]), "drain must sort");
+        assert_eq!(out.iter().map(|s| s.count).sum::<u64>(), 5);
+        // Expansion is outermost-first: the walker's leaf-first order
+        // reversed.
+        let deep_out = out
+            .iter()
+            .find(|s| s.count == 3)
+            .expect("aggregated deep stack");
+        assert_eq!(deep_out.frames, vec![0x304, 0x204, 0x100]);
+        // Counts drained, table retained: re-recording reuses warm IDs
+        // without growing the table.
+        let len = d.stack_table.len();
+        d.record_stack(Pid(1), Event::Cycles, &deep);
+        assert_eq!(d.stack_table.len(), len);
+        assert_eq!(d.drain_stacks().len(), 1);
+    }
+
+    #[test]
+    fn driver_sink_routes_stacks_per_cpu() {
+        let mut drv = Driver::new(2, DriverConfig::default(), CostModel::default());
+        drv.stack_sample(CpuId(1), Pid(7), Event::Cycles, &[Addr(0x40)]);
+        assert!(drv.per_cpu[0].stack_counts.is_empty());
+        assert_eq!(drv.per_cpu[1].stack_counts.len(), 1);
+        drv.enabled = false;
+        drv.stack_sample(CpuId(0), Pid(7), Event::Cycles, &[Addr(0x40)]);
+        assert!(drv.per_cpu[0].stack_counts.is_empty());
     }
 
     #[test]

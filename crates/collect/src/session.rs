@@ -44,6 +44,10 @@ impl SampleSink for TracingDriver {
     fn double_sample(&mut self, cpu: CpuId, pid: Pid, pc1: Addr, pc2: Addr) {
         self.driver.double_sample(cpu, pid, pc1, pc2);
     }
+
+    fn stack_sample(&mut self, cpu: CpuId, pid: Pid, event: dcpi_core::Event, frames: &[Addr]) {
+        self.driver.stack_sample(cpu, pid, event, frames);
+    }
 }
 
 /// Configuration of a profiled run.
@@ -242,6 +246,10 @@ impl ProfiledRun {
             if !paths.is_empty() {
                 self.daemon.process_path_samples(&paths);
             }
+            if !cpu.stack_counts.is_empty() {
+                let stacks = cpu.drain_stacks();
+                self.daemon.process_stack_samples(&stacks);
+            }
             let entries = if torn {
                 // Tear the flush: drain the table but leave the flag up;
                 // interrupts bypass to the buffers until the next pump.
@@ -374,6 +382,10 @@ impl ProfiledRun {
             if !paths.is_empty() {
                 self.daemon.process_path_samples(&paths);
             }
+            if !cpu.stack_counts.is_empty() {
+                let stacks = cpu.drain_stacks();
+                self.daemon.process_stack_samples(&stacks);
+            }
             // flush() begins and ends a window, so it also closes one
             // left open by a torn flush and drains what bypassed into
             // the buffers.
@@ -402,6 +414,15 @@ impl ProfiledRun {
     #[must_use]
     pub fn profiles(&self) -> &ProfileSet {
         self.daemon.profiles()
+    }
+
+    /// The daemon's accumulated calling-context profile (empty unless
+    /// `machine.stack_walk` was enabled; with a database, flushed epochs
+    /// live in per-epoch sidecars — see
+    /// [`crate::daemon::read_all_stacks`]).
+    #[must_use]
+    pub fn stack_profile(&self) -> &dcpi_stacks::StackProfile {
+        self.daemon.stack_profile()
     }
 
     /// The end-to-end sample ledger. Call after [`ProfiledRun::finish`]
@@ -450,6 +471,7 @@ impl ProfiledRun {
             total_cycles: self.machine.time(),
             handler_cycles: self.machine.total_handler_cycles(),
             daemon_cycles: self.daemon_cycles,
+            walk_cycles: self.machine.total_walk_cycles(),
             samples: self.machine.total_samples(),
         }
     }
@@ -728,6 +750,86 @@ mod tests {
         let (t_on, l_on) = run_with(ObsConfig::on());
         assert_eq!(t_off, t_on, "observation must not perturb the simulation");
         assert_eq!(l_off, l_on);
+    }
+
+    fn recursion_image(outer: i64, depth: i64, spin: i64) -> Image {
+        let mut a = Asm::new("/bin/recurse");
+        a.proc("main");
+        let recurse = a.label();
+        a.li(Reg::S0, outer);
+        let main_loop = a.here();
+        a.li(Reg::A0, depth);
+        a.bsr(Reg::RA, recurse);
+        a.subq_lit(Reg::S0, 1, Reg::S0);
+        a.bne(Reg::S0, main_loop);
+        a.halt();
+        a.proc("recurse");
+        a.bind(recurse);
+        a.lda(Reg::SP, -16, Reg::SP);
+        a.stq(Reg::RA, 0, Reg::SP);
+        a.li(Reg::T0, spin);
+        let spin_top = a.here();
+        a.subq_lit(Reg::T0, 1, Reg::T0);
+        a.bne(Reg::T0, spin_top);
+        let done = a.label();
+        a.beq(Reg::A0, done);
+        a.subq_lit(Reg::A0, 1, Reg::A0);
+        a.bsr(Reg::RA, recurse);
+        a.bind(done);
+        a.ldq(Reg::RA, 0, Reg::SP);
+        a.lda(Reg::SP, 16, Reg::SP);
+        a.ret(Reg::RA);
+        a.finish()
+    }
+
+    #[test]
+    fn stack_walking_end_to_end_conserves_samples() {
+        let mut cfg = SessionConfig::default();
+        cfg.machine.counters = CounterConfig::cycles_only((800, 1000));
+        cfg.machine.stack_walk = true;
+        cfg.poll_quantum = 50_000;
+        cfg.flush_interval = 500_000;
+        let mut run = ProfiledRun::new(cfg).unwrap();
+        let img = run.register_image(recursion_image(200, 5, 80));
+        let pid = run.spawn(0, img, &[], |_| {});
+        run.run_to_completion(10_000_000_000);
+        let generated = run.machine.total_samples();
+        assert!(generated > 100, "got {generated} samples");
+        // Stacks bypass the driver hash table and overflow buffers (like
+        // edge samples), so every delivered sample's stack reaches the
+        // daemon: the dcpicheck conservation identity.
+        assert_eq!(run.daemon.stats.stack_samples, generated);
+        let stacks = run.stack_profile();
+        assert_eq!(stacks.total(), generated);
+        stacks.table.check_bijective().unwrap();
+        assert_eq!(run.daemon.stats.unknown_stack_frames, 0);
+        // Deep stacks from the profiled process were canonicalized: some
+        // interned stack for our pid has > 2 frames.
+        let deep = stacks
+            .counts
+            .keys()
+            .filter(|(_, p, _)| *p == pid.0)
+            .map(|&(_, _, id)| stacks.table.depth(id))
+            .max()
+            .expect("stacks for the profiled pid");
+        assert_eq!(deep, 7, "full recursion depth canonicalized");
+        // Walk cycles were metered and flow into the overhead ledger as
+        // a subset of handler time.
+        let oh = run.overhead_ledger();
+        assert!(oh.walk_cycles > 0);
+        assert!(oh.consistent());
+        assert!(run.ledger().conserves());
+    }
+
+    #[test]
+    fn stack_walking_off_yields_empty_stack_profile() {
+        let mut run = session((1000, 1200));
+        let img = run.register_image(recursion_image(50, 3, 50));
+        run.spawn(0, img, &[], |_| {});
+        run.run_to_completion(10_000_000_000);
+        assert!(run.stack_profile().is_empty());
+        assert_eq!(run.overhead_ledger().walk_cycles, 0);
+        assert_eq!(run.daemon.stats.stack_samples, 0);
     }
 
     #[test]

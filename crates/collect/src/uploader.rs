@@ -135,6 +135,8 @@ enum State {
 pub struct Uploader {
     agent: u32,
     incarnation: u32,
+    /// Capability bits advertised on every (re-)registration.
+    features: u64,
     cfg: UploaderConfig,
     rng: CartaRng,
     state: State,
@@ -160,6 +162,7 @@ impl Uploader {
         Uploader {
             agent,
             incarnation: 1,
+            features: crate::wire::FEATURE_STACKS,
             cfg,
             rng: CartaRng::new(seed.max(1)),
             state: State::Unregistered,
@@ -176,6 +179,19 @@ impl Uploader {
     /// Attaches an observability handle.
     pub fn attach_obs(&mut self, obs: &Obs) {
         self.obs = obs.clone();
+    }
+
+    /// Overrides the capability bits advertised at registration
+    /// (defaults to [`crate::wire::FEATURE_STACKS`]; a legacy stack-less
+    /// agent sets `0` and its registers encode exactly as version 1).
+    pub fn set_features(&mut self, features: u64) {
+        self.features = features;
+    }
+
+    /// Capability bits this agent advertises.
+    #[must_use]
+    pub fn features(&self) -> u64 {
+        self.features
     }
 
     /// This agent's id.
@@ -329,6 +345,7 @@ impl Uploader {
                 vec![encode_msg(&Msg::Register {
                     agent: self.agent,
                     incarnation: self.incarnation,
+                    features: self.features,
                 })]
             }
             State::Registering {
@@ -345,6 +362,7 @@ impl Uploader {
                     vec![encode_msg(&Msg::Register {
                         agent: self.agent,
                         incarnation: self.incarnation,
+                        features: self.features,
                     })]
                 } else {
                     Vec::new()
@@ -548,6 +566,7 @@ mod tests {
                 attributed: samples,
                 ..LossLedger::default()
             },
+            ..EpochBatch::default()
         }
     }
 

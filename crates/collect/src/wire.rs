@@ -31,11 +31,21 @@ use dcpi_core::codec;
 use dcpi_core::error::{Error, Result};
 use dcpi_core::profile::Profile;
 use dcpi_core::{Event, ImageId};
+use dcpi_stacks::StackProfile;
 
 /// Magic prefix of every fleet frame ("DCPI Fleet").
 pub const WIRE_MAGIC: [u8; 4] = *b"DCPF";
-/// Current protocol version.
-pub const WIRE_VERSION: u8 = 1;
+/// Current protocol version. Version 2 added feature negotiation on
+/// `Register` and an optional calling-context section on uploads; both
+/// ride *after* the version-1 fields, so a v2 receiver decodes v1
+/// frames unchanged (absent trailers mean "no features, no stacks").
+pub const WIRE_VERSION: u8 = 2;
+/// Oldest protocol version still accepted by [`decode_msg`].
+pub const WIRE_VERSION_MIN: u8 = 1;
+
+/// Feature bit: the agent walks call stacks and its uploads may carry
+/// an [`EpochBatch::stacks`] section.
+pub const FEATURE_STACKS: u64 = 1 << 0;
 
 /// One sealed collection epoch, ready for upload. Carries the epoch's
 /// per-`(image, event)` profiles, any image names first seen during the
@@ -59,6 +69,10 @@ pub struct EpochBatch {
     pub image_names: Vec<(ImageId, String)>,
     /// Agent-side ledger delta since the previous sealed epoch.
     pub ledger: LossLedger,
+    /// Calling-context profile for the epoch (version 2+). Empty for
+    /// stack-less agents; an empty profile is not encoded at all, so
+    /// such uploads are byte-compatible with version 1.
+    pub stacks: StackProfile,
 }
 
 impl EpochBatch {
@@ -80,6 +94,10 @@ impl EpochBatch {
 }
 
 /// A fleet protocol message.
+// `Upload` dominates wire traffic — nearly every frame is one — so the
+// enum being Upload-sized wastes nothing, while boxing the batch would
+// cost an allocation per epoch upload.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     /// Agent (re-)introduces itself. `incarnation` bumps on every agent
@@ -90,6 +108,10 @@ pub enum Msg {
         agent: u32,
         /// Restart counter.
         incarnation: u32,
+        /// Capability bitmask ([`FEATURE_STACKS`] etc.). Version-1
+        /// agents never send the field and decode as `0` — a stack-less
+        /// agent ingests exactly as before.
+        features: u64,
     },
     /// Server reply: the highest sequence number it has journaled for
     /// this agent. The agent drops spooled epochs at or below it (they
@@ -218,6 +240,13 @@ fn put_batch(buf: &mut Vec<u8>, b: &EpochBatch) {
         codec::put_varint(buf, name.len() as u64);
         buf.extend_from_slice(name.as_bytes());
     }
+    // Version-2 trailer: the epoch's calling-context section. Omitted
+    // entirely when empty, so stack-less uploads stay v1-shaped.
+    if !b.stacks.is_empty() {
+        let bytes = b.stacks.to_bytes();
+        codec::put_varint(buf, bytes.len() as u64);
+        buf.extend_from_slice(&bytes);
+    }
 }
 
 fn take_bytes<'a>(buf: &mut &'a [u8], len: usize) -> Result<&'a [u8]> {
@@ -258,12 +287,23 @@ fn get_batch(buf: &mut &[u8]) -> Result<EpochBatch> {
             .to_owned();
         image_names.push((image, name));
     }
+    // Optional v2 trailer: remaining bytes are the stacks section. A v1
+    // frame ends here and decodes to an empty profile.
+    let stacks = if buf.is_empty() {
+        StackProfile::new()
+    } else {
+        let len = codec::get_varint(buf)? as usize;
+        let bytes = take_bytes(buf, len)?;
+        StackProfile::from_bytes(bytes)
+            .map_err(|e| Error::Corrupt(format!("bad stacks section: {e}")))?
+    };
     Ok(EpochBatch {
         epoch: u32::try_from(epoch).map_err(|_| Error::Corrupt("epoch overflows u32".into()))?,
         seal_cycle,
         profiles,
         image_names,
         ledger,
+        stacks,
     })
 }
 
@@ -272,7 +312,20 @@ fn get_batch(buf: &mut &[u8]) -> Result<EpochBatch> {
 pub fn encode_msg(msg: &Msg) -> Vec<u8> {
     let mut payload = Vec::new();
     match msg {
-        Msg::Register { agent, incarnation } | Msg::Heartbeat { agent, incarnation } => {
+        Msg::Register {
+            agent,
+            incarnation,
+            features,
+        } => {
+            codec::put_varint(&mut payload, u64::from(*agent));
+            codec::put_varint(&mut payload, u64::from(*incarnation));
+            // v2 trailer; omitted when zero so the frame matches what a
+            // featureless v1 agent would have sent.
+            if *features != 0 {
+                codec::put_varint(&mut payload, *features);
+            }
+        }
+        Msg::Heartbeat { agent, incarnation } => {
             codec::put_varint(&mut payload, u64::from(*agent));
             codec::put_varint(&mut payload, u64::from(*incarnation));
         }
@@ -348,7 +401,7 @@ pub fn decode_msg(mut data: &[u8]) -> Result<Msg> {
         return Err(Error::Corrupt("bad fleet frame magic".into()));
     }
     let version = take_bytes(buf, 1)?[0];
-    if version != WIRE_VERSION {
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
         return Err(Error::Corrupt(format!("unknown fleet version {version}")));
     }
     let ty = take_bytes(buf, 1)?[0];
@@ -377,7 +430,17 @@ pub fn decode_msg(mut data: &[u8]) -> Result<Msg> {
             let incarnation = u32::try_from(codec::get_varint(buf)?)
                 .map_err(|_| Error::Corrupt("incarnation overflows u32".into()))?;
             if ty == 1 {
-                Msg::Register { agent, incarnation }
+                // Optional v2 trailer; absent (v1 or featureless) → 0.
+                let features = if buf.is_empty() {
+                    0
+                } else {
+                    codec::get_varint(buf)?
+                };
+                Msg::Register {
+                    agent,
+                    incarnation,
+                    features,
+                }
             } else {
                 Msg::Heartbeat { agent, incarnation }
             }
@@ -457,7 +520,27 @@ mod tests {
                 crash_lost: 0,
                 quarantined: 0,
             },
+            stacks: StackProfile::new(),
         }
+    }
+
+    fn stacked_batch() -> EpochBatch {
+        use dcpi_core::Pid;
+        use dcpi_stacks::Frame;
+        let mut b = sample_batch();
+        let frames = [
+            Frame {
+                image: ImageId(1),
+                offset: 0x100,
+            },
+            Frame {
+                image: ImageId(1),
+                offset: 0x204,
+            },
+        ];
+        b.stacks.record(0, Pid(7), &frames, 5);
+        b.stacks.record(0, Pid(7), &frames[..1], 3);
+        b
     }
 
     #[test]
@@ -466,6 +549,12 @@ mod tests {
             Msg::Register {
                 agent: 7,
                 incarnation: 2,
+                features: FEATURE_STACKS,
+            },
+            Msg::Register {
+                agent: 8,
+                incarnation: 1,
+                features: 0,
             },
             Msg::RegisterAck {
                 agent: 7,
@@ -476,6 +565,12 @@ mod tests {
                 incarnation: 2,
                 seq: 100,
                 batch: sample_batch(),
+            },
+            Msg::Upload {
+                agent: 7,
+                incarnation: 2,
+                seq: 101,
+                batch: stacked_batch(),
             },
             Msg::Ack {
                 agent: 7,
@@ -545,6 +640,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Re-frames an encoded message as a version-1 frame: patches the
+    /// version byte and recomputes the CRC. Valid only for messages
+    /// whose payload carries no v2 trailer.
+    fn as_v1_frame(frame: &[u8]) -> Vec<u8> {
+        let mut out = frame.to_vec();
+        out[4] = 1;
+        let ty = out[5];
+        // CRC covers [version, type] ++ payload; payload starts after
+        // the 4-byte CRC that follows the varint length.
+        let mut rest = &out[6..];
+        let len = codec::get_varint(&mut rest).expect("length varint") as usize;
+        let crc_at = out.len() - rest.len();
+        let payload_at = crc_at + 4;
+        assert_eq!(out.len() - payload_at, len);
+        let crc = !codec::crc32_update(codec::crc32_update(!0, &[1, ty]), &out[payload_at..]);
+        out[crc_at..payload_at].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn version_1_frames_still_decode() {
+        // A stack-less agent speaks version 1: no features trailer on
+        // Register, no stacks section on Upload. Both must ingest.
+        let reg = Msg::Register {
+            agent: 9,
+            incarnation: 1,
+            features: 0,
+        };
+        let up = Msg::Upload {
+            agent: 9,
+            incarnation: 1,
+            seq: 1,
+            batch: sample_batch(),
+        };
+        for msg in [reg, up] {
+            let v1 = as_v1_frame(&encode_msg(&msg));
+            assert_eq!(decode_msg(&v1).expect("v1 decodes"), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn stacks_section_roundtrips_and_stays_optional() {
+        let stacked = stacked_batch();
+        let with = encode_msg(&Msg::Upload {
+            agent: 1,
+            incarnation: 1,
+            seq: 1,
+            batch: stacked.clone(),
+        });
+        let without = encode_msg(&Msg::Upload {
+            agent: 1,
+            incarnation: 1,
+            seq: 1,
+            batch: sample_batch(),
+        });
+        assert!(with.len() > without.len(), "stacks section adds bytes");
+        match decode_msg(&with).expect("decodes") {
+            Msg::Upload { batch, .. } => {
+                assert_eq!(batch.stacks, stacked.stacks);
+                assert_eq!(batch.stacks.total(), 8);
+            }
+            other => panic!("expected upload, got {other:?}"),
+        }
+        // An empty-stacks v2 upload carries a payload byte-identical to
+        // v1: only the version byte (and thus the CRC) differ.
+        let payload = |frame: &[u8]| -> Vec<u8> {
+            let mut rest = &frame[6..];
+            let len = codec::get_varint(&mut rest).expect("length") as usize;
+            let at = frame.len() - rest.len() + 4;
+            frame[at..at + len].to_vec()
+        };
+        let v1 = as_v1_frame(&without);
+        assert_eq!(v1.len(), without.len());
+        assert_eq!(payload(&v1), payload(&without), "payloads identical");
     }
 
     #[test]

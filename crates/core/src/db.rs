@@ -365,6 +365,16 @@ impl ProfileDb {
         Ok(total)
     }
 
+    /// Directory holding one epoch's files. Public so sidecar artifacts
+    /// keyed to an epoch — the calling-context stack tables, which use
+    /// their own `DCST` format rather than the `.prof` codec — can live
+    /// next to the profiles they annotate. Only `.prof` files are read
+    /// by the profile loaders, so sidecars never confuse them.
+    #[must_use]
+    pub fn epoch_path(&self, epoch: EpochId) -> PathBuf {
+        self.epoch_dir(epoch)
+    }
+
     fn epoch_dir(&self, epoch: EpochId) -> PathBuf {
         self.root.join(format!("epoch_{:04}", epoch.0))
     }

@@ -79,6 +79,17 @@ pub struct MachineConfig {
     /// `Classic` produce bit-identical outputs at the same seed; the
     /// toggle exists for the parity suite and for bisecting.
     pub dispatch: DispatchMode,
+    /// Walk the interrupted process's call stack at every sample
+    /// delivery and hand the frames to the sink (the calling-context
+    /// extension). Off by default: the walk charges handler cycles, so
+    /// enabling it perturbs fixed-seed timing.
+    pub stack_walk: bool,
+    /// Maximum frames a stack walk captures (deeper stacks truncate at
+    /// the outer end).
+    pub stack_max_frames: usize,
+    /// Maximum stack words the walk scans between `sp` and the stack
+    /// top; bounds the walk's cost on deep or garbage-filled stacks.
+    pub stack_scan_words: u64,
 }
 
 impl Default for MachineConfig {
@@ -113,6 +124,9 @@ impl Default for MachineConfig {
             ground_truth: true,
             double_sample_every: 0,
             dispatch: DispatchMode::default(),
+            stack_walk: false,
+            stack_max_frames: 64,
+            stack_scan_words: 256,
         }
     }
 }
@@ -154,5 +168,16 @@ mod tests {
     #[test]
     fn superblock_dispatch_is_the_default() {
         assert_eq!(MachineConfig::default().dispatch, DispatchMode::Superblock);
+    }
+
+    #[test]
+    fn stack_walk_defaults_off() {
+        let c = MachineConfig::default();
+        assert!(
+            !c.stack_walk,
+            "stack walking must be opt-in: the walk charges handler cycles"
+        );
+        assert!(c.stack_max_frames > 0);
+        assert!(c.stack_scan_words > 0);
     }
 }

@@ -57,6 +57,16 @@ pub trait SampleSink {
     fn double_sample(&mut self, cpu: CpuId, pid: Pid, pc1: Addr, pc2: Addr) {
         let _ = (cpu, pid, pc1, pc2);
     }
+
+    /// Calling-context sample (the ProfileMe-style extension): the call
+    /// stack captured at delivery, leaf-first (`frames[0]` is the
+    /// sampled PC, the rest are return addresses outward). Called once
+    /// per delivered sample when [`MachineConfig::stack_walk`] is on;
+    /// samples delivered in one batch share a single walk. Default:
+    /// ignored.
+    fn stack_sample(&mut self, cpu: CpuId, pid: Pid, event: Event, frames: &[Addr]) {
+        let _ = (cpu, pid, event, frames);
+    }
 }
 
 /// A sink that drops samples at zero cost (the `base` configuration).
@@ -264,6 +274,12 @@ pub struct CpuState {
     /// Total cycles consumed by the interrupt handler (profiling
     /// overhead).
     pub handler_cycles: u64,
+    /// Cycles of `handler_cycles` spent walking call stacks (the
+    /// calling-context extension's share of the overhead).
+    pub walk_cycles: u64,
+    /// Reusable frame buffer for the stack walker (capacity persists, so
+    /// a warm walk allocates nothing).
+    pub(crate) walk_scratch: Vec<Addr>,
     /// Instructions retired.
     pub insns_retired: u64,
     /// Issue groups where two instructions dual-issued.
@@ -313,6 +329,8 @@ impl CpuState {
             slice_end: 0,
             samples_taken: 0,
             handler_cycles: 0,
+            walk_cycles: 0,
+            walk_scratch: Vec::new(),
             insns_retired: 0,
             dual_issues: 0,
             dstats: DispatchStats::default(),
@@ -553,15 +571,7 @@ pub(crate) fn step_inner<S: SampleSink>(
         cpu.overflow_scratch = scratch;
     }
     if !cpu.pending.is_empty() {
-        deliver_due(
-            cpu,
-            sink,
-            pc,
-            pid,
-            issue,
-            senior_taken,
-            cfg.double_sample_every,
-        );
+        deliver_due(cpu, sink, run, os, cfg, pc, pid, issue, senior_taken);
     }
 
     cpu.prev_issue = issue;
@@ -580,16 +590,23 @@ pub(crate) fn step_inner<S: SampleSink>(
 
 /// Delivers pending interrupts due by `issue`, attributing the sample to
 /// the instruction currently at the head of the issue queue (`head_pc`).
+/// With [`MachineConfig::stack_walk`] on, the first delivery in the
+/// batch also walks the interrupted call stack (one walk, charged once,
+/// shared by every sample in the batch).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn deliver_due<S: SampleSink>(
     cpu: &mut CpuState,
     sink: &mut S,
+    run: &RunningProc,
+    os: &Os,
+    cfg: &MachineConfig,
     head_pc: Addr,
     pid: Pid,
     issue: u64,
     head_taken: Option<bool>,
-    double_every: u32,
 ) {
+    let double_every = cfg.double_sample_every;
+    let mut walked = false;
     let mut i = 0;
     while i < cpu.pending.len() {
         let (deliver_at, event) = cpu.pending[i];
@@ -600,7 +617,19 @@ pub(crate) fn deliver_due<S: SampleSink>(
                 pc: head_pc,
                 event,
             };
-            let cost = sink.counter_overflow(cpu.id, sample, deliver_at);
+            let mut cost = sink.counter_overflow(cpu.id, sample, deliver_at);
+            if cfg.stack_walk {
+                if !walked {
+                    walked = true;
+                    let mut scratch = std::mem::take(&mut cpu.walk_scratch);
+                    let words = crate::stackwalk::walk(&run.proc, os, head_pc, cfg, &mut scratch);
+                    let wcost = crate::stackwalk::walk_cost(words, scratch.len());
+                    cpu.walk_cycles += wcost;
+                    cost += wcost;
+                    cpu.walk_scratch = scratch;
+                }
+                sink.stack_sample(cpu.id, pid, event, &cpu.walk_scratch);
+            }
             if let Some(taken) = head_taken {
                 sink.edge_sample(cpu.id, pid, head_pc, taken);
             }

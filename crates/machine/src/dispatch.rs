@@ -332,15 +332,7 @@ fn chain_inner<S: SampleSink>(
             cpu.overflow_scratch = scratch;
         }
         if !cpu.pending.is_empty() {
-            deliver_due(
-                cpu,
-                sink,
-                pc,
-                pid,
-                issue,
-                senior_taken,
-                cfg.double_sample_every,
-            );
+            deliver_due(cpu, sink, run, os, cfg, pc, pid, issue, senior_taken);
         }
         cpu.prev_issue = issue;
         cpu.dstats.chain_groups += 1;

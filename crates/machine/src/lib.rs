@@ -36,6 +36,7 @@ pub mod dispatch;
 pub mod machine;
 pub mod os;
 pub mod proc;
+pub mod stackwalk;
 pub mod stats;
 pub mod tlb;
 

@@ -231,6 +231,13 @@ impl<S: SampleSink> Machine<S> {
         self.cpus.iter().map(|c| c.handler_cycles).sum()
     }
 
+    /// Total cycles spent walking call stacks across CPUs (a subset of
+    /// [`Machine::total_handler_cycles`]).
+    #[must_use]
+    pub fn total_walk_cycles(&self) -> u64 {
+        self.cpus.iter().map(|c| c.walk_cycles).sum()
+    }
+
     /// Total instructions retired across CPUs.
     #[must_use]
     pub fn total_retired(&self) -> u64 {

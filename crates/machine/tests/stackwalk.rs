@@ -1,0 +1,195 @@
+//! Integration tests for sample-time stack walking: a recursive program
+//! is sampled with `stack_walk` on, and the captured calling contexts
+//! are checked against the known call structure.
+
+use dcpi_core::{Addr, CpuId, Event, Pid, Sample};
+use dcpi_isa::asm::Asm;
+use dcpi_isa::image::Image;
+use dcpi_isa::reg::Reg;
+use dcpi_machine::config::DispatchMode;
+use dcpi_machine::counters::CounterConfig;
+use dcpi_machine::os::MAIN_BASE;
+use dcpi_machine::{Machine, MachineConfig, SampleSink};
+
+/// Records every delivered sample and every walked stack.
+#[derive(Default)]
+struct StackSink {
+    samples: u64,
+    stacks: Vec<(Pid, Event, Vec<Addr>)>,
+}
+
+impl SampleSink for StackSink {
+    fn counter_overflow(&mut self, _cpu: CpuId, _sample: Sample, _at: u64) -> u64 {
+        self.samples += 1;
+        400
+    }
+
+    fn stack_sample(&mut self, _cpu: CpuId, pid: Pid, event: Event, frames: &[Addr]) {
+        self.stacks.push((pid, event, frames.to_vec()));
+    }
+}
+
+/// `main` repeatedly calls `recurse(depth)`, which follows the standard
+/// prologue/epilogue discipline and spins at every level so samples land
+/// at all depths.
+///
+/// Call structure: each outer iteration nests `depth + 1` activations of
+/// `recurse`, so the deepest stack is `depth + 2` frames (leaf PC,
+/// `depth` returns into `recurse`, one return into `main`).
+fn recursion_image(outer: i64, depth: i64, spin: i64) -> Image {
+    let mut a = Asm::new("/bin/recurse");
+    a.proc("main");
+    let recurse = a.label();
+    a.li(Reg::S0, outer);
+    let main_loop = a.here();
+    a.li(Reg::A0, depth);
+    a.bsr(Reg::RA, recurse);
+    a.subq_lit(Reg::S0, 1, Reg::S0);
+    a.bne(Reg::S0, main_loop);
+    a.halt();
+    a.proc("recurse");
+    a.bind(recurse);
+    a.lda(Reg::SP, -16, Reg::SP);
+    a.stq(Reg::RA, 0, Reg::SP);
+    a.li(Reg::T0, spin);
+    let spin_top = a.here();
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bne(Reg::T0, spin_top);
+    let done = a.label();
+    a.beq(Reg::A0, done);
+    a.subq_lit(Reg::A0, 1, Reg::A0);
+    a.bsr(Reg::RA, recurse);
+    a.bind(done);
+    a.ldq(Reg::RA, 0, Reg::SP);
+    a.lda(Reg::SP, 16, Reg::SP);
+    a.ret(Reg::RA);
+    a.finish()
+}
+
+fn walk_config(dispatch: DispatchMode) -> MachineConfig {
+    let mut cfg = MachineConfig::with_counters(CounterConfig::cycles_only((500, 600)));
+    cfg.stack_walk = true;
+    cfg.dispatch = dispatch;
+    cfg
+}
+
+/// Runs the recursion workload and returns the machine (sink holds the
+/// captured stacks) plus the spawned pid.
+fn run_recursion(cfg: MachineConfig) -> (Machine<StackSink>, Pid) {
+    let mut m = Machine::new(cfg, StackSink::default());
+    let img = m.register_image(recursion_image(300, 5, 100));
+    let pid = m.spawn(0, img, &[], |_| {});
+    m.run_to_completion(100_000, 1_000_000_000);
+    assert_eq!(m.os.live_processes(), 0);
+    (m, pid)
+}
+
+/// The [start, end) address range of a named procedure in the main image.
+fn proc_range(name: &str) -> (u64, u64) {
+    let img = recursion_image(300, 5, 100);
+    let s = img.symbol_named(name).unwrap();
+    (MAIN_BASE.0 + s.offset, MAIN_BASE.0 + s.offset + s.size)
+}
+
+#[test]
+fn every_sample_gets_a_stack() {
+    let (m, _) = run_recursion(walk_config(DispatchMode::default()));
+    assert!(m.sink.samples > 100, "got {} samples", m.sink.samples);
+    assert_eq!(
+        m.sink.stacks.len() as u64,
+        m.sink.samples,
+        "one walked stack per delivered sample"
+    );
+    assert!(m.total_walk_cycles() > 0);
+    assert!(
+        m.total_walk_cycles() < m.total_handler_cycles(),
+        "walk cycles are a strict subset of handler time"
+    );
+}
+
+#[test]
+fn recursion_depths_are_captured_faithfully() {
+    let (m, pid) = run_recursion(walk_config(DispatchMode::default()));
+    let (r_lo, r_hi) = proc_range("recurse");
+    let (m_lo, m_hi) = proc_range("main");
+    let mut max_depth = 0usize;
+    for (spid, _event, frames) in &m.sink.stacks {
+        if *spid != pid {
+            continue; // kernel idle samples
+        }
+        assert!(!frames.is_empty());
+        let leaf = frames[0].0;
+        if leaf >= r_lo && leaf < r_hi {
+            // Sampled inside recurse: callers are returns into recurse,
+            // then exactly one return into main, and nothing beyond.
+            max_depth = max_depth.max(frames.len());
+            assert!(
+                frames.len() >= 2 && frames.len() <= 7,
+                "recurse stack depth {} out of range",
+                frames.len()
+            );
+            let outer = frames.last().unwrap().0;
+            for f in &frames[1..frames.len() - 1] {
+                assert!(
+                    f.0 >= r_lo && f.0 < r_hi,
+                    "inner caller frame {:#x} not in recurse",
+                    f.0
+                );
+            }
+            assert!(
+                outer >= m_lo && outer < m_hi,
+                "outermost frame {outer:#x} not in main"
+            );
+        } else if leaf >= m_lo && leaf < m_hi {
+            // Sampled in main: no live callers, and the stale `ra` left
+            // by a returned bsr must have been rejected.
+            assert_eq!(
+                frames.len(),
+                1,
+                "main-level stack must be a single frame, got {frames:?}"
+            );
+        }
+    }
+    assert_eq!(
+        max_depth, 7,
+        "deepest context (5 nested recursions) must be observed"
+    );
+}
+
+#[test]
+fn stacks_identical_across_dispatch_modes() {
+    let (mc, _) = run_recursion(walk_config(DispatchMode::Classic));
+    let (ms, _) = run_recursion(walk_config(DispatchMode::Superblock));
+    assert_eq!(mc.sink.samples, ms.sink.samples);
+    assert_eq!(
+        mc.sink.stacks, ms.sink.stacks,
+        "classic and superblock dispatch must walk identical stacks"
+    );
+    assert_eq!(mc.total_walk_cycles(), ms.total_walk_cycles());
+}
+
+#[test]
+fn max_frames_truncates_deep_stacks() {
+    let mut cfg = walk_config(DispatchMode::default());
+    cfg.stack_max_frames = 3;
+    let (m, pid) = run_recursion(cfg);
+    let mut saw_truncated = false;
+    for (spid, _, frames) in &m.sink.stacks {
+        if *spid != pid {
+            continue;
+        }
+        assert!(frames.len() <= 3, "stack exceeds max frames: {frames:?}");
+        saw_truncated |= frames.len() == 3;
+    }
+    assert!(saw_truncated, "some stacks should hit the cap");
+}
+
+#[test]
+fn walking_disabled_produces_no_stacks_or_cost() {
+    let mut cfg = walk_config(DispatchMode::default());
+    cfg.stack_walk = false;
+    let (m, _) = run_recursion(cfg);
+    assert!(m.sink.samples > 0);
+    assert!(m.sink.stacks.is_empty());
+    assert_eq!(m.total_walk_cycles(), 0);
+}

@@ -208,8 +208,8 @@ impl Snapshot {
             Some(o) => {
                 let _ = writeln!(
                     out,
-                    "  \"overhead\": {{\"total_cycles\": {}, \"handler_cycles\": {}, \"daemon_cycles\": {}, \"samples\": {}}},",
-                    o.total_cycles, o.handler_cycles, o.daemon_cycles, o.samples
+                    "  \"overhead\": {{\"total_cycles\": {}, \"handler_cycles\": {}, \"daemon_cycles\": {}, \"walk_cycles\": {}, \"samples\": {}}},",
+                    o.total_cycles, o.handler_cycles, o.daemon_cycles, o.walk_cycles, o.samples
                 );
             }
             None => out.push_str("  \"overhead\": null,\n"),
@@ -258,6 +258,9 @@ impl Snapshot {
                     total_cycles: num(rest, "total_cycles", lineno)?,
                     handler_cycles: num(rest, "handler_cycles", lineno)?,
                     daemon_cycles: num(rest, "daemon_cycles", lineno)?,
+                    // Absent in exports written before the stack-walk
+                    // extension: default to zero rather than reject.
+                    walk_cycles: num(rest, "walk_cycles", lineno).unwrap_or(0),
                     samples: num(rest, "samples", lineno)?,
                 });
                 continue;
@@ -483,6 +486,7 @@ mod tests {
             total_cycles: 1_000_000,
             handler_cycles: 11_000,
             daemon_cycles: 900,
+            walk_cycles: 2_500,
             samples: 16,
         });
         s.samples = Some(SampleLedger {

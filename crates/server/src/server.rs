@@ -23,6 +23,7 @@
 //! criterion.
 
 use crate::journal::{self, Journal, WalRecord};
+use dcpi_collect::daemon::{read_all_stacks, write_epoch_stacks};
 use dcpi_collect::faults::{ledger_add, FleetLedger};
 use dcpi_collect::wire::{decode_msg, encode_msg, EpochBatch, Msg};
 use dcpi_core::codec::Format;
@@ -30,6 +31,7 @@ use dcpi_core::db::ProfileDb;
 use dcpi_core::profile::ProfileSet;
 use dcpi_core::{Event, ImageId, UNKNOWN_IMAGE};
 use dcpi_obs::{span_id, Component, Obs};
+use dcpi_stacks::StackProfile;
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
@@ -80,6 +82,10 @@ impl ServerConfig {
 pub struct AgentSession {
     /// Latest incarnation seen.
     pub incarnation: u32,
+    /// Capability bits from the latest registration (wire v1 agents
+    /// advertise none). Zero until the agent registers — including
+    /// after a server reopen, when everyone must re-register anyway.
+    pub features: u64,
     /// Highest journaled sequence number.
     pub last_seq: u64,
     /// Last tick the agent was heard from.
@@ -148,6 +154,10 @@ pub struct IngestServer {
     lags: Vec<u64>,
     /// Last tick each agent had a batch become visible (freshness SLO).
     agent_visible: BTreeMap<u32, u64>,
+    /// Fleet-wide calling-context profile accumulated from merged
+    /// batches (only agents advertising `FEATURE_STACKS` contribute;
+    /// sample accounting stays with the flat profiles and the ledger).
+    fleet_stacks: StackProfile,
     /// Counters.
     pub stats: ServerStats,
     obs: Obs,
@@ -179,6 +189,7 @@ impl IngestServer {
             next_merge,
             lags: Vec::new(),
             agent_visible: BTreeMap::new(),
+            fleet_stacks: StackProfile::new(),
             stats: ServerStats::default(),
             obs: Obs::default(),
             replay_note: None,
@@ -232,6 +243,9 @@ impl IngestServer {
             .iter()
             .flat_map(|(_, entries)| entries.iter().copied())
             .collect();
+        // The merged calling-context view is exactly what the epoch
+        // sidecars hold (queued batches contribute at their merge).
+        let fleet_stacks = read_all_stacks(&db).unwrap_or_default();
         let mut server = IngestServer {
             wal: Journal::open(&cfg.root)?,
             db,
@@ -242,6 +256,7 @@ impl IngestServer {
             next_merge: now + cfg.merge_every,
             lags: Vec::new(),
             agent_visible: BTreeMap::new(),
+            fleet_stacks,
             stats: ServerStats::default(),
             obs: Obs::default(),
             replay_note: None,
@@ -294,6 +309,15 @@ impl IngestServer {
     #[must_use]
     pub fn db(&self) -> &ProfileDb {
         &self.db
+    }
+
+    /// Fleet-wide calling-context profile merged so far. Populated by
+    /// agents advertising [`dcpi_collect::wire::FEATURE_STACKS`];
+    /// stack-less agents still ingest normally and simply add nothing
+    /// here. After a reopen this is rebuilt from the epoch sidecars.
+    #[must_use]
+    pub fn stack_profile(&self) -> &StackProfile {
+        &self.fleet_stacks
     }
 
     /// Per-agent sessions (keyed by agent id).
@@ -364,13 +388,18 @@ impl IngestServer {
             return Vec::new();
         };
         match msg {
-            Msg::Register { agent, incarnation } => {
+            Msg::Register {
+                agent,
+                incarnation,
+                features,
+            } => {
                 self.stats.registrations += 1;
                 let s = self.sessions.entry(agent).or_default();
                 if incarnation > s.incarnation && s.incarnation > 0 {
                     s.reincarnations += 1;
                 }
                 s.incarnation = s.incarnation.max(incarnation);
+                s.features = features;
                 s.last_heard = now;
                 s.live = true;
                 let last_seq = s.last_seq;
@@ -595,6 +624,20 @@ impl IngestServer {
         }
         let set = build_profile_set(group.iter().map(|(_, _, b)| b));
         self.db.merge(&set).map_err(db_err)?;
+        // Calling-context sections ride the same batches: fold them
+        // into this merge epoch's sidecar and the in-memory fleet view.
+        // Stack-less (v1) agents contribute empty sections and cost
+        // nothing here.
+        let mut epoch_stacks = StackProfile::new();
+        for (_, _, batch) in &group {
+            if !batch.stacks.is_empty() {
+                epoch_stacks.merge(&batch.stacks);
+            }
+        }
+        if !epoch_stacks.is_empty() {
+            write_epoch_stacks(&self.db, self.db.current_epoch(), &epoch_stacks).map_err(db_err)?;
+            self.fleet_stacks.merge(&epoch_stacks);
+        }
         for (agent, seq, batch) in &group {
             for (image, name) in &batch.image_names {
                 self.db.record_image_name(*image, name).map_err(db_err)?;
@@ -689,10 +732,19 @@ fn rebuild_epoch(
     let group: Vec<&EpochBatch> = entries.iter().filter_map(|key| batches.get(key)).collect();
     let set = build_profile_set(group.iter().copied());
     db.merge(&set).map_err(db_err)?;
+    let mut stacks = StackProfile::new();
     for batch in &group {
         for (image, name) in &batch.image_names {
             db.record_image_name(*image, name).map_err(db_err)?;
         }
+        if !batch.stacks.is_empty() {
+            stacks.merge(&batch.stacks);
+        }
+    }
+    if !stacks.is_empty() {
+        // The epoch directory was swept above, so this rewrite of the
+        // calling-context sidecar is from-scratch and deterministic.
+        write_epoch_stacks(&db, db.current_epoch(), &stacks).map_err(db_err)?;
     }
     Ok(db)
 }

@@ -166,6 +166,7 @@ fn acked_then_crashed_server_recovers_every_journaled_epoch() {
             &encode_msg(&Msg::Register {
                 agent,
                 incarnation: 1,
+                features: 0,
             }),
         );
         for (i, batch) in script.epochs.iter().enumerate() {

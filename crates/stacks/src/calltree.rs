@@ -1,0 +1,231 @@
+//! Merged call trees with inclusive/exclusive estimates.
+//!
+//! The canonical-stack table *is* a call tree — each node is a calling
+//! context, each parent edge a call site. [`CallTree::build`] folds a
+//! [`StackProfile`]'s counts for one event into that tree, summing
+//! across processes, and computes:
+//!
+//! * **exclusive** — samples whose innermost frame is this node, and
+//! * **inclusive** — exclusive plus all descendants (one bottom-up pass;
+//!   parents always precede children in ID order, so a single reverse
+//!   sweep suffices).
+//!
+//! The conservation identity `inclusive(n) = exclusive(n) +
+//! Σ inclusive(children(n))` — and at the root, `inclusive(root) = total
+//! samples` — is what ties stack profiles back to DCPI's flat per-PC
+//! totals: multiplying by the average sampling period turns either side
+//! into the same estimated cycle total.
+
+use crate::profile::StackProfile;
+use crate::table::{Frame, StackTable, ROOT};
+use dcpi_core::Event;
+
+/// A call tree over canonical frames, with per-node sample counts.
+#[derive(Clone, Debug)]
+pub struct CallTree {
+    /// The canonical-stack table the tree is built over.
+    pub table: StackTable<Frame>,
+    /// Samples whose leaf is this node, indexed by stack ID (entry 0 is
+    /// the root: samples with an empty stack, normally none).
+    pub exclusive: Vec<u64>,
+    /// Exclusive plus all descendants, indexed by stack ID.
+    pub inclusive: Vec<u64>,
+    /// Child IDs per node (entry 0 is the root's children), each list
+    /// sorted by descending inclusive count, then frame, for stable
+    /// rendering.
+    pub children: Vec<Vec<u32>>,
+}
+
+impl CallTree {
+    /// Builds the call tree for one event, summing counts across
+    /// processes.
+    #[must_use]
+    pub fn build(profile: &StackProfile, event: Event) -> CallTree {
+        let n = profile.table.len();
+        let mut exclusive = vec![0u64; n + 1];
+        let code = event.code();
+        for (&(e, _pid, id), &count) in &profile.counts {
+            if e == code {
+                exclusive[id as usize] += count;
+            }
+        }
+        let mut inclusive = exclusive.clone();
+        for id in (1..=n).rev() {
+            let parent = profile.table.parent(id as u32) as usize;
+            inclusive[parent] += inclusive[id];
+        }
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        for (id, parent, _) in profile.table.nodes() {
+            children[parent as usize].push(id);
+        }
+        for list in &mut children {
+            list.sort_by_key(|&id| {
+                (
+                    std::cmp::Reverse(inclusive[id as usize]),
+                    profile.table.frame(id),
+                )
+            });
+        }
+        CallTree {
+            table: profile.table.clone(),
+            exclusive,
+            inclusive,
+            children,
+        }
+    }
+
+    /// Total samples in the tree (the root's inclusive count).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.inclusive[ROOT as usize]
+    }
+
+    /// Verifies the inclusive/exclusive conservation identity at every
+    /// node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first node where `inclusive != exclusive +
+    /// Σ inclusive(children)`.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for id in 0..self.inclusive.len() {
+            let kids: u64 = self.children[id]
+                .iter()
+                .map(|&c| self.inclusive[c as usize])
+                .sum();
+            let want = self.exclusive[id] + kids;
+            if self.inclusive[id] != want {
+                return Err(format!(
+                    "node {id}: inclusive {} != exclusive {} + children {kids}",
+                    self.inclusive[id], self.exclusive[id]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders an indented tree, pruning nodes below `min_count` and
+    /// deeper than `max_depth`. `name` symbolizes a frame; `scale`
+    /// multiplies sample counts into estimated units (pass 1 for raw
+    /// samples, the average sampling period for cycles).
+    #[must_use]
+    pub fn render(&self, name: &dyn Fn(Frame) -> String, scale: u64, min_count: u64) -> String {
+        let mut out = String::new();
+        let total = self.total().max(1);
+        out.push_str(&format!(
+            "total {} samples ({} est. cycles)\n",
+            self.total(),
+            self.total() * scale
+        ));
+        let mut work: Vec<(u32, usize)> = self.children[ROOT as usize]
+            .iter()
+            .rev()
+            .map(|&c| (c, 0))
+            .collect();
+        while let Some((id, depth)) = work.pop() {
+            let inc = self.inclusive[id as usize];
+            if inc < min_count {
+                continue;
+            }
+            let frame = self.table.frame(id).expect("non-root node");
+            out.push_str(&format!(
+                "{:indent$}{:5.1}% {:>12} incl {:>10} excl  {}\n",
+                "",
+                inc as f64 * 100.0 / total as f64,
+                inc * scale,
+                self.exclusive[id as usize] * scale,
+                name(frame),
+                indent = depth * 2,
+            ));
+            for &c in self.children[id as usize].iter().rev() {
+                work.push((c, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// Folded flamegraph lines: `frame;frame;frame count` per leaf
+    /// context with a nonzero exclusive count, in stack-ID order.
+    #[must_use]
+    pub fn folded(&self, name: &dyn Fn(Frame) -> String) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for id in 1..self.exclusive.len() {
+            let count = self.exclusive[id];
+            if count == 0 {
+                continue;
+            }
+            let line = self
+                .table
+                .frames(id as u32)
+                .into_iter()
+                .map(name)
+                .collect::<Vec<_>>()
+                .join(";");
+            out.push((line, count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::{ImageId, Pid};
+
+    fn f(offset: u64) -> Frame {
+        Frame {
+            image: ImageId(0),
+            offset,
+        }
+    }
+
+    fn profile() -> StackProfile {
+        let mut p = StackProfile::new();
+        // main -> a (3 leaf samples), main -> a -> b (2), main (1), spread
+        // over two pids to exercise cross-pid summing.
+        p.record(0, Pid(1), &[f(0), f(16)], 2);
+        p.record(0, Pid(2), &[f(0), f(16)], 1);
+        p.record(0, Pid(1), &[f(0), f(16), f(32)], 2);
+        p.record(0, Pid(1), &[f(0)], 1);
+        p.record(1, Pid(1), &[f(0)], 99); // different event: excluded
+        p
+    }
+
+    #[test]
+    fn inclusive_exclusive_arithmetic() {
+        let t = CallTree::build(&profile(), Event::Cycles);
+        assert_eq!(t.total(), 6);
+        t.check_conservation().unwrap();
+        // main is node 1: inclusive all 6, exclusive 1.
+        assert_eq!(t.inclusive[1], 6);
+        assert_eq!(t.exclusive[1], 1);
+        // a: inclusive 5 (3 own + 2 via b).
+        assert_eq!(t.inclusive[2], 5);
+        assert_eq!(t.exclusive[2], 3);
+        assert_eq!(t.inclusive[3], 2);
+    }
+
+    #[test]
+    fn root_inclusive_equals_event_total() {
+        let p = profile();
+        let t = CallTree::build(&p, Event::Cycles);
+        assert_eq!(t.total(), p.event_total(Event::Cycles));
+        let ti = CallTree::build(&p, Event::IMiss);
+        assert_eq!(ti.total(), 99);
+        ti.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn render_and_folded_are_stable() {
+        let t = CallTree::build(&profile(), Event::Cycles);
+        let name = |fr: Frame| format!("f{}", fr.offset);
+        let a = t.render(&name, 1, 0);
+        let b = t.render(&name, 1, 0);
+        assert_eq!(a, b);
+        assert!(a.contains("f0"));
+        let folded = t.folded(&name);
+        assert_eq!(folded.len(), 3);
+        assert!(folded.contains(&("f0;f16".into(), 3)));
+        assert!(folded.contains(&("f0;f16;f32".into(), 2)));
+    }
+}

@@ -1,0 +1,496 @@
+//! Speedscope-format JSON export.
+//!
+//! Serializes a [`StackProfile`] to the speedscope file format
+//! (<https://www.speedscope.app/file-format-schema.json>), `"sampled"`
+//! profile type: a shared frame table plus one `(samples, weights)` pair
+//! per exported event. The workspace is dependency-free, so both the
+//! writer and the small JSON reader used by tests and the `dcpicheck
+//! stacks` audit are hand-written here.
+//!
+//! Output is byte-deterministic for a given profile: frames appear in
+//! first-use order over ascending stack IDs, samples in stack-ID order,
+//! and all numbers are integers.
+
+use crate::profile::StackProfile;
+use crate::table::Frame;
+use dcpi_core::Event;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes `profile`'s counts for `event` (summed across processes)
+/// to a speedscope JSON document. `frame_name` symbolizes frames; equal
+/// names collapse into one shared frame entry, exactly how speedscope
+/// merges flamegraph cells.
+#[must_use]
+pub fn export(
+    profile: &StackProfile,
+    event: Event,
+    name: &str,
+    frame_name: &dyn Fn(Frame) -> String,
+) -> String {
+    // Aggregate counts per stack ID for the event, in ID order.
+    let code = event.code();
+    let mut per_stack: Vec<(u32, u64)> = Vec::new();
+    for (&(e, _pid, id), &count) in &profile.counts {
+        if e != code {
+            continue;
+        }
+        match per_stack.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(at) => per_stack[at].1 += count,
+            Err(at) => per_stack.insert(at, (id, count)),
+        }
+    }
+    // Shared frame table in first-use order.
+    let mut frame_index: HashMap<String, usize> = HashMap::new();
+    let mut frames: Vec<String> = Vec::new();
+    let mut samples: Vec<Vec<usize>> = Vec::with_capacity(per_stack.len());
+    let mut weights: Vec<u64> = Vec::with_capacity(per_stack.len());
+    for &(id, count) in &per_stack {
+        let idxs: Vec<usize> = profile
+            .table
+            .frames(id)
+            .into_iter()
+            .map(|f| {
+                let n = frame_name(f);
+                if let Some(&i) = frame_index.get(&n) {
+                    i
+                } else {
+                    let i = frames.len();
+                    frame_index.insert(n.clone(), i);
+                    frames.push(n);
+                    i
+                }
+            })
+            .collect();
+        samples.push(idxs);
+        weights.push(count);
+    }
+    let total: u64 = weights.iter().sum();
+
+    let mut out = String::new();
+    out.push_str("{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",");
+    out.push_str("\"shared\":{\"frames\":[");
+    for (i, f) in frames.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":{}}}", quote(f));
+    }
+    out.push_str("]},\"profiles\":[{\"type\":\"sampled\",");
+    let _ = write!(
+        out,
+        "\"name\":{},\"unit\":\"none\",\"startValue\":0,\"endValue\":{total},",
+        quote(&format!("{name} ({})", event.name()))
+    );
+    out.push_str("\"samples\":[");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, idx) in s.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{idx}");
+        }
+        out.push(']');
+    }
+    out.push_str("],\"weights\":[");
+    for (i, w) in weights.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{w}");
+    }
+    let _ = write!(
+        out,
+        "]}}],\"exporter\":\"dcpi-stacks\",\"name\":{}}}",
+        quote(name)
+    );
+    out
+}
+
+/// JSON string literal with escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value — the minimal reader used by the export tests and
+/// the `dcpicheck stacks` schema audit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any number (parsed as f64; the exporter only writes integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    #[must_use]
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    #[must_use]
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a position-tagged message on malformed input or trailing
+/// content.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                members.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let s = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let n = u32::from_str_radix(s, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                out.push(
+                                    char::from_u32(n).ok_or("non-scalar \\u escape".to_string())?,
+                                );
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Collect one UTF-8 sequence.
+                        let start = *pos;
+                        let len = match c {
+                            0x00..=0x7f => 1,
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let chunk = b.get(start..start + len).ok_or("truncated utf-8")?;
+                        out.push_str(
+                            std::str::from_utf8(chunk).map_err(|_| "bad utf-8".to_string())?,
+                        );
+                        *pos += len;
+                    }
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).expect("ascii");
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {s:?}"))
+        }
+        Some(_) if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(_) if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(_) if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
+    }
+}
+
+/// Structural audit of an exported speedscope document: schema URL,
+/// frame-index bounds, and samples/weights length agreement.
+///
+/// # Errors
+///
+/// Returns the first structural violation found.
+pub fn check_schema(doc: &str) -> Result<(), String> {
+    let v = parse_json(doc)?;
+    let schema = v.get("$schema").ok_or("missing $schema")?;
+    if *schema != Json::Str("https://www.speedscope.app/file-format-schema.json".into()) {
+        return Err("wrong $schema URL".into());
+    }
+    let frames = v
+        .get("shared")
+        .and_then(|s| s.get("frames"))
+        .and_then(Json::items)
+        .ok_or("missing shared.frames")?;
+    for f in frames {
+        f.get("name")
+            .and_then(|n| match n {
+                Json::Str(_) => Some(()),
+                _ => None,
+            })
+            .ok_or("frame without a string name")?;
+    }
+    let profiles = v
+        .get("profiles")
+        .and_then(Json::items)
+        .ok_or("missing profiles")?;
+    if profiles.is_empty() {
+        return Err("no profiles".into());
+    }
+    for p in profiles {
+        if p.get("type") != Some(&Json::Str("sampled".into())) {
+            return Err("profile type must be \"sampled\"".into());
+        }
+        let samples = p
+            .get("samples")
+            .and_then(Json::items)
+            .ok_or("missing samples")?;
+        let weights = p
+            .get("weights")
+            .and_then(Json::items)
+            .ok_or("missing weights")?;
+        if samples.len() != weights.len() {
+            return Err(format!(
+                "samples ({}) and weights ({}) disagree",
+                samples.len(),
+                weights.len()
+            ));
+        }
+        let mut total = 0.0;
+        for w in weights {
+            total += w.num().ok_or("non-numeric weight")?;
+        }
+        let end = p
+            .get("endValue")
+            .and_then(Json::num)
+            .ok_or("missing endValue")?;
+        if (total - end).abs() > 0.5 {
+            return Err(format!("endValue {end} != total weight {total}"));
+        }
+        for s in samples {
+            for idx in s.items().ok_or("sample is not an array")? {
+                let i = idx.num().ok_or("non-numeric frame index")?;
+                if i < 0.0 || i as usize >= frames.len() {
+                    return Err(format!("frame index {i} out of bounds"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcpi_core::{ImageId, Pid};
+
+    fn f(offset: u64) -> Frame {
+        Frame {
+            image: ImageId(0),
+            offset,
+        }
+    }
+
+    fn profile() -> StackProfile {
+        let mut p = StackProfile::new();
+        p.record(0, Pid(1), &[f(0), f(16)], 4);
+        p.record(0, Pid(2), &[f(0), f(16), f(32)], 2);
+        p.record(0, Pid(1), &[f(0)], 1);
+        p
+    }
+
+    fn namer(fr: Frame) -> String {
+        format!("proc_{}", fr.offset)
+    }
+
+    #[test]
+    fn export_passes_schema_check() {
+        let doc = export(&profile(), Event::Cycles, "test \"run\"", &namer);
+        check_schema(&doc).unwrap();
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = export(&profile(), Event::Cycles, "t", &namer);
+        let b = export(&profile(), Event::Cycles, "t", &namer);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn export_structure_roundtrips() {
+        let doc = export(&profile(), Event::Cycles, "t", &namer);
+        let v = parse_json(&doc).unwrap();
+        let frames = v.get("shared").unwrap().get("frames").unwrap();
+        assert_eq!(frames.items().unwrap().len(), 3);
+        let p = &v.get("profiles").unwrap().items().unwrap()[0];
+        assert_eq!(p.get("endValue").unwrap().num(), Some(7.0));
+        let samples = p.get("samples").unwrap().items().unwrap();
+        let weights = p.get("weights").unwrap().items().unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(weights.len(), 3);
+        // Pids merge: the [f0,f16] stack appears once with weight 4.
+        assert!(weights.contains(&Json::Num(4.0)));
+    }
+
+    #[test]
+    fn parser_rejects_malformation() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{}x").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("{\"a\"1}").is_err());
+    }
+
+    #[test]
+    fn schema_check_catches_length_mismatch() {
+        let doc = export(&profile(), Event::Cycles, "t", &namer);
+        let broken = doc.replacen("\"weights\":[", "\"weights\":[999,", 1);
+        assert!(check_schema(&broken).is_err());
+    }
+
+    #[test]
+    fn empty_event_exports_cleanly() {
+        let doc = export(&profile(), Event::DMiss, "t", &namer);
+        check_schema(&doc).unwrap();
+        let v = parse_json(&doc).unwrap();
+        let p = &v.get("profiles").unwrap().items().unwrap()[0];
+        assert_eq!(p.get("endValue").unwrap().num(), Some(0.0));
+    }
+}

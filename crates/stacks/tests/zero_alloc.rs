@@ -1,0 +1,68 @@
+//! Zero-allocation guard for the warm intern path.
+//!
+//! The canonical-stack cache sits inside the sample-interrupt handler;
+//! its hot path (re-interning an already-seen stack) must not touch the
+//! allocator. This test wraps the global allocator in a counter and
+//! proves the warm path allocation-free. The counting allocator needs
+//! `unsafe impl GlobalAlloc`, so this one test file opts out of the
+//! workspace `unsafe_code` deny.
+#![allow(unsafe_code)]
+
+use dcpi_stacks::StackTable;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_intern_path_is_allocation_free() {
+    let mut table: StackTable<u64> = StackTable::new();
+    // Warm up: intern a family of stacks (recursion depths 1..=64 over a
+    // shared spine, plus a disjoint chain), letting the table and its
+    // index reach their final capacity.
+    let spine: Vec<u64> = (0..64).map(|i| 0x1_0000 + i * 4).collect();
+    for depth in 1..=spine.len() {
+        table.intern(&spine[..depth]);
+    }
+    let other: Vec<u64> = (0..16).map(|i| 0x7000_0000 + i * 8).collect();
+    table.intern_leaf_first(&other);
+    let nodes = table.len();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        for depth in 1..=spine.len() {
+            std::hint::black_box(table.intern(&spine[..depth]));
+        }
+        std::hint::black_box(table.intern_leaf_first(&other));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "warm intern path allocated {} times",
+        after - before
+    );
+    assert_eq!(table.len(), nodes, "warm path must not grow the table");
+}

@@ -29,19 +29,26 @@
 //! vs database agreement, and fleet-wide sample-conservation over the
 //! journaled ledger deltas (cross-checked against `fleet.json`).
 //!
+//! `dcpicheck stacks <db-dir>` — audit the calling-context sidecars:
+//! every `stacks.dcst` must decode, intern bijectively, and build call
+//! trees whose inclusive totals conserve; the merged profile must
+//! export a schema-clean speedscope document. Stack-vs-flat total skew
+//! is reported at warning severity.
+//!
 //! A trailing `--json` switches any form to machine-readable output.
 //! All forms exit 0 when clean, 1 when any error-severity diagnostic is
 //! found, and 2 on usage errors.
 
 use dcpi_check::{CheckConfig, ObsCheckConfig};
 use dcpi_tools::{
-    dcpicheck_dataflow, dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report, dcpicheck_tv,
-    load_db,
+    dcpicheck_dataflow, dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report,
+    dcpicheck_stacks, dcpicheck_tv, load_db,
 };
 
 const USAGE: &str = "usage: dcpicheck <db-dir> | dcpicheck db <db-dir> | dcpicheck obs <obs.json> \
      | dcpicheck pgo <old.img> <new.img> <map.json> | dcpicheck dataflow <image> \
-     | dcpicheck tv <old.img> <new.img> <map.json> | dcpicheck fleet <server-root>  [--json]";
+     | dcpicheck tv <old.img> <new.img> <map.json> | dcpicheck fleet <server-root> \
+     | dcpicheck stacks <db-dir>  [--json]";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
@@ -51,6 +58,7 @@ fn main() {
     let mut tv_tallies: Option<(usize, usize)> = None;
     let report = match (args.get(1).map(String::as_str), args.get(2)) {
         (Some("db"), Some(dir)) => dcpicheck_db(std::path::Path::new(dir)),
+        (Some("stacks"), Some(dir)) => dcpicheck_stacks(std::path::Path::new(dir)),
         (Some("fleet"), Some(dir)) => dcpi_server::check_fleet(std::path::Path::new(dir)),
         (Some("obs"), Some(path)) => {
             dcpicheck_obs(std::path::Path::new(path), &ObsCheckConfig::default())
@@ -74,7 +82,7 @@ fn main() {
                 res.report
             }
         }
-        (Some("db" | "obs" | "pgo" | "dataflow" | "tv" | "fleet"), None) | (None, _) => {
+        (Some("db" | "obs" | "pgo" | "dataflow" | "tv" | "fleet" | "stacks"), None) | (None, _) => {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }

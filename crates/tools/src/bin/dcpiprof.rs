@@ -1,25 +1,44 @@
 //! `dcpiprof <db-dir> [--images] [--limit N]` — samples per procedure or
 //! per image, from an on-disk profile database (§3.1, Figure 1).
+//!
+//! `dcpiprof <db-dir> --tree [--min PCT]` — the CYCLES call tree from
+//! the database's calling-context sidecars, inclusive counts down the
+//! indentation, subtrees below PCT% of the total pruned (default 0.5).
 
 use dcpi_core::Event;
-use dcpi_tools::{dcpiprof, dcpiprof_images, load_db};
+use dcpi_tools::{dcpiprof, dcpiprof_images, dcpiprof_tree, load_db, load_stacks};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: dcpiprof <db-dir> [--images] [--limit N]");
+        eprintln!("usage: dcpiprof <db-dir> [--images | --tree [--min PCT]] [--limit N]");
         std::process::exit(2);
     };
     let by_image = args.iter().any(|a| a == "--images");
+    let tree = args.iter().any(|a| a == "--tree");
     let limit = args
         .iter()
         .position(|a| a == "--limit")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(30);
+    let min_pct = args
+        .iter()
+        .position(|a| a == "--min")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
     match load_db(dir) {
         Ok(db) => {
-            let text = if by_image {
+            let text = if tree {
+                match load_stacks(dir) {
+                    Ok(stacks) => dcpiprof_tree(&stacks, &db.registry, Event::Cycles, min_pct),
+                    Err(e) => {
+                        eprintln!("dcpiprof: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else if by_image {
                 dcpiprof_images(&db.profiles, &db.registry, Event::IMiss, limit)
             } else {
                 dcpiprof(&db.profiles, &db.registry, Event::IMiss, limit)

@@ -2,12 +2,32 @@
 //! dashboard from a server-side observability export. One-shot by
 //! default; `--watch` clears the screen and repaints from a fresh read
 //! of the export every interval (default 2s) until interrupted.
+//!
+//! `dcpitop --flame <db-dir> [title]` — emit a speedscope flamegraph
+//! document (JSON on stdout) for the CYCLES calling-context profile of
+//! a database directory; open it at <https://www.speedscope.app>.
 
 use dcpi_obs::Snapshot;
 
 fn usage() -> ! {
-    eprintln!("usage: dcpitop <obs.json> [--watch [seconds]]");
+    eprintln!("usage: dcpitop <obs.json> [--watch [seconds]] | dcpitop --flame <db-dir> [title]");
     std::process::exit(2);
+}
+
+fn flame(dir: &str, title: &str) -> Result<String, String> {
+    let db = dcpi_tools::load_db(dir).map_err(|e| e.to_string())?;
+    let stacks = dcpi_tools::load_stacks(dir).map_err(|e| e.to_string())?;
+    if stacks.is_empty() {
+        return Err(format!(
+            "{dir} has no calling-context data: the run was collected without stack walking"
+        ));
+    }
+    Ok(dcpi_tools::dcpitop_flame(
+        &stacks,
+        &db.registry,
+        dcpi_core::Event::Cycles,
+        title,
+    ))
 }
 
 fn frame(path: &str) -> Result<String, String> {
@@ -20,6 +40,18 @@ fn frame(path: &str) -> Result<String, String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1) else { usage() };
+    if path == "--flame" {
+        let Some(dir) = args.get(2) else { usage() };
+        let title = args.get(3).map_or("dcpi", String::as_str);
+        match flame(dir, title) {
+            Ok(doc) => print!("{doc}"),
+            Err(e) => {
+                eprintln!("dcpitop: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let mut watch: Option<u64> = None;
     let mut i = 2;
     while i < args.len() {

@@ -55,6 +55,34 @@ pub fn load_db(dir: impl AsRef<Path>) -> Result<LoadedDb> {
     Ok(LoadedDb { profiles, registry })
 }
 
+/// Loads the merged calling-context profile of every epoch in `dir`
+/// (the `stacks.dcst` sidecars written by a stack-walking daemon or the
+/// fleet server). Empty when the run never walked stacks.
+///
+/// # Errors
+///
+/// Returns an error if the database cannot be opened or a sidecar is
+/// corrupt (`dcpicheck stacks` localizes which one).
+pub fn load_stacks(dir: impl AsRef<Path>) -> Result<dcpi_stacks::StackProfile> {
+    let db = ProfileDb::open(dir.as_ref(), Format::V2)?;
+    dcpi_collect::daemon::read_all_stacks(&db)
+}
+
+/// Symbolizes a stack frame for call trees and flamegraphs:
+/// `proc [image-basename]`, with hex-offset fallbacks on both sides.
+/// Identical symbolizations collapse into one flamegraph cell, which is
+/// the point — per-image disambiguation without full pathname noise.
+#[must_use]
+pub fn stack_frame_name(registry: &ImageRegistry, f: dcpi_stacks::Frame) -> String {
+    let image = registry.name(f.image);
+    let short = image
+        .rsplit('/')
+        .next()
+        .filter(|s| !s.is_empty())
+        .unwrap_or(image);
+    format!("{} [{short}]", registry.proc_name(f.image, f.offset))
+}
+
 /// Finds the image and symbol for a procedure name across a registry.
 ///
 /// # Errors

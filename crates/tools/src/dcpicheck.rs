@@ -4,8 +4,12 @@
 use crate::registry::ImageRegistry;
 use dcpi_analyze::analysis::{analyze_procedure, AnalysisOptions};
 use dcpi_check::{Category, CheckConfig, Report, Severity};
+use dcpi_collect::daemon::{read_epoch_stacks, STACKS_FILE};
+use dcpi_core::codec::Format;
+use dcpi_core::db::ProfileDb;
 use dcpi_core::{codec, Event, ProfileSet, UNKNOWN_IMAGE};
 use dcpi_isa::pipeline::PipelineModel;
+use dcpi_stacks::{speedscope, CallTree, StackProfile};
 use std::collections::BTreeSet;
 use std::path::Path;
 
@@ -326,6 +330,183 @@ pub fn dcpicheck_tv(old_path: &Path, new_path: &Path, map_path: &Path) -> dcpi_c
     }
 }
 
+/// Audits the calling-context sidecars of a profile database
+/// (`dcpicheck stacks <path>`): every `stacks.dcst` must decode, its
+/// interning table must be a bijection (which also proves acyclicity —
+/// parents precede children by construction), every event's call tree
+/// must conserve (inclusive = exclusive + Σ children inclusive, root
+/// inclusive = event total), and the merged profile must export a
+/// schema-clean speedscope document. Stack totals are cross-checked
+/// against the flat profiles at Warning severity: equality holds in
+/// fault-free single-machine runs, but driver drops (stacks recorded,
+/// flat hash overflowed) and stack-less fleet agents (flat samples
+/// without stacks) both legitimately break it.
+#[must_use]
+pub fn dcpicheck_stacks(root: &Path) -> Report {
+    let mut report = Report::new();
+    let ctx = root.display().to_string();
+    let db = match ProfileDb::open(root, Format::V2) {
+        Ok(db) => db,
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                Category::StackStructure,
+                &ctx,
+                None,
+                None,
+                format!("cannot open database: {e}"),
+            );
+            return report;
+        }
+    };
+    let epochs = match db.epochs() {
+        Ok(e) => e,
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                Category::StackStructure,
+                &ctx,
+                None,
+                None,
+                format!("cannot enumerate epochs: {e}"),
+            );
+            return report;
+        }
+    };
+    let mut merged = StackProfile::new();
+    let mut sidecars = 0usize;
+    for epoch in epochs {
+        let ectx = db.epoch_path(epoch).join(STACKS_FILE).display().to_string();
+        let stacks = match read_epoch_stacks(&db, epoch) {
+            Ok(Some(s)) => s,
+            Ok(None) => continue,
+            Err(e) => {
+                report.push(
+                    Severity::Error,
+                    Category::StackStructure,
+                    &ectx,
+                    None,
+                    None,
+                    format!("stack sidecar rejected: {e}"),
+                );
+                continue;
+            }
+        };
+        sidecars += 1;
+        audit_stack_profile(&stacks, &ectx, &mut report);
+        // Warning-level cross-check against the flat profiles: a stack
+        // sample and a flat sample are recorded by the same overflow,
+        // so per-event totals agree unless one side dropped.
+        if let Ok(flat) = db.read_epoch(epoch) {
+            for event in Event::ALL {
+                let stacked = stacks.event_total(event);
+                if stacked == 0 {
+                    continue;
+                }
+                let flat_total = flat.event_total(event);
+                if stacked != flat_total {
+                    report.push(
+                        Severity::Warning,
+                        Category::StackConservation,
+                        &ectx,
+                        None,
+                        None,
+                        format!(
+                            "event {}: {stacked} stack samples vs {flat_total} flat samples \
+                             (expected under driver drops or stack-less agents)",
+                            event.name()
+                        ),
+                    );
+                }
+            }
+        }
+        merged.merge(&stacks);
+    }
+    if sidecars == 0 {
+        report.push(
+            Severity::Warning,
+            Category::StackStructure,
+            &ctx,
+            None,
+            None,
+            "no calling-context sidecars: the run was collected without stack walking",
+        );
+        return report;
+    }
+    // The merged view is what the tools render; it must hold the same
+    // invariants and export cleanly.
+    let mctx = format!("{ctx} (merged)");
+    audit_stack_profile(&merged, &mctx, &mut report);
+    for event in Event::ALL {
+        if merged.event_total(event) == 0 {
+            continue;
+        }
+        let doc = speedscope::export(&merged, event, "dcpicheck", &|f| {
+            format!("{:08x}+{:x}", f.image.0, f.offset)
+        });
+        if let Err(e) = speedscope::check_schema(&doc) {
+            report.push(
+                Severity::Error,
+                Category::StackExport,
+                &mctx,
+                None,
+                None,
+                format!(
+                    "event {}: speedscope export fails its schema: {e}",
+                    event.name()
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// The per-profile invariants shared by the per-epoch and merged audits:
+/// table bijectivity and per-event call-tree conservation.
+fn audit_stack_profile(stacks: &StackProfile, ctx: &str, report: &mut Report) {
+    if let Err(e) = stacks.table.check_bijective() {
+        report.push(
+            Severity::Error,
+            Category::StackStructure,
+            ctx,
+            None,
+            None,
+            format!("interning table is not bijective: {e}"),
+        );
+    }
+    for event in Event::ALL {
+        let total = stacks.event_total(event);
+        if total == 0 {
+            continue;
+        }
+        let tree = CallTree::build(stacks, event);
+        if let Err(e) = tree.check_conservation() {
+            report.push(
+                Severity::Error,
+                Category::StackConservation,
+                ctx,
+                None,
+                None,
+                format!("event {}: {e}", event.name()),
+            );
+        }
+        if tree.total() != total {
+            report.push(
+                Severity::Error,
+                Category::StackConservation,
+                ctx,
+                None,
+                None,
+                format!(
+                    "event {}: root inclusive {} != event total {total}",
+                    event.name(),
+                    tree.total()
+                ),
+            );
+        }
+    }
+}
+
 /// One epoch directory: decode every `.prof`, flag stale `.tmp` and
 /// quarantined files, and collect the image ids seen in filenames.
 fn audit_epoch_dir(dir: &Path, report: &mut Report, profiled_images: &mut BTreeSet<u32>) {
@@ -368,6 +549,25 @@ fn audit_epoch_dir(dir: &Path, report: &mut Report, profiled_images: &mut BTreeS
                 None,
                 "quarantined profile file: its samples are counted as lost",
             );
+            continue;
+        }
+        if name == STACKS_FILE {
+            // The calling-context sidecar is first-class, not foreign;
+            // it must at least decode here (`dcpicheck stacks` goes
+            // deeper).
+            if let Err(e) = std::fs::read(dir.join(&name))
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| StackProfile::from_bytes(&bytes))
+            {
+                report.push(
+                    Severity::Error,
+                    Category::StackStructure,
+                    &fctx,
+                    None,
+                    None,
+                    format!("stack sidecar rejected: {e}"),
+                );
+            }
             continue;
         }
         let Some(stem) = name.strip_suffix(".prof") else {
@@ -614,6 +814,82 @@ mod tests {
         assert!(report.is_clean(), "{}", report.render());
         let text = dcpicheck(&set, &registry);
         assert!(text.contains("0 error(s)"), "{text}");
+    }
+
+    fn seed_stacks(root: &Path, count: u64) {
+        let db = ProfileDb::open(root, Format::V2).unwrap();
+        let mut stacks = StackProfile::new();
+        let f = |off| dcpi_stacks::Frame {
+            image: ImageId(7),
+            offset: off,
+        };
+        stacks.record(
+            Event::Cycles.code(),
+            dcpi_core::Pid(1),
+            &[f(0), f(0x40)],
+            count,
+        );
+        dcpi_collect::daemon::write_epoch_stacks(&db, db.current_epoch(), &stacks).unwrap();
+    }
+
+    #[test]
+    fn stacks_audit_passes_when_stack_and_flat_totals_agree() {
+        let root = temp_db("stacks-clean");
+        seed_db(&root); // 12 cycles samples at one pc
+        seed_stacks(&root, 12); // 12 stacked cycles samples
+        let report = dcpicheck_stacks(&root);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.warnings(), 0, "{}", report.render());
+        // The sidecar is first-class to the db audit too, not foreign.
+        let db_report = dcpicheck_db(&root);
+        assert!(db_report.is_clean(), "{}", db_report.render());
+        assert_eq!(db_report.warnings(), 0, "{}", db_report.render());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stacks_audit_warns_on_flat_total_mismatch() {
+        let root = temp_db("stacks-skew");
+        seed_db(&root); // 12 cycles samples
+        seed_stacks(&root, 9); // fewer stacked samples: driver-drop shape
+        let report = dcpicheck_stacks(&root);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.warnings(), 1, "{}", report.render());
+        assert!(report
+            .render()
+            .contains("9 stack samples vs 12 flat samples"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stacks_audit_flags_a_corrupt_sidecar() {
+        let root = temp_db("stacks-corrupt");
+        seed_db(&root);
+        seed_stacks(&root, 12);
+        let sidecar = root.join("epoch_0000").join(STACKS_FILE);
+        let bytes = std::fs::read(&sidecar).unwrap();
+        std::fs::write(&sidecar, &bytes[..bytes.len() - 3]).unwrap();
+        let report = dcpicheck_stacks(&root);
+        assert!(!report.is_clean(), "{}", report.render());
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.category == Category::StackStructure && d.severity == Severity::Error));
+        // dcpicheck db flags the same corruption at decode level.
+        let db_report = dcpicheck_db(&root);
+        assert!(!db_report.is_clean(), "{}", db_report.render());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stacks_audit_on_a_stackless_database_is_a_warning_not_an_error() {
+        let root = temp_db("stacks-none");
+        seed_db(&root);
+        let report = dcpicheck_stacks(&root);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.warnings(), 1, "{}", report.render());
+        assert!(report.render().contains("without stack walking"));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

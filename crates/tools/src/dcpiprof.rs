@@ -1,7 +1,11 @@
-//! dcpiprof: samples per procedure or per image (§3.1, Figure 1).
+//! dcpiprof: samples per procedure or per image (§3.1, Figure 1), and
+//! — when the run walked call stacks — the merged call tree
+//! (`dcpiprof --tree`).
 
+use crate::dbload::stack_frame_name;
 use crate::registry::ImageRegistry;
 use dcpi_core::{Event, ImageId, ProfileSet};
+use dcpi_stacks::{CallTree, StackProfile};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -158,6 +162,39 @@ pub fn dcpiprof(
     )
 }
 
+/// Renders the merged call tree (`dcpiprof --tree`): every calling
+/// context with at least `min_pct` percent of the event's samples,
+/// indented by depth, with inclusive and exclusive sample counts.
+/// Children are ordered by descending inclusive count, so the hot path
+/// reads straight down the left spine.
+#[must_use]
+pub fn dcpiprof_tree(
+    stacks: &StackProfile,
+    registry: &ImageRegistry,
+    event: Event,
+    min_pct: f64,
+) -> String {
+    let mut out = String::new();
+    if stacks.is_empty() {
+        let _ = writeln!(
+            out,
+            "no calling-context data: the run was collected without stack walking"
+        );
+        return out;
+    }
+    let tree = CallTree::build(stacks, event);
+    let _ = writeln!(
+        out,
+        "Call tree for event type {} ({} stack samples, {} contexts)",
+        event.name(),
+        tree.total(),
+        stacks.table.len(),
+    );
+    let min_count = ((tree.total() as f64) * min_pct / 100.0).ceil() as u64;
+    out.push_str(&tree.render(&|f| stack_frame_name(registry, f), 1, min_count));
+    out
+}
+
 /// Renders the per-image listing.
 #[must_use]
 pub fn dcpiprof_images(
@@ -297,5 +334,37 @@ mod tests {
         let text = dcpiprof(&set, &reg, Event::IMiss, 1);
         assert!(text.contains("ffb8ZeroPolyArc"));
         assert!(!text.contains("bcopy"));
+    }
+
+    #[test]
+    fn tree_renders_contexts_with_symbol_names() {
+        let (_, reg) = setup();
+        let f = |off| dcpi_stacks::Frame {
+            image: ImageId(1),
+            offset: off,
+        };
+        let mut stacks = StackProfile::new();
+        stacks.record(Event::Cycles.code(), dcpi_core::Pid(1), &[f(0), f(16)], 6);
+        stacks.record(Event::Cycles.code(), dcpi_core::Pid(1), &[f(0)], 2);
+        let text = dcpiprof_tree(&stacks, &reg, Event::Cycles, 0.0);
+        assert!(text.contains("ffb8ZeroPolyArc"), "{text}");
+        assert!(text.contains("ffb8FillPolygon"), "{text}");
+        assert!(text.contains("8 stack samples"), "{text}");
+        assert_eq!(text, dcpiprof_tree(&stacks, &reg, Event::Cycles, 0.0));
+        // A 90% floor prunes the 2-sample root-only context's subtree
+        // competitor but keeps the 8-sample spine.
+        let pruned = dcpiprof_tree(&stacks, &reg, Event::Cycles, 90.0);
+        assert!(!pruned.contains("ffb8FillPolygon"), "{pruned}");
+    }
+
+    #[test]
+    fn empty_tree_reports_no_data() {
+        let text = dcpiprof_tree(
+            &StackProfile::new(),
+            &ImageRegistry::new(),
+            Event::Cycles,
+            0.0,
+        );
+        assert!(text.contains("without stack walking"));
     }
 }

@@ -191,6 +191,7 @@ mod tests {
             total_cycles: 100,
             handler_cycles: 1,
             daemon_cycles: 1,
+            walk_cycles: 0,
             samples: 1,
         });
         snap.samples = Some(SampleLedger {

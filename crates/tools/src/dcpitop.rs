@@ -1,9 +1,15 @@
 //! dcpitop: the `top(1)` of the ingestion pipeline — a fleet-at-a-glance
 //! dashboard rendered from a server-side observability export (the
 //! `--obs` output of `dcpifleet run`). One call renders one frame; the
-//! binary's `--watch` mode re-reads the export and repaints.
+//! binary's `--watch` mode re-reads the export and repaints. The
+//! `--flame` form instead emits a speedscope flamegraph document from a
+//! profile database's calling-context sidecars.
 
+use crate::dbload::stack_frame_name;
+use crate::registry::ImageRegistry;
+use dcpi_core::Event;
 use dcpi_obs::Snapshot;
+use dcpi_stacks::{speedscope, StackProfile};
 use std::fmt::Write as _;
 
 /// Renders one dashboard frame: agents up, epoch pipeline counters,
@@ -99,6 +105,21 @@ pub fn dcpitop(snap: &Snapshot) -> String {
     out
 }
 
+/// Renders `dcpitop --flame`: the speedscope JSON document for one
+/// event of a merged calling-context profile, symbolized through the
+/// registry. Byte-deterministic for a given profile — goldens and CI
+/// artifacts diff cleanly. Open the result at
+/// <https://www.speedscope.app> or with any speedscope-format viewer.
+#[must_use]
+pub fn dcpitop_flame(
+    stacks: &StackProfile,
+    registry: &ImageRegistry,
+    event: Event,
+    title: &str,
+) -> String {
+    speedscope::export(stacks, event, title, &|f| stack_frame_name(registry, f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +158,23 @@ mod tests {
         assert!(text.contains("up 0"), "{text}");
         assert!(text.contains("no ingest-lag histogram"), "{text}");
         assert!(!text.contains("rates"), "{text}");
+    }
+
+    #[test]
+    fn flame_export_is_schema_clean_and_deterministic() {
+        use dcpi_core::{ImageId, Pid};
+        let f = |off| dcpi_stacks::Frame {
+            image: ImageId(1),
+            offset: off,
+        };
+        let mut stacks = StackProfile::new();
+        stacks.record(Event::Cycles.code(), Pid(1), &[f(0), f(4)], 9);
+        stacks.record(Event::Cycles.code(), Pid(2), &[f(0)], 1);
+        let reg = ImageRegistry::new();
+        let doc = dcpitop_flame(&stacks, &reg, Event::Cycles, "unit");
+        speedscope::check_schema(&doc).unwrap();
+        assert_eq!(doc, dcpitop_flame(&stacks, &reg, Event::Cycles, "unit"));
+        // Unregistered images symbolize as hex, not a panic.
+        assert!(doc.contains("0x4 [?]"), "{doc}");
     }
 }

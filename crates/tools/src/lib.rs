@@ -26,7 +26,12 @@
 //!   agent- and server-side exports into one pipeline timeline,
 //! * [`dcpitop()`](dcpitop::dcpitop) — fleet-at-a-glance ingestion
 //!   dashboard (agents up, backlog, ingest-lag percentiles, rates)
-//!   from a server-side observability export,
+//!   from a server-side observability export, with
+//!   [`dcpitop_flame()`](dcpitop::dcpitop_flame) exporting the
+//!   calling-context profile as a speedscope flamegraph document,
+//! * [`dcpiprof_tree()`](dcpiprof::dcpiprof_tree) — the call tree of a
+//!   calling-context profile, inclusive counts down the indentation,
+//!   audited by [`dcpicheck_stacks()`](dcpicheck::dcpicheck_stacks),
 //! * [`dcpipgo`] — the profile → optimize → re-profile loop: rewrite a
 //!   workload's hottest image from exported estimates, re-measure, and
 //!   audit the rewrite (the paper's "ultimate goal" made executable).
@@ -52,20 +57,20 @@ pub mod dcpitop;
 pub mod dcpitrace;
 pub mod registry;
 
-pub use dbload::{find_procedure, load_db, LoadedDb};
+pub use dbload::{find_procedure, load_db, load_stacks, stack_frame_name, LoadedDb};
 pub use dcpicalc::dcpicalc;
 pub use dcpicfg::dcpicfg;
 pub use dcpicheck::{
     dcpicheck, dcpicheck_dataflow, dcpicheck_db, dcpicheck_obs, dcpicheck_pgo, dcpicheck_report,
-    dcpicheck_tv,
+    dcpicheck_stacks, dcpicheck_tv,
 };
 pub use dcpidiff::{dcpidiff, dcpidiff_pgo, pgo_side, PgoSide};
 pub use dcpifleet::{dcpifleet_agents, dcpifleet_image, dcpifleet_top};
-pub use dcpiprof::{dcpiprof, dcpiprof_images, ProfRow};
+pub use dcpiprof::{dcpiprof, dcpiprof_images, dcpiprof_tree, ProfRow};
 pub use dcpistat::dcpistat;
 pub use dcpistats::{dcpistats, StatsRow};
 pub use dcpisumm::dcpisumm;
-pub use dcpitop::dcpitop;
+pub use dcpitop::{dcpitop, dcpitop_flame};
 pub use dcpitrace::{
     dcpitrace, dcpitrace_json, dcpitrace_merged, dcpitrace_merged_json, merged_timeline, timeline,
     TraceLine,

@@ -1,12 +1,15 @@
 //! `profile <workload> <db-dir> [--seed N] [--scale N] [--period LO HI]
 //! [--config base|cycles|default|mux] [--dispatch classic|superblock]
-//! [--obs PATH] [--quiet] [--json]` — runs a named workload under
-//! continuous profiling and writes the profile database (with saved
-//! images) that the dcpi* tools consume. With `--obs PATH` the run's
-//! observability snapshot (metrics, trace rings, ledgers) is exported as
-//! JSON for `dcpistat`, `dcpitrace`, and `dcpicheck obs`. `--dispatch`
-//! selects the execution core (CI diffs the two databases to prove the
-//! superblock path changes nothing observable).
+//! [--stacks] [--obs PATH] [--quiet] [--json]` — runs a named workload
+//! under continuous profiling and writes the profile database (with
+//! saved images) that the dcpi* tools consume. With `--obs PATH` the
+//! run's observability snapshot (metrics, trace rings, ledgers) is
+//! exported as JSON for `dcpistat`, `dcpitrace`, and `dcpicheck obs`.
+//! `--dispatch` selects the execution core (CI diffs the two databases
+//! to prove the superblock path changes nothing observable). `--stacks`
+//! walks the call stack at every sample, writing per-epoch
+//! calling-context sidecars for `dcpiprof --tree`, `dcpitop --flame`,
+//! and `dcpicheck stacks`.
 
 use dcpi_machine::DispatchMode;
 use dcpi_obs::Reporter;
@@ -15,7 +18,7 @@ use dcpi_workloads::{run_workload, ProfConfig, RunOptions, Workload};
 fn usage() -> ! {
     eprintln!(
         "usage: profile <workload> <db-dir> [--seed N] [--scale N] [--config CFG] \
-         [--dispatch classic|superblock] [--obs PATH] [--quiet] [--json]"
+         [--dispatch classic|superblock] [--stacks] [--obs PATH] [--quiet] [--json]"
     );
     eprintln!("workloads:");
     for w in Workload::ALL {
@@ -85,6 +88,7 @@ fn main() {
                 opts.obs = true;
                 i += 1;
             }
+            "--stacks" => opts.stack_walk = true,
             "--quiet" => quiet = true,
             "--json" => json = true,
             _ => usage(),
@@ -119,6 +123,15 @@ fn main() {
             ("db", dir.clone()),
         ],
     );
+    if opts.stack_walk {
+        rep.record(
+            "profile.stacks",
+            &[
+                ("stack_samples", r.stacks.total().to_string()),
+                ("contexts", r.stacks.table.len().to_string()),
+            ],
+        );
+    }
     if let Some(l) = r.ledger {
         rep.status(&l.render());
     }

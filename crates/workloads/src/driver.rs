@@ -17,6 +17,7 @@ use dcpi_machine::counters::CounterConfig;
 use dcpi_machine::machine::{Machine, NullSink, SampleSink};
 use dcpi_machine::{DispatchMode, DispatchStats, GroundTruth, MachineConfig};
 use dcpi_obs::{ObsConfig, OverheadLedger, Snapshot};
+use dcpi_stacks::StackProfile;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -39,11 +40,17 @@ pub enum Workload {
     ParallelFp,
     /// Timesharing mix (4 CPUs, uneven load, idle tails).
     Timesharing,
+    /// Deep self-recursion (calling-context stress: long chains).
+    DeepRecursion,
+    /// Mutual even/odd recursion (alternating-procedure stacks).
+    MutualRecursion,
+    /// Dispatch-heavy server: indirect `jsr` fan-out to handlers.
+    DispatchServer,
 }
 
 impl Workload {
-    /// All workloads, in Table 2 order.
-    pub const ALL: [Workload; 11] = [
+    /// All workloads: Table 2's in order, then the calling-context trio.
+    pub const ALL: [Workload; 14] = [
         Workload::McCalpin(StreamKind::Copy),
         Workload::McCalpin(StreamKind::Scale),
         Workload::McCalpin(StreamKind::Sum),
@@ -55,6 +62,9 @@ impl Workload {
         Workload::Dss,
         Workload::ParallelFp,
         Workload::Timesharing,
+        Workload::DeepRecursion,
+        Workload::MutualRecursion,
+        Workload::DispatchServer,
     ];
 
     /// Display name.
@@ -69,6 +79,9 @@ impl Workload {
             Workload::Dss => "dss".into(),
             Workload::ParallelFp => "parallel-specfp".into(),
             Workload::Timesharing => "timesharing".into(),
+            Workload::DeepRecursion => "deep-recursion".into(),
+            Workload::MutualRecursion => "mutual-recursion".into(),
+            Workload::DispatchServer => "dispatch-server".into(),
         }
     }
 
@@ -86,6 +99,9 @@ impl Workload {
             Workload::Dss => 20,
             Workload::ParallelFp => 15,
             Workload::Timesharing => 12,
+            Workload::DeepRecursion => 10,
+            Workload::MutualRecursion => 8,
+            Workload::DispatchServer => 10,
         }
     }
 
@@ -95,6 +111,7 @@ impl Workload {
         match self {
             Workload::AltaVista | Workload::ParallelFp | Workload::Timesharing => 4,
             Workload::Dss => 8,
+            Workload::DispatchServer => 2,
             _ => 1,
         }
     }
@@ -175,6 +192,10 @@ pub struct RunOptions {
     /// `Classic` produce bit-identical results; the parity suite runs
     /// every workload under both.
     pub dispatch: DispatchMode,
+    /// Walk the call stack at every sample delivery (the calling-context
+    /// extension). Off by default: the walk charges real handler cycles,
+    /// so it perturbs timing-sensitive golden outputs.
+    pub stack_walk: bool,
 }
 
 impl Default for RunOptions {
@@ -191,6 +212,7 @@ impl Default for RunOptions {
             fixed_period: false,
             obs: false,
             dispatch: DispatchMode::default(),
+            stack_walk: false,
         }
     }
 }
@@ -230,6 +252,9 @@ pub struct RunResult {
     pub disk_bytes: u64,
     /// End-to-end sample ledger (absent for `base`).
     pub ledger: Option<LossLedger>,
+    /// Calling-context profile, merged across epochs and CPUs (empty
+    /// unless `RunOptions::stack_walk` was set on a profiled run).
+    pub stacks: StackProfile,
     /// Collection-overhead ledger (absent for `base`).
     pub overhead: Option<OverheadLedger>,
     /// Full observability snapshot (present when `RunOptions::obs`).
@@ -312,6 +337,20 @@ pub fn spawn_with<S: SampleSink>(
                 m.spawn(cpu, img, &[], |_| {});
             }
         }
+        Workload::DeepRecursion => {
+            let img = m.register_image(pick(programs::recursion_image(scale)));
+            m.spawn(0, img, &[], |_| {});
+        }
+        Workload::MutualRecursion => {
+            let img = m.register_image(pick(programs::mutual_image(scale)));
+            m.spawn(0, img, &[], |_| {});
+        }
+        Workload::DispatchServer => {
+            let img = m.register_image(pick(programs::server_image(scale)));
+            for cpu in 0..2 {
+                m.spawn(cpu, img, &[], |_| {});
+            }
+        }
         Workload::Timesharing => {
             let img = m.register_image(pick(programs::shell_image()));
             // Uneven load: CPU 0 gets the most jobs, CPU 3 the fewest, so
@@ -344,6 +383,7 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
         opts.period
     };
     mc.counters = prof.counters(period);
+    mc.stack_walk = opts.stack_walk;
     if let Some(skid) = opts.skid {
         mc.model.interrupt_skid = skid;
     }
@@ -377,6 +417,7 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
             gt: std::mem::take(&mut m.gt),
             trace: Vec::new(),
             disk_bytes: 0,
+            stacks: StackProfile::new(),
             ledger: None,
             overhead: None,
             obs: None,
@@ -412,6 +453,14 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
             Some(db) => db.read_all().unwrap_or_default(),
             None => run.daemon.profiles().clone(),
         };
+        // Stack counts flushed to the database's epoch sidecars were
+        // cleared from daemon memory at flush time, so read them back and
+        // fold in whatever is still buffered (nothing double-counts).
+        let mut stacks = match run.daemon.db() {
+            Some(db) => dcpi_collect::daemon::read_all_stacks(db).unwrap_or_default(),
+            None => StackProfile::new(),
+        };
+        stacks.merge(run.stack_profile());
         let edge_profiles = run.daemon.edge_profiles().clone();
         let m = &mut run.machine;
         let images =
@@ -446,6 +495,7 @@ pub fn run_workload(w: Workload, prof: ProfConfig, opts: &RunOptions) -> RunResu
             gt: std::mem::take(&mut m.gt),
             trace: std::mem::take(&mut m.sink.trace),
             disk_bytes,
+            stacks,
             ledger: Some(ledger),
             overhead: Some(overhead),
             obs,
@@ -616,6 +666,61 @@ mod tests {
             &opts,
         );
         assert!(base.ledger.is_none() && base.obs.is_none());
+    }
+
+    #[test]
+    fn deep_recursion_stack_walk_conserves_and_captures_depth() {
+        let opts = RunOptions {
+            stack_walk: true,
+            period: (4_000, 4_400),
+            limit: 400_000_000,
+            ..RunOptions::default()
+        };
+        let r = run_workload(Workload::DeepRecursion, ProfConfig::Cycles, &opts);
+        assert!(r.samples > 200, "samples = {}", r.samples);
+        // One stack per delivered sample: walks bypass the driver hash
+        // table, so the profile conserves exactly.
+        assert_eq!(r.stacks.total(), r.samples);
+        assert!(r.stacks.table.check_bijective().is_ok());
+        let max_depth = r
+            .stacks
+            .counts
+            .keys()
+            .map(|&(_, _, id)| r.stacks.table.frames(id).len())
+            .max()
+            .unwrap();
+        assert!(
+            max_depth as i64 >= programs::RECURSION_DEPTH - 4,
+            "recursion chains must be recovered nearly in full: max depth {max_depth}"
+        );
+    }
+
+    #[test]
+    fn dispatch_server_stacks_reach_through_indirect_calls() {
+        let opts = RunOptions {
+            stack_walk: true,
+            period: (3_000, 3_300),
+            limit: 400_000_000,
+            ..RunOptions::default()
+        };
+        let r = run_workload(Workload::DispatchServer, ProfConfig::Cycles, &opts);
+        assert_eq!(r.stacks.total(), r.samples);
+        // Leaf samples in `svc_csum` must see csum < handler < main.
+        let max_depth = r
+            .stacks
+            .counts
+            .keys()
+            .map(|&(_, _, id)| r.stacks.table.frames(id).len())
+            .max()
+            .unwrap();
+        assert!(max_depth >= 3, "jsr-through-t12 frames lost: {max_depth}");
+    }
+
+    #[test]
+    fn stack_walk_off_leaves_profile_empty() {
+        let r = run_workload(Workload::MutualRecursion, ProfConfig::Cycles, &quick_opts());
+        assert!(r.samples > 0);
+        assert!(r.stacks.is_empty());
     }
 
     #[test]

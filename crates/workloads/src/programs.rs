@@ -7,7 +7,7 @@
 //! memory initialization.
 
 use dcpi_core::Addr;
-use dcpi_isa::asm::Asm;
+use dcpi_isa::asm::{Asm, Label};
 use dcpi_isa::image::Image;
 use dcpi_isa::reg::Reg;
 
@@ -710,6 +710,172 @@ pub fn shell_image() -> Image {
     a.finish()
 }
 
+/// Emits a standard 16-byte frame prologue: push `sp` and save `ra`.
+fn push_frame(a: &mut Asm) {
+    a.lda(Reg::SP, -16, Reg::SP);
+    a.stq(Reg::RA, 0, Reg::SP);
+}
+
+/// Emits the matching epilogue and returns.
+fn pop_frame_ret(a: &mut Asm) {
+    a.ldq(Reg::RA, 0, Reg::SP);
+    a.lda(Reg::SP, 16, Reg::SP);
+    a.ret(Reg::RA);
+}
+
+/// Emits a small spin loop of `iters` iterations on `t0`/`t5`.
+fn spin(a: &mut Asm, iters: i64) {
+    a.li(Reg::T0, iters);
+    let top = a.here();
+    a.addq_lit(Reg::T5, 1, Reg::T5);
+    a.subq_lit(Reg::T0, 1, Reg::T0);
+    a.bne(Reg::T0, top);
+}
+
+/// Call depth `recursion_image` descends to on every round (plus one
+/// frame for `main`).
+pub const RECURSION_DEPTH: i64 = 48;
+
+/// Builds the deep-recursion workload: `main` repeatedly calls a
+/// self-recursive `recurse(a0 = depth)` whose every activation pushes a
+/// 16-byte frame (saving `ra`) and burns a short spin loop before
+/// descending. Samples land at call depths up to [`RECURSION_DEPTH`] + 1,
+/// so the stack walker must recover long same-procedure chains. `scale`
+/// is the number of top-level descents.
+#[must_use]
+pub fn recursion_image(scale: u32) -> Image {
+    let mut a = Asm::new("/bin/deeprec");
+    a.proc("recurse");
+    let entry = a.here();
+    push_frame(&mut a);
+    spin(&mut a, 14);
+    a.subq_lit(Reg::A0, 1, Reg::A0);
+    let done = a.label();
+    a.beq(Reg::A0, done);
+    a.bsr(Reg::RA, entry);
+    a.bind(done);
+    pop_frame_ret(&mut a);
+    a.proc("main");
+    a.li(Reg::S0, i64::from(scale) * 600);
+    let outer = a.here();
+    a.li(Reg::A0, RECURSION_DEPTH);
+    a.bsr(Reg::RA, entry);
+    a.subq_lit(Reg::S0, 1, Reg::S0);
+    a.bne(Reg::S0, outer);
+    a.halt();
+    a.finish()
+}
+
+/// Builds the mutual-recursion workload: `even` and `odd` call each other
+/// down `a0` levels, each activation with its own frame, so every stack
+/// alternates between the two procedures. `scale` is the number of
+/// top-level descents.
+#[must_use]
+pub fn mutual_image(scale: u32) -> Image {
+    let mut a = Asm::new("/bin/mutualrec");
+    let odd_entry = a.label();
+    a.proc("even");
+    let even_entry = a.here();
+    push_frame(&mut a);
+    spin(&mut a, 10);
+    a.subq_lit(Reg::A0, 1, Reg::A0);
+    let done_e = a.label();
+    a.beq(Reg::A0, done_e);
+    a.bsr(Reg::RA, odd_entry);
+    a.bind(done_e);
+    pop_frame_ret(&mut a);
+    a.proc("odd");
+    a.bind(odd_entry);
+    push_frame(&mut a);
+    spin(&mut a, 16);
+    a.subq_lit(Reg::A0, 1, Reg::A0);
+    let done_o = a.label();
+    a.beq(Reg::A0, done_o);
+    a.bsr(Reg::RA, even_entry);
+    a.bind(done_o);
+    pop_frame_ret(&mut a);
+    a.proc("main");
+    a.li(Reg::S0, i64::from(scale) * 700);
+    let outer = a.here();
+    a.li(Reg::A0, 40);
+    a.bsr(Reg::RA, even_entry);
+    a.subq_lit(Reg::S0, 1, Reg::S0);
+    a.bne(Reg::S0, outer);
+    a.halt();
+    a.finish()
+}
+
+/// The service handlers of [`server_image`], with their spin weights.
+pub const SERVER_HANDLERS: [(&str, i64); 4] = [
+    ("svc_read", 60),
+    ("svc_write", 40),
+    ("svc_stat", 14),
+    ("svc_flush", 24),
+];
+
+/// Builds the dispatch-heavy server workload: a request loop that picks
+/// one of four service handlers from an in-register LCG and calls it
+/// *indirectly* through `t12` (a computed `jsr`, as shared-library call
+/// stubs do). Every handler pushes a frame and calls a shared `svc_csum`
+/// leaf via `bsr`, so each sample carries a three-deep stack whose middle
+/// frame identifies the handler — exactly what a flat PC histogram
+/// cannot show. `scale` is the number of requests.
+#[must_use]
+pub fn server_image(scale: u32) -> Image {
+    let mut a = Asm::new("/bin/dserver");
+    a.proc("svc_csum");
+    let csum_entry = a.here();
+    a.li(Reg::T6, 12);
+    let ctop = a.here();
+    a.addq(Reg::T5, Reg::T6, Reg::T5);
+    a.xor(Reg::T5, Reg::T6, Reg::T7);
+    a.subq_lit(Reg::T6, 1, Reg::T6);
+    a.bne(Reg::T6, ctop);
+    a.ret(Reg::RA);
+    for (name, weight) in SERVER_HANDLERS {
+        a.proc(name);
+        push_frame(&mut a);
+        spin(&mut a, weight);
+        a.bsr(Reg::RA, csum_entry);
+        pop_frame_ret(&mut a);
+    }
+    a.proc("main");
+    let offsets = a.proc_offsets();
+    let handler_addr = |name: &str| -> i64 {
+        let off = offsets
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, o)| *o)
+            .expect("handler assembled earlier");
+        dcpi_machine::os::MAIN_BASE.0 as i64 + off
+    };
+    a.li(Reg::S0, i64::from(scale) * 1500);
+    a.li(Reg::T9, 777_777); // LCG state
+    a.li(Reg::T8, 69069); // LCG multiplier
+    let outer = a.here();
+    a.mulq(Reg::T9, Reg::T8, Reg::T9);
+    a.lda(Reg::T9, 12345, Reg::T9);
+    a.srl_lit(Reg::T9, 16, Reg::T1);
+    a.and_lit(Reg::T1, 3, Reg::T1);
+    let next = a.label();
+    let sites: Vec<Label> = (0..4).map(|_| a.label()).collect();
+    for (i, site) in sites.iter().enumerate().skip(1) {
+        a.cmpeq_lit(Reg::T1, i as u8, Reg::T2);
+        a.bne(Reg::T2, *site);
+    }
+    for (i, (name, _)) in SERVER_HANDLERS.iter().enumerate() {
+        a.bind(sites[i]);
+        a.li(Reg::T12, handler_addr(name));
+        a.jsr(Reg::RA, Reg::T12);
+        a.br(next);
+    }
+    a.bind(next);
+    a.subq_lit(Reg::S0, 1, Reg::S0);
+    a.bne(Reg::S0, outer);
+    a.halt();
+    a.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -915,5 +1081,42 @@ mod tests {
     fn fp_and_shell_images_decode() {
         assert!(fp_kernel_image(3).decode_all().is_ok());
         assert!(shell_image().decode_all().is_ok());
+    }
+
+    #[test]
+    fn recursion_images_decode_with_expected_procedures() {
+        let rec = recursion_image(1);
+        assert!(rec.decode_all().is_ok());
+        assert!(rec.symbol_named("recurse").is_some());
+        let mutual = mutual_image(1);
+        assert!(mutual.decode_all().is_ok());
+        assert!(mutual.symbol_named("even").is_some());
+        assert!(mutual.symbol_named("odd").is_some());
+    }
+
+    #[test]
+    fn server_image_has_all_handlers() {
+        let img = server_image(1);
+        assert!(img.decode_all().is_ok());
+        for (name, _) in SERVER_HANDLERS {
+            assert!(img.symbol_named(name).is_some(), "{name}");
+        }
+        assert!(img.symbol_named("svc_csum").is_some());
+    }
+
+    #[test]
+    fn recursion_image_runs_to_completion() {
+        use dcpi_machine::counters::CounterConfig;
+        use dcpi_machine::machine::{Machine, NullSink};
+        use dcpi_machine::MachineConfig;
+        for img in [recursion_image(1), mutual_image(1), server_image(1)] {
+            let name = img.name().to_string();
+            let cfg = MachineConfig::with_counters(CounterConfig::off());
+            let mut m = Machine::new(cfg, NullSink);
+            let id = m.register_image(img);
+            m.spawn(0, id, &[], |_| {});
+            m.run_to_completion(500_000, 2_000_000_000);
+            assert!(m.last_exit > 0, "{name} must halt");
+        }
     }
 }

@@ -20,9 +20,18 @@ use std::sync::Arc;
 #[test]
 fn dcpicheck_is_clean_on_every_workload() {
     for w in Workload::ALL {
+        // Scale 1 keeps the sweep fast, but the recursion/dispatch
+        // workloads are tiny programs that need their default scale to
+        // clear the sample floor.
+        let scale = match w {
+            Workload::DeepRecursion | Workload::MutualRecursion | Workload::DispatchServer => {
+                w.default_scale()
+            }
+            _ => 1,
+        };
         let opts = RunOptions {
             seed: 11,
-            scale: 1,
+            scale,
             period: (20_000, 21_600),
             limit: 300_000_000,
             ..RunOptions::default()
